@@ -1,0 +1,50 @@
+// F12 — idle-state depth vs governor ranking (extension).
+//
+// The DVFS-vs-race-to-idle question: deeper idle states make *finishing
+// fast and sleeping* cheaper, which erodes part of slow-and-steady's
+// advantage. Sweeps the cpuidle strategy (flat WFI, realistic menu,
+// oracle) across governors at 720p.
+//
+// Expected shape: every governor gains from deeper idle; reactive
+// governors gain *more* (they idle at high frequency after bursts), so
+// the VAFS-vs-ondemand gap narrows a few points — but does not close,
+// because the busy-time energy difference (voltage!) remains.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace vafs;
+
+  bench::print_header("F12", "Idle-state strategy vs governor energy (720p, fair LTE)");
+
+  const std::vector<cpu::CpuidleStrategy> strategies = {
+      cpu::CpuidleStrategy::kShallowOnly, cpu::CpuidleStrategy::kMenu,
+      cpu::CpuidleStrategy::kOracle};
+  const std::vector<std::string> governors = {"ondemand", "interactive", "schedutil", "vafs"};
+
+  std::printf("%-9s %-12s %10s %10s %9s\n", "cpuidle", "governor", "cpu_J", "vs_ondm",
+              "drop_%");
+  bench::print_rule(56);
+
+  for (const auto strategy : strategies) {
+    double ondemand_cpu = 0.0;
+    for (const auto& governor : governors) {
+      core::SessionConfig config;
+      config.governor = governor;
+      config.fixed_rep = 2;
+      config.media_duration = sim::SimTime::seconds(120);
+      config.net = core::NetProfile::kFair;
+      config.cpuidle = strategy;
+      const auto a = bench::run_averaged(config, bench::default_seeds());
+      if (governor == "ondemand") ondemand_cpu = a.cpu_mj;
+      std::printf("%-9s %-12s %10.2f %9.1f%% %9.2f\n", cpu::cpuidle_strategy_name(strategy),
+                  governor.c_str(), a.cpu_mj / 1000.0,
+                  (1.0 - a.cpu_mj / ondemand_cpu) * 100.0, a.drop_pct);
+    }
+    bench::print_rule(56);
+  }
+  return 0;
+}

@@ -1,0 +1,64 @@
+// F13 — big.LITTLE (extension): does a second, efficient cluster change
+// the picture?
+//
+// Same sessions as T1 with the LITTLE cluster enabled. Kernel governors
+// keep decode on the big cluster (static affinity, each cluster's governor
+// following its own load); VAFS additionally *places* decode: on LITTLE
+// whenever predicted demand — inflated by the 1.7x IPC penalty — fits
+// under LITTLE's top OPP with margin.
+//
+// Expected shape: for kernel governors big.LITTLE only helps a little (the
+// network stack moves off big); VAFS-bL moves the decode itself at
+// 360p-720p for another ~20-30 % CPU saving, and falls back to big-cluster
+// behaviour at 1080p where the LITTLE cluster cannot hold the deadline.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace vafs;
+
+  bench::print_header("F13", "big.LITTLE vs single-cluster CPU energy (J), fair LTE, 120 s");
+
+  const std::vector<std::pair<std::size_t, const char*>> reps = {
+      {0, "360p"}, {1, "480p"}, {2, "720p"}, {3, "1080p"}};
+  const std::vector<std::string> governors = {"ondemand", "schedutil", "vafs"};
+
+  std::printf("%-11s %-10s", "governor", "cluster");
+  for (const auto& [rep, name] : reps) std::printf(" %9s", name);
+  std::printf("  %s\n", "decode@little(720p)");
+  bench::print_rule(86);
+
+  for (const auto& governor : governors) {
+    for (const bool big_little : {false, true}) {
+      std::printf("%-11s %-10s", governor.c_str(), big_little ? "big.LITTLE" : "big-only");
+      std::uint64_t little_frames = 0;
+      for (const auto& [rep, name] : reps) {
+        core::SessionConfig config;
+        config.governor = governor;
+        config.fixed_rep = rep;
+        config.big_little = big_little;
+        config.media_duration = sim::SimTime::seconds(120);
+        config.net = core::NetProfile::kFair;
+        const auto a = bench::run_averaged(config, bench::default_seeds());
+        std::printf(" %9.2f", a.cpu_mj / 1000.0);
+        if (rep == 2 && big_little) {
+          config.seed = bench::default_seeds().front();
+          little_frames = core::run_session(config).decode_frames_little;
+        }
+      }
+      if (big_little) {
+        std::printf("  %llu", static_cast<unsigned long long>(little_frames));
+      }
+      std::printf("\n");
+    }
+    bench::print_rule(86);
+  }
+
+  std::printf("\nExpected shape: VAFS+big.LITTLE is the best cell at every quality up\n"
+              "to 720p (decode placed on LITTLE); at 1080p it matches big-only VAFS\n"
+              "because the LITTLE cluster cannot meet the frame deadline.\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// F2 — session timeline: frequency, CPU power and buffer level over time,
+// ondemand vs VAFS, one 60-second 720p session on a fair LTE draw.
+//
+// Prints a downsampled CSV series (500 ms) for plotting plus side-by-side
+// summary statistics. Expected shape: ondemand's frequency thrashes
+// between min and max on every download burst and decode group; VAFS sits
+// flat at the minimal feasible OPP with occasional one-step excursions.
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "bench_util.h"
+#include "trace/csv.h"
+#include "trace/recorder.h"
+
+int main() {
+  using namespace vafs;
+
+  bench::print_header("F2", "Timeline: frequency / power / buffer, ondemand vs VAFS");
+
+  for (const std::string governor : {"ondemand", "vafs"}) {
+    core::SessionConfig config;
+    config.governor = governor;
+    config.fixed_rep = 2;
+    config.media_duration = sim::SimTime::seconds(60);
+    config.net = core::NetProfile::kFair;
+    config.seed = 101;
+
+    trace::TimelineRecorder recorder(sim::SimTime::millis(100));
+    core::SessionHooks hooks;
+    hooks.on_ready = [&recorder](core::SessionLive& live) { recorder.attach(live); };
+    const auto result = core::run_session(config, hooks);
+
+    std::printf("\n### %s — CSV series (500 ms samples) ###\n", governor.c_str());
+    {
+      trace::CsvWriter csv(std::cout, {"t_s", "freq_mhz", "cpu_mw", "buffer_s", "radio_state",
+                                       "player_state"});
+      const auto& samples = recorder.samples();
+      for (std::size_t i = 0; i < samples.size(); i += 5) {  // downsample 100ms -> 500ms
+        const auto& s = samples[i];
+        csv.row()
+            .cell(s.at.as_seconds_f())
+            .cell(static_cast<double>(s.freq_khz) / 1000.0)
+            .cell(s.cpu_power_mw)
+            .cell(s.buffer_seconds)
+            .cell(static_cast<std::int64_t>(s.radio_state))
+            .cell(static_cast<std::int64_t>(s.player_state));
+      }
+    }
+
+    // Frequency flip count from the 100 ms series — the thrash signature.
+    std::uint32_t last = 0;
+    int flips = 0;
+    double mw_sum = 0;
+    for (const auto& s : recorder.samples()) {
+      if (last != 0 && s.freq_khz != last) ++flips;
+      last = s.freq_khz;
+      mw_sum += s.cpu_power_mw;
+    }
+    std::printf("summary[%s]: cpu=%.2f J, mean_cpu=%.0f mW, freq-changes(100ms grid)=%d, "
+                "transitions=%llu, drops=%.2f%%\n",
+                governor.c_str(), result.energy.cpu_mj / 1000.0,
+                mw_sum / static_cast<double>(recorder.samples().size()), flips,
+                static_cast<unsigned long long>(result.freq_transitions),
+                result.qoe.drop_ratio() * 100.0);
+  }
+  return 0;
+}

@@ -1,0 +1,60 @@
+// F5 — frequency residency distributions.
+//
+// Fraction of wall time each governor spends programmed at each OPP during
+// a 720p / fair-LTE session. Expected shape: ondemand bimodal (min + max),
+// interactive piles time at hispeed and max, schedutil and VAFS
+// concentrate at the minimal feasible OPPs — VAFS the tightest, with an
+// order-of-magnitude fewer DVFS transitions.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace vafs;
+
+  bench::print_header("F5", "Frequency residency by governor (720p, fair LTE, 120 s)");
+
+  const std::vector<std::string> governors = {"performance", "ondemand", "interactive",
+                                              "conservative", "schedutil", "vafs"};
+
+  // One representative seed: residency is a distribution, not a scalar,
+  // so averaging across seeds would blur the shape this figure shows.
+  std::vector<std::pair<std::string, core::SessionResult>> results;
+  for (const auto& governor : governors) {
+    core::SessionConfig config;
+    config.governor = governor;
+    config.fixed_rep = 2;
+    config.media_duration = sim::SimTime::seconds(120);
+    config.net = core::NetProfile::kFair;
+    config.seed = 101;
+    results.emplace_back(governor, core::run_session(config));
+  }
+
+  // Header: OPP frequencies.
+  std::printf("%-13s", "governor");
+  for (const auto& [khz, frac] : results.front().second.residency) {
+    std::printf(" %7.1fG", static_cast<double>(khz) / 1e6);
+  }
+  std::printf(" %8s\n", "trans");
+  bench::print_rule(96);
+
+  for (const auto& [governor, r] : results) {
+    std::printf("%-13s", governor.c_str());
+    for (const auto& [khz, frac] : r.residency) std::printf(" %7.1f%%", frac * 100.0);
+    std::printf(" %8llu\n", static_cast<unsigned long long>(r.freq_transitions));
+  }
+
+  // ASCII shape per governor.
+  for (const auto& [governor, r] : results) {
+    std::printf("\n%s:\n", governor.c_str());
+    for (const auto& [khz, frac] : r.residency) {
+      std::printf("  %7.1f GHz |", static_cast<double>(khz) / 1e6);
+      const int bar = static_cast<int>(frac * 60.0 + 0.5);
+      for (int i = 0; i < bar; ++i) std::putchar('#');
+      std::printf(" %.1f%%\n", frac * 100.0);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,110 @@
+// T3 — cycle-demand predictor accuracy.
+//
+// Two views:
+//   (a) offline: each predictor kind replayed over the exact per-frame
+//       decode-cost streams of the content model at every quality
+//       (MAPE + over-provision ratio = mean(pred)/mean(actual));
+//   (b) in-system: the MAPE the VAFS controller actually observed during
+//       full sessions.
+//
+// Expected shape: EWMA lowest MAPE but under-provisions (misses deadlines
+// without margin); window-max over-provisions heavily; the p90 quantile
+// sits between — which is why it is the default.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/predictor.h"
+#include "video/content.h"
+#include "video/manifest.h"
+
+int main() {
+  using namespace vafs;
+
+  bench::print_header("T3", "Cycle-demand predictor accuracy (MAPE, over-provision)");
+
+  const video::Manifest manifest =
+      video::Manifest::typical_vod("t3", sim::SimTime::seconds(120));
+  const video::ContentModel content(4242, video::ContentParams{}, &manifest);
+
+  const std::vector<std::pair<core::PredictorKind, const char*>> kinds = {
+      {core::PredictorKind::kEwma, "ewma"},
+      {core::PredictorKind::kWindowMax, "window-max"},
+      {core::PredictorKind::kQuantile, "quantile-p90"},
+  };
+
+  std::printf("(a) offline replay over per-frame decode costs (window 24)\n\n");
+  std::printf("%-14s %8s %10s %10s %12s\n", "predictor", "rep", "mape_%", "overprov",
+              "underpred_%");
+  bench::print_rule(60);
+
+  for (const auto& [kind, kind_name] : kinds) {
+    for (std::size_t rep = 0; rep < manifest.representation_count(); ++rep) {
+      core::PredictorConfig config;
+      config.kind = kind;
+      config.window = 24;
+      core::CycleDemandPredictor predictor(config);
+
+      double sum_pred = 0, sum_actual = 0;
+      std::uint64_t under = 0, n = 0;
+      for (std::uint64_t f = 0; f < 3600; ++f) {
+        const double actual = content.frame(rep, f).decode_cycles;
+        if (predictor.observations() > 0) {
+          const double predicted = predictor.predict();
+          sum_pred += predicted;
+          sum_actual += actual;
+          if (predicted < actual) ++under;
+          ++n;
+        }
+        predictor.observe(actual);
+      }
+      std::printf("%-14s %8s %10.2f %10.3f %12.1f\n", kind_name,
+                  manifest.representation(rep).id.c_str(), predictor.mape() * 100.0,
+                  sum_pred / sum_actual, 100.0 * static_cast<double>(under) /
+                                             static_cast<double>(n));
+    }
+    bench::print_rule(60);
+  }
+
+  std::printf("\n(b) in-system MAPE observed by the VAFS controller (720p, fair LTE)\n\n");
+  std::printf("%-14s %-12s %10s %10s %10s\n", "predictor", "classes", "mape_%", "cpu_J",
+              "drop_%");
+  bench::print_rule(62);
+  for (const auto& [kind, kind_name] : kinds) {
+    for (const bool class_aware : {false, true}) {
+      core::SessionConfig config;
+      config.governor = "vafs";
+      config.vafs.predictor.kind = kind;
+      config.vafs.class_aware = class_aware;
+      config.fixed_rep = 2;
+      config.media_duration = sim::SimTime::seconds(120);
+      config.net = core::NetProfile::kFair;
+      const auto a = bench::run_averaged(config, bench::default_seeds());
+      std::printf("%-14s %-12s %10.2f %10.2f %10.2f\n", kind_name,
+                  class_aware ? "idr+p" : "mixed", a.vafs_mape * 100.0, a.cpu_mj / 1000.0,
+                  a.drop_pct);
+    }
+  }
+
+  std::printf("\n(c) class-aware prediction on intra-heavy content (GOP 12, IDR 6x)\n\n");
+  std::printf("%-12s %10s %10s %10s\n", "classes", "mape_%", "cpu_J", "drop_%");
+  bench::print_rule(46);
+  for (const bool class_aware : {false, true}) {
+    core::SessionConfig config;
+    config.governor = "vafs";
+    config.vafs.class_aware = class_aware;
+    config.content.gop_frames = 12;
+    config.content.idr_weight = 6.0;
+    config.fixed_rep = 2;
+    config.media_duration = sim::SimTime::seconds(120);
+    config.net = core::NetProfile::kFair;
+    const auto a = bench::run_averaged(config, bench::default_seeds());
+    std::printf("%-12s %10.2f %10.2f %10.2f\n", class_aware ? "idr+p" : "mixed",
+                a.vafs_mape * 100.0, a.cpu_mj / 1000.0, a.drop_pct);
+  }
+  std::printf("\nExpected shape: splitting the classes roughly halves the MAPE on\n"
+              "intra-heavy content; the OPP grid absorbs most of the remaining\n"
+              "difference, so energy moves by low single digits.\n");
+
+  return 0;
+}

@@ -1,0 +1,47 @@
+// T4 — interaction with adaptive bitrate.
+//
+// Energy and QoE under fixed / rate-based / buffer-based ABR, ondemand vs
+// VAFS, on the fair LTE profile. Expected shape: the VAFS saving is
+// ABR-independent (the controller keys its predictors by representation,
+// so quality switches do not confuse it), and QoE metrics match the
+// baseline within noise for every ABR.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace vafs;
+
+  bench::print_header("T4", "Energy & QoE under different ABR algorithms (fair LTE)");
+
+  std::printf("%-8s %-10s %9s %9s %9s %9s %10s %9s\n", "abr", "governor", "cpu_J", "vs_ondm",
+              "drop_%", "rebuf", "kbps", "switches");
+  bench::print_rule(80);
+
+  for (const auto abr : {core::AbrKind::kFixed, core::AbrKind::kRate, core::AbrKind::kBuffer,
+                         core::AbrKind::kBola}) {
+    double ondemand_cpu = 0.0;
+    for (const std::string governor : {"ondemand", "vafs"}) {
+      core::SessionConfig config;
+      config.governor = governor;
+      config.abr = abr;
+      config.fixed_rep = 2;
+      config.media_duration = sim::SimTime::seconds(120);
+      config.net = core::NetProfile::kFair;
+      const auto a = bench::run_averaged(config, bench::default_seeds());
+      if (governor == "ondemand") ondemand_cpu = a.cpu_mj;
+
+      // Quality switches from one representative run.
+      config.seed = bench::default_seeds().front();
+      const auto r = core::run_session(config);
+
+      std::printf("%-8s %-10s %9.2f %8.1f%% %9.2f %9.1f %10.0f %9llu\n",
+                  core::abr_kind_name(abr), governor.c_str(), a.cpu_mj / 1000.0,
+                  (1.0 - a.cpu_mj / ondemand_cpu) * 100.0, a.drop_pct, a.rebuffer_events,
+                  a.mean_bitrate_kbps, static_cast<unsigned long long>(r.qoe.quality_switches));
+    }
+    bench::print_rule(80);
+  }
+  return 0;
+}

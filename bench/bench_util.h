@@ -1,0 +1,91 @@
+// Shared helpers for the experiment benches: seed-averaged session runs
+// and aligned table printing. Each bench binary regenerates one table or
+// figure of the reconstructed evaluation (see DESIGN.md / EXPERIMENTS.md).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/session.h"
+
+namespace vafs::bench {
+
+/// Aggregate of N seed-varied sessions of one configuration.
+struct Aggregate {
+  double cpu_mj = 0.0;
+  double radio_mj = 0.0;
+  double display_mj = 0.0;
+  double total_mj = 0.0;
+  double cpu_mean_mw = 0.0;
+  double startup_s = 0.0;
+  double rebuffer_events = 0.0;
+  double rebuffer_s = 0.0;
+  double drop_pct = 0.0;
+  double deadline_misses = 0.0;
+  double transitions = 0.0;
+  double mean_bitrate_kbps = 0.0;
+  double busy_fraction = 0.0;
+  double wall_s = 0.0;
+  double vafs_mape = 0.0;
+  int runs = 0;
+  bool all_finished = true;
+};
+
+/// Runs `config` once per seed and averages the scalar outputs.
+inline Aggregate run_averaged(core::SessionConfig config, const std::vector<std::uint64_t>& seeds) {
+  Aggregate agg;
+  for (const auto seed : seeds) {
+    config.seed = seed;
+    const core::SessionResult r = core::run_session(config);
+    agg.all_finished = agg.all_finished && r.finished;
+    agg.cpu_mj += r.energy.cpu_mj;
+    agg.radio_mj += r.energy.radio_mj;
+    agg.display_mj += r.energy.display_mj;
+    agg.total_mj += r.energy.total_mj();
+    agg.cpu_mean_mw += r.energy.cpu_mean_mw();
+    agg.startup_s += r.qoe.startup_delay.as_seconds_f();
+    agg.rebuffer_events += static_cast<double>(r.qoe.rebuffer_events);
+    agg.rebuffer_s += r.qoe.rebuffer_time.as_seconds_f();
+    agg.drop_pct += r.qoe.drop_ratio() * 100.0;
+    agg.deadline_misses += static_cast<double>(r.qoe.deadline_misses);
+    agg.transitions += static_cast<double>(r.freq_transitions);
+    agg.mean_bitrate_kbps += r.qoe.mean_bitrate_kbps;
+    agg.busy_fraction += r.busy_fraction;
+    agg.wall_s += r.wall.as_seconds_f();
+    agg.vafs_mape += r.vafs_decode_mape;
+    ++agg.runs;
+  }
+  const double n = agg.runs > 0 ? agg.runs : 1;
+  agg.cpu_mj /= n;
+  agg.radio_mj /= n;
+  agg.display_mj /= n;
+  agg.total_mj /= n;
+  agg.cpu_mean_mw /= n;
+  agg.startup_s /= n;
+  agg.rebuffer_events /= n;
+  agg.rebuffer_s /= n;
+  agg.drop_pct /= n;
+  agg.deadline_misses /= n;
+  agg.transitions /= n;
+  agg.mean_bitrate_kbps /= n;
+  agg.busy_fraction /= n;
+  agg.wall_s /= n;
+  agg.vafs_mape /= n;
+  return agg;
+}
+
+inline std::vector<std::uint64_t> default_seeds() { return {101, 202, 303}; }
+
+inline void print_header(const char* experiment, const char* description) {
+  std::printf("\n==============================================================================\n");
+  std::printf("%s — %s\n", experiment, description);
+  std::printf("==============================================================================\n");
+}
+
+inline void print_rule(int width = 78) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace vafs::bench

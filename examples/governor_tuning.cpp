@@ -1,0 +1,113 @@
+// Governor tuning through the sysfs interface — the low-level public API.
+//
+// Builds the device stack by hand (no session harness) and drives it the
+// way a shell user or init script would:
+//
+//   cat  .../scaling_available_governors
+//   echo ondemand  > .../scaling_governor
+//   echo 95        > .../ondemand/up_threshold
+//   echo userspace > .../scaling_governor        (what VAFS does)
+//   echo 900000    > .../scaling_setspeed
+//   cat  .../stats/time_in_state
+//
+// and shows how tunables change the energy of the same workload.
+#include <cstdio>
+#include <string>
+
+#include "cpu/cpufreq_policy.h"
+#include "cpu/cpufreq_sysfs.h"
+#include "governors/registry.h"
+#include "net/downloader.h"
+#include "simcore/simulator.h"
+#include "stream/player.h"
+#include "video/content.h"
+
+using namespace vafs;
+
+namespace {
+
+/// One 60 s 720p session against a hand-built stack whose governor (and
+/// optional tunable write) is applied through sysfs. Returns CPU mJ.
+double run_with(const std::string& governor, const std::string& tunable_path,
+                const std::string& tunable_value, bool print_sysfs_tour) {
+  sim::Simulator simulator;
+  cpu::CpuModel cpu_model(simulator, cpu::OppTable::mobile_big_core(), cpu::CpuPowerModel());
+  cpu::GovernorRegistry registry;
+  governors::register_standard(registry);
+  cpu::CpufreqPolicy policy(simulator, cpu_model, registry, "ondemand");
+  sysfs::Tree tree;
+  cpu::CpufreqSysfs binder(tree, policy, 0);
+  const std::string dir = binder.dir();
+
+  if (print_sysfs_tour) {
+    std::printf("$ ls /sys/%s\n", dir.c_str());
+    for (const auto& name : tree.list(dir).value_or({})) std::printf("  %s\n", name.c_str());
+    std::printf("$ cat scaling_available_governors\n  %s",
+                tree.read(dir + "/scaling_available_governors").value_or("?").c_str());
+    std::printf("$ cat scaling_available_frequencies\n  %s",
+                tree.read(dir + "/scaling_available_frequencies").value_or("?").c_str());
+  }
+
+  // Switch governor exactly the way a shell would.
+  if (!tree.write(dir + "/scaling_governor", governor).ok()) {
+    std::printf("failed to select governor %s\n", governor.c_str());
+    return 0;
+  }
+  if (!tunable_path.empty()) {
+    const auto status = tree.write(dir + "/" + tunable_path, tunable_value);
+    std::printf("$ echo %s > %s   -> %s\n", tunable_value.c_str(), tunable_path.c_str(),
+                status.ok() ? "ok" : "EINVAL");
+  }
+
+  net::RadioModel radio(simulator, net::RadioParams::lte());
+  net::ConstantBandwidth bandwidth(12.0);
+  net::Downloader downloader(simulator, radio, bandwidth, &cpu_model);
+  video::Manifest manifest = video::Manifest::typical_vod("demo", sim::SimTime::seconds(60));
+  video::ContentModel content(77, video::ContentParams{}, &manifest);
+  stream::Player player(simulator, cpu_model, downloader, content,
+                        std::make_unique<stream::FixedAbr>(2));
+
+  bool done = false;
+  player.start([&done] { done = true; });
+  while (!done && simulator.step()) {
+  }
+
+  if (print_sysfs_tour) {
+    std::printf("$ cat stats/time_in_state       (freq_khz  10ms-ticks)\n%s",
+                tree.read(dir + "/stats/time_in_state").value_or("?").c_str());
+    std::printf("$ cat stats/total_trans\n  %s",
+                tree.read(dir + "/stats/total_trans").value_or("?").c_str());
+  }
+  return cpu_model.energy_mj();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== sysfs tour: default ondemand on a 60 s 720p stream ===\n\n");
+  const double base = run_with("ondemand", "", "", /*print_sysfs_tour=*/true);
+  std::printf("\nondemand (up_threshold=80):            %8.1f mJ\n", base);
+
+  const double strict = run_with("ondemand", "ondemand/up_threshold", "95", false);
+  std::printf("ondemand (up_threshold=95):            %8.1f mJ  (%.1f%% vs default)\n", strict,
+              (1 - strict / base) * 100.0);
+
+  const double lazy =
+      run_with("ondemand", "ondemand/sampling_rate", "100000", false);
+  std::printf("ondemand (sampling_rate=100ms):        %8.1f mJ  (%.1f%% vs default)\n", lazy,
+              (1 - lazy / base) * 100.0);
+
+  const double conservative = run_with("conservative", "conservative/freq_step", "10", false);
+  std::printf("conservative (freq_step=10%%):          %8.1f mJ  (%.1f%% vs default)\n",
+              conservative, (1 - conservative / base) * 100.0);
+
+  // The userspace path: pin a frequency by hand (a crude static VAFS).
+  const double pinned = run_with("userspace", "scaling_setspeed", "900000", false);
+  std::printf("userspace pinned at 900 MHz:           %8.1f mJ  (%.1f%% vs default)\n", pinned,
+              (1 - pinned / base) * 100.0);
+
+  std::printf("\nTunable tweaks recover part of the gap; the userspace pin shows the\n"
+              "ceiling a *static* policy reaches. VAFS (see quickstart) gets the same\n"
+              "or better dynamically, without knowing the content in advance.\n");
+  return 0;
+}

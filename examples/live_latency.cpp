@@ -1,0 +1,71 @@
+// Live sports stream: a latency-sensitive session (2 s segments, small
+// buffer) where the user cares about being seconds — not half a minute —
+// behind the action. Shows that VAFS's energy savings carry over to live
+// without adding latency, and how segment duration trades latency against
+// radio energy.
+#include <cstdio>
+#include <string>
+
+#include "core/session.h"
+
+namespace {
+
+struct LiveRun {
+  vafs::core::SessionResult result;
+  double latency_s = 0.0;
+};
+
+LiveRun run_live(const std::string& governor, std::int64_t segment_s) {
+  vafs::core::SessionConfig config;
+  config.governor = governor;
+  config.fixed_rep = 2;
+  config.segment_duration = vafs::sim::SimTime::seconds(segment_s);
+  config.media_duration = vafs::sim::SimTime::seconds(300);
+  config.net = vafs::core::NetProfile::kGood;
+  config.seed = 4242;
+  config.player.live = true;
+  config.player.startup_buffer = vafs::sim::SimTime::seconds(segment_s);
+  config.player.buffer_target = vafs::sim::SimTime::seconds(3 * segment_s);
+  config.player.rebuffer_resume = vafs::sim::SimTime::seconds(segment_s);
+
+  LiveRun run;
+  vafs::core::SessionHooks hooks;
+  vafs::stream::Player* player = nullptr;
+  hooks.on_ready = [&player](vafs::core::SessionLive& live) { player = live.player; };
+  run.result = vafs::core::run_session(config, hooks);
+  if (player != nullptr) run.latency_s = player->live_latency().as_seconds_f();
+  return run;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Live 720p stream, 5 minutes, good LTE\n\n");
+
+  std::printf("-- governor comparison (2 s segments) --\n");
+  std::printf("%-12s %10s %12s %9s %8s\n", "governor", "cpu_J", "latency_s", "drop_%", "rebuf");
+  for (const char* governor : {"ondemand", "interactive", "schedutil", "vafs"}) {
+    const LiveRun run = run_live(governor, 2);
+    if (!run.result.finished) {
+      std::printf("%-12s DID NOT FINISH\n", governor);
+      continue;
+    }
+    std::printf("%-12s %10.1f %12.2f %9.2f %8llu\n", governor,
+                run.result.energy.cpu_mj / 1000.0, run.latency_s,
+                run.result.qoe.drop_ratio() * 100.0,
+                static_cast<unsigned long long>(run.result.qoe.rebuffer_events));
+  }
+
+  std::printf("\n-- segment duration vs latency and radio energy (vafs) --\n");
+  std::printf("%8s %12s %10s %10s\n", "seg_s", "latency_s", "cpu_J", "radio_J");
+  for (const std::int64_t seg : {1, 2, 4, 6}) {
+    const LiveRun run = run_live("vafs", seg);
+    if (!run.result.finished) continue;
+    std::printf("%8lld %12.2f %10.1f %10.1f\n", static_cast<long long>(seg), run.latency_s,
+                run.result.energy.cpu_mj / 1000.0, run.result.energy.radio_mj / 1000.0);
+  }
+
+  std::printf("\nShorter segments cut the latency floor (you see the goal sooner) but\n"
+              "keep the radio out of its deep tail states — latency costs watts.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+#include "core/predictor.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace vafs::core {
+
+const char* predictor_kind_name(PredictorKind k) {
+  switch (k) {
+    case PredictorKind::kEwma: return "ewma";
+    case PredictorKind::kWindowMax: return "window-max";
+    case PredictorKind::kQuantile: return "quantile";
+  }
+  return "?";
+}
+
+CycleDemandPredictor::CycleDemandPredictor(PredictorConfig config) : config_(config) {
+  assert(config_.window >= 1);
+  assert(config_.ewma_alpha > 0 && config_.ewma_alpha <= 1);
+  assert(config_.quantile > 0 && config_.quantile <= 1);
+  window_.resize(config_.window, 0.0);
+}
+
+void CycleDemandPredictor::observe(double cycles) {
+  if (count_ > 0 && cycles > 0) {
+    const double predicted = predict();
+    if (predicted > 0) ape_.add(std::abs(predicted - cycles) / cycles);
+  }
+
+  window_[next_slot_] = cycles;
+  next_slot_ = (next_slot_ + 1) % window_.size();
+  filled_ = std::min(filled_ + 1, window_.size());
+  ewma_ = count_ == 0 ? cycles : config_.ewma_alpha * cycles + (1 - config_.ewma_alpha) * ewma_;
+  ++count_;
+}
+
+double CycleDemandPredictor::predict() const {
+  if (count_ == 0) return 0.0;
+  switch (config_.kind) {
+    case PredictorKind::kEwma:
+      return ewma_;
+    case PredictorKind::kWindowMax: {
+      double peak = 0.0;
+      for (std::size_t i = 0; i < filled_; ++i) peak = std::max(peak, window_[i]);
+      return peak;
+    }
+    case PredictorKind::kQuantile: {
+      std::vector<double> sorted(window_.begin(),
+                                 window_.begin() + static_cast<std::ptrdiff_t>(filled_));
+      std::sort(sorted.begin(), sorted.end());
+      const auto rank = static_cast<std::size_t>(
+          config_.quantile * static_cast<double>(sorted.size() - 1) + 0.5);
+      return sorted[rank];
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace vafs::core

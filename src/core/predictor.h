@@ -1,0 +1,59 @@
+// Cycle-demand prediction for pipeline phases.
+//
+// Video decode cost is highly autocorrelated (same content, same encoder
+// settings frame to frame), so short-history predictors work well. Three
+// strategies are provided and ablated in T3/F6:
+//   kEwma      — exponentially weighted moving average (cheap, smooth)
+//   kWindowMax — max over a sliding window (very conservative)
+//   kQuantile  — an upper quantile over the window (the default: robust to
+//                jitter without paying worst-case frequency all the time)
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "simcore/stats.h"
+
+namespace vafs::core {
+
+enum class PredictorKind { kEwma, kWindowMax, kQuantile };
+
+const char* predictor_kind_name(PredictorKind k);
+
+struct PredictorConfig {
+  PredictorKind kind = PredictorKind::kQuantile;
+  std::size_t window = 24;
+  double ewma_alpha = 0.25;
+  double quantile = 0.90;
+};
+
+class CycleDemandPredictor {
+ public:
+  explicit CycleDemandPredictor(PredictorConfig config = {});
+
+  /// Feeds an observed demand (cycles). Also scores the previous
+  /// prediction against this observation for the accuracy report.
+  void observe(double cycles);
+
+  /// Predicted demand of the next occurrence; 0 with no history.
+  double predict() const;
+
+  std::size_t observations() const { return count_; }
+
+  /// Absolute percentage error statistics of past predictions (for T3).
+  const sim::OnlineStats& ape_stats() const { return ape_; }
+  double mape() const { return ape_.mean(); }
+
+  const PredictorConfig& config() const { return config_; }
+
+ private:
+  PredictorConfig config_;
+  std::vector<double> window_;  // ring buffer
+  std::size_t next_slot_ = 0;
+  std::size_t filled_ = 0;
+  double ewma_ = 0.0;
+  std::size_t count_ = 0;
+  sim::OnlineStats ape_;
+};
+
+}  // namespace vafs::core

@@ -1,0 +1,258 @@
+#include "core/session.h"
+
+#include <cassert>
+#include <memory>
+
+#include "cpu/cpufreq_policy.h"
+#include "cpu/cpufreq_sysfs.h"
+#include "governors/registry.h"
+#include "net/bandwidth.h"
+#include "stream/abr.h"
+#include "video/content.h"
+#include "video/manifest.h"
+
+namespace vafs::core {
+
+const char* net_profile_name(NetProfile p) {
+  switch (p) {
+    case NetProfile::kPoor: return "poor";
+    case NetProfile::kFair: return "fair";
+    case NetProfile::kGood: return "good";
+    case NetProfile::kExcellent: return "excellent";
+    case NetProfile::kConstant: return "constant";
+    case NetProfile::kTrace: return "trace";
+  }
+  return "?";
+}
+
+const char* abr_kind_name(AbrKind k) {
+  switch (k) {
+    case AbrKind::kFixed: return "fixed";
+    case AbrKind::kRate: return "rate";
+    case AbrKind::kBuffer: return "buffer";
+    case AbrKind::kBola: return "bola";
+  }
+  return "?";
+}
+
+net::MarkovBandwidth::Params net_profile_params(NetProfile p) {
+  net::MarkovBandwidth::Params params;
+  switch (p) {
+    case NetProfile::kPoor:
+      params.mean_mbps = 3.0;
+      params.min_mbps = 0.4;
+      params.max_mbps = 8.0;
+      params.volatility = 0.45;
+      break;
+    case NetProfile::kFair:
+      params.mean_mbps = 8.0;
+      params.min_mbps = 1.0;
+      params.max_mbps = 20.0;
+      params.volatility = 0.40;
+      break;
+    case NetProfile::kGood:
+      params.mean_mbps = 16.0;
+      params.min_mbps = 4.0;
+      params.max_mbps = 40.0;
+      params.volatility = 0.35;
+      break;
+    case NetProfile::kExcellent:
+      params.mean_mbps = 30.0;
+      params.min_mbps = 10.0;
+      params.max_mbps = 60.0;
+      params.volatility = 0.30;
+      break;
+    case NetProfile::kConstant:
+    case NetProfile::kTrace:
+      break;  // unused
+  }
+  return params;
+}
+
+namespace {
+
+std::unique_ptr<net::BandwidthProcess> make_bandwidth(const SessionConfig& config, sim::Rng rng) {
+  if (config.net == NetProfile::kConstant) {
+    return std::make_unique<net::ConstantBandwidth>(config.constant_mbps);
+  }
+  if (config.net == NetProfile::kTrace) {
+    assert(!config.trace.empty() && "kTrace requires SessionConfig::trace");
+    return std::make_unique<net::TraceBandwidth>(config.trace, config.trace_loop);
+  }
+  return std::make_unique<net::MarkovBandwidth>(net_profile_params(config.net), rng);
+}
+
+std::unique_ptr<stream::AbrAlgorithm> make_abr(const SessionConfig& config) {
+  switch (config.abr) {
+    case AbrKind::kFixed: return std::make_unique<stream::FixedAbr>(config.fixed_rep);
+    case AbrKind::kRate: return std::make_unique<stream::RateBasedAbr>();
+    case AbrKind::kBuffer: return std::make_unique<stream::BufferBasedAbr>();
+    case AbrKind::kBola:
+      return std::make_unique<stream::BolaAbr>(config.player.buffer_target);
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+SessionResult run_session(const SessionConfig& config, const SessionHooks& hooks) {
+  sim::Simulator simulator;
+  sim::Rng master(config.seed);
+
+  cpu::CpuModel cpu_model(simulator, cpu::OppTable::mobile_big_core(),
+                          cpu::CpuPowerModel(config.power), config.cpu_transition_latency);
+
+  // kShallowOnly with the default WFI power is exactly the base model's
+  // flat idle pricing; attach a cpuidle model only for deeper strategies.
+  std::unique_ptr<cpu::CpuidleModel> cpuidle;
+  if (config.cpuidle != cpu::CpuidleStrategy::kShallowOnly) {
+    cpuidle = std::make_unique<cpu::CpuidleModel>(config.cpuidle_params, config.cpuidle);
+    cpu_model.set_cpuidle(cpuidle.get());
+  }
+
+  cpu::GovernorRegistry registry;
+  governors::register_standard(registry);
+
+  // "vafs-oracle" = the VAFS controller with perfect decode-cost knowledge
+  // and no safety margin: the offline lower bound for the energy tables.
+  const bool use_oracle = config.governor == "vafs-oracle";
+  const bool use_vafs = config.governor == "vafs" || use_oracle;
+  // VAFS boots on a stock governor and takes over through sysfs, exactly
+  // as a userspace daemon on a device would.
+  cpu::CpufreqPolicy policy(simulator, cpu_model, registry,
+                            use_vafs ? "ondemand" : config.governor);
+
+  sysfs::Tree tree;
+  cpu::CpufreqSysfs binder(tree, policy, 0);
+
+  // Optional LITTLE cluster (policy1) and the task router.
+  std::unique_ptr<cpu::CpuModel> little_model;
+  std::unique_ptr<cpu::CpuidleModel> little_cpuidle;
+  std::unique_ptr<cpu::CpufreqPolicy> little_policy;
+  std::unique_ptr<cpu::CpufreqSysfs> little_binder;
+  std::unique_ptr<sched::ClusterRouter> router;
+  cpu::CpuSink* sink = &cpu_model;
+  if (config.big_little) {
+    little_model = std::make_unique<cpu::CpuModel>(
+        simulator, cpu::OppTable::mobile_little_core(),
+        cpu::CpuPowerModel(cpu::PowerModelParams::little_core()), config.cpu_transition_latency);
+    if (config.cpuidle != cpu::CpuidleStrategy::kShallowOnly) {
+      little_cpuidle = std::make_unique<cpu::CpuidleModel>(config.cpuidle_params, config.cpuidle);
+      little_model->set_cpuidle(little_cpuidle.get());
+    }
+    little_policy = std::make_unique<cpu::CpufreqPolicy>(simulator, *little_model, registry,
+                                                         use_vafs ? "ondemand" : config.governor);
+    little_binder = std::make_unique<cpu::CpufreqSysfs>(tree, *little_policy, 1);
+    router = std::make_unique<sched::ClusterRouter>(cpu_model, *little_model,
+                                                    config.little_cycle_penalty);
+    sink = router.get();
+  }
+
+  net::RadioModel radio(simulator, config.radio);
+  auto bandwidth = make_bandwidth(config, master.fork(1));
+  net::Downloader downloader(simulator, radio, *bandwidth, sink, config.downloader);
+
+  video::Manifest manifest =
+      video::Manifest::typical_vod("vod", config.media_duration, config.segment_duration);
+  video::ContentModel content(master.fork(2).next_u64(), config.content, &manifest);
+
+  assert(config.fixed_rep < manifest.representation_count());
+  stream::Player player(simulator, *sink, downloader, content, make_abr(config),
+                        config.player);
+
+  std::unique_ptr<VafsController> vafs_controller;
+  if (use_vafs) {
+    VafsConfig vafs_config = config.vafs;
+    if (use_oracle) {
+      vafs_config.oracle = true;
+      vafs_config.safety_margin = 0.0;
+    }
+    vafs_controller = std::make_unique<VafsController>(simulator, tree, binder.dir(), player,
+                                                       vafs_config);
+    if (router) vafs_controller->enable_big_little(little_binder->dir(), router.get());
+    const bool ok = vafs_controller->attach();
+    assert(ok && "VAFS failed to attach through sysfs");
+    (void)ok;
+  }
+
+  std::unique_ptr<thermal::ThermalModel> thermal_model;
+  std::unique_ptr<thermal::ThermalThrottle> throttle;
+  if (config.thermal_enabled) {
+    thermal_model = std::make_unique<thermal::ThermalModel>(simulator, cpu_model, config.thermal);
+    throttle = std::make_unique<thermal::ThermalThrottle>(*thermal_model, policy,
+                                                          config.throttle);
+  }
+
+  std::vector<cpu::CpuModel*> metered_cpus{&cpu_model};
+  if (little_model) metered_cpus.push_back(little_model.get());
+  energy::DeviceEnergyMeter meter(simulator, metered_cpus, radio, config.display_mw);
+
+  if (hooks.on_ready) {
+    SessionLive live;
+    live.sim = &simulator;
+    live.cpu = &cpu_model;
+    live.policy = &policy;
+    live.tree = &tree;
+    live.radio = &radio;
+    live.player = &player;
+    live.vafs = vafs_controller.get();
+    live.thermal = thermal_model.get();
+    live.cpu_little = little_model.get();
+    live.router = router.get();
+    hooks.on_ready(live);
+  }
+
+  meter.reset();
+  bool done = false;
+  player.start([&done] { done = true; });
+
+  // Governor timers run forever, so the queue never drains; stop on the
+  // player's completion (or the safety cap).
+  while (!done && simulator.now() < config.sim_cap) {
+    if (!simulator.step()) break;
+  }
+
+  SessionResult result;
+  result.finished = done;
+  result.qoe = player.qoe();
+  result.energy = meter.report();
+  result.wall = result.energy.wall;
+  result.played = player.played();
+  result.freq_transitions = cpu_model.transition_count();
+  result.busy_fraction =
+      result.wall > sim::SimTime::zero()
+          ? cpu_model.total_busy_time().as_seconds_f() / result.wall.as_seconds_f()
+          : 0.0;
+  result.radio_promotions = radio.promotion_count();
+
+  const auto& opps = cpu_model.opps();
+  for (std::size_t i = 0; i < opps.size(); ++i) {
+    const double frac = result.wall > sim::SimTime::zero()
+                            ? cpu_model.time_in_state(i).as_seconds_f() /
+                                  result.wall.as_seconds_f()
+                            : 0.0;
+    result.residency.emplace_back(opps.at(i).freq_khz, frac);
+  }
+
+  if (vafs_controller) {
+    result.vafs_decode_mape = vafs_controller->decode_mape();
+    result.vafs_plans = vafs_controller->plan_count();
+    result.vafs_setspeed_writes = vafs_controller->setspeed_writes();
+  }
+  if (thermal_model) {
+    result.peak_temp_c = thermal_model->peak_temperature_c();
+    result.mean_temp_c = thermal_model->temperature_stats().mean();
+    result.throttled_time = throttle->throttled_time();
+    result.throttle_events = throttle->throttle_events();
+  }
+  if (router) {
+    result.cpu_little_mj = little_model->energy_mj();
+    result.freq_transitions_little = little_model->transition_count();
+    result.decode_frames_big = router->decode_tasks_on_big();
+    result.decode_frames_little = router->decode_tasks_on_little();
+    result.decode_migrations = router->migrations();
+  }
+  return result;
+}
+
+}  // namespace vafs::core

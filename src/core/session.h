@@ -1,0 +1,140 @@
+// One-call session harness: builds the full device (CPU + cpufreq + sysfs
+// + governors + radio + downloader + content + player + meter), streams a
+// video under a named governor, and returns energy + QoE. Every benchmark,
+// example and integration test is a thin wrapper over this.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/vafs_controller.h"
+#include "cpu/cpu_model.h"
+#include "cpu/cpufreq_policy.h"
+#include "energy/meter.h"
+#include "net/bandwidth.h"
+#include "net/downloader.h"
+#include "net/radio.h"
+#include "sched/router.h"
+#include "simcore/simulator.h"
+#include "stream/player.h"
+#include "thermal/model.h"
+#include "thermal/throttle.h"
+#include "video/qoe.h"
+
+namespace vafs::core {
+
+enum class NetProfile { kPoor, kFair, kGood, kExcellent, kConstant, kTrace };
+enum class AbrKind { kFixed, kRate, kBuffer, kBola };
+
+const char* net_profile_name(NetProfile p);
+const char* abr_kind_name(AbrKind k);
+
+struct SessionConfig {
+  /// A registered kernel governor name, or "vafs" for the userspace
+  /// controller (which runs on top of the `userspace` governor).
+  std::string governor = "ondemand";
+  VafsConfig vafs;
+
+  // Content.
+  sim::SimTime media_duration = sim::SimTime::seconds(120);
+  sim::SimTime segment_duration = sim::SimTime::seconds(4);
+  AbrKind abr = AbrKind::kFixed;
+  std::size_t fixed_rep = 2;  // 720p on the typical ladder
+  video::ContentParams content;
+
+  // Network.
+  NetProfile net = NetProfile::kFair;
+  double constant_mbps = 12.0;  // used by kConstant
+  /// Step trace for kTrace (e.g. loaded via trace::load_bandwidth_trace).
+  std::vector<net::TraceBandwidth::Step> trace;
+  bool trace_loop = true;
+  net::RadioParams radio = net::RadioParams::lte();
+  net::DownloaderParams downloader;
+
+  // Device.
+  cpu::PowerModelParams power;
+  double display_mw = 450.0;
+  sim::SimTime cpu_transition_latency = sim::SimTime::micros(150);
+
+  // Thermal (off by default; experiment F10 enables it).
+  bool thermal_enabled = false;
+  thermal::ThermalParams thermal;
+  thermal::ThrottleParams throttle;
+
+  // Idle-state handling (F12 sweeps the strategies).
+  cpu::CpuidleStrategy cpuidle = cpu::CpuidleStrategy::kShallowOnly;
+  cpu::CpuidleParams cpuidle_params = cpu::CpuidleParams::mobile();
+
+  // big.LITTLE (F13): adds a LITTLE cluster with its own policy (policy1);
+  // network work runs there, decode is placed by the router (statically on
+  // big for kernel governors, dynamically by VAFS).
+  bool big_little = false;
+  double little_cycle_penalty = 1.7;
+
+  stream::PlayerConfig player;
+
+  std::uint64_t seed = 42;
+  /// Hard simulation cap — a safety net for pathological configurations.
+  sim::SimTime sim_cap = sim::SimTime::seconds(1800);
+};
+
+struct SessionResult {
+  bool finished = false;  // false => hit sim_cap
+  video::QoeStats qoe;
+  energy::DeviceEnergyReport energy;
+  sim::SimTime wall;    // session start → last frame presented
+  sim::SimTime played;  // media time presented
+
+  std::uint64_t freq_transitions = 0;
+  /// (freq_khz, fraction of wall time programmed at it), ascending.
+  std::vector<std::pair<std::uint32_t, double>> residency;
+  double busy_fraction = 0.0;
+  std::uint64_t radio_promotions = 0;
+
+  // VAFS-only (zeroed otherwise).
+  double vafs_decode_mape = 0.0;
+  std::uint64_t vafs_plans = 0;
+  std::uint64_t vafs_setspeed_writes = 0;
+
+  // Thermal (zeroed unless thermal_enabled).
+  double peak_temp_c = 0.0;
+  double mean_temp_c = 0.0;
+  sim::SimTime throttled_time;
+  std::uint64_t throttle_events = 0;
+
+  // big.LITTLE (zeroed unless enabled). cpu_mj in `energy` covers both
+  // clusters; this is the LITTLE share. `residency` stays big-cluster.
+  double cpu_little_mj = 0.0;
+  std::uint64_t freq_transitions_little = 0;
+  std::uint64_t decode_frames_big = 0;
+  std::uint64_t decode_frames_little = 0;
+  std::uint64_t decode_migrations = 0;
+};
+
+/// Live objects handed to `on_ready` so callers can attach probes before
+/// the session starts (used by the timeline bench and the examples).
+struct SessionLive {
+  sim::Simulator* sim = nullptr;
+  cpu::CpuModel* cpu = nullptr;
+  cpu::CpufreqPolicy* policy = nullptr;
+  sysfs::Tree* tree = nullptr;
+  net::RadioModel* radio = nullptr;
+  stream::Player* player = nullptr;
+  VafsController* vafs = nullptr;            // null unless governor == "vafs"
+  thermal::ThermalModel* thermal = nullptr;  // null unless thermal_enabled
+  cpu::CpuModel* cpu_little = nullptr;       // null unless big_little
+  sched::ClusterRouter* router = nullptr;    // null unless big_little
+};
+
+struct SessionHooks {
+  std::function<void(SessionLive&)> on_ready;
+};
+
+SessionResult run_session(const SessionConfig& config, const SessionHooks& hooks = {});
+
+/// The Markov bandwidth parameters behind each named profile.
+net::MarkovBandwidth::Params net_profile_params(NetProfile p);
+
+}  // namespace vafs::core

@@ -1,0 +1,316 @@
+#include "core/vafs_controller.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace vafs::core {
+namespace {
+
+std::vector<std::uint32_t> parse_freq_list(std::string_view text) {
+  std::vector<std::uint32_t> out;
+  std::uint64_t cur = 0;
+  bool in_number = false;
+  for (const char c : text) {
+    if (c >= '0' && c <= '9') {
+      cur = cur * 10 + static_cast<std::uint64_t>(c - '0');
+      in_number = true;
+    } else if (in_number) {
+      out.push_back(static_cast<std::uint32_t>(cur));
+      cur = 0;
+      in_number = false;
+    }
+  }
+  if (in_number) out.push_back(static_cast<std::uint32_t>(cur));
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+VafsController::VafsController(sim::Simulator& simulator, sysfs::Tree& tree,
+                               std::string policy_dir, stream::Player& player, VafsConfig config)
+    : sim_(simulator),
+      tree_(tree),
+      dir_(std::move(policy_dir)),
+      player_(player),
+      config_(config) {
+  player_.add_observer(this);
+}
+
+void VafsController::enable_big_little(std::string little_policy_dir,
+                                       sched::ClusterRouter* router) {
+  assert(!attached_ && "enable_big_little must precede attach()");
+  assert(router != nullptr);
+  little_dir_ = std::move(little_policy_dir);
+  router_ = router;
+}
+
+bool VafsController::attach() {
+  const auto avail = tree_.read(dir_ + "/scaling_available_frequencies");
+  if (!avail.ok()) return false;
+  available_khz_ = parse_freq_list(avail.value());
+  if (available_khz_.empty()) return false;
+
+  if (router_ != nullptr) {
+    const auto little_avail = tree_.read(little_dir_ + "/scaling_available_frequencies");
+    if (!little_avail.ok()) return false;
+    little_available_khz_ = parse_freq_list(little_avail.value());
+    if (little_available_khz_.empty()) return false;
+    if (!tree_.write(little_dir_ + "/scaling_governor", "userspace").ok()) return false;
+  }
+
+  if (!tree_.write(dir_ + "/scaling_governor", "userspace").ok()) return false;
+  attached_ = true;
+  last_written_khz_ = 0;
+  last_written_little_khz_ = 0;
+  plan_now();
+  return true;
+}
+
+void VafsController::detach(std::string_view restore_governor) {
+  if (!attached_) return;
+  attached_ = false;
+  tree_.write(dir_ + "/scaling_governor", restore_governor);
+  if (router_ != nullptr) tree_.write(little_dir_ + "/scaling_governor", restore_governor);
+}
+
+double VafsController::decode_demand_hz() const {
+  if (player_.state() == stream::PlayerState::kFinished) return 0.0;
+
+  const double fps = 1.0 / player_.frame_period().as_seconds_f();
+  const std::size_t rep = player_.current_rep();
+
+  if (config_.oracle) {
+    // Perfect knowledge: mean decode cost of the next GOP's worth of
+    // frames, read straight from the content model (the frame timeline is
+    // fps-aligned across representations, so indexing by playback frame
+    // is exact for fixed-rep sessions and a close bound under ABR).
+    const auto& content = player_.content();
+    const std::uint64_t start = player_.decoded_frames();
+    const std::uint64_t gop = content.params().gop_frames;
+    const std::uint64_t end = std::min(start + gop, player_.total_frames());
+    if (end <= start) return 0.0;
+    double cycles = 0.0;
+    for (std::uint64_t f = start; f < end; ++f) {
+      cycles += content.frame(rep, f).decode_cycles;
+    }
+    return cycles / static_cast<double>(end - start) * fps;
+  }
+
+  const auto it = decode_histories_.find(rep);
+  if (it == decode_histories_.end() ||
+      it->second.total_frames < config_.min_observations) {
+    // Cold start: signal "no estimate" with a negative value; the planner
+    // falls back to the conservative floor.
+    return -1.0;
+  }
+  const DecodeHistory& history = it->second;
+
+  if (!config_.class_aware || history.idr.observations() == 0 ||
+      history.p.observations() == 0) {
+    // Single-stream prediction (class-aware falls back here until both
+    // classes have history; in practice the first frame is an IDR, so this
+    // lasts one frame).
+    const CycleDemandPredictor& mixed =
+        history.p.observations() > 0 ? history.p : history.idr;
+    return mixed.predict() * fps;
+  }
+
+  // Blend by the observed class mix: the sustained decode rate is the
+  // GOP-weighted average of per-class predictions.
+  const double idr_fraction = static_cast<double>(history.idr_frames) /
+                              static_cast<double>(history.total_frames);
+  const double blended = idr_fraction * history.idr.predict() +
+                         (1.0 - idr_fraction) * history.p.predict();
+  return blended * fps;
+}
+
+double VafsController::audio_demand_hz() const {
+  if (config_.audio_cycles_per_frame <= 0) return 0.0;
+  if (player_.state() == stream::PlayerState::kFinished) return 0.0;
+  return config_.audio_cycles_per_frame / player_.frame_period().as_seconds_f();
+}
+
+double VafsController::download_demand_hz() const {
+  if (!downloading_) return 0.0;
+  double mbps = player_.throughput_estimate_mbps();
+  if (mbps <= 0) mbps = config_.default_throughput_mbps;
+  return mbps * 1e6 / 8.0 * config_.protocol_cycles_per_byte;
+}
+
+std::uint32_t VafsController::snap(const std::vector<std::uint32_t>& table, double required_khz,
+                                   bool boosted) {
+  assert(!table.empty());
+  std::size_t idx = table.size() - 1;
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    if (static_cast<double>(table[i]) >= required_khz) {
+      idx = i;
+      break;
+    }
+  }
+  if (boosted && idx + 1 < table.size()) ++idx;
+  return table[idx];
+}
+
+std::uint32_t VafsController::snap_to_available(double required_khz, bool boosted) const {
+  return snap(available_khz_, required_khz, boosted);
+}
+
+void VafsController::plan_now() {
+  if (!attached_) return;
+  ++plans_;
+
+  const auto state = player_.state();
+  // Startup and seek-resume races: a fast refill matters more than energy
+  // for the second or two they last.
+  const bool latency_critical = state == stream::PlayerState::kStartup ||
+                                state == stream::PlayerState::kSeeking;
+  const double margin = latency_critical ? config_.startup_margin : config_.safety_margin;
+
+  const bool playing = state == stream::PlayerState::kPlaying;
+  const bool thin_pipeline = playing && player_.decoded_ahead() <= config_.low_ahead_frames &&
+                             player_.decoded_frames() < player_.total_frames();
+  const bool boosted = sim_.now() < boost_until_ || thin_pipeline;
+
+  if (router_ != nullptr) {
+    plan_big_little(margin, boosted);
+  } else {
+    plan_single_cluster(margin, boosted);
+  }
+}
+
+void VafsController::plan_single_cluster(double margin, bool boosted) {
+  const auto state = player_.state();
+  double required_khz;
+  const double decode_hz = decode_demand_hz();
+
+  if (!config_.race_to_idle_downloads && downloading_) {
+    // Ablation arm: react to download bursts like a load-following
+    // governor would — run them at full speed.
+    required_khz = static_cast<double>(available_khz_.back());
+  } else if (decode_hz < 0 && state != stream::PlayerState::kFinished) {
+    // Cold start: conservative floor until the predictor has history.
+    required_khz = config_.cold_start_fraction * static_cast<double>(available_khz_.back());
+  } else {
+    const double demand_hz =
+        std::max(0.0, decode_hz) + download_demand_hz() + audio_demand_hz();
+    required_khz = demand_hz * (1.0 + margin) / 1000.0;
+  }
+
+  write_setspeed(snap_to_available(required_khz, boosted));
+}
+
+void VafsController::plan_big_little(double margin, bool boosted) {
+  const auto state = player_.state();
+  const double penalty = router_->little_cycle_penalty();
+  const double decode_hz = decode_demand_hz();
+  // Network and audio work always run on LITTLE (demand in LITTLE cycles).
+  const double download_little_khz =
+      (download_demand_hz() + audio_demand_hz()) * penalty * (1.0 + margin) / 1000.0;
+
+  if (decode_hz < 0 && state != stream::PlayerState::kFinished) {
+    // Cold start: keep decode on big at the conservative floor.
+    router_->set_decode_cluster(sched::Cluster::kBig);
+    write_setspeed(snap_to_available(
+        config_.cold_start_fraction * static_cast<double>(available_khz_.back()), boosted));
+    write_little_setspeed(snap(little_available_khz_, download_little_khz, false));
+    return;
+  }
+
+  const double decode_big_khz = std::max(0.0, decode_hz) * (1.0 + margin) / 1000.0;
+  const double decode_little_khz = std::max(0.0, decode_hz) * penalty * (1.0 + margin) / 1000.0;
+
+  // Decode fits on LITTLE if its IPC-inflated demand plus the network
+  // stack still sits under the top LITTLE OPP (one step of headroom when
+  // boosted).
+  const double little_total = decode_little_khz + download_little_khz;
+  const double little_cap = static_cast<double>(
+      boosted && little_available_khz_.size() >= 2
+          ? little_available_khz_[little_available_khz_.size() - 2]
+          : little_available_khz_.back());
+
+  if (little_total <= little_cap) {
+    router_->set_decode_cluster(sched::Cluster::kLittle);
+    write_setspeed(available_khz_.front());  // big cluster parks at min
+    write_little_setspeed(snap(little_available_khz_, little_total, boosted));
+  } else {
+    router_->set_decode_cluster(sched::Cluster::kBig);
+    write_setspeed(snap_to_available(decode_big_khz, boosted));
+    write_little_setspeed(snap(little_available_khz_, download_little_khz, false));
+  }
+}
+
+void VafsController::write_setspeed(std::uint32_t khz) {
+  if (khz == last_written_khz_) return;
+  const auto status = tree_.write(dir_ + "/scaling_setspeed", std::to_string(khz));
+  assert(status.ok());
+  (void)status;
+  last_written_khz_ = khz;
+  ++writes_;
+}
+
+void VafsController::write_little_setspeed(std::uint32_t khz) {
+  if (khz == last_written_little_khz_) return;
+  const auto status = tree_.write(little_dir_ + "/scaling_setspeed", std::to_string(khz));
+  assert(status.ok());
+  (void)status;
+  last_written_little_khz_ = khz;
+  ++writes_;
+}
+
+const CycleDemandPredictor* VafsController::decode_predictor(std::size_t rep, bool idr) const {
+  const auto it = decode_histories_.find(rep);
+  if (it == decode_histories_.end()) return nullptr;
+  return idr ? &it->second.idr : &it->second.p;
+}
+
+double VafsController::decode_mape() const {
+  sim::OnlineStats merged;
+  for (const auto& [rep, history] : decode_histories_) {
+    merged.merge(history.p.ape_stats());
+    merged.merge(history.idr.ape_stats());
+  }
+  return merged.mean();
+}
+
+void VafsController::on_state_change(stream::PlayerState, stream::PlayerState) { plan_now(); }
+
+void VafsController::on_segment_request(std::size_t, std::size_t, std::uint64_t) {
+  downloading_ = true;
+  plan_now();
+}
+
+void VafsController::on_segment_complete(std::size_t, std::size_t, const net::FetchResult&) {
+  downloading_ = false;
+  plan_now();
+}
+
+void VafsController::on_decode_complete(std::uint64_t frame, double cycles, sim::SimTime,
+                                        bool idr) {
+  const std::size_t rep = player_.rep_of_frame(frame);
+  auto it = decode_histories_.find(rep);
+  if (it == decode_histories_.end()) {
+    it = decode_histories_.emplace(rep, DecodeHistory(config_.predictor)).first;
+  }
+  DecodeHistory& history = it->second;
+  ++history.total_frames;
+  if (config_.class_aware) {
+    if (idr) {
+      ++history.idr_frames;
+      history.idr.observe(cycles);
+    } else {
+      history.p.observe(cycles);
+    }
+  } else {
+    history.p.observe(cycles);  // single mixed stream
+  }
+  plan_now();
+}
+
+void VafsController::on_frame_dropped(std::uint64_t) {
+  boost_until_ = sim_.now() + config_.boost_duration;
+  plan_now();
+}
+
+}  // namespace vafs::core

@@ -1,0 +1,186 @@
+// VAFS — Video-Aware Frequency Scaling. The paper's contribution.
+//
+// A *userspace* policy: it observes the player pipeline, predicts the CPU
+// cycle demand of the current phase, derives the minimum frequency that
+// meets the pipeline's soft deadlines with a safety margin, and actuates
+// exclusively through the cpufreq sysfs interface:
+//
+//   echo userspace            > .../scaling_governor       (attach)
+//   echo <khz>                > .../scaling_setspeed       (every re-plan)
+//
+// Demand model (all rates in cycles/second):
+//   decode:   predicted cycles-per-frame (per representation, windowed
+//             quantile by default) × fps
+//   download: measured throughput × protocol cycles-per-byte while a
+//             segment fetch is in flight (downloads are network-bound, so
+//             the CPU only needs to keep up with arrival — the
+//             race_to_idle_downloads flag ablates this against the
+//             "burst to max" behaviour of load-reactive governors)
+//   target  = (decode + download) × (1 + safety_margin), snapped to the
+//             lowest available OPP above it
+//
+// Recovery: a dropped frame or a thin decode pipeline boosts the plan by
+// one OPP for boost_duration. Cold start (too little history) plans a
+// conservative mid frequency.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/predictor.h"
+#include "sched/router.h"
+#include "simcore/simulator.h"
+#include "stream/player.h"
+#include "sysfs/tree.h"
+
+namespace vafs::core {
+
+struct VafsConfig {
+  /// Headroom multiplier over predicted demand (F6 ablates it).
+  double safety_margin = 0.15;
+  /// Larger headroom before playback starts (startup delay matters more
+  /// than energy for the first seconds).
+  double startup_margin = 0.5;
+
+  PredictorConfig predictor;
+
+  /// Treat downloads as network-bound (plan only the protocol-processing
+  /// rate). When false, a download burst plans the maximum frequency —
+  /// the load-reactive behaviour this design exists to avoid (ablation).
+  bool race_to_idle_downloads = true;
+
+  /// Offline-calibrated network-stack cost. Matches DownloaderParams.
+  double protocol_cycles_per_byte = 8.0;
+
+  /// Throughput assumed for download planning before any measurement.
+  double default_throughput_mbps = 15.0;
+
+  /// Audio decode cost per frame period, matching
+  /// PlayerConfig::audio_cycles_per_frame (offline-calibrated codec cost;
+  /// 0 when the player has no audio pipeline).
+  double audio_cycles_per_frame = 0.0;
+
+  /// One-OPP boost window after a dropped frame / thin pipeline.
+  sim::SimTime boost_duration = sim::SimTime::millis(500);
+  /// decoded_ahead() at or below this (while playing) triggers a boost.
+  std::uint64_t low_ahead_frames = 1;
+
+  /// Decode-cost observations per representation before the predictor is
+  /// trusted; until then the plan floor is cold_start_fraction × f_max.
+  std::size_t min_observations = 3;
+  double cold_start_fraction = 0.6;
+
+  /// Frame-class-aware prediction: separate predictors for IDR and P
+  /// frames, blended by the observed IDR fraction. Tightens prediction on
+  /// content with heavy intra frames (short GOPs); ablated in T3.
+  bool class_aware = true;
+
+  /// Oracle mode: replace the predictor with the *exact* decode cost of
+  /// the upcoming GOP (perfect future knowledge, impossible on a real
+  /// device). Combined with safety_margin = 0 this is the offline
+  /// lower-bound baseline the evaluation measures VAFS against.
+  bool oracle = false;
+};
+
+class VafsController final : public stream::PlayerObserver {
+ public:
+  /// `policy_dir` is the sysfs policy directory, e.g.
+  /// "devices/system/cpu/cpufreq/policy0". The controller registers itself
+  /// as a player observer. Call attach() to take control of the CPU.
+  VafsController(sim::Simulator& simulator, sysfs::Tree& tree, std::string policy_dir,
+                 stream::Player& player, VafsConfig config = {});
+
+  VafsController(const VafsController&) = delete;
+  VafsController& operator=(const VafsController&) = delete;
+
+  /// big.LITTLE mode: also control the LITTLE cluster's policy (at
+  /// `little_policy_dir`) and place decode via `router`. Call before
+  /// attach(). Planning then chooses the decode cluster each re-plan:
+  /// LITTLE when predicted demand (inflated by the router's IPC penalty)
+  /// fits under its top OPP with margin, big otherwise.
+  void enable_big_little(std::string little_policy_dir, sched::ClusterRouter* router);
+
+  /// Switches the policy to the userspace governor (via sysfs) and writes
+  /// the first plan. Returns false if the sysfs writes were rejected.
+  bool attach();
+
+  /// Restores `governor` (e.g. "ondemand") and stops planning.
+  void detach(std::string_view restore_governor);
+
+  /// Re-evaluates the plan and writes scaling_setspeed if it changed.
+  /// Public so the overhead benchmark (F9) can time a single decision.
+  void plan_now();
+
+  // ---- Introspection ----
+
+  std::uint64_t plan_count() const { return plans_; }
+  std::uint64_t setspeed_writes() const { return writes_; }
+  std::uint32_t last_planned_khz() const { return last_written_khz_; }
+  /// Decode predictor for a representation and frame class (class-aware
+  /// mode keys P and IDR separately; otherwise `idr` is ignored).
+  /// Returns nullptr if never observed.
+  const CycleDemandPredictor* decode_predictor(std::size_t rep, bool idr = false) const;
+  /// MAPE across all per-representation decode predictors.
+  double decode_mape() const;
+  const VafsConfig& config() const { return config_; }
+  bool big_little() const { return router_ != nullptr; }
+  std::uint32_t last_planned_little_khz() const { return last_written_little_khz_; }
+
+  // ---- PlayerObserver ----
+
+  void on_state_change(stream::PlayerState from, stream::PlayerState to) override;
+  void on_segment_request(std::size_t segment, std::size_t rep, std::uint64_t bytes) override;
+  void on_segment_complete(std::size_t segment, std::size_t rep,
+                           const net::FetchResult& result) override;
+  void on_decode_complete(std::uint64_t frame, double cycles, sim::SimTime wall,
+                          bool idr) override;
+  void on_frame_dropped(std::uint64_t frame) override;
+
+ private:
+  double decode_demand_hz() const;
+  double download_demand_hz() const;
+  double audio_demand_hz() const;
+  static std::uint32_t snap(const std::vector<std::uint32_t>& table, double required_khz,
+                            bool boosted);
+  std::uint32_t snap_to_available(double required_khz, bool boosted) const;
+  void write_setspeed(std::uint32_t khz);
+  void write_little_setspeed(std::uint32_t khz);
+  void plan_single_cluster(double margin, bool boosted);
+  void plan_big_little(double margin, bool boosted);
+
+  sim::Simulator& sim_;
+  sysfs::Tree& tree_;
+  std::string dir_;
+  stream::Player& player_;
+  VafsConfig config_;
+
+  // big.LITTLE mode (null/empty when single-cluster).
+  std::string little_dir_;
+  sched::ClusterRouter* router_ = nullptr;
+  std::vector<std::uint32_t> little_available_khz_;
+  std::uint32_t last_written_little_khz_ = 0;
+
+  bool attached_ = false;
+  bool downloading_ = false;
+  std::vector<std::uint32_t> available_khz_;  // parsed from sysfs, ascending
+
+  /// Per-representation decode state: separate IDR/P predictors (merged
+  /// into `p` when class_aware is off) plus the observed class mix.
+  struct DecodeHistory {
+    explicit DecodeHistory(const PredictorConfig& config) : p(config), idr(config) {}
+    CycleDemandPredictor p;
+    CycleDemandPredictor idr;
+    std::uint64_t idr_frames = 0;
+    std::uint64_t total_frames = 0;
+  };
+  std::map<std::size_t, DecodeHistory> decode_histories_;
+
+  sim::SimTime boost_until_;
+  std::uint32_t last_written_khz_ = 0;
+  std::uint64_t plans_ = 0;
+  std::uint64_t writes_ = 0;
+};
+
+}  // namespace vafs::core

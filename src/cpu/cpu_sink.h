@@ -1,0 +1,27 @@
+// The compute-sink interface: anything that can execute cycle-quantified
+// tasks. CpuModel implements it directly (single cluster); the big.LITTLE
+// ClusterRouter implements it by routing tasks between two CpuModels.
+// Workload producers (player, downloader) depend only on this interface.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace vafs::cpu {
+
+class CpuSink {
+ public:
+  virtual ~CpuSink() = default;
+
+  /// Submits a task needing `cycles` CPU cycles; `on_complete` fires when
+  /// it has retired them all. Returns a task id (0 is never used).
+  virtual std::uint64_t submit(std::string name, double cycles,
+                               std::function<void()> on_complete) = 0;
+
+  /// Cancels a pending task; returns false if it already completed (its
+  /// callback has then already run) or is unknown.
+  virtual bool cancel(std::uint64_t id) = 0;
+};
+
+}  // namespace vafs::cpu

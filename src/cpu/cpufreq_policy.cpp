@@ -1,0 +1,73 @@
+#include "cpu/cpufreq_policy.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace vafs::cpu {
+
+CpufreqPolicy::CpufreqPolicy(sim::Simulator& simulator, CpuModel& cpu,
+                             const GovernorRegistry& registry, std::string_view default_governor)
+    : sim_(simulator),
+      cpu_(cpu),
+      registry_(registry),
+      min_khz_(cpu.opps().min().freq_khz),
+      max_khz_(cpu.opps().max().freq_khz) {
+  governor_ = registry_.create(default_governor);
+  assert(governor_ && "default governor not registered");
+  governor_->start(*this);
+}
+
+CpufreqPolicy::~CpufreqPolicy() {
+  if (governor_) governor_->stop();
+}
+
+sysfs::Status CpufreqPolicy::set_governor(std::string_view name) {
+  if (governor_ && governor_->name() == name) return {};
+  auto next = registry_.create(name);
+  if (!next) return sysfs::Errno::kInval;
+
+  const std::string old_name(governor_ ? governor_->name() : std::string_view{});
+  if (governor_) governor_->stop();
+  governor_ = std::move(next);
+  governor_->start(*this);
+  for (const auto& fn : governor_listeners_) fn(old_name, governor_->name());
+  return {};
+}
+
+sysfs::Status CpufreqPolicy::set_min(std::uint32_t khz) {
+  const auto hw_min = cpu_.opps().min().freq_khz;
+  const auto hw_max = cpu_.opps().max().freq_khz;
+  khz = std::clamp(khz, hw_min, hw_max);
+  min_khz_ = khz;
+  max_khz_ = std::max(max_khz_, min_khz_);
+  if (cur_khz() < min_khz_) set_target(min_khz_, Relation::kAtLeast);
+  if (governor_) governor_->limits_changed();
+  return {};
+}
+
+sysfs::Status CpufreqPolicy::set_max(std::uint32_t khz) {
+  const auto hw_min = cpu_.opps().min().freq_khz;
+  const auto hw_max = cpu_.opps().max().freq_khz;
+  khz = std::clamp(khz, hw_min, hw_max);
+  max_khz_ = khz;
+  min_khz_ = std::min(min_khz_, max_khz_);
+  if (cur_khz() > max_khz_) set_target(max_khz_, Relation::kAtMost);
+  if (governor_) governor_->limits_changed();
+  return {};
+}
+
+void CpufreqPolicy::set_target(std::uint32_t target_khz, Relation rel) {
+  target_khz = std::clamp(target_khz, min_khz_, max_khz_);
+  cpu_.set_frequency(target_khz, rel);
+  // The OPP snap may have landed outside [min,max] when the bounds fall
+  // between grid points; bias back inside if so.
+  if (cpu_.cur_freq_khz() > max_khz_) cpu_.set_frequency(max_khz_, Relation::kAtMost);
+  if (cpu_.cur_freq_khz() < min_khz_) cpu_.set_frequency(min_khz_, Relation::kAtLeast);
+}
+
+void CpufreqPolicy::add_governor_listener(
+    std::function<void(std::string_view, std::string_view)> fn) {
+  governor_listeners_.push_back(std::move(fn));
+}
+
+}  // namespace vafs::cpu

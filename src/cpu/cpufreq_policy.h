@@ -1,0 +1,78 @@
+// The cpufreq policy core: owns the active governor, enforces the
+// scaling_min_freq / scaling_max_freq bounds, and routes governor targets
+// to the CPU model — the equivalent of the kernel's `struct cpufreq_policy`
+// plus the policy core's clamping logic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "cpu/cpu_model.h"
+#include "cpu/governor.h"
+#include "simcore/simulator.h"
+#include "sysfs/result.h"
+
+namespace vafs::cpu {
+
+class CpufreqPolicy {
+ public:
+  /// The registry must outlive the policy. `default_governor` must exist
+  /// in the registry; it is started immediately.
+  CpufreqPolicy(sim::Simulator& simulator, CpuModel& cpu, const GovernorRegistry& registry,
+                std::string_view default_governor);
+  ~CpufreqPolicy();
+
+  CpufreqPolicy(const CpufreqPolicy&) = delete;
+  CpufreqPolicy& operator=(const CpufreqPolicy&) = delete;
+
+  // ---- Governor management ----
+
+  /// Switches governors by name (stop old, start new). Unknown names fail
+  /// with EINVAL; switching to the current governor is a no-op.
+  sysfs::Status set_governor(std::string_view name);
+  std::string_view governor_name() const { return governor_ ? governor_->name() : ""; }
+  Governor* governor() { return governor_.get(); }
+
+  // ---- Limits ----
+
+  std::uint32_t min_khz() const { return min_khz_; }
+  std::uint32_t max_khz() const { return max_khz_; }
+
+  /// Sets bounds; values are clamped to the hardware range and min<=max is
+  /// enforced kernel-style (min rises above max => max is raised too when
+  /// setting min, and vice versa is rejected). Re-clamps the current
+  /// frequency and notifies the governor.
+  sysfs::Status set_min(std::uint32_t khz);
+  sysfs::Status set_max(std::uint32_t khz);
+
+  // ---- Target routing (what governors call) ----
+
+  /// Clamps `target_khz` into [min, max], snaps to the OPP grid, and
+  /// programs the CPU.
+  void set_target(std::uint32_t target_khz, Relation rel = Relation::kAtLeast);
+
+  std::uint32_t cur_khz() const { return cpu_.cur_freq_khz(); }
+
+  CpuModel& cpu() { return cpu_; }
+  const OppTable& opps() const { return cpu_.opps(); }
+  sim::Simulator& simulator() { return sim_; }
+  const GovernorRegistry& registry() const { return registry_; }
+
+  /// Called with (old_name, new_name) after every governor switch; the
+  /// sysfs binder uses this to swap tunable directories.
+  void add_governor_listener(std::function<void(std::string_view, std::string_view)> fn);
+
+ private:
+  sim::Simulator& sim_;
+  CpuModel& cpu_;
+  const GovernorRegistry& registry_;
+  std::unique_ptr<Governor> governor_;
+  std::uint32_t min_khz_;
+  std::uint32_t max_khz_;
+  std::vector<std::function<void(std::string_view, std::string_view)>> governor_listeners_;
+};
+
+}  // namespace vafs::cpu

@@ -1,0 +1,146 @@
+#include "cpu/cpufreq_sysfs.h"
+
+#include <cassert>
+#include <string>
+
+namespace vafs::cpu {
+
+std::uint32_t parse_khz(std::string_view text) {
+  if (text.empty() || text.size() > 10) return UINT32_MAX;
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return UINT32_MAX;
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  if (value >= UINT32_MAX) return UINT32_MAX;
+  return static_cast<std::uint32_t>(value);
+}
+
+CpufreqSysfs::CpufreqSysfs(sysfs::Tree& tree, CpufreqPolicy& policy, unsigned index)
+    : tree_(tree), policy_(policy), dir_("devices/system/cpu/cpufreq/policy" + std::to_string(index)) {
+  auto must = [](sysfs::Status status) {
+    assert(status.ok());
+    (void)status;
+  };
+
+  must(tree_.mkdir(dir_));
+  must(tree_.mkdir(dir_ + "/stats"));
+
+  auto& p = policy_;
+
+  must(tree_.add_attr(dir_ + "/scaling_available_frequencies",
+                      [&p] { return p.opps().available_frequencies_string(); }, nullptr));
+  must(tree_.add_attr(dir_ + "/scaling_available_governors",
+                      [&p] { return p.registry().available_string(); }, nullptr));
+  must(tree_.add_attr(dir_ + "/cpuinfo_min_freq",
+                      [&p] { return std::to_string(p.opps().min().freq_khz); }, nullptr));
+  must(tree_.add_attr(dir_ + "/cpuinfo_max_freq",
+                      [&p] { return std::to_string(p.opps().max().freq_khz); }, nullptr));
+  must(tree_.add_attr(dir_ + "/cpuinfo_transition_latency",
+                      [&p] {
+                        // Kernel reports nanoseconds.
+                        return std::to_string(p.cpu().transition_latency().as_micros() * 1000);
+                      },
+                      nullptr));
+  must(tree_.add_attr(dir_ + "/scaling_cur_freq",
+                      [&p] { return std::to_string(p.cur_khz()); }, nullptr));
+  must(tree_.add_attr(dir_ + "/scaling_min_freq",
+                      [&p] { return std::to_string(p.min_khz()); },
+                      [&p](std::string_view v) {
+                        const auto khz = parse_khz(v);
+                        if (khz == UINT32_MAX) return sysfs::Status(sysfs::Errno::kInval);
+                        return p.set_min(khz);
+                      }));
+  must(tree_.add_attr(dir_ + "/scaling_max_freq",
+                      [&p] { return std::to_string(p.max_khz()); },
+                      [&p](std::string_view v) {
+                        const auto khz = parse_khz(v);
+                        if (khz == UINT32_MAX) return sysfs::Status(sysfs::Errno::kInval);
+                        return p.set_max(khz);
+                      }));
+  must(tree_.add_attr(dir_ + "/scaling_governor",
+                      [&p] { return std::string(p.governor_name()); },
+                      [&p](std::string_view v) { return p.set_governor(v); }));
+  must(tree_.add_attr(dir_ + "/scaling_setspeed",
+                      [&p]() -> std::string {
+                        Governor* gov = p.governor();
+                        if (gov == nullptr || !gov->supports_setspeed()) return "<unsupported>";
+                        return std::to_string(p.cur_khz());
+                      },
+                      [&p](std::string_view v) -> sysfs::Status {
+                        Governor* gov = p.governor();
+                        if (gov == nullptr || !gov->supports_setspeed()) {
+                          return sysfs::Errno::kInval;
+                        }
+                        const auto khz = parse_khz(v);
+                        if (khz == UINT32_MAX) return sysfs::Errno::kInval;
+                        return gov->set_speed(khz);
+                      }));
+  must(tree_.add_attr(dir_ + "/stats/time_in_state",
+                      [&p] {
+                        // Kernel format: "<freq_khz> <time in 10ms units>" per line.
+                        std::string out;
+                        for (std::size_t i = 0; i < p.opps().size(); ++i) {
+                          out += std::to_string(p.opps().at(i).freq_khz);
+                          out += ' ';
+                          out += std::to_string(p.cpu().time_in_state(i).as_micros() / 10'000);
+                          out += '\n';
+                        }
+                        return out;
+                      },
+                      nullptr));
+  must(tree_.add_attr(dir_ + "/stats/total_trans",
+                      [&p] { return std::to_string(p.cpu().transition_count()); }, nullptr));
+  must(tree_.add_attr(dir_ + "/stats/trans_table",
+                      [&p] {
+                        // Kernel format (abridged): header row of target
+                        // frequencies, then one row per source frequency.
+                        const auto& opps = p.opps();
+                        std::string out = "From : To\n";
+                        out += "     ";
+                        for (std::size_t j = 0; j < opps.size(); ++j) {
+                          out += ' ';
+                          out += std::to_string(opps.at(j).freq_khz);
+                        }
+                        out += '\n';
+                        for (std::size_t i = 0; i < opps.size(); ++i) {
+                          out += std::to_string(opps.at(i).freq_khz);
+                          out += ':';
+                          for (std::size_t j = 0; j < opps.size(); ++j) {
+                            out += ' ';
+                            out += std::to_string(p.cpu().transitions_between(i, j));
+                          }
+                          out += '\n';
+                        }
+                        return out;
+                      },
+                      nullptr));
+
+  publish_tunables(policy_.governor_name());
+  policy_.add_governor_listener([this](std::string_view old_name, std::string_view new_name) {
+    retract_tunables(old_name);
+    publish_tunables(new_name);
+  });
+}
+
+CpufreqSysfs::~CpufreqSysfs() { tree_.remove(dir_); }
+
+void CpufreqSysfs::publish_tunables(std::string_view governor_name) {
+  Governor* gov = policy_.governor();
+  if (gov == nullptr) return;
+  auto tunables = gov->tunables();
+  if (tunables.empty()) return;
+  const std::string subdir = dir_ + "/" + std::string(governor_name);
+  tree_.mkdir(subdir);
+  for (auto& tunable : tunables) {
+    tree_.add_attr(subdir + "/" + tunable.name, std::move(tunable.show), std::move(tunable.store));
+  }
+}
+
+void CpufreqSysfs::retract_tunables(std::string_view governor_name) {
+  if (governor_name.empty()) return;
+  const std::string subdir = dir_ + "/" + std::string(governor_name);
+  if (tree_.exists(subdir)) tree_.remove(subdir);
+}
+
+}  // namespace vafs::cpu

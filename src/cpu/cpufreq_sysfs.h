@@ -1,0 +1,43 @@
+// Publishes a CpufreqPolicy into a sysfs::Tree with the kernel's attribute
+// layout: devices/system/cpu/cpufreq/policy<N>/{scaling_governor, ...} and
+// the stats/ subdirectory. Userspace policies (the VAFS governor, the
+// example tools) drive the CPU exclusively through these attributes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "cpu/cpufreq_policy.h"
+#include "sysfs/tree.h"
+
+namespace vafs::cpu {
+
+class CpufreqSysfs {
+ public:
+  /// Binds `policy` into `tree` as policy<index>. Both must outlive this
+  /// object. The active governor's tunables appear under
+  /// policy<index>/<governor_name>/ and follow governor switches.
+  CpufreqSysfs(sysfs::Tree& tree, CpufreqPolicy& policy, unsigned index = 0);
+  ~CpufreqSysfs();
+
+  CpufreqSysfs(const CpufreqSysfs&) = delete;
+  CpufreqSysfs& operator=(const CpufreqSysfs&) = delete;
+
+  /// "devices/system/cpu/cpufreq/policy<N>"
+  const std::string& dir() const { return dir_; }
+
+ private:
+  void publish_tunables(std::string_view governor_name);
+  void retract_tunables(std::string_view governor_name);
+
+  sysfs::Tree& tree_;
+  CpufreqPolicy& policy_;
+  std::string dir_;
+};
+
+/// Parses a non-negative decimal integer, rejecting trailing garbage —
+/// the validation a kernel store() hook performs. Returns UINT32_MAX on
+/// parse failure (not a representable cpufreq value).
+std::uint32_t parse_khz(std::string_view text);
+
+}  // namespace vafs::cpu

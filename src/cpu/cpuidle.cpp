@@ -1,0 +1,101 @@
+#include "cpu/cpuidle.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace vafs::cpu {
+
+const char* cpuidle_strategy_name(CpuidleStrategy s) {
+  switch (s) {
+    case CpuidleStrategy::kShallowOnly: return "shallow";
+    case CpuidleStrategy::kMenu: return "menu";
+    case CpuidleStrategy::kOracle: return "oracle";
+  }
+  return "?";
+}
+
+CpuidleParams CpuidleParams::mobile() {
+  // Target residencies sit at the energy break-even against the previous
+  // state given the 300 mW transition power: core-off beats WFI beyond
+  // ~4.3 ms; cluster-off beats core-off beyond ~72 ms.
+  CpuidleParams p;
+  p.states = {
+      {"wfi", 18.0, sim::SimTime::zero(), sim::SimTime::zero()},
+      {"core-off", 4.0, sim::SimTime::micros(200), sim::SimTime::millis(5)},
+      {"cluster-off", 1.5, sim::SimTime::micros(800), sim::SimTime::millis(70)},
+  };
+  return p;
+}
+
+CpuidleModel::CpuidleModel(CpuidleParams params, CpuidleStrategy strategy)
+    : params_(std::move(params)),
+      strategy_(strategy),
+      predicted_us_(1000.0),
+      entries_(params_.states.size(), 0),
+      time_in_(params_.states.size()) {
+  assert(!params_.states.empty());
+  assert(params_.states.front().entry_exit.is_zero() && "state 0 must be free to enter");
+}
+
+double CpuidleModel::energy_of(std::size_t state, sim::SimTime duration) const {
+  const CState& s = params_.states[state];
+  const sim::SimTime overhead = std::min(s.entry_exit, duration);
+  const sim::SimTime resident = duration - overhead;
+  return overhead.as_seconds_f() * params_.overhead_mw +
+         resident.as_seconds_f() * s.power_mw;
+}
+
+std::size_t CpuidleModel::select(sim::SimTime duration) const {
+  switch (strategy_) {
+    case CpuidleStrategy::kShallowOnly:
+      return 0;
+    case CpuidleStrategy::kMenu: {
+      // Deepest state whose target residency fits the prediction.
+      std::size_t chosen = 0;
+      for (std::size_t i = 1; i < params_.states.size(); ++i) {
+        if (params_.states[i].target_residency <= duration) chosen = i;
+      }
+      return chosen;
+    }
+    case CpuidleStrategy::kOracle: {
+      std::size_t best = 0;
+      double best_mj = energy_of(0, duration);
+      for (std::size_t i = 1; i < params_.states.size(); ++i) {
+        const double mj = energy_of(i, duration);
+        if (mj < best_mj) {
+          best = i;
+          best_mj = mj;
+        }
+      }
+      return best;
+    }
+  }
+  return 0;
+}
+
+double CpuidleModel::record_idle(sim::SimTime duration) {
+  if (duration <= sim::SimTime::zero()) return 0.0;
+  // Menu selects on the *predicted* duration, then pays for the actual one
+  // (mispredictions cost real energy, as on hardware).
+  const sim::SimTime basis = strategy_ == CpuidleStrategy::kMenu
+                                 ? sim::SimTime::micros(static_cast<std::int64_t>(predicted_us_))
+                                 : duration;
+  const std::size_t state = select(basis);
+  ++entries_[state];
+  time_in_[state] += duration;
+  ++periods_;
+
+  predicted_us_ = params_.menu_alpha * static_cast<double>(duration.as_micros()) +
+                  (1.0 - params_.menu_alpha) * predicted_us_;
+  return energy_of(state, duration);
+}
+
+double CpuidleModel::preview(sim::SimTime duration) const {
+  if (duration <= sim::SimTime::zero()) return 0.0;
+  const sim::SimTime basis = strategy_ == CpuidleStrategy::kMenu
+                                 ? sim::SimTime::micros(static_cast<std::int64_t>(predicted_us_))
+                                 : duration;
+  return energy_of(select(basis), duration);
+}
+
+}  // namespace vafs::cpu

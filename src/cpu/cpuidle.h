@@ -1,0 +1,85 @@
+// CPU idle states (cpuidle): how deeply the core sleeps between work.
+//
+// The flat idle power of the base model is state 0 (WFI). Deeper states
+// (core power-gating, cluster off) draw far less but cost an entry/exit
+// overhead and only pay off beyond a target residency. Selection per idle
+// period:
+//   kShallowOnly — always WFI (the base model's behaviour, the default)
+//   kMenu        — menu-governor style: predict the next idle duration
+//                  from an EWMA of recent ones, pick the deepest state
+//                  whose target residency fits the prediction
+//   kOracle      — pick the energy-optimal state for the *actual*
+//                  duration (an idealized upper bound for comparison)
+//
+// Wake latency (≤ ~1.5 ms) is not fed back into task timing: it is two
+// orders of magnitude below the 33 ms frame period, so it cannot move the
+// QoE metrics this library reports (documented simplification).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "simcore/time.h"
+
+namespace vafs::cpu {
+
+struct CState {
+  std::string name;
+  double power_mw = 0.0;
+  /// Combined entry+exit time; charged at `overhead_mw`.
+  sim::SimTime entry_exit;
+  /// Minimum idle duration for which this state is worth entering.
+  sim::SimTime target_residency;
+};
+
+enum class CpuidleStrategy { kShallowOnly, kMenu, kOracle };
+
+const char* cpuidle_strategy_name(CpuidleStrategy s);
+
+struct CpuidleParams {
+  /// Ascending depth; state 0 must have zero entry/exit (WFI).
+  std::vector<CState> states;
+  /// Power drawn during entry/exit transitions.
+  double overhead_mw = 300.0;
+  /// EWMA weight of the menu predictor.
+  double menu_alpha = 0.3;
+
+  /// A mobile big-core ladder: WFI 18 mW, core-off 4 mW (400 µs / 2 ms),
+  /// cluster-off 1.5 mW (1.5 ms / 10 ms).
+  static CpuidleParams mobile();
+};
+
+class CpuidleModel {
+ public:
+  explicit CpuidleModel(CpuidleParams params, CpuidleStrategy strategy);
+
+  /// Accounts one completed idle period; returns its energy (mJ) and
+  /// records per-state statistics. Also feeds the menu predictor.
+  double record_idle(sim::SimTime duration);
+
+  /// Energy (mJ) a period of `duration` would cost right now, without
+  /// recording it — used to price a still-open idle period.
+  double preview(sim::SimTime duration) const;
+
+  CpuidleStrategy strategy() const { return strategy_; }
+  const CpuidleParams& params() const { return params_; }
+
+  std::uint64_t entries(std::size_t state) const { return entries_[state]; }
+  sim::SimTime time_in(std::size_t state) const { return time_in_[state]; }
+  std::uint64_t periods() const { return periods_; }
+
+ private:
+  /// State chosen for a (predicted or actual) duration.
+  std::size_t select(sim::SimTime duration) const;
+  double energy_of(std::size_t state, sim::SimTime duration) const;
+
+  CpuidleParams params_;
+  CpuidleStrategy strategy_;
+  double predicted_us_;
+  std::vector<std::uint64_t> entries_;
+  std::vector<sim::SimTime> time_in_;
+  std::uint64_t periods_ = 0;
+};
+
+}  // namespace vafs::cpu

@@ -1,0 +1,38 @@
+#include "cpu/governor.h"
+
+#include <cassert>
+
+namespace vafs::cpu {
+
+void GovernorRegistry::add(std::string name, Factory factory) {
+  assert(!factories_.contains(name) && "governor already registered");
+  factories_.emplace(std::move(name), std::move(factory));
+}
+
+bool GovernorRegistry::contains(std::string_view name) const {
+  return factories_.find(name) != factories_.end();
+}
+
+std::unique_ptr<Governor> GovernorRegistry::create(std::string_view name) const {
+  const auto it = factories_.find(name);
+  if (it == factories_.end()) return nullptr;
+  return it->second();
+}
+
+std::string GovernorRegistry::available_string() const {
+  std::string out;
+  for (const auto& [name, factory] : factories_) {
+    if (!out.empty()) out += ' ';
+    out += name;
+  }
+  return out;
+}
+
+std::vector<std::string> GovernorRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) out.push_back(name);
+  return out;
+}
+
+}  // namespace vafs::cpu

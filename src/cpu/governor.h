@@ -1,0 +1,73 @@
+// The governor interface and registry — the contract between the cpufreq
+// policy core and frequency-selection policies, mirroring the kernel's
+// `struct cpufreq_governor`.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sysfs/result.h"
+
+namespace vafs::cpu {
+
+class CpufreqPolicy;
+
+/// A tunable attribute a governor exposes under
+/// policyN/<governor_name>/<name> while it is active.
+struct Tunable {
+  std::string name;
+  std::function<std::string()> show;
+  std::function<sysfs::Status(std::string_view)> store;  // null => read-only
+};
+
+/// A frequency-selection policy. Lifetime: constructed by the registry,
+/// start()ed when attached to a policy, stop()ped when detached (governor
+/// switch or teardown). A governor instance serves one policy at a time.
+class Governor {
+ public:
+  virtual ~Governor() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// Attaches to `policy`; the governor may immediately set a frequency
+  /// and/or arm sampling timers on the policy's simulator.
+  virtual void start(CpufreqPolicy& policy) = 0;
+
+  /// Detaches; must cancel all timers. The policy outlives this call.
+  virtual void stop() = 0;
+
+  /// Called after scaling_min_freq / scaling_max_freq change so the
+  /// governor can re-evaluate its target within the new bounds.
+  virtual void limits_changed() {}
+
+  /// Only the `userspace` governor accepts scaling_setspeed writes.
+  virtual bool supports_setspeed() const { return false; }
+  virtual sysfs::Status set_speed(std::uint32_t /*khz*/) { return sysfs::Errno::kAccess; }
+
+  /// Tunables to publish under policyN/<name>/ while active.
+  virtual std::vector<Tunable> tunables() { return {}; }
+};
+
+/// Name → factory map, so `echo <name> > scaling_governor` can construct
+/// governors by string, as the kernel module system does.
+class GovernorRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<Governor>()>;
+
+  void add(std::string name, Factory factory);
+  bool contains(std::string_view name) const;
+  std::unique_ptr<Governor> create(std::string_view name) const;
+
+  /// Space-separated list for `scaling_available_governors`.
+  std::string available_string() const;
+  std::vector<std::string> names() const;
+
+ private:
+  std::map<std::string, Factory, std::less<>> factories_;
+};
+
+}  // namespace vafs::cpu

@@ -1,0 +1,73 @@
+#include "cpu/opp.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace vafs::cpu {
+
+OppTable::OppTable(std::vector<Opp> opps) : opps_(std::move(opps)) {
+  assert(!opps_.empty() && "OPP table must not be empty");
+  std::sort(opps_.begin(), opps_.end(),
+            [](const Opp& a, const Opp& b) { return a.freq_khz < b.freq_khz; });
+  for (std::size_t i = 1; i < opps_.size(); ++i) {
+    assert(opps_[i].freq_khz != opps_[i - 1].freq_khz && "duplicate OPP frequency");
+  }
+}
+
+std::size_t OppTable::index_of(std::uint32_t freq_khz) const {
+  for (std::size_t i = 0; i < opps_.size(); ++i) {
+    if (opps_[i].freq_khz == freq_khz) return i;
+  }
+  return SIZE_MAX;
+}
+
+const Opp& OppTable::resolve(std::uint32_t target_khz, Relation rel) const {
+  if (rel == Relation::kAtLeast) {
+    for (const auto& opp : opps_) {
+      if (opp.freq_khz >= target_khz) return opp;
+    }
+    return opps_.back();
+  }
+  for (auto it = opps_.rbegin(); it != opps_.rend(); ++it) {
+    if (it->freq_khz <= target_khz) return *it;
+  }
+  return opps_.front();
+}
+
+std::string OppTable::available_frequencies_string() const {
+  std::string out;
+  for (const auto& opp : opps_) {
+    if (!out.empty()) out += ' ';
+    out += std::to_string(opp.freq_khz);
+  }
+  return out;
+}
+
+OppTable OppTable::mobile_big_core() {
+  // Frequencies and voltages shaped after published big-core OPP tables
+  // (e.g. Exynos/Snapdragon class parts): voltage grows superlinearly with
+  // frequency, which is what makes high OPPs disproportionately expensive.
+  return OppTable({
+      {300'000, 650'000},
+      {600'000, 700'000},
+      {900'000, 750'000},
+      {1'200'000, 825'000},
+      {1'500'000, 900'000},
+      {1'800'000, 1'000'000},
+      {2'000'000, 1'100'000},
+      {2'100'000, 1'200'000},
+  });
+}
+
+OppTable OppTable::mobile_little_core() {
+  return OppTable({
+      {300'000, 600'000},
+      {500'000, 650'000},
+      {800'000, 700'000},
+      {1'000'000, 750'000},
+      {1'200'000, 800'000},
+      {1'500'000, 900'000},
+  });
+}
+
+}  // namespace vafs::cpu

@@ -1,0 +1,68 @@
+// Operating performance points (OPPs): the discrete frequency/voltage pairs
+// a CPU cluster can run at. Governors never pick arbitrary frequencies —
+// they pick OPPs, optionally snapping a target up or down.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vafs::cpu {
+
+/// One frequency/voltage operating point.
+struct Opp {
+  std::uint32_t freq_khz = 0;
+  std::uint32_t volt_uv = 0;  // microvolts
+
+  double freq_mhz() const { return static_cast<double>(freq_khz) / 1000.0; }
+  double volt() const { return static_cast<double>(volt_uv) / 1e6; }
+};
+
+/// How to snap a requested frequency onto the discrete OPP grid.
+/// Mirrors the kernel's CPUFREQ_RELATION_L / _H.
+enum class Relation {
+  kAtLeast,  // lowest OPP >= target (kernel RELATION_L)
+  kAtMost,   // highest OPP <= target (kernel RELATION_H)
+};
+
+/// An immutable, ascending-sorted table of OPPs.
+class OppTable {
+ public:
+  /// Builds a table; the constructor sorts by frequency and rejects
+  /// duplicates and empty tables via assert.
+  explicit OppTable(std::vector<Opp> opps);
+
+  std::size_t size() const { return opps_.size(); }
+  const Opp& at(std::size_t i) const { return opps_[i]; }
+  const Opp& min() const { return opps_.front(); }
+  const Opp& max() const { return opps_.back(); }
+
+  /// Index of the OPP matching `freq_khz` exactly, or SIZE_MAX.
+  std::size_t index_of(std::uint32_t freq_khz) const;
+
+  /// Snaps `target_khz` to the table under `rel`, clamped to the table's
+  /// range (kAtLeast above max() returns max(); kAtMost below min()
+  /// returns min()).
+  const Opp& resolve(std::uint32_t target_khz, Relation rel) const;
+
+  /// The next OPP above / below index i, clamped to the table edges.
+  std::size_t step_up(std::size_t i) const { return i + 1 < opps_.size() ? i + 1 : i; }
+  std::size_t step_down(std::size_t i) const { return i > 0 ? i - 1 : 0; }
+
+  /// Space-separated frequency list, ascending — the exact format of the
+  /// sysfs `scaling_available_frequencies` attribute.
+  std::string available_frequencies_string() const;
+
+  /// A typical mobile big-core table (300 MHz – 2.1 GHz, 8 points) with a
+  /// quadratic-ish voltage ramp. Used as the default SoC in examples,
+  /// tests and benches.
+  static OppTable mobile_big_core();
+
+  /// A LITTLE-core table (300 MHz – 1.5 GHz, 6 points).
+  static OppTable mobile_little_core();
+
+ private:
+  std::vector<Opp> opps_;
+};
+
+}  // namespace vafs::cpu

@@ -1,0 +1,12 @@
+#include "cpu/power_model.h"
+
+namespace vafs::cpu {
+
+double CpuPowerModel::busy_mw(const Opp& opp) const {
+  const double v = opp.volt();
+  const double dyn = p_.c_eff_mw_per_mhz_v2 * opp.freq_mhz() * v * v;
+  const double leak = p_.leak_mw_at_1v * v * v;
+  return dyn + leak;
+}
+
+}  // namespace vafs::cpu

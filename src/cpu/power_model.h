@@ -1,0 +1,68 @@
+// CPU power model: the simulated stand-in for the hardware power monitor.
+//
+// Dynamic power follows the standard CMOS relation P_dyn = C_eff · V² · f;
+// static (leakage) power grows with voltage. This shape — not its absolute
+// calibration — is what DVFS energy results depend on: it makes high OPPs
+// superlinearly expensive, which is the slack a deadline-aware governor
+// converts into savings.
+#pragma once
+
+#include <cstdint>
+
+#include "cpu/opp.h"
+
+namespace vafs::cpu {
+
+struct PowerModelParams {
+  /// Effective switched capacitance coefficient, in mW / (MHz · V²).
+  /// 0.45 puts a 2.1 GHz / 1.2 V big core at ~1.4 W busy — in the range
+  /// published for mobile big cores.
+  double c_eff_mw_per_mhz_v2 = 0.45;
+
+  /// Leakage at nominal voltage (1.0 V), in mW; scales with V².
+  double leak_mw_at_1v = 80.0;
+
+  /// Power while idle in the shallow C-state (clock-gated, WFI), in mW.
+  double idle_mw = 18.0;
+
+  /// Energy cost of one DVFS transition (PLL relock + voltage ramp), µJ.
+  double transition_uj = 12.0;
+
+  /// The defaults above: a mobile big core.
+  static PowerModelParams big_core() { return {}; }
+
+  /// A LITTLE (in-order) core: ~1/3 the switched capacitance, far less
+  /// leakage and idle draw. Pair with OppTable::mobile_little_core().
+  static PowerModelParams little_core() {
+    PowerModelParams p;
+    p.c_eff_mw_per_mhz_v2 = 0.15;
+    p.leak_mw_at_1v = 25.0;
+    p.idle_mw = 6.0;
+    p.transition_uj = 8.0;
+    return p;
+  }
+};
+
+/// Evaluates power at an OPP. Stateless and cheap; energy integration is
+/// done by the callers that know residency times.
+class CpuPowerModel {
+ public:
+  explicit CpuPowerModel(PowerModelParams params = {}) : p_(params) {}
+
+  /// Power while executing at this OPP (100 % duty within the busy time).
+  double busy_mw(const Opp& opp) const;
+
+  /// Power while idle (independent of the programmed OPP in this model:
+  /// the core is clock-gated).
+  double idle_mw() const { return p_.idle_mw; }
+
+  /// Per-transition energy, µJ.
+  double transition_uj() const { return p_.transition_uj; }
+
+  const PowerModelParams& params() const { return p_; }
+
+ private:
+  PowerModelParams p_;
+};
+
+}  // namespace vafs::cpu

@@ -1,0 +1,39 @@
+#include "energy/meter.h"
+
+#include <cassert>
+
+namespace vafs::energy {
+
+DeviceEnergyMeter::DeviceEnergyMeter(sim::Simulator& simulator, cpu::CpuModel& cpu_model,
+                                     net::RadioModel& radio, double display_mw)
+    : DeviceEnergyMeter(simulator, std::vector<cpu::CpuModel*>{&cpu_model}, radio, display_mw) {}
+
+DeviceEnergyMeter::DeviceEnergyMeter(sim::Simulator& simulator, std::vector<cpu::CpuModel*> cpus,
+                                     net::RadioModel& radio, double display_mw)
+    : sim_(simulator), cpus_(std::move(cpus)), radio_(radio), display_mw_(display_mw) {
+  assert(!cpus_.empty());
+  reset();
+}
+
+double DeviceEnergyMeter::cpus_energy_mj() const {
+  double mj = 0.0;
+  for (auto* model : cpus_) mj += model->energy_mj();
+  return mj;
+}
+
+void DeviceEnergyMeter::reset() {
+  base_time_ = sim_.now();
+  base_cpu_mj_ = cpus_energy_mj();
+  base_radio_mj_ = radio_.energy_mj();
+}
+
+DeviceEnergyReport DeviceEnergyMeter::report() {
+  DeviceEnergyReport r;
+  r.wall = sim_.now() - base_time_;
+  r.cpu_mj = cpus_energy_mj() - base_cpu_mj_;
+  r.radio_mj = radio_.energy_mj() - base_radio_mj_;
+  r.display_mj = r.wall.as_seconds_f() * display_mw_;
+  return r;
+}
+
+}  // namespace vafs::energy

@@ -1,0 +1,61 @@
+// Device-level energy metering: the simulated stand-in for the external
+// power monitor a hardware evaluation would use. Aggregates the CPU and
+// radio models' residency-integrated energy plus a constant display draw.
+#pragma once
+
+#include <vector>
+
+#include "cpu/cpu_model.h"
+#include "net/radio.h"
+#include "simcore/simulator.h"
+
+namespace vafs::energy {
+
+struct DeviceEnergyReport {
+  double cpu_mj = 0.0;
+  double radio_mj = 0.0;
+  double display_mj = 0.0;
+  sim::SimTime wall;
+
+  double total_mj() const { return cpu_mj + radio_mj + display_mj; }
+  double mean_mw() const {
+    const double secs = wall.as_seconds_f();
+    return secs > 0 ? total_mj() / secs : 0.0;
+  }
+  double cpu_mean_mw() const {
+    const double secs = wall.as_seconds_f();
+    return secs > 0 ? cpu_mj / secs : 0.0;
+  }
+};
+
+class DeviceEnergyMeter {
+ public:
+  /// Display power is constant while streaming (brightness does not depend
+  /// on the governor); 450 mW is a typical mid-brightness panel.
+  DeviceEnergyMeter(sim::Simulator& simulator, cpu::CpuModel& cpu_model, net::RadioModel& radio,
+                    double display_mw = 450.0);
+
+  /// Multi-cluster variant (big.LITTLE): cpu_mj aggregates all clusters.
+  DeviceEnergyMeter(sim::Simulator& simulator, std::vector<cpu::CpuModel*> cpus,
+                    net::RadioModel& radio, double display_mw = 450.0);
+
+  /// Re-baselines the meter at the current instant.
+  void reset();
+
+  /// Energy since the last reset (or construction).
+  DeviceEnergyReport report();
+
+ private:
+  double cpus_energy_mj() const;
+
+  sim::Simulator& sim_;
+  std::vector<cpu::CpuModel*> cpus_;
+  net::RadioModel& radio_;
+  double display_mw_;
+
+  sim::SimTime base_time_;
+  double base_cpu_mj_ = 0.0;
+  double base_radio_mj_ = 0.0;
+};
+
+}  // namespace vafs::energy

@@ -1,0 +1,42 @@
+#include "governors/basic.h"
+
+namespace vafs::governors {
+
+void PerformanceGovernor::start(cpu::CpufreqPolicy& policy) {
+  policy_ = &policy;
+  policy_->set_target(policy_->max_khz(), cpu::Relation::kAtMost);
+}
+
+void PerformanceGovernor::limits_changed() {
+  if (policy_ != nullptr) policy_->set_target(policy_->max_khz(), cpu::Relation::kAtMost);
+}
+
+void PowersaveGovernor::start(cpu::CpufreqPolicy& policy) {
+  policy_ = &policy;
+  policy_->set_target(policy_->min_khz(), cpu::Relation::kAtLeast);
+}
+
+void PowersaveGovernor::limits_changed() {
+  if (policy_ != nullptr) policy_->set_target(policy_->min_khz(), cpu::Relation::kAtLeast);
+}
+
+void UserspaceGovernor::start(cpu::CpufreqPolicy& policy) {
+  policy_ = &policy;
+  // Kernel behaviour: keep the current frequency until userspace speaks.
+  requested_khz_ = policy_->cur_khz();
+}
+
+void UserspaceGovernor::limits_changed() {
+  if (policy_ != nullptr && requested_khz_ != 0) {
+    policy_->set_target(requested_khz_, cpu::Relation::kAtLeast);
+  }
+}
+
+sysfs::Status UserspaceGovernor::set_speed(std::uint32_t khz) {
+  if (policy_ == nullptr) return sysfs::Errno::kInval;
+  requested_khz_ = khz;
+  policy_->set_target(khz, cpu::Relation::kAtLeast);
+  return {};
+}
+
+}  // namespace vafs::governors

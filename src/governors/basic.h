@@ -1,0 +1,48 @@
+// The three trivial governors: performance (pin max), powersave (pin min),
+// and userspace (frequency chosen by a userspace policy via
+// scaling_setspeed). userspace is the actuation path of the VAFS governor.
+#pragma once
+
+#include "cpu/cpufreq_policy.h"
+#include "cpu/governor.h"
+
+namespace vafs::governors {
+
+class PerformanceGovernor : public cpu::Governor {
+ public:
+  std::string_view name() const override { return "performance"; }
+  void start(cpu::CpufreqPolicy& policy) override;
+  void stop() override { policy_ = nullptr; }
+  void limits_changed() override;
+
+ private:
+  cpu::CpufreqPolicy* policy_ = nullptr;
+};
+
+class PowersaveGovernor : public cpu::Governor {
+ public:
+  std::string_view name() const override { return "powersave"; }
+  void start(cpu::CpufreqPolicy& policy) override;
+  void stop() override { policy_ = nullptr; }
+  void limits_changed() override;
+
+ private:
+  cpu::CpufreqPolicy* policy_ = nullptr;
+};
+
+class UserspaceGovernor : public cpu::Governor {
+ public:
+  std::string_view name() const override { return "userspace"; }
+  void start(cpu::CpufreqPolicy& policy) override;
+  void stop() override { policy_ = nullptr; }
+  void limits_changed() override;
+
+  bool supports_setspeed() const override { return true; }
+  sysfs::Status set_speed(std::uint32_t khz) override;
+
+ private:
+  cpu::CpufreqPolicy* policy_ = nullptr;
+  std::uint32_t requested_khz_ = 0;  // 0 = nothing requested yet
+};
+
+}  // namespace vafs::governors

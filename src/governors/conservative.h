@@ -1,0 +1,35 @@
+// The conservative governor: like ondemand but moves in fixed steps
+// (freq_step percent of max) when load crosses the up/down thresholds —
+// gentler ramps, historically marketed for battery life.
+#pragma once
+
+#include "governors/sampling_base.h"
+
+namespace vafs::governors {
+
+struct ConservativeTunables {
+  std::uint64_t sampling_rate_us = 20'000;
+  unsigned up_threshold = 80;    // percent
+  unsigned down_threshold = 20;  // percent, < up_threshold
+  unsigned freq_step_pct = 5;    // step as percent of max frequency
+};
+
+class ConservativeGovernor : public SamplingGovernorBase {
+ public:
+  explicit ConservativeGovernor(ConservativeTunables tunables = {}) : t_(tunables) {}
+
+  std::string_view name() const override { return "conservative"; }
+  std::vector<cpu::Tunable> tunables() override;
+
+ protected:
+  sim::SimTime sampling_period() const override {
+    return sim::SimTime::micros(static_cast<std::int64_t>(t_.sampling_rate_us));
+  }
+  void on_sample() override;
+
+ private:
+  std::uint32_t step_khz() const;
+  ConservativeTunables t_;
+};
+
+}  // namespace vafs::governors

@@ -1,0 +1,39 @@
+// The interactive governor (Android's long-time default before schedutil):
+// jump to hispeed_freq when load crosses go_hispeed_load, target a
+// load-proportional frequency otherwise, and refuse to scale down for
+// min_sample_time after a raise — the hold that makes it snappy and
+// power-hungry under periodic loads like video.
+#pragma once
+
+#include "governors/sampling_base.h"
+
+namespace vafs::governors {
+
+struct InteractiveTunables {
+  std::uint64_t timer_rate_us = 20'000;
+  std::uint32_t hispeed_freq_khz = 0;  // 0 => chosen at start (~60 % of max)
+  unsigned go_hispeed_load = 99;       // percent
+  unsigned target_load = 90;           // percent
+  std::uint64_t min_sample_time_us = 80'000;
+};
+
+class InteractiveGovernor : public SamplingGovernorBase {
+ public:
+  explicit InteractiveGovernor(InteractiveTunables tunables = {}) : t_(tunables) {}
+
+  std::string_view name() const override { return "interactive"; }
+  std::vector<cpu::Tunable> tunables() override;
+
+ protected:
+  sim::SimTime sampling_period() const override {
+    return sim::SimTime::micros(static_cast<std::int64_t>(t_.timer_rate_us));
+  }
+  void on_sample() override;
+  void on_start() override;
+
+ private:
+  InteractiveTunables t_;
+  sim::SimTime last_raise_ = sim::SimTime::zero();
+};
+
+}  // namespace vafs::governors

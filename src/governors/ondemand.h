@@ -1,0 +1,41 @@
+// The ondemand governor: jump to the maximum frequency when windowed load
+// exceeds up_threshold, otherwise pick the lowest frequency that would keep
+// the observed load under the threshold (freq_next = cur · load /
+// up_threshold, snapped upward). This is the classic Linux policy most
+// Android devices shipped with before interactive/schedutil, and the primary
+// baseline in DVFS papers.
+#pragma once
+
+#include "governors/sampling_base.h"
+
+namespace vafs::governors {
+
+struct OndemandTunables {
+  std::uint64_t sampling_rate_us = 20'000;
+  unsigned up_threshold = 80;           // percent, (0, 100]
+  unsigned sampling_down_factor = 1;    // hold samples at max before rescaling down
+  /// Kernel powersave_bias (0..1000): shaves bias/1000 off every computed
+  /// target, trading performance for energy without switching governors.
+  unsigned powersave_bias = 0;
+};
+
+class OndemandGovernor : public SamplingGovernorBase {
+ public:
+  explicit OndemandGovernor(OndemandTunables tunables = {}) : t_(tunables) {}
+
+  std::string_view name() const override { return "ondemand"; }
+  std::vector<cpu::Tunable> tunables() override;
+
+ protected:
+  sim::SimTime sampling_period() const override {
+    return sim::SimTime::micros(static_cast<std::int64_t>(t_.sampling_rate_us));
+  }
+  void on_sample() override;
+  void on_start() override;
+
+ private:
+  OndemandTunables t_;
+  unsigned down_skip_ = 0;
+};
+
+}  // namespace vafs::governors

@@ -1,0 +1,23 @@
+#include "governors/registry.h"
+
+#include <memory>
+
+#include "governors/basic.h"
+#include "governors/conservative.h"
+#include "governors/interactive.h"
+#include "governors/ondemand.h"
+#include "governors/schedutil.h"
+
+namespace vafs::governors {
+
+void register_standard(cpu::GovernorRegistry& registry) {
+  registry.add("performance", [] { return std::make_unique<PerformanceGovernor>(); });
+  registry.add("powersave", [] { return std::make_unique<PowersaveGovernor>(); });
+  registry.add("userspace", [] { return std::make_unique<UserspaceGovernor>(); });
+  registry.add("ondemand", [] { return std::make_unique<OndemandGovernor>(); });
+  registry.add("conservative", [] { return std::make_unique<ConservativeGovernor>(); });
+  registry.add("interactive", [] { return std::make_unique<InteractiveGovernor>(); });
+  registry.add("schedutil", [] { return std::make_unique<SchedutilGovernor>(); });
+}
+
+}  // namespace vafs::governors

@@ -1,0 +1,14 @@
+// Registration of the standard governor set, so callers can write
+//   GovernorRegistry reg; governors::register_standard(reg);
+// and get the same lineup `scaling_available_governors` shows on a device.
+#pragma once
+
+#include "cpu/governor.h"
+
+namespace vafs::governors {
+
+/// Adds performance, powersave, userspace, ondemand, conservative,
+/// interactive and schedutil with default tunables.
+void register_standard(cpu::GovernorRegistry& registry);
+
+}  // namespace vafs::governors

@@ -1,0 +1,54 @@
+#include "governors/sampling_base.h"
+
+#include <algorithm>
+
+namespace vafs::governors {
+
+std::uint64_t parse_u64(std::string_view text) {
+  if (text.empty() || text.size() > 19) return UINT64_MAX;
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return UINT64_MAX;
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return value;
+}
+
+void SamplingGovernorBase::start(cpu::CpufreqPolicy& policy) {
+  policy_ = &policy;
+  last_busy_ = policy_->cpu().total_busy_time();
+  last_wall_ = policy_->simulator().now();
+  on_start();
+  arm_next();
+}
+
+void SamplingGovernorBase::stop() {
+  timer_.cancel();
+  policy_ = nullptr;
+}
+
+void SamplingGovernorBase::arm_next() {
+  timer_ = policy_->simulator().after(sampling_period(), [this] {
+    on_sample();
+    if (policy_ != nullptr) arm_next();  // on_sample may have detached us
+  });
+}
+
+void SamplingGovernorBase::rearm() {
+  if (policy_ == nullptr) return;
+  timer_.cancel();
+  arm_next();
+}
+
+double SamplingGovernorBase::window_load() {
+  const sim::SimTime busy = policy_->cpu().total_busy_time();
+  const sim::SimTime wall = policy_->simulator().now();
+  const sim::SimTime d_busy = busy - last_busy_;
+  const sim::SimTime d_wall = wall - last_wall_;
+  last_busy_ = busy;
+  last_wall_ = wall;
+  if (d_wall <= sim::SimTime::zero()) return 0.0;
+  return std::min(1.0, d_busy.as_seconds_f() / d_wall.as_seconds_f());
+}
+
+}  // namespace vafs::governors

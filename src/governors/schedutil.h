@@ -1,0 +1,35 @@
+// The schedutil governor: maps the scheduler's decayed, frequency-invariant
+// utilization straight to a frequency with 25 % headroom
+// (next = 1.25 · max · util), rate-limited. The modern kernel default.
+#pragma once
+
+#include "governors/sampling_base.h"
+
+namespace vafs::governors {
+
+struct SchedutilTunables {
+  std::uint64_t rate_limit_us = 10'000;  // min gap between freq changes
+  double headroom = 1.25;                // the kernel's "util + util/4"
+};
+
+class SchedutilGovernor : public SamplingGovernorBase {
+ public:
+  explicit SchedutilGovernor(SchedutilTunables tunables = {}) : t_(tunables) {}
+
+  std::string_view name() const override { return "schedutil"; }
+  std::vector<cpu::Tunable> tunables() override;
+
+ protected:
+  // Real schedutil is invoked from scheduler hooks; sampling at 4 ms
+  // approximates that callback density closely enough for the signals the
+  // evaluation observes.
+  sim::SimTime sampling_period() const override { return sim::SimTime::micros(4000); }
+  void on_sample() override;
+  void on_start() override;
+
+ private:
+  SchedutilTunables t_;
+  sim::SimTime last_change_ = sim::SimTime::zero();
+};
+
+}  // namespace vafs::governors

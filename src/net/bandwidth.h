@@ -1,0 +1,95 @@
+// Bandwidth processes: piecewise-constant downlink rate models. The
+// downloader computes exact byte-arrival times across constant-rate
+// segments, so a process only needs to answer "what is the rate now" and
+// "when does it next change".
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "simcore/rng.h"
+#include "simcore/time.h"
+
+namespace vafs::net {
+
+class BandwidthProcess {
+ public:
+  virtual ~BandwidthProcess() = default;
+
+  /// Downlink rate at `now`, in megabits per second. Never negative;
+  /// zero models an outage.
+  virtual double current_mbps(sim::SimTime now) = 0;
+
+  /// Earliest time strictly after `now` at which the rate may change.
+  /// SimTime::max() if it never will.
+  virtual sim::SimTime next_change(sim::SimTime now) = 0;
+};
+
+/// Fixed rate forever.
+class ConstantBandwidth final : public BandwidthProcess {
+ public:
+  explicit ConstantBandwidth(double mbps) : mbps_(mbps) {}
+  double current_mbps(sim::SimTime) override { return mbps_; }
+  sim::SimTime next_change(sim::SimTime) override { return sim::SimTime::max(); }
+
+ private:
+  double mbps_;
+};
+
+/// A mean-reverting random walk over a bounded range, held for
+/// exponentially distributed dwell times — the standard synthetic stand-in
+/// for drive/commute LTE traces.
+class MarkovBandwidth final : public BandwidthProcess {
+ public:
+  struct Params {
+    double mean_mbps = 12.0;
+    double min_mbps = 0.5;
+    double max_mbps = 40.0;
+    /// Relative step size per dwell change (lognormal sigma).
+    double volatility = 0.35;
+    /// Mean dwell at one rate before stepping.
+    sim::SimTime mean_dwell = sim::SimTime::millis(800);
+    /// Pull toward the mean per step, in [0, 1].
+    double reversion = 0.25;
+  };
+
+  MarkovBandwidth(Params params, sim::Rng rng);
+
+  double current_mbps(sim::SimTime now) override;
+  sim::SimTime next_change(sim::SimTime now) override;
+
+ private:
+  void advance_to(sim::SimTime now);
+
+  Params p_;
+  sim::Rng rng_;
+  double cur_mbps_;
+  sim::SimTime cur_until_;
+};
+
+/// Replays (time, mbps) steps; optionally loops the trace.
+class TraceBandwidth final : public BandwidthProcess {
+ public:
+  struct Step {
+    sim::SimTime at;
+    double mbps;
+  };
+
+  /// `steps` must start at time zero and be strictly increasing.
+  TraceBandwidth(std::vector<Step> steps, bool loop);
+
+  double current_mbps(sim::SimTime now) override;
+  sim::SimTime next_change(sim::SimTime now) override;
+
+ private:
+  /// Maps absolute time onto the (possibly looping) trace and returns the
+  /// step index plus time remaining in that step.
+  std::size_t locate(sim::SimTime now, sim::SimTime* remaining) const;
+
+  std::vector<Step> steps_;
+  bool loop_;
+  sim::SimTime duration_;
+};
+
+}  // namespace vafs::net

@@ -1,0 +1,133 @@
+#include "net/downloader.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace vafs::net {
+namespace {
+
+double mbps_to_bytes_per_us(double mbps) { return mbps * 1e6 / 8.0 / 1e6; }
+
+}  // namespace
+
+Downloader::Downloader(sim::Simulator& simulator, RadioModel& radio,
+                       BandwidthProcess& bandwidth, cpu::CpuSink* cpu_model,
+                       DownloaderParams params)
+    : sim_(simulator), radio_(radio), bandwidth_(bandwidth), cpu_(cpu_model), params_(params) {}
+
+void Downloader::fetch(std::uint64_t bytes, std::function<void(const FetchResult&)> on_done) {
+  const std::uint64_t id = next_id_++;
+  Job job;
+  job.id = id;
+  job.result.bytes = bytes;
+  job.result.started = sim_.now();
+  job.bytes_remaining = static_cast<double>(bytes);
+  job.on_done = std::move(on_done);
+  jobs_.push_back(std::move(job));
+
+  radio_.acquire([this, id] {
+    sim_.after(params_.rtt, [this, id] {
+      pump();  // settle existing receivers before the receiver set changes
+      for (auto& j : jobs_) {
+        if (j.id != id) continue;
+        j.receiving = true;
+        j.result.first_byte = sim_.now();
+        if (cpu_ != nullptr && params_.cpu_cycles_per_request > 0) {
+          cpu_->submit("http-request", params_.cpu_cycles_per_request, nullptr);
+        }
+        if (j.bytes_remaining <= 0) {
+          j.receiving = false;
+          finish_job(id);  // zero-byte fetch completes straight away
+          return;
+        }
+        break;
+      }
+      pump();  // re-arm with the new receiver set
+    });
+  });
+}
+
+void Downloader::pump() {
+  const sim::SimTime now = sim_.now();
+  const sim::SimTime elapsed = now - last_pump_;
+
+  // Count receivers *before* this pump's boundary changes.
+  std::size_t receivers = 0;
+  for (const auto& j : jobs_) {
+    if (j.receiving) ++receivers;
+  }
+
+  if (elapsed > sim::SimTime::zero() && receivers > 0) {
+    // Rate was constant over [last_pump_, now]: pump events are armed at
+    // every bandwidth change point and at every receiver-set change.
+    const double rate = bandwidth_.current_mbps(last_pump_);
+    const double per_job_bytes = mbps_to_bytes_per_us(rate) *
+                                 static_cast<double>(elapsed.as_micros()) /
+                                 static_cast<double>(receivers);
+    std::vector<std::uint64_t> finished;
+    for (auto& j : jobs_) {
+      if (!j.receiving) continue;
+      const double arrived = std::min(per_job_bytes, j.bytes_remaining);
+      j.bytes_remaining -= arrived;
+      if (cpu_ != nullptr && arrived > 0) {
+        const double cycles = arrived * params_.cpu_cycles_per_byte;
+        if (j.bytes_remaining <= 0.5) {
+          // Final chunk: completion is gated on its CPU processing.
+          const std::uint64_t id = j.id;
+          j.bytes_remaining = 0;
+          j.receiving = false;  // stop accruing
+          cpu_->submit("http-recv-final", cycles, [this, id] { finish_job(id); });
+        } else {
+          cpu_->submit("http-recv", cycles, nullptr);
+        }
+      } else if (j.bytes_remaining <= 0.5) {
+        j.bytes_remaining = 0;
+        j.receiving = false;
+        finished.push_back(j.id);
+      }
+    }
+    for (const auto id : finished) finish_job(id);
+  }
+  last_pump_ = now;
+
+  // Re-arm: next bandwidth change or earliest completion.
+  pump_event_.cancel();
+  receivers = 0;
+  for (const auto& j : jobs_) {
+    if (j.receiving) ++receivers;
+  }
+  if (receivers == 0) return;
+
+  const double rate = bandwidth_.current_mbps(now);
+  sim::SimTime next = bandwidth_.next_change(now);
+  if (rate > 0) {
+    const double per_job_rate = mbps_to_bytes_per_us(rate) / static_cast<double>(receivers);
+    double min_remaining = -1;
+    for (const auto& j : jobs_) {
+      if (j.receiving && (min_remaining < 0 || j.bytes_remaining < min_remaining)) {
+        min_remaining = j.bytes_remaining;
+      }
+    }
+    const auto done_us = static_cast<std::int64_t>(std::ceil(min_remaining / per_job_rate));
+    next = std::min(next, now + sim::SimTime::micros(std::max<std::int64_t>(1, done_us)));
+  }
+  if (next == sim::SimTime::max()) return;  // outage with no scheduled recovery
+  pump_event_ = sim_.at(next, [this] { pump(); });
+}
+
+void Downloader::finish_job(std::uint64_t id) {
+  for (auto it = jobs_.begin(); it != jobs_.end(); ++it) {
+    if (it->id != id) continue;
+    Job job = std::move(*it);
+    jobs_.erase(it);
+    job.result.completed = sim_.now();
+    total_bytes_ += job.result.bytes;
+    radio_.release();
+    if (job.on_done) job.on_done(job.result);
+    return;
+  }
+  assert(false && "finish_job: unknown job");
+}
+
+}  // namespace vafs::net

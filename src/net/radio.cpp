@@ -1,0 +1,137 @@
+#include "net/radio.h"
+
+#include <cassert>
+#include <utility>
+
+namespace vafs::net {
+
+const char* radio_state_name(RadioState s) {
+  switch (s) {
+    case RadioState::kIdle: return "IDLE";
+    case RadioState::kPromotion: return "PROMOTION";
+    case RadioState::kActive: return "ACTIVE";
+    case RadioState::kTailCr: return "TAIL_CR";
+    case RadioState::kTailDrx: return "TAIL_DRX";
+  }
+  return "?";
+}
+
+RadioParams RadioParams::wifi() {
+  RadioParams p;
+  p.idle_mw = 12.0;
+  p.promotion_mw = 150.0;
+  p.active_mw = 700.0;
+  p.tail_cr_mw = 250.0;
+  p.tail_drx_mw = 120.0;
+  p.promotion_delay = sim::SimTime::millis(10);
+  p.tail_cr = sim::SimTime::millis(60);
+  p.tail_drx = sim::SimTime::millis(400);
+  return p;
+}
+
+RadioParams RadioParams::umts_3g() {
+  RadioParams p;
+  p.idle_mw = 8.0;
+  p.promotion_mw = 500.0;
+  p.active_mw = 800.0;   // DCH
+  p.tail_cr_mw = 800.0;  // DCH inactivity tail
+  p.tail_drx_mw = 460.0; // FACH
+  p.promotion_delay = sim::SimTime::seconds(2);
+  p.tail_cr = sim::SimTime::seconds(5);    // T1
+  p.tail_drx = sim::SimTime::seconds(12);  // T2
+  return p;
+}
+
+RadioModel::RadioModel(sim::Simulator& simulator, RadioParams params)
+    : sim_(simulator), params_(params) {}
+
+double RadioModel::state_mw(RadioState s) const {
+  switch (s) {
+    case RadioState::kIdle: return params_.idle_mw;
+    case RadioState::kPromotion: return params_.promotion_mw;
+    case RadioState::kActive: return params_.active_mw;
+    case RadioState::kTailCr: return params_.tail_cr_mw;
+    case RadioState::kTailDrx: return params_.tail_drx_mw;
+  }
+  return 0.0;
+}
+
+void RadioModel::settle() {
+  const sim::SimTime now = sim_.now();
+  residency_[static_cast<int>(state_)] += now - last_change_;
+  last_change_ = now;
+}
+
+void RadioModel::enter(RadioState next) {
+  settle();
+  state_ = next;
+}
+
+void RadioModel::acquire(std::function<void()> ready) {
+  ++refcount_;
+  switch (state_) {
+    case RadioState::kActive:
+      if (ready) ready();
+      return;
+    case RadioState::kTailCr:
+    case RadioState::kTailDrx:
+      // Still connected: resume immediately, cancel the pending demotion.
+      timer_.cancel();
+      enter(RadioState::kActive);
+      if (ready) ready();
+      return;
+    case RadioState::kPromotion:
+      // Join the in-flight promotion.
+      if (ready) waiting_.push_back(std::move(ready));
+      return;
+    case RadioState::kIdle: {
+      ++promotions_;
+      enter(RadioState::kPromotion);
+      if (ready) waiting_.push_back(std::move(ready));
+      timer_ = sim_.after(params_.promotion_delay, [this] {
+        enter(RadioState::kActive);
+        auto ready_list = std::exchange(waiting_, {});
+        for (auto& fn : ready_list) fn();
+        // A transfer may have been acquired+released entirely within the
+        // promotion window; if nothing holds the radio now, start the tail.
+        if (refcount_ == 0 && state_ == RadioState::kActive) start_tail();
+      });
+      return;
+    }
+  }
+}
+
+void RadioModel::release() {
+  assert(refcount_ > 0 && "release without acquire");
+  --refcount_;
+  if (refcount_ > 0) return;
+
+  // The last transfer ended. From ACTIVE, start the tail now; if we are
+  // still promoting (acquire+release inside the promotion window), the
+  // promotion callback starts the tail once it reaches ACTIVE.
+  if (state_ == RadioState::kActive) start_tail();
+}
+
+void RadioModel::start_tail() {
+  enter(RadioState::kTailCr);
+  timer_ = sim_.after(params_.tail_cr, [this] {
+    enter(RadioState::kTailDrx);
+    timer_ = sim_.after(params_.tail_drx, [this] { enter(RadioState::kIdle); });
+  });
+}
+
+sim::SimTime RadioModel::time_in(RadioState s) {
+  settle();
+  return residency_[static_cast<int>(s)];
+}
+
+double RadioModel::energy_mj() {
+  settle();
+  double mj = 0.0;
+  for (int s = 0; s < 5; ++s) {
+    mj += residency_[s].as_seconds_f() * state_mw(static_cast<RadioState>(s));
+  }
+  return mj;
+}
+
+}  // namespace vafs::net

@@ -1,0 +1,100 @@
+// LTE radio model: the RRC state machine whose tail timers make radio
+// energy depend on *when* the player downloads, not just how much.
+//
+// States and default powers follow published LTE measurement studies
+// (promotion ~260 ms; a continuous-reception tail followed by DRX before
+// the connection releases; active power ~1.2 W):
+//
+//   IDLE --acquire--> PROMOTION --(delay)--> ACTIVE
+//   ACTIVE --release--> TAIL_CR --(t_cr)--> TAIL_DRX --(t_drx)--> IDLE
+//   TAIL_* --acquire--> ACTIVE            (no promotion cost)
+//
+// Concurrent transfers are refcounted; the tail starts when the last one
+// releases.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "simcore/simulator.h"
+
+namespace vafs::net {
+
+enum class RadioState { kIdle, kPromotion, kActive, kTailCr, kTailDrx };
+
+const char* radio_state_name(RadioState s);
+
+struct RadioParams {
+  double idle_mw = 10.0;
+  double promotion_mw = 450.0;
+  double active_mw = 1210.0;
+  double tail_cr_mw = 1060.0;
+  double tail_drx_mw = 550.0;
+
+  sim::SimTime promotion_delay = sim::SimTime::millis(260);
+  sim::SimTime tail_cr = sim::SimTime::millis(200);
+  sim::SimTime tail_drx = sim::SimTime::seconds_f(9.8);
+
+  /// An LTE profile (the defaults above).
+  static RadioParams lte() { return {}; }
+
+  /// A WiFi-like profile: cheap idle (PSM), no promotion to speak of,
+  /// short tail.
+  static RadioParams wifi();
+
+  /// UMTS 3G, mapped onto the same machine: promotion = IDLE→DCH
+  /// signalling (~2 s), ACTIVE = DCH, TAIL_CR = the DCH inactivity tail
+  /// (T1 ≈ 5 s at DCH power), TAIL_DRX = FACH (T2 ≈ 12 s at roughly half
+  /// power) — the published timer/power structure of 3G RRC.
+  static RadioParams umts_3g();
+};
+
+class RadioModel {
+ public:
+  RadioModel(sim::Simulator& simulator, RadioParams params = RadioParams::lte());
+
+  RadioModel(const RadioModel&) = delete;
+  RadioModel& operator=(const RadioModel&) = delete;
+
+  /// Requests the radio for a transfer. `ready` fires when the radio is in
+  /// ACTIVE (immediately if it already is; after the promotion delay from
+  /// IDLE). Each acquire must be paired with exactly one release.
+  void acquire(std::function<void()> ready);
+
+  /// Ends one transfer; when the last concurrent transfer releases, the
+  /// tail timers start.
+  void release();
+
+  RadioState state() const { return state_; }
+  unsigned active_transfers() const { return refcount_; }
+  std::uint64_t promotion_count() const { return promotions_; }
+
+  /// Wall time spent in `s` so far.
+  sim::SimTime time_in(RadioState s);
+
+  /// Radio energy so far, mJ (residency-weighted state power).
+  double energy_mj();
+
+  const RadioParams& params() const { return params_; }
+
+ private:
+  void enter(RadioState next);
+  void settle();  // accrue residency up to now
+  void start_tail();
+
+  double state_mw(RadioState s) const;
+
+  sim::Simulator& sim_;
+  RadioParams params_;
+  RadioState state_ = RadioState::kIdle;
+  unsigned refcount_ = 0;
+  std::uint64_t promotions_ = 0;
+
+  sim::SimTime last_change_ = sim::SimTime::zero();
+  sim::SimTime residency_[5] = {};
+  sim::EventHandle timer_;
+  std::vector<std::function<void()>> waiting_;
+};
+
+}  // namespace vafs::net

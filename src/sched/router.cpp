@@ -1,0 +1,36 @@
+#include "sched/router.h"
+
+#include <string_view>
+
+namespace vafs::sched {
+
+const char* cluster_name(Cluster c) { return c == Cluster::kBig ? "big" : "little"; }
+
+ClusterRouter::ClusterRouter(cpu::CpuModel& big, cpu::CpuModel& little,
+                             double little_cycle_penalty)
+    : big_(big), little_(little), little_penalty_(little_cycle_penalty) {}
+
+std::uint64_t ClusterRouter::submit(std::string name, double cycles,
+                                    std::function<void()> on_complete) {
+  const bool is_decode = std::string_view(name).starts_with("decode");
+  if (is_decode && decode_cluster_ == Cluster::kBig) {
+    ++decode_big_;
+    return big_.submit(std::move(name), cycles, std::move(on_complete));
+  }
+  if (is_decode) ++decode_little_;
+  // LITTLE: inflate the cycle count by the IPC penalty.
+  return little_.submit(std::move(name), cycles * little_penalty_, std::move(on_complete));
+}
+
+bool ClusterRouter::cancel(std::uint64_t id) {
+  if (big_.cancel(id)) return true;
+  return little_.cancel(id);
+}
+
+void ClusterRouter::set_decode_cluster(Cluster c) {
+  if (c == decode_cluster_) return;
+  decode_cluster_ = c;
+  ++migrations_;
+}
+
+}  // namespace vafs::sched

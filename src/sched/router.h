@@ -1,0 +1,63 @@
+// big.LITTLE task routing: a CpuSink that places pipeline tasks on one of
+// two clusters.
+//
+// Placement policy mirrors what Android affinity / EAS achieves for a
+// video pipeline: network-stack work (latency-insensitive, light) always
+// runs on the LITTLE cluster; decode runs on whichever cluster the current
+// policy selects — statically the big cluster, or moved by the VAFS
+// controller when the predicted demand fits the LITTLE cluster's capacity.
+// Tasks already submitted stay where they are; routing affects future
+// submissions only (cheap "migration", no state to move in this model).
+#pragma once
+
+#include <cstdint>
+
+#include "cpu/cpu_model.h"
+#include "cpu/cpu_sink.h"
+
+namespace vafs::sched {
+
+enum class Cluster { kBig, kLittle };
+
+const char* cluster_name(Cluster c);
+
+class ClusterRouter final : public cpu::CpuSink {
+ public:
+  /// Both clusters must outlive the router. Decode starts on big.
+  /// `little_cycle_penalty` models the LITTLE cluster's lower IPC: a task
+  /// of N big-core cycles needs penalty·N little-core cycles (in-order
+  /// LITTLE cores retire ~60 % of a big core's work per cycle).
+  ClusterRouter(cpu::CpuModel& big, cpu::CpuModel& little, double little_cycle_penalty = 1.7);
+
+  /// Routes by task class: "decode" tasks to the decode cluster, all
+  /// network/other tasks to LITTLE.
+  std::uint64_t submit(std::string name, double cycles,
+                       std::function<void()> on_complete) override;
+
+  /// Tries both clusters (task ids are unique per CpuModel instance but
+  /// not across them; ties are broken big-first, which is harmless for
+  /// the pipeline's usage where ids are only cancelled once).
+  bool cancel(std::uint64_t id) override;
+
+  void set_decode_cluster(Cluster c);
+  Cluster decode_cluster() const { return decode_cluster_; }
+
+  cpu::CpuModel& big() { return big_; }
+  cpu::CpuModel& little() { return little_; }
+  double little_cycle_penalty() const { return little_penalty_; }
+
+  std::uint64_t decode_tasks_on_big() const { return decode_big_; }
+  std::uint64_t decode_tasks_on_little() const { return decode_little_; }
+  std::uint64_t migrations() const { return migrations_; }
+
+ private:
+  cpu::CpuModel& big_;
+  cpu::CpuModel& little_;
+  double little_penalty_;
+  Cluster decode_cluster_ = Cluster::kBig;
+  std::uint64_t decode_big_ = 0;
+  std::uint64_t decode_little_ = 0;
+  std::uint64_t migrations_ = 0;
+};
+
+}  // namespace vafs::sched

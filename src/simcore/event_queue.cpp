@@ -1,0 +1,48 @@
+#include "simcore/event_queue.h"
+
+#include <cassert>
+#include <utility>
+
+namespace vafs::sim {
+
+void EventHandle::cancel() {
+  if (cancelled_) *cancelled_ = true;
+}
+
+bool EventHandle::pending() const { return cancelled_ && !*cancelled_; }
+
+EventHandle EventQueue::schedule(SimTime when, EventFn fn) {
+  auto flag = std::make_shared<bool>(false);
+  heap_.push(Entry{when, next_seq_++, std::move(fn), flag});
+  return EventHandle(std::move(flag));
+}
+
+void EventQueue::drop_cancelled_head() {
+  while (!heap_.empty() && *heap_.top().cancelled) heap_.pop();
+}
+
+bool EventQueue::empty() {
+  drop_cancelled_head();
+  return heap_.empty();
+}
+
+SimTime EventQueue::next_time() {
+  drop_cancelled_head();
+  assert(!heap_.empty());
+  return heap_.top().time;
+}
+
+EventQueue::Popped EventQueue::pop() {
+  drop_cancelled_head();
+  assert(!heap_.empty());
+  // priority_queue::top() returns const&; the entry is moved out via the
+  // usual const_cast idiom, which is safe because pop() follows immediately.
+  Entry& top = const_cast<Entry&>(heap_.top());
+  Popped out{top.time, std::move(top.fn)};
+  // Mark fired so outstanding handles report !pending().
+  *top.cancelled = true;
+  heap_.pop();
+  return out;
+}
+
+}  // namespace vafs::sim

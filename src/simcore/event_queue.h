@@ -1,0 +1,90 @@
+// The event queue at the heart of the discrete-event simulation.
+//
+// Events are (time, sequence, callback) triples ordered by time and, for
+// equal times, by insertion order — guaranteeing deterministic execution.
+// Scheduling returns an EventHandle that can cancel the event in O(1)
+// (lazily: the entry stays in the heap but is skipped when popped).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "simcore/time.h"
+
+namespace vafs::sim {
+
+using EventFn = std::function<void()>;
+
+/// Handle to a scheduled event; allows cancellation. Copyable and cheap.
+/// A default-constructed handle refers to no event.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// Cancels the event if it has not fired yet. Safe to call repeatedly
+  /// and on empty handles.
+  void cancel();
+
+  /// True if the handle refers to an event that is still pending.
+  bool pending() const;
+
+ private:
+  friend class EventQueue;
+  friend class Simulator;
+  explicit EventHandle(std::shared_ptr<bool> cancelled) : cancelled_(std::move(cancelled)) {}
+  std::shared_ptr<bool> cancelled_;
+};
+
+/// Min-heap of timed events with stable ordering for simultaneous events.
+class EventQueue {
+ public:
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  /// Schedules `fn` to run at absolute time `when`. `when` must not be in
+  /// the past relative to the last popped event (checked by Simulator).
+  EventHandle schedule(SimTime when, EventFn fn);
+
+  /// True if no runnable (non-cancelled) event remains. May pop and drop
+  /// cancelled entries to answer.
+  bool empty();
+
+  /// Time of the earliest runnable event. Requires !empty().
+  SimTime next_time();
+
+  /// Removes and returns the earliest runnable event. Requires !empty().
+  struct Popped {
+    SimTime time;
+    EventFn fn;
+  };
+  Popped pop();
+
+  /// Number of entries in the heap, including not-yet-collected cancelled
+  /// ones. For tests and introspection only.
+  std::size_t raw_size() const { return heap_.size(); }
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;
+    EventFn fn;
+    std::shared_ptr<bool> cancelled;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void drop_cancelled_head();
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace vafs::sim

@@ -1,0 +1,52 @@
+// Deterministic random number generation for workload synthesis.
+//
+// xoshiro256** seeded via splitmix64. One Rng instance per stochastic
+// process (bandwidth walk, frame-size jitter, ...) — forked from a master
+// seed — so adding a new consumer never perturbs existing streams.
+#pragma once
+
+#include <cstdint>
+
+namespace vafs::sim {
+
+/// xoshiro256** PRNG with distribution helpers. Not thread-safe; the
+/// simulation is single-threaded by design.
+class Rng {
+ public:
+  /// Seeds the four lanes from `seed` via splitmix64.
+  explicit Rng(std::uint64_t seed);
+
+  /// Derives an independent child generator; `stream` distinguishes
+  /// children forked from the same parent state.
+  Rng fork(std::uint64_t stream);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal via Box–Muller (consumes two uniforms, caches none —
+  /// keeps the stream position deterministic and easy to reason about).
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Lognormal with the given parameters of the *underlying* normal.
+  double lognormal(double mu, double sigma);
+
+  /// Exponential with the given mean (= 1/lambda). Requires mean > 0.
+  double exponential(double mean);
+
+  /// True with probability p (clamped to [0, 1]).
+  bool bernoulli(double p);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace vafs::sim

@@ -1,0 +1,60 @@
+// The simulation driver: a clock plus the event queue.
+//
+// Components hold a Simulator& and schedule callbacks on it. The driver
+// loop (run / run_until / step) advances the clock to each event's time and
+// fires it. Determinism: same seed + same schedule calls => identical runs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "simcore/event_queue.h"
+#include "simcore/time.h"
+
+namespace vafs::sim {
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time.
+  SimTime now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `when` (must be >= now()).
+  EventHandle at(SimTime when, EventFn fn);
+
+  /// Schedules `fn` after a relative delay (must be >= 0).
+  EventHandle after(SimTime delay, EventFn fn);
+
+  /// Schedules `fn` to run repeatedly with the given period, first firing
+  /// after one period. The returned handle cancels the *series*.
+  EventHandle every(SimTime period, std::function<void()> fn);
+
+  /// Runs events until the queue drains or `limit` events fired.
+  /// Returns the number of events executed.
+  std::uint64_t run(std::uint64_t limit = UINT64_MAX);
+
+  /// Runs events with time <= deadline, then advances the clock to exactly
+  /// `deadline` (even if the queue drained earlier). Returns events fired.
+  std::uint64_t run_until(SimTime deadline);
+
+  /// Fires exactly one event if any is pending. Returns whether one fired.
+  bool step();
+
+  /// True if no runnable events remain.
+  bool idle() { return queue_.empty(); }
+
+  /// Total events executed over the simulator's lifetime.
+  std::uint64_t events_executed() const { return events_executed_; }
+
+ private:
+  struct PeriodicState;
+
+  SimTime now_ = SimTime::zero();
+  EventQueue queue_;
+  std::uint64_t events_executed_ = 0;
+};
+
+}  // namespace vafs::sim

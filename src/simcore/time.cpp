@@ -1,0 +1,22 @@
+#include "simcore/time.h"
+
+#include <cstdio>
+
+namespace vafs::sim {
+
+std::string SimTime::to_string() const {
+  char buf[40];
+  const std::int64_t us = micros_;
+  if (us % 1'000'000 == 0) {
+    std::snprintf(buf, sizeof(buf), "%llds", static_cast<long long>(us / 1'000'000));
+  } else if (us % 1000 == 0) {
+    std::snprintf(buf, sizeof(buf), "%lldms", static_cast<long long>(us / 1000));
+  } else if (us > 1'000'000 || us < -1'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.3fs", static_cast<double>(us) / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lldus", static_cast<long long>(us));
+  }
+  return buf;
+}
+
+}  // namespace vafs::sim

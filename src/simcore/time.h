@@ -1,0 +1,64 @@
+// Simulation time: a strong integral type counted in microseconds.
+//
+// All modules in this library express time as SimTime. Using a single,
+// integral microsecond clock keeps the discrete-event simulation exactly
+// reproducible (no floating-point drift between runs or platforms).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace vafs::sim {
+
+/// A point in (or duration of) simulated time, in microseconds.
+///
+/// SimTime is deliberately a thin wrapper: it supports the arithmetic a
+/// discrete-event simulation needs and nothing else. Negative values are
+/// valid as durations (e.g. "deadline minus now" may be negative when a
+/// deadline has passed) but never as absolute queue times.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  constexpr explicit SimTime(std::int64_t micros) : micros_(micros) {}
+
+  /// Named constructors.
+  static constexpr SimTime micros(std::int64_t us) { return SimTime(us); }
+  static constexpr SimTime millis(std::int64_t ms) { return SimTime(ms * 1000); }
+  static constexpr SimTime seconds(std::int64_t s) { return SimTime(s * 1'000'000); }
+  static constexpr SimTime seconds_f(double s) {
+    return SimTime(static_cast<std::int64_t>(s * 1e6));
+  }
+  static constexpr SimTime zero() { return SimTime(0); }
+  static constexpr SimTime max() { return SimTime(INT64_MAX); }
+
+  constexpr std::int64_t as_micros() const { return micros_; }
+  constexpr double as_millis_f() const { return static_cast<double>(micros_) / 1e3; }
+  constexpr double as_seconds_f() const { return static_cast<double>(micros_) / 1e6; }
+
+  constexpr bool is_zero() const { return micros_ == 0; }
+  constexpr bool is_negative() const { return micros_ < 0; }
+
+  constexpr SimTime operator+(SimTime other) const { return SimTime(micros_ + other.micros_); }
+  constexpr SimTime operator-(SimTime other) const { return SimTime(micros_ - other.micros_); }
+  constexpr SimTime operator*(std::int64_t k) const { return SimTime(micros_ * k); }
+  constexpr SimTime operator/(std::int64_t k) const { return SimTime(micros_ / k); }
+  constexpr SimTime& operator+=(SimTime other) { micros_ += other.micros_; return *this; }
+  constexpr SimTime& operator-=(SimTime other) { micros_ -= other.micros_; return *this; }
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+  /// Scales a duration by a real factor, rounding to the nearest microsecond.
+  constexpr SimTime scaled(double factor) const {
+    return SimTime(static_cast<std::int64_t>(static_cast<double>(micros_) * factor + 0.5));
+  }
+
+  /// Human-readable rendering, e.g. "1.500s", "250ms", "12us".
+  std::string to_string() const;
+
+ private:
+  std::int64_t micros_ = 0;
+};
+
+constexpr SimTime operator*(std::int64_t k, SimTime t) { return t * k; }
+
+}  // namespace vafs::sim

@@ -1,0 +1,52 @@
+#include "stream/abr.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vafs::stream {
+
+std::size_t RateBasedAbr::choose(const AbrContext& ctx) {
+  if (ctx.throughput_mbps <= 0.0) return 0;  // no estimate yet: be safe
+  const double budget_kbps = safety_ * ctx.throughput_mbps * 1000.0;
+  return ctx.manifest->rep_index_for_bitrate(budget_kbps);
+}
+
+std::size_t BolaAbr::choose(const AbrContext& ctx) {
+  const auto& manifest = *ctx.manifest;
+  const std::size_t reps = manifest.representation_count();
+  const double base_kbps = static_cast<double>(manifest.representation(0).bitrate_kbps);
+  const double seg_s = manifest.nominal_segment_duration().as_seconds_f();
+
+  // Buffer level and capacity in segments.
+  const double q = ctx.buffer_level.as_seconds_f() / seg_s;
+  const double q_max = std::max(2.0, buffer_capacity_.as_seconds_f() / seg_s);
+
+  const double v_top =
+      std::log(static_cast<double>(manifest.representation(reps - 1).bitrate_kbps) / base_kbps);
+  const double big_v = (q_max - 1.0) / (v_top + gamma_p_);
+
+  std::size_t best = 0;
+  double best_score = -1e300;
+  for (std::size_t m = 0; m < reps; ++m) {
+    const double kbps = static_cast<double>(manifest.representation(m).bitrate_kbps);
+    const double utility = std::log(kbps / base_kbps);
+    const double score = (big_v * (utility + gamma_p_) - q) / kbps;
+    if (score > best_score) {
+      best_score = score;
+      best = m;
+    }
+  }
+  return best;
+}
+
+std::size_t BufferBasedAbr::choose(const AbrContext& ctx) {
+  const auto reps = ctx.manifest->representation_count();
+  if (ctx.buffer_level <= reservoir_) return 0;
+  if (ctx.buffer_level >= cushion_) return reps - 1;
+  const double frac = (ctx.buffer_level - reservoir_).as_seconds_f() /
+                      (cushion_ - reservoir_).as_seconds_f();
+  const auto idx = static_cast<std::size_t>(frac * static_cast<double>(reps - 1) + 0.5);
+  return std::min(idx, reps - 1);
+}
+
+}  // namespace vafs::stream

@@ -1,0 +1,90 @@
+// Adaptive-bitrate algorithms. The evaluation runs the governor matrix
+// under each of these (T4) to show the DVFS result is ABR-independent.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string_view>
+
+#include "simcore/time.h"
+#include "video/manifest.h"
+
+namespace vafs::stream {
+
+/// Everything an ABR decision may look at.
+struct AbrContext {
+  /// Smoothed measured throughput (EWMA over completed segments), Mbps.
+  /// Zero before the first segment completes.
+  double throughput_mbps = 0.0;
+  sim::SimTime buffer_level;
+  std::size_t last_rep = 0;
+  std::size_t next_segment = 0;
+  const video::Manifest* manifest = nullptr;
+};
+
+class AbrAlgorithm {
+ public:
+  virtual ~AbrAlgorithm() = default;
+  virtual std::string_view name() const = 0;
+  /// Returns the representation index for the next segment.
+  virtual std::size_t choose(const AbrContext& ctx) = 0;
+};
+
+/// Always the same rung (used for the per-quality energy matrix, T1).
+class FixedAbr final : public AbrAlgorithm {
+ public:
+  explicit FixedAbr(std::size_t rep) : rep_(rep) {}
+  std::string_view name() const override { return "fixed"; }
+  std::size_t choose(const AbrContext&) override { return rep_; }
+
+ private:
+  std::size_t rep_;
+};
+
+/// Highest bitrate under safety · throughput; starts at the bottom rung.
+class RateBasedAbr final : public AbrAlgorithm {
+ public:
+  explicit RateBasedAbr(double safety = 0.8) : safety_(safety) {}
+  std::string_view name() const override { return "rate"; }
+  std::size_t choose(const AbrContext& ctx) override;
+
+ private:
+  double safety_;
+};
+
+/// BBA-style: map buffer level linearly from reservoir → cushion onto the
+/// ladder; below the reservoir pick the bottom, above the cushion the top.
+class BufferBasedAbr final : public AbrAlgorithm {
+ public:
+  BufferBasedAbr(sim::SimTime reservoir = sim::SimTime::seconds(5),
+                 sim::SimTime cushion = sim::SimTime::seconds(15))
+      : reservoir_(reservoir), cushion_(cushion) {}
+  std::string_view name() const override { return "buffer"; }
+  std::size_t choose(const AbrContext& ctx) override;
+
+ private:
+  sim::SimTime reservoir_;
+  sim::SimTime cushion_;
+};
+
+/// BOLA (Spiteri et al., INFOCOM'16), BASIC variant: pick the
+/// representation maximizing (V·(v_m + γp) − Q) / s_m, where v_m =
+/// ln(bitrate_m / bitrate_0) is the utility, Q the buffer level in
+/// segments, s_m ∝ bitrate_m the segment size, and V is derived from the
+/// buffer capacity so the top rung is reachable exactly when the buffer
+/// is full. Lyapunov-drift-based: provably avoids rebuffering while
+/// maximizing time-average utility.
+class BolaAbr final : public AbrAlgorithm {
+ public:
+  explicit BolaAbr(sim::SimTime buffer_capacity = sim::SimTime::seconds(12),
+                   double gamma_p = 5.0)
+      : buffer_capacity_(buffer_capacity), gamma_p_(gamma_p) {}
+  std::string_view name() const override { return "bola"; }
+  std::size_t choose(const AbrContext& ctx) override;
+
+ private:
+  sim::SimTime buffer_capacity_;
+  double gamma_p_;
+};
+
+}  // namespace vafs::stream

@@ -1,0 +1,67 @@
+// Minimal expected-style result type for the sysfs emulation layer.
+//
+// The emulated filesystem reports errors the way the kernel would (ENOENT,
+// EACCES, EINVAL, ...) so that governor code written against it handles the
+// same failure modes a real deployment sees.
+#pragma once
+
+#include <cassert>
+#include <string_view>
+#include <utility>
+
+namespace vafs::sysfs {
+
+enum class Errno {
+  kOk = 0,
+  kNoEnt,        // path does not exist
+  kIsDir,        // read/write on a directory
+  kNotDir,       // path component is not a directory
+  kAccess,       // permission denied (read-only attribute written, etc.)
+  kInval,        // value rejected by the attribute's store hook
+  kExist,        // node already exists
+};
+
+/// Human-readable name ("ENOENT", ...).
+std::string_view errno_name(Errno e);
+
+/// Value-or-error. `value()` asserts on error; check `ok()` first.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)), err_(Errno::kOk) {}  // NOLINT(google-explicit-constructor)
+  Result(Errno err) : err_(err) { assert(err != Errno::kOk); }     // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return err_ == Errno::kOk; }
+  explicit operator bool() const { return ok(); }
+  Errno error() const { return err_; }
+
+  const T& value() const& {
+    assert(ok());
+    return value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(value_);
+  }
+  T value_or(T fallback) const { return ok() ? value_ : std::move(fallback); }
+
+ private:
+  T value_{};
+  Errno err_;
+};
+
+/// Error-or-success for operations with no payload.
+class Status {
+ public:
+  Status() : err_(Errno::kOk) {}
+  Status(Errno err) : err_(err) {}  // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return err_ == Errno::kOk; }
+  explicit operator bool() const { return ok(); }
+  Errno error() const { return err_; }
+
+ private:
+  Errno err_;
+};
+
+}  // namespace vafs::sysfs

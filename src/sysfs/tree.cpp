@@ -1,0 +1,144 @@
+#include "sysfs/tree.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace vafs::sysfs {
+
+std::string_view errno_name(Errno e) {
+  switch (e) {
+    case Errno::kOk: return "OK";
+    case Errno::kNoEnt: return "ENOENT";
+    case Errno::kIsDir: return "EISDIR";
+    case Errno::kNotDir: return "ENOTDIR";
+    case Errno::kAccess: return "EACCES";
+    case Errno::kInval: return "EINVAL";
+    case Errno::kExist: return "EEXIST";
+  }
+  return "E?";
+}
+
+Tree::Tree() : root_(std::make_unique<Node>()) { root_->is_dir = true; }
+
+std::vector<std::string_view> Tree::split(std::string_view path) {
+  std::vector<std::string_view> parts;
+  std::size_t start = 0;
+  while (start < path.size()) {
+    const std::size_t slash = path.find('/', start);
+    const std::size_t end = (slash == std::string_view::npos) ? path.size() : slash;
+    if (end > start) parts.push_back(path.substr(start, end - start));
+    start = end + 1;
+  }
+  return parts;
+}
+
+const Tree::Node* Tree::find(std::string_view path) const {
+  const Node* node = root_.get();
+  for (const auto part : split(path)) {
+    if (!node->is_dir) return nullptr;
+    const auto it = node->children.find(part);
+    if (it == node->children.end()) return nullptr;
+    node = it->second.get();
+  }
+  return node;
+}
+
+Tree::Node* Tree::find(std::string_view path) {
+  return const_cast<Node*>(std::as_const(*this).find(path));
+}
+
+Status Tree::mkdir(std::string_view path) {
+  Node* node = root_.get();
+  for (const auto part : split(path)) {
+    if (!node->is_dir) return Errno::kNotDir;
+    auto it = node->children.find(part);
+    if (it == node->children.end()) {
+      auto child = std::make_unique<Node>();
+      child->is_dir = true;
+      it = node->children.emplace(std::string(part), std::move(child)).first;
+    }
+    node = it->second.get();
+  }
+  if (!node->is_dir) return Errno::kNotDir;
+  return {};
+}
+
+Status Tree::add_attr(std::string_view path, ShowFn show, StoreFn store) {
+  const auto parts = split(path);
+  if (parts.empty()) return Errno::kInval;
+
+  Node* dir = root_.get();
+  for (std::size_t i = 0; i + 1 < parts.size(); ++i) {
+    if (!dir->is_dir) return Errno::kNotDir;
+    const auto it = dir->children.find(parts[i]);
+    if (it == dir->children.end()) return Errno::kNoEnt;
+    dir = it->second.get();
+  }
+  if (!dir->is_dir) return Errno::kNotDir;
+  if (dir->children.contains(parts.back())) return Errno::kExist;
+
+  auto attr = std::make_unique<Node>();
+  attr->is_dir = false;
+  attr->show = std::move(show);
+  attr->store = std::move(store);
+  dir->children.emplace(std::string(parts.back()), std::move(attr));
+  return {};
+}
+
+Status Tree::remove(std::string_view path) {
+  const auto parts = split(path);
+  if (parts.empty()) return Errno::kInval;  // refuse to remove the root
+
+  Node* dir = root_.get();
+  for (std::size_t i = 0; i + 1 < parts.size(); ++i) {
+    if (!dir->is_dir) return Errno::kNotDir;
+    const auto it = dir->children.find(parts[i]);
+    if (it == dir->children.end()) return Errno::kNoEnt;
+    dir = it->second.get();
+  }
+  const auto it = dir->children.find(parts.back());
+  if (it == dir->children.end()) return Errno::kNoEnt;
+  dir->children.erase(it);
+  return {};
+}
+
+Result<std::string> Tree::read(std::string_view path) const {
+  const Node* node = find(path);
+  if (node == nullptr) return Errno::kNoEnt;
+  if (node->is_dir) return Errno::kIsDir;
+  if (!node->show) return Errno::kAccess;
+  std::string out = node->show();
+  if (out.empty() || out.back() != '\n') out += '\n';
+  return out;
+}
+
+Status Tree::write(std::string_view path, std::string_view value) {
+  Node* node = find(path);
+  if (node == nullptr) return Errno::kNoEnt;
+  if (node->is_dir) return Errno::kIsDir;
+  if (!node->store) return Errno::kAccess;
+  // Strip trailing whitespace the way `echo value > attr` delivers it.
+  while (!value.empty() && (value.back() == '\n' || value.back() == ' ' || value.back() == '\t')) {
+    value.remove_suffix(1);
+  }
+  return node->store(value);
+}
+
+Result<std::vector<std::string>> Tree::list(std::string_view path) const {
+  const Node* node = find(path);
+  if (node == nullptr) return Errno::kNoEnt;
+  if (!node->is_dir) return Errno::kNotDir;
+  std::vector<std::string> names;
+  names.reserve(node->children.size());
+  for (const auto& [name, child] : node->children) names.push_back(name);
+  return names;  // std::map iteration is already sorted
+}
+
+bool Tree::exists(std::string_view path) const { return find(path) != nullptr; }
+
+bool Tree::is_dir(std::string_view path) const {
+  const Node* node = find(path);
+  return node != nullptr && node->is_dir;
+}
+
+}  // namespace vafs::sysfs

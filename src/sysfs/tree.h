@@ -1,0 +1,78 @@
+// In-memory emulation of a sysfs attribute tree.
+//
+// Kernel subsystems (here: cpufreq) publish directories of text attributes;
+// userspace policies read and write them as strings. This module reproduces
+// that contract: string-level I/O, show/store hooks per attribute, and
+// kernel-style error codes. The VAFS userspace governor talks to the CPU
+// model exclusively through this layer, exercising the exact code path a
+// real deployment would use (echo <khz> > scaling_setspeed).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sysfs/result.h"
+
+namespace vafs::sysfs {
+
+/// Attribute show hook: renders the current value (no trailing newline
+/// required; read() appends one, as the kernel convention does).
+using ShowFn = std::function<std::string()>;
+
+/// Attribute store hook: parses and applies a write. Returns kOk or kInval.
+using StoreFn = std::function<Status(std::string_view)>;
+
+/// A directory tree of text attributes addressed by '/'-separated paths
+/// relative to the tree root (e.g. "devices/system/cpu/cpufreq/policy0").
+class Tree {
+ public:
+  Tree();
+  Tree(const Tree&) = delete;
+  Tree& operator=(const Tree&) = delete;
+
+  /// Creates a directory (and any missing parents). Idempotent.
+  Status mkdir(std::string_view path);
+
+  /// Registers an attribute file. A null `store` makes it read-only
+  /// (writes fail with EACCES); a null `show` makes it write-only.
+  /// Fails with EEXIST if the path already exists, ENOTDIR/ENOENT if the
+  /// parent is missing or not a directory.
+  Status add_attr(std::string_view path, ShowFn show, StoreFn store);
+
+  /// Removes an attribute or (recursively) a directory.
+  Status remove(std::string_view path);
+
+  /// Reads an attribute. The result carries a trailing '\n' like the
+  /// kernel's sysfs show() output.
+  Result<std::string> read(std::string_view path) const;
+
+  /// Writes an attribute. Trailing whitespace/newlines in `value` are
+  /// stripped before the store hook runs (mirroring `echo x > attr`).
+  Status write(std::string_view path, std::string_view value);
+
+  /// Lists entry names in a directory, sorted.
+  Result<std::vector<std::string>> list(std::string_view path) const;
+
+  bool exists(std::string_view path) const;
+  bool is_dir(std::string_view path) const;
+
+ private:
+  struct Node {
+    bool is_dir = false;
+    ShowFn show;
+    StoreFn store;
+    std::map<std::string, std::unique_ptr<Node>, std::less<>> children;
+  };
+
+  const Node* find(std::string_view path) const;
+  Node* find(std::string_view path);
+  static std::vector<std::string_view> split(std::string_view path);
+
+  std::unique_ptr<Node> root_;
+};
+
+}  // namespace vafs::sysfs

@@ -1,0 +1,47 @@
+#include "thermal/model.h"
+
+#include <cmath>
+
+namespace vafs::thermal {
+
+ThermalModel::ThermalModel(sim::Simulator& simulator, cpu::CpuModel& cpu_model,
+                           ThermalParams params)
+    : sim_(simulator),
+      cpu_(cpu_model),
+      params_(params),
+      temp_c_(params.ambient_c),
+      peak_c_(params.ambient_c),
+      last_energy_mj_(cpu_model.energy_mj()),
+      last_sample_(simulator.now()) {
+  timer_ = sim_.every(params_.sample_period, [this] { sample(); });
+}
+
+ThermalModel::~ThermalModel() { timer_.cancel(); }
+
+void ThermalModel::sample() {
+  const sim::SimTime now = sim_.now();
+  const double dt = (now - last_sample_).as_seconds_f();
+  if (dt <= 0) return;
+
+  // Mean power over the interval from the exact energy counter.
+  const double energy_mj = cpu_.energy_mj();
+  const double power_w = (energy_mj - last_energy_mj_) / 1000.0 / dt;
+  last_energy_mj_ = energy_mj;
+  last_sample_ = now;
+
+  // Exact solution of the linear ODE over the interval (P constant):
+  // T -> T_inf + (T - T_inf)·exp(-dt/RC), with T_inf = T_amb + P·R.
+  const double rc = params_.resistance_k_per_w * params_.capacitance_j_per_k;
+  const double t_inf = params_.ambient_c + power_w * params_.resistance_k_per_w;
+  temp_c_ = t_inf + (temp_c_ - t_inf) * std::exp(-dt / rc);
+
+  peak_c_ = std::max(peak_c_, temp_c_);
+  stats_.add(temp_c_);
+  for (const auto& fn : listeners_) fn(temp_c_);
+}
+
+void ThermalModel::add_listener(std::function<void(double)> fn) {
+  listeners_.push_back(std::move(fn));
+}
+
+}  // namespace vafs::thermal

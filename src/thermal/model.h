@@ -1,0 +1,68 @@
+// Lumped-RC thermal model of the SoC.
+//
+// dT/dt = P / C − (T − T_ambient) / (R·C)
+//
+// with P the CPU power. Sampled periodically from the CPU model's energy
+// counter (exact over each interval), giving the classic first-order
+// exponential response: a phone-class R·C of ~100 s means sustained
+// high-OPP decoding heats the SoC over a minute or two — the timescale on
+// which thermal throttling bites in real sustained-video workloads.
+#pragma once
+
+#include <functional>
+
+#include "cpu/cpu_model.h"
+#include "simcore/simulator.h"
+#include "simcore/stats.h"
+
+namespace vafs::thermal {
+
+struct ThermalParams {
+  double ambient_c = 25.0;
+  /// Thermal resistance junction→ambient, K/W. 14 K/W puts a sustained
+  /// 2 W big-core load ~28 K over ambient — phone-chassis territory.
+  double resistance_k_per_w = 14.0;
+  /// Thermal capacitance, J/K. R·C ≈ 112 s time constant.
+  double capacitance_j_per_k = 8.0;
+  /// Sampling period of the integrator.
+  sim::SimTime sample_period = sim::SimTime::millis(250);
+};
+
+class ThermalModel {
+ public:
+  /// Starts sampling immediately; `cpu` must outlive the model.
+  ThermalModel(sim::Simulator& simulator, cpu::CpuModel& cpu_model, ThermalParams params = {});
+
+  ThermalModel(const ThermalModel&) = delete;
+  ThermalModel& operator=(const ThermalModel&) = delete;
+  ~ThermalModel();
+
+  /// Current junction temperature, °C (exact at sample instants, held
+  /// between them).
+  double temperature_c() const { return temp_c_; }
+  double peak_temperature_c() const { return peak_c_; }
+  const sim::OnlineStats& temperature_stats() const { return stats_; }
+
+  /// Registers a callback fired after every sample with the new
+  /// temperature — the hook the throttle governor uses.
+  void add_listener(std::function<void(double)> fn);
+
+  const ThermalParams& params() const { return params_; }
+
+ private:
+  void sample();
+
+  sim::Simulator& sim_;
+  cpu::CpuModel& cpu_;
+  ThermalParams params_;
+
+  double temp_c_;
+  double peak_c_;
+  double last_energy_mj_ = 0.0;
+  sim::SimTime last_sample_;
+  sim::EventHandle timer_;
+  sim::OnlineStats stats_;
+  std::vector<std::function<void(double)>> listeners_;
+};
+
+}  // namespace vafs::thermal

@@ -1,0 +1,53 @@
+#include "thermal/throttle.h"
+
+#include <algorithm>
+
+namespace vafs::thermal {
+
+ThermalThrottle::ThermalThrottle(ThermalModel& model, cpu::CpufreqPolicy& policy,
+                                 ThrottleParams params)
+    : model_(model), policy_(policy), params_(params), sim_(policy.simulator()) {
+  model_.add_listener([this](double temp_c) { on_temperature(temp_c); });
+}
+
+void ThermalThrottle::on_temperature(double temp_c) {
+  unsigned desired;
+  if (temp_c < params_.trip_c - params_.hysteresis_c) {
+    desired = 0;
+  } else if (temp_c < params_.trip_c) {
+    desired = step_;  // hysteresis band: hold
+  } else {
+    desired = 1 + static_cast<unsigned>((temp_c - params_.trip_c) / params_.hysteresis_c);
+    desired = std::min(desired, params_.max_steps);
+  }
+  // Release gradually: at most one step per sample, like the kernel's
+  // step_wise policy.
+  if (desired < step_) desired = step_ - 1;
+
+  if (desired != step_) apply_step(desired);
+}
+
+void ThermalThrottle::apply_step(unsigned step) {
+  if (step > 0 && step_ == 0) {
+    throttle_started_ = sim_.now();
+    in_throttle_ = true;
+    ++events_;
+  } else if (step == 0 && step_ > 0) {
+    throttled_accum_ += sim_.now() - throttle_started_;
+    in_throttle_ = false;
+  }
+  step_ = step;
+
+  const auto& opps = policy_.opps();
+  const std::size_t top = opps.size() - 1;
+  const std::size_t capped = top >= step ? top - step : 0;
+  policy_.set_max(opps.at(capped).freq_khz);
+}
+
+sim::SimTime ThermalThrottle::throttled_time() const {
+  sim::SimTime total = throttled_accum_;
+  if (in_throttle_) total += sim_.now() - throttle_started_;
+  return total;
+}
+
+}  // namespace vafs::thermal

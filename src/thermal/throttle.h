@@ -1,0 +1,56 @@
+// Step-wise thermal throttling, the kernel thermal-zone style:
+//
+// Above trip_c, every further `hysteresis_c` of temperature drops the
+// policy's scaling_max_freq by one OPP (cooling-device states); as the SoC
+// cools back below the trip (minus hysteresis) the cap is released one
+// step at a time. Workload-agnostic governors that burst to the top OPP
+// heat the SoC into this regime during sustained video; VAFS's lower
+// steady frequency stays out of it — experiment F10.
+#pragma once
+
+#include <cstdint>
+
+#include "cpu/cpufreq_policy.h"
+#include "simcore/simulator.h"
+#include "thermal/model.h"
+
+namespace vafs::thermal {
+
+struct ThrottleParams {
+  double trip_c = 45.0;
+  /// Additional degrees per extra throttle step, and the release band.
+  double hysteresis_c = 2.0;
+  /// Maximum number of OPPs the cap may drop below hardware max.
+  unsigned max_steps = 5;
+};
+
+class ThermalThrottle {
+ public:
+  /// Subscribes to `model`; adjusts `policy`'s max limit. Both must
+  /// outlive the throttle.
+  ThermalThrottle(ThermalModel& model, cpu::CpufreqPolicy& policy, ThrottleParams params = {});
+
+  unsigned current_step() const { return step_; }
+  bool throttling() const { return step_ > 0; }
+
+  /// Cumulative time spent with any cap applied.
+  sim::SimTime throttled_time() const;
+  std::uint64_t throttle_events() const { return events_; }
+
+ private:
+  void on_temperature(double temp_c);
+  void apply_step(unsigned step);
+
+  ThermalModel& model_;
+  cpu::CpufreqPolicy& policy_;
+  ThrottleParams params_;
+
+  unsigned step_ = 0;
+  std::uint64_t events_ = 0;
+  sim::SimTime throttled_accum_;
+  sim::SimTime throttle_started_;
+  bool in_throttle_ = false;
+  sim::Simulator& sim_;
+};
+
+}  // namespace vafs::thermal

@@ -1,0 +1,96 @@
+#include "trace/bandwidth_file.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace vafs::trace {
+
+bool load_bandwidth_trace(std::istream& in, std::vector<net::TraceBandwidth::Step>* steps,
+                          std::string* error) {
+  steps->clear();
+  std::string line;
+  int line_no = 0;
+  auto fail = [&](const std::string& what) {
+    if (error != nullptr) *error = "line " + std::to_string(line_no) + ": " + what;
+    return false;
+  };
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream fields(line);
+    double t_s = 0.0, mbps = 0.0;
+    if (!(fields >> t_s)) continue;  // blank or comment-only line
+    if (!(fields >> mbps)) return fail("expected 'TIME_S MBPS'");
+    std::string extra;
+    if (fields >> extra) return fail("trailing garbage '" + extra + "'");
+    if (mbps < 0) return fail("negative bandwidth");
+    if (t_s < 0) return fail("negative time");
+
+    const sim::SimTime at = sim::SimTime::seconds_f(t_s);
+    if (steps->empty()) {
+      if (!at.is_zero()) return fail("trace must start at time 0");
+    } else if (at <= steps->back().at) {
+      return fail("times must be strictly increasing");
+    }
+    steps->push_back({at, mbps});
+  }
+  if (steps->empty()) {
+    line_no = 0;
+    return fail("empty trace");
+  }
+  return true;
+}
+
+bool load_bandwidth_trace_file(const std::string& path,
+                               std::vector<net::TraceBandwidth::Step>* steps,
+                               std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return false;
+  }
+  if (!load_bandwidth_trace(in, steps, error)) {
+    if (error != nullptr) *error = path + ": " + *error;
+    return false;
+  }
+  return true;
+}
+
+void save_bandwidth_trace(std::ostream& out,
+                          const std::vector<net::TraceBandwidth::Step>& steps) {
+  out << "# bandwidth trace: TIME_SECONDS MBPS\n";
+  char buf[64];
+  for (const auto& step : steps) {
+    std::snprintf(buf, sizeof(buf), "%.6f %.4f\n", step.at.as_seconds_f(), step.mbps);
+    out << buf;
+  }
+}
+
+bool save_bandwidth_trace_file(const std::string& path,
+                               const std::vector<net::TraceBandwidth::Step>& steps,
+                               std::string* error) {
+  std::ofstream out(path);
+  if (!out) {
+    if (error != nullptr) *error = "cannot open " + path + " for writing";
+    return false;
+  }
+  save_bandwidth_trace(out, steps);
+  return true;
+}
+
+std::vector<net::TraceBandwidth::Step> generate_markov_trace(
+    const net::MarkovBandwidth::Params& params, sim::Rng rng, sim::SimTime duration) {
+  net::MarkovBandwidth process(params, rng);
+  std::vector<net::TraceBandwidth::Step> steps;
+  sim::SimTime t = sim::SimTime::zero();
+  while (t < duration) {
+    steps.push_back({t, process.current_mbps(t)});
+    t = process.next_change(t);
+  }
+  return steps;
+}
+
+}  // namespace vafs::trace

@@ -1,0 +1,65 @@
+#include "trace/csv.h"
+
+#include <cassert>
+#include <cstdio>
+
+namespace vafs::trace {
+
+CsvWriter::CsvWriter(std::ostream& out, std::vector<std::string> columns)
+    : out_(out), columns_(columns.size()) {
+  assert(!columns.empty());
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (i != 0) out_ << ',';
+    write_field(columns[i]);
+  }
+  out_ << '\n';
+}
+
+CsvWriter::~CsvWriter() { end_row(); }
+
+CsvWriter& CsvWriter::row() {
+  end_row();
+  row_open_ = true;
+  in_row_ = 0;
+  return *this;
+}
+
+void CsvWriter::end_row() {
+  if (!row_open_) return;
+  assert(in_row_ == columns_ && "row has wrong number of cells");
+  out_ << '\n';
+  row_open_ = false;
+}
+
+void CsvWriter::write_field(const std::string& value) {
+  const bool needs_quotes = value.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quotes) {
+    out_ << value;
+    return;
+  }
+  out_ << '"';
+  for (const char c : value) {
+    if (c == '"') out_ << '"';
+    out_ << c;
+  }
+  out_ << '"';
+}
+
+CsvWriter& CsvWriter::cell(const std::string& value) {
+  assert(row_open_ && in_row_ < columns_);
+  if (in_row_ != 0) out_ << ',';
+  write_field(value);
+  ++in_row_;
+  return *this;
+}
+
+CsvWriter& CsvWriter::cell(double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return cell(std::string(buf));
+}
+
+CsvWriter& CsvWriter::cell(std::int64_t value) { return cell(std::to_string(value)); }
+CsvWriter& CsvWriter::cell(std::uint64_t value) { return cell(std::to_string(value)); }
+
+}  // namespace vafs::trace

@@ -1,0 +1,38 @@
+// Minimal CSV emission for benchmark output and timeline dumps.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace vafs::trace {
+
+/// Streams rows to an ostream; quotes fields only when needed.
+class CsvWriter {
+ public:
+  /// Writes the header row immediately.
+  CsvWriter(std::ostream& out, std::vector<std::string> columns);
+
+  /// Starts a new row; `cell` appends fields. Rows shorter/longer than the
+  /// header are caught by assert.
+  CsvWriter& row();
+  CsvWriter& cell(const std::string& value);
+  CsvWriter& cell(double value);
+  CsvWriter& cell(std::int64_t value);
+  CsvWriter& cell(std::uint64_t value);
+
+  /// Finishes the current row (also called implicitly by row()/dtor).
+  void end_row();
+
+  ~CsvWriter();
+
+ private:
+  void write_field(const std::string& value);
+
+  std::ostream& out_;
+  std::size_t columns_;
+  std::size_t in_row_ = 0;
+  bool row_open_ = false;
+};
+
+}  // namespace vafs::trace

@@ -1,0 +1,31 @@
+#include "trace/recorder.h"
+
+namespace vafs::trace {
+
+void TimelineRecorder::attach(core::SessionLive& live) {
+  live_ = live;
+  last_cpu_mj_ = live_.cpu->energy_mj();
+  last_busy_ = live_.cpu->total_busy_time();
+  live_.sim->every(period_, [this] { sample(); });
+}
+
+void TimelineRecorder::sample() {
+  TimelineSample s;
+  s.at = live_.sim->now();
+  s.freq_khz = live_.cpu->cur_freq_khz();
+  s.buffer_seconds = live_.player->buffer_level().as_seconds_f();
+
+  const double cpu_mj = live_.cpu->energy_mj();
+  const sim::SimTime busy = live_.cpu->total_busy_time();
+  const double period_s = period_.as_seconds_f();
+  s.cpu_power_mw = (cpu_mj - last_cpu_mj_) / period_s;
+  s.cpu_busy_fraction = (busy - last_busy_).as_seconds_f() / period_s;
+  last_cpu_mj_ = cpu_mj;
+  last_busy_ = busy;
+
+  s.radio_state = static_cast<int>(live_.radio->state());
+  s.player_state = static_cast<int>(live_.player->state());
+  samples_.push_back(s);
+}
+
+}  // namespace vafs::trace

@@ -1,0 +1,44 @@
+// Timeline recording: samples the live session at a fixed period so the F2
+// bench (and any example) can dump frequency / power / buffer traces.
+#pragma once
+
+#include <vector>
+
+#include "core/session.h"
+#include "simcore/time.h"
+
+namespace vafs::trace {
+
+struct TimelineSample {
+  sim::SimTime at;
+  std::uint32_t freq_khz = 0;
+  double buffer_seconds = 0.0;
+  double cpu_busy_fraction = 0.0;  // over the sample period
+  double cpu_power_mw = 0.0;       // mean over the sample period
+  int radio_state = 0;             // net::RadioState as int
+  int player_state = 0;            // stream::PlayerState as int
+};
+
+/// Attach inside SessionHooks::on_ready; samples until the simulation
+/// ends. The recorder must outlive the session run.
+class TimelineRecorder {
+ public:
+  explicit TimelineRecorder(sim::SimTime period = sim::SimTime::millis(100))
+      : period_(period) {}
+
+  /// Arms the periodic sampler on the live session.
+  void attach(core::SessionLive& live);
+
+  const std::vector<TimelineSample>& samples() const { return samples_; }
+
+ private:
+  void sample();
+
+  sim::SimTime period_;
+  core::SessionLive live_;
+  std::vector<TimelineSample> samples_;
+  double last_cpu_mj_ = 0.0;
+  sim::SimTime last_busy_;
+};
+
+}  // namespace vafs::trace

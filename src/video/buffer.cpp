@@ -1,0 +1,42 @@
+#include "video/buffer.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace vafs::video {
+
+void PlaybackBuffer::push(BufferedSegment segment) {
+  assert(segment.segment_index == next_index_ && "segments must arrive in order");
+  assert(segment.duration > sim::SimTime::zero());
+  level_ += segment.duration;
+  peak_ = std::max(peak_, level_);
+  segments_.push_back(segment);
+  ++next_index_;
+}
+
+void PlaybackBuffer::reset(std::size_t next_index) {
+  segments_.clear();
+  level_ = sim::SimTime::zero();
+  front_consumed_ = sim::SimTime::zero();
+  next_index_ = next_index;
+}
+
+sim::SimTime PlaybackBuffer::drain(sim::SimTime amount) {
+  sim::SimTime drained;
+  while (amount > sim::SimTime::zero() && !segments_.empty()) {
+    auto& front = segments_.front();
+    const sim::SimTime remaining = front.duration - front_consumed_;
+    const sim::SimTime take = std::min(remaining, amount);
+    front_consumed_ += take;
+    level_ -= take;
+    drained += take;
+    amount -= take;
+    if (front_consumed_ >= front.duration) {
+      segments_.pop_front();
+      front_consumed_ = sim::SimTime::zero();
+    }
+  }
+  return drained;
+}
+
+}  // namespace vafs::video

@@ -1,0 +1,59 @@
+// The playback buffer: downloaded-but-not-yet-played segments, measured in
+// media seconds. ABR reads its level; the player drains it as the playhead
+// advances; the VAFS governor derives download deadlines from it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+
+#include "simcore/time.h"
+
+namespace vafs::video {
+
+struct BufferedSegment {
+  std::size_t segment_index = 0;
+  std::size_t rep_index = 0;
+  sim::SimTime duration;
+  std::uint64_t bytes = 0;
+};
+
+class PlaybackBuffer {
+ public:
+  /// Adds a fully downloaded segment. Segments must arrive in playback
+  /// order (asserted).
+  void push(BufferedSegment segment);
+
+  /// Consumes `amount` of media time from the front. Returns the amount
+  /// actually consumed (less than requested if the buffer runs dry).
+  sim::SimTime drain(sim::SimTime amount);
+
+  /// Media seconds currently buffered.
+  sim::SimTime level() const { return level_; }
+
+  bool empty() const { return segments_.empty(); }
+  std::size_t segment_count() const { return segments_.size(); }
+
+  /// Front segment (the one the playhead is inside). Requires !empty().
+  const BufferedSegment& front() const { return segments_.front(); }
+
+  /// Index of the next segment to request (one past the newest buffered /
+  /// consumed segment).
+  std::size_t next_segment_index() const { return next_index_; }
+
+  /// High-water mark of the buffer level over the object's lifetime.
+  sim::SimTime peak_level() const { return peak_; }
+
+  /// Discards all buffered content and repositions the expected segment
+  /// sequence at `next_index` (used by seek). The peak statistic is kept.
+  void reset(std::size_t next_index);
+
+ private:
+  std::deque<BufferedSegment> segments_;
+  sim::SimTime level_;
+  sim::SimTime front_consumed_;  // played portion of the front segment
+  std::size_t next_index_ = 0;
+  sim::SimTime peak_;
+};
+
+}  // namespace vafs::video

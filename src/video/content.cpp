@@ -1,0 +1,86 @@
+#include "video/content.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "simcore/rng.h"
+
+namespace vafs::video {
+namespace {
+
+std::uint64_t mix(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t x = a ^ (b + 0x9E3779B97F4A7C15ULL + (a << 6) + (a >> 2));
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+ContentModel::ContentModel(std::uint64_t seed, ContentParams params, const Manifest* manifest)
+    : seed_(seed), params_(params), manifest_(manifest) {
+  assert(manifest_ != nullptr);
+  assert(params_.gop_frames >= 2);
+  assert(params_.idr_weight > 1.0 && params_.idr_weight < static_cast<double>(params_.gop_frames));
+}
+
+FrameInfo ContentModel::frame(std::size_t rep, std::uint64_t frame_index) const {
+  const Representation& r = manifest_->representation(rep);
+
+  const double mean_frame_bytes =
+      static_cast<double>(r.bitrate_kbps) * 1000.0 / 8.0 / r.fps;
+
+  // GOP weighting: IDR frames carry idr_weight× the average; P frames the
+  // remainder, so the long-run mean stays at the nominal bitrate.
+  const unsigned g = params_.gop_frames;
+  const bool is_idr = frame_index % g == 0;
+  const double w_idr = params_.idr_weight;
+  const double w_p = (static_cast<double>(g) - w_idr) / static_cast<double>(g - 1);
+  const double weight = is_idr ? w_idr : w_p;
+
+  // Per-frame deterministic jitter: a private RNG keyed by
+  // (seed, rep, frame) keeps the model random-access.
+  sim::Rng rng(mix(mix(seed_, rep * 0x10001ULL + 7), frame_index));
+  const double sigma = params_.size_sigma;
+  const double size_jitter = rng.lognormal(-sigma * sigma / 2.0, sigma);
+
+  FrameInfo info;
+  info.is_idr = is_idr;
+  info.bytes = static_cast<std::uint64_t>(
+      std::max(64.0, mean_frame_bytes * weight * size_jitter));
+
+  const double cs = params_.cycles_sigma;
+  const double cycle_jitter = rng.lognormal(-cs * cs / 2.0, cs);
+  const double bits = static_cast<double>(info.bytes) * 8.0;
+  info.decode_cycles = (static_cast<double>(r.pixels()) * params_.cycles_per_pixel +
+                        bits * params_.cycles_per_bit) *
+                       cycle_jitter;
+  return info;
+}
+
+const ContentModel::SegmentTotals& ContentModel::totals(std::size_t rep, std::size_t seg) const {
+  const std::uint64_t key = (static_cast<std::uint64_t>(rep) << 40) | seg;
+  auto it = segment_cache_.find(key);
+  if (it != segment_cache_.end()) return it->second;
+
+  SegmentTotals t{0, 0.0};
+  const std::uint64_t first = manifest_->first_frame_of_segment(rep, seg);
+  const std::uint64_t count = manifest_->frames_in_segment(rep, seg);
+  for (std::uint64_t f = 0; f < count; ++f) {
+    const FrameInfo info = frame(rep, first + f);
+    t.bytes += info.bytes;
+    t.cycles += info.decode_cycles;
+  }
+  return segment_cache_.emplace(key, t).first->second;
+}
+
+std::uint64_t ContentModel::segment_bytes(std::size_t rep, std::size_t seg) const {
+  return totals(rep, seg).bytes;
+}
+
+double ContentModel::segment_cycles(std::size_t rep, std::size_t seg) const {
+  return totals(rep, seg).cycles;
+}
+
+}  // namespace vafs::video

@@ -1,0 +1,75 @@
+// Content model: deterministic per-frame sizes and decode costs.
+//
+// Replaces real encoded videos (a data substitution documented in
+// DESIGN.md). Frame sizes follow a GOP pattern — large IDR frames at GOP
+// boundaries, smaller P frames between — with lognormal jitter; decode
+// cost is affine in resolution and frame bits, the published shape for
+// software decoders. Every value is a pure function of
+// (seed, representation, frame index), so random access is cheap and two
+// runs see byte-identical "content".
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "video/manifest.h"
+
+namespace vafs::video {
+
+struct FrameInfo {
+  std::uint64_t bytes = 0;
+  double decode_cycles = 0.0;
+  bool is_idr = false;
+};
+
+struct ContentParams {
+  /// Frames per GOP (one IDR each). 30 ≈ one per second at 30 fps.
+  unsigned gop_frames = 30;
+  /// IDR frame size relative to the segment-average frame size.
+  double idr_weight = 4.0;
+  /// Lognormal sigma of per-frame size jitter (mean preserved).
+  double size_sigma = 0.25;
+
+  /// Decode cost: cycles = pixels·cycles_per_pixel + bits·cycles_per_bit,
+  /// jittered. Values put 720p30 software decode near 400 Mcycles/s and
+  /// 1080p30 near 900 Mcycles/s — in line with mobile soft-decoder
+  /// measurements.
+  double cycles_per_pixel = 10.0;
+  double cycles_per_bit = 45.0;
+  double cycles_sigma = 0.12;
+};
+
+class ContentModel {
+ public:
+  /// `manifest` must outlive the model.
+  ContentModel(std::uint64_t seed, ContentParams params, const Manifest* manifest);
+
+  const Manifest& manifest() const { return *manifest_; }
+  const ContentParams& params() const { return params_; }
+
+  /// Frame `frame_index` (global, per-representation timeline) of
+  /// representation `rep`.
+  FrameInfo frame(std::size_t rep, std::uint64_t frame_index) const;
+
+  /// Total bytes of segment `seg` in representation `rep` (sum of its
+  /// frames; memoized).
+  std::uint64_t segment_bytes(std::size_t rep, std::size_t seg) const;
+
+  /// Total decode cycles of segment `seg` in representation `rep`
+  /// (memoized).
+  double segment_cycles(std::size_t rep, std::size_t seg) const;
+
+ private:
+  struct SegmentTotals {
+    std::uint64_t bytes;
+    double cycles;
+  };
+  const SegmentTotals& totals(std::size_t rep, std::size_t seg) const;
+
+  std::uint64_t seed_;
+  ContentParams params_;
+  const Manifest* manifest_;
+  mutable std::unordered_map<std::uint64_t, SegmentTotals> segment_cache_;
+};
+
+}  // namespace vafs::video

@@ -1,0 +1,66 @@
+#include "video/manifest.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace vafs::video {
+
+Manifest::Manifest(std::string name, sim::SimTime segment_duration, sim::SimTime total_duration,
+                   std::vector<Representation> representations)
+    : name_(std::move(name)),
+      segment_duration_(segment_duration),
+      total_duration_(total_duration),
+      reps_(std::move(representations)) {
+  assert(segment_duration_ > sim::SimTime::zero());
+  assert(total_duration_ > sim::SimTime::zero());
+  assert(!reps_.empty());
+  for (std::size_t i = 1; i < reps_.size(); ++i) {
+    assert(reps_[i].bitrate_kbps >= reps_[i - 1].bitrate_kbps &&
+           "representations must be ordered by bitrate");
+  }
+}
+
+std::size_t Manifest::segment_count() const {
+  const auto total = total_duration_.as_micros();
+  const auto seg = segment_duration_.as_micros();
+  return static_cast<std::size_t>((total + seg - 1) / seg);
+}
+
+sim::SimTime Manifest::segment_duration(std::size_t idx) const {
+  assert(idx < segment_count());
+  const sim::SimTime start = segment_duration_ * static_cast<std::int64_t>(idx);
+  const sim::SimTime end = start + segment_duration_;
+  return end <= total_duration_ ? segment_duration_ : total_duration_ - start;
+}
+
+std::uint64_t Manifest::frames_in_segment(std::size_t rep, std::size_t idx) const {
+  const double frames = segment_duration(idx).as_seconds_f() * reps_[rep].fps;
+  return static_cast<std::uint64_t>(std::llround(frames));
+}
+
+std::uint64_t Manifest::first_frame_of_segment(std::size_t rep, std::size_t idx) const {
+  const double frames =
+      segment_duration_.as_seconds_f() * reps_[rep].fps * static_cast<double>(idx);
+  return static_cast<std::uint64_t>(std::llround(frames));
+}
+
+std::size_t Manifest::rep_index_for_bitrate(double kbps) const {
+  std::size_t best = 0;
+  for (std::size_t i = 0; i < reps_.size(); ++i) {
+    if (static_cast<double>(reps_[i].bitrate_kbps) <= kbps) best = i;
+  }
+  return best;
+}
+
+Manifest Manifest::typical_vod(std::string name, sim::SimTime total_duration,
+                               sim::SimTime segment_duration) {
+  return Manifest(std::move(name), segment_duration, total_duration,
+                  {
+                      {"360p", 800, 640, 360, 30.0},
+                      {"480p", 1200, 854, 480, 30.0},
+                      {"720p", 2500, 1280, 720, 30.0},
+                      {"1080p", 5000, 1920, 1080, 30.0},
+                  });
+}
+
+}  // namespace vafs::video

@@ -1,0 +1,63 @@
+// DASH/HLS-style stream description: a bitrate ladder of representations
+// over a fixed segment grid.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "simcore/time.h"
+
+namespace vafs::video {
+
+/// One encoding of the content (a rung of the bitrate ladder).
+struct Representation {
+  std::string id;
+  std::uint32_t bitrate_kbps = 0;
+  std::uint16_t width = 0;
+  std::uint16_t height = 0;
+  double fps = 30.0;
+
+  std::uint32_t pixels() const {
+    return static_cast<std::uint32_t>(width) * static_cast<std::uint32_t>(height);
+  }
+};
+
+class Manifest {
+ public:
+  Manifest(std::string name, sim::SimTime segment_duration, sim::SimTime total_duration,
+           std::vector<Representation> representations);
+
+  const std::string& name() const { return name_; }
+  sim::SimTime nominal_segment_duration() const { return segment_duration_; }
+  sim::SimTime total_duration() const { return total_duration_; }
+
+  std::size_t segment_count() const;
+  /// Actual duration of segment `idx` (the last one may be shorter).
+  sim::SimTime segment_duration(std::size_t idx) const;
+  /// Number of frames in segment `idx` for representation `rep`.
+  std::uint64_t frames_in_segment(std::size_t rep, std::size_t idx) const;
+  /// Index of the first frame of segment `idx`.
+  std::uint64_t first_frame_of_segment(std::size_t rep, std::size_t idx) const;
+
+  std::size_t representation_count() const { return reps_.size(); }
+  const Representation& representation(std::size_t i) const { return reps_[i]; }
+  const std::vector<Representation>& representations() const { return reps_; }
+
+  /// Index of the representation whose bitrate is the highest not
+  /// exceeding `kbps` (the ABR primitive); 0 if all exceed it.
+  std::size_t rep_index_for_bitrate(double kbps) const;
+
+  /// A typical VoD ladder: 360p/0.8M, 480p/1.2M, 720p/2.5M, 1080p/5M at
+  /// 30 fps, 4-second segments.
+  static Manifest typical_vod(std::string name, sim::SimTime total_duration,
+                              sim::SimTime segment_duration = sim::SimTime::seconds(4));
+
+ private:
+  std::string name_;
+  sim::SimTime segment_duration_;
+  sim::SimTime total_duration_;
+  std::vector<Representation> reps_;
+};
+
+}  // namespace vafs::video

@@ -1,0 +1,38 @@
+// Quality-of-experience accounting for a streaming session. The evaluation
+// (T2/F3) uses these to show that energy savings do not come out of QoE.
+#pragma once
+
+#include <cstdint>
+
+#include "simcore/time.h"
+
+namespace vafs::video {
+
+struct QoeStats {
+  sim::SimTime startup_delay;      // request → first frame presented
+  sim::SimTime rebuffer_time;      // total stalled time after startup
+  std::uint64_t rebuffer_events = 0;
+
+  std::uint64_t frames_presented = 0;
+  std::uint64_t frames_dropped = 0;    // decode missed its vsync deadline
+  std::uint64_t deadline_misses = 0;   // late decodes (dropped or shown late)
+
+  double mean_bitrate_kbps = 0.0;      // time-weighted played bitrate
+  std::uint64_t quality_switches = 0;
+
+  std::uint64_t seek_count = 0;
+  sim::SimTime seek_time;  // total seek-to-resume latency
+
+  double drop_ratio() const {
+    const auto total = frames_presented + frames_dropped;
+    return total > 0 ? static_cast<double>(frames_dropped) / static_cast<double>(total) : 0.0;
+  }
+
+  /// Rebuffer time as a fraction of (playback + rebuffer) time.
+  double rebuffer_ratio(sim::SimTime played) const {
+    const double denom = (played + rebuffer_time).as_seconds_f();
+    return denom > 0 ? rebuffer_time.as_seconds_f() / denom : 0.0;
+  }
+};
+
+}  // namespace vafs::video

@@ -1,0 +1,306 @@
+// Tests for the paper's contribution: the cycle-demand predictors and the
+// VAFS userspace controller (attach/actuation through sysfs, cold start,
+// demand planning, download handling, drop-recovery boost).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/predictor.h"
+#include "core/vafs_controller.h"
+#include "cpu/cpufreq_policy.h"
+#include "cpu/cpufreq_sysfs.h"
+#include "governors/registry.h"
+#include "net/downloader.h"
+#include "simcore/simulator.h"
+#include "stream/player.h"
+#include "video/content.h"
+
+namespace vafs::core {
+namespace {
+
+// --------------------------------------------------------------- Predictor
+
+TEST(Predictor, EwmaConvergesToConstant) {
+  CycleDemandPredictor p({PredictorKind::kEwma, 8, 0.5, 0.9});
+  for (int i = 0; i < 20; ++i) p.observe(100.0);
+  EXPECT_NEAR(p.predict(), 100.0, 1e-9);
+}
+
+TEST(Predictor, EwmaWeightsRecentSamples) {
+  CycleDemandPredictor p({PredictorKind::kEwma, 8, 0.5, 0.9});
+  p.observe(100.0);
+  p.observe(200.0);
+  EXPECT_DOUBLE_EQ(p.predict(), 150.0);  // 0.5*200 + 0.5*100
+}
+
+TEST(Predictor, WindowMaxTracksPeakAndForgets) {
+  CycleDemandPredictor p({PredictorKind::kWindowMax, 3, 0.25, 0.9});
+  p.observe(10);
+  p.observe(50);
+  p.observe(20);
+  EXPECT_EQ(p.predict(), 50.0);
+  p.observe(20);  // 50 still in window (window=3: 50,20,20)... no: 20,20 and this
+  p.observe(20);  // now window = {20, 20, 20}
+  p.observe(20);
+  EXPECT_EQ(p.predict(), 20.0);
+}
+
+TEST(Predictor, QuantileIsRobustToOutliers) {
+  CycleDemandPredictor p({PredictorKind::kQuantile, 10, 0.25, 0.90});
+  for (int i = 0; i < 9; ++i) p.observe(100.0);
+  p.observe(10'000.0);  // single spike
+  const double predicted = p.predict();
+  EXPECT_GE(predicted, 100.0);
+  EXPECT_LT(predicted, 10'000.0);  // p90-of-10 via rounding lands below the spike
+
+  CycleDemandPredictor pmax({PredictorKind::kWindowMax, 10, 0.25, 0.90});
+  for (int i = 0; i < 9; ++i) pmax.observe(100.0);
+  pmax.observe(10'000.0);
+  EXPECT_EQ(pmax.predict(), 10'000.0);  // max pays the spike
+}
+
+TEST(Predictor, NoHistoryPredictsZero) {
+  CycleDemandPredictor p;
+  EXPECT_EQ(p.predict(), 0.0);
+  EXPECT_EQ(p.observations(), 0u);
+}
+
+TEST(Predictor, MapeTracksAccuracy) {
+  CycleDemandPredictor p({PredictorKind::kEwma, 8, 1.0, 0.9});  // alpha=1: predict last
+  p.observe(100);
+  p.observe(110);  // APE = |100-110|/110
+  p.observe(110);  // APE = 0
+  EXPECT_EQ(p.ape_stats().count(), 2u);
+  EXPECT_NEAR(p.mape(), (10.0 / 110.0 + 0.0) / 2.0, 1e-12);
+}
+
+TEST(Predictor, KindNames) {
+  EXPECT_STREQ(predictor_kind_name(PredictorKind::kEwma), "ewma");
+  EXPECT_STREQ(predictor_kind_name(PredictorKind::kWindowMax), "window-max");
+  EXPECT_STREQ(predictor_kind_name(PredictorKind::kQuantile), "quantile");
+}
+
+// ---------------------------------------------------------- VafsController
+
+/// The full device stack as a plain value so tests can build fresh worlds
+/// at will (gtest fixtures cannot be instantiated directly).
+struct VafsWorld {
+  VafsWorld()
+      : cpu_(sim_, cpu::OppTable::mobile_big_core(), cpu::CpuPowerModel()),
+        radio_(sim_, net::RadioParams::lte()),
+        bw_(20.0),
+        manifest_(video::Manifest::typical_vod("t", sim::SimTime::seconds(24))),
+        content_(11, video::ContentParams{}, &manifest_) {
+    governors::register_standard(registry_);
+    policy_ = std::make_unique<cpu::CpufreqPolicy>(sim_, cpu_, registry_, "ondemand");
+    binder_ = std::make_unique<cpu::CpufreqSysfs>(tree_, *policy_, 0);
+    downloader_ = std::make_unique<net::Downloader>(sim_, radio_, bw_, &cpu_);
+  }
+
+  VafsController& make_controller(std::size_t rep, VafsConfig config = {}) {
+    player_ = std::make_unique<stream::Player>(sim_, cpu_, *downloader_, content_,
+                                               std::make_unique<stream::FixedAbr>(rep));
+    controller_ = std::make_unique<VafsController>(sim_, tree_, binder_->dir(), *player_,
+                                                   config);
+    return *controller_;
+  }
+
+  bool run_session_to_finish() {
+    bool done = false;
+    player_->start([&] { done = true; });
+    while (!done && sim_.now() < sim::SimTime::seconds(300)) {
+      if (!sim_.step()) break;
+    }
+    return done;
+  }
+
+  sim::Simulator sim_;
+  cpu::CpuModel cpu_;
+  cpu::GovernorRegistry registry_;
+  sysfs::Tree tree_;
+  net::RadioModel radio_;
+  net::ConstantBandwidth bw_;
+  video::Manifest manifest_;
+  video::ContentModel content_;
+  std::unique_ptr<cpu::CpufreqPolicy> policy_;
+  std::unique_ptr<cpu::CpufreqSysfs> binder_;
+  std::unique_ptr<net::Downloader> downloader_;
+  std::unique_ptr<stream::Player> player_;
+  std::unique_ptr<VafsController> controller_;
+};
+
+class VafsTest : public ::testing::Test, protected VafsWorld {};
+
+TEST_F(VafsTest, AttachSwitchesToUserspaceViaSysfs) {
+  VafsController& ctl = make_controller(2);
+  ASSERT_TRUE(ctl.attach());
+  EXPECT_EQ(policy_->governor_name(), "userspace");
+  EXPECT_GT(ctl.setspeed_writes(), 0u);
+  EXPECT_GT(ctl.last_planned_khz(), 0u);
+}
+
+TEST_F(VafsTest, AttachFailsWithoutPolicyDirectory) {
+  player_ = std::make_unique<stream::Player>(sim_, cpu_, *downloader_, content_,
+                                             std::make_unique<stream::FixedAbr>(0));
+  VafsController ctl(sim_, tree_, "devices/no/such/policy", *player_);
+  EXPECT_FALSE(ctl.attach());
+}
+
+TEST_F(VafsTest, ColdStartPlansConservativeMid) {
+  VafsConfig config;
+  config.cold_start_fraction = 0.6;
+  VafsController& ctl = make_controller(2, config);
+  ASSERT_TRUE(ctl.attach());
+  // 0.6 * 2.1 GHz = 1.26 GHz -> snaps up to 1.5 GHz.
+  EXPECT_EQ(ctl.last_planned_khz(), 1'500'000u);
+  EXPECT_EQ(policy_->cur_khz(), 1'500'000u);
+}
+
+TEST_F(VafsTest, SteadyStatePlansNearDecodeDemand) {
+  VafsController& ctl = make_controller(2);  // 720p ~ 430 MHz demand
+  ASSERT_TRUE(ctl.attach());
+  ASSERT_TRUE(run_session_to_finish());
+  // With a 15 % margin the playing-phase plan (no download in flight)
+  // should sit at 600 or 900 MHz, never max.
+  const auto* predictor = ctl.decode_predictor(2);
+  ASSERT_NE(predictor, nullptr);
+  EXPECT_GT(predictor->observations(), 500u);
+  const double fps = 30.0;
+  const double demand_khz = predictor->predict() * fps * 1.15 / 1000.0;
+  EXPECT_GT(demand_khz, 300'000.0);
+  EXPECT_LT(demand_khz, 900'000.0);
+  EXPECT_LT(ctl.decode_mape(), 0.5);
+}
+
+TEST_F(VafsTest, QoePreservedAtEveryQuality) {
+  for (std::size_t rep = 0; rep < 4; ++rep) {
+    VafsWorld fixture;  // fresh world per rep
+    VafsController& ctl = fixture.make_controller(rep);
+    ASSERT_TRUE(ctl.attach());
+    ASSERT_TRUE(fixture.run_session_to_finish()) << "rep " << rep;
+    EXPECT_LT(fixture.player_->qoe().drop_ratio(), 0.02) << "rep " << rep;
+    EXPECT_EQ(fixture.player_->qoe().rebuffer_events, 0u) << "rep " << rep;
+  }
+}
+
+TEST_F(VafsTest, RaceToIdleAblationBurnsMoreEnergy) {
+  double energy_race = 0, energy_burst = 0;
+  {
+    VafsWorld fixture;
+    VafsConfig config;
+    config.race_to_idle_downloads = true;
+    fixture.make_controller(2, config).attach();
+    ASSERT_TRUE(fixture.run_session_to_finish());
+    energy_race = fixture.cpu_.energy_mj();
+  }
+  {
+    VafsWorld fixture;
+    VafsConfig config;
+    config.race_to_idle_downloads = false;  // burst to max during downloads
+    fixture.make_controller(2, config).attach();
+    ASSERT_TRUE(fixture.run_session_to_finish());
+    energy_burst = fixture.cpu_.energy_mj();
+  }
+  EXPECT_LT(energy_race, energy_burst);
+}
+
+TEST_F(VafsTest, LargerMarginCostsMoreEnergy) {
+  double lean = 0, fat = 0;
+  {
+    VafsWorld fixture;
+    VafsConfig config;
+    config.safety_margin = 0.05;
+    fixture.make_controller(2, config).attach();
+    ASSERT_TRUE(fixture.run_session_to_finish());
+    lean = fixture.cpu_.energy_mj();
+  }
+  {
+    VafsWorld fixture;
+    VafsConfig config;
+    config.safety_margin = 0.60;
+    fixture.make_controller(2, config).attach();
+    ASSERT_TRUE(fixture.run_session_to_finish());
+    fat = fixture.cpu_.energy_mj();
+  }
+  EXPECT_LT(lean, fat);
+}
+
+TEST_F(VafsTest, DetachRestoresGovernor) {
+  VafsController& ctl = make_controller(1);
+  ASSERT_TRUE(ctl.attach());
+  ASSERT_EQ(policy_->governor_name(), "userspace");
+  ctl.detach("ondemand");
+  EXPECT_EQ(policy_->governor_name(), "ondemand");
+  const std::uint64_t writes = ctl.setspeed_writes();
+  ctl.plan_now();  // must be a no-op when detached
+  EXPECT_EQ(ctl.setspeed_writes(), writes);
+}
+
+TEST_F(VafsTest, SetspeedWritesAreDeduplicated) {
+  VafsController& ctl = make_controller(2);
+  ASSERT_TRUE(ctl.attach());
+  ASSERT_TRUE(run_session_to_finish());
+  // Thousands of plans (one per frame), but only a handful of distinct
+  // frequency changes should reach sysfs.
+  EXPECT_GT(ctl.plan_count(), 700u);
+  EXPECT_LT(ctl.setspeed_writes(), ctl.plan_count() / 10);
+}
+
+TEST_F(VafsTest, ClassAwareSplitsPredictorsByFrameType) {
+  VafsConfig config;
+  config.class_aware = true;
+  VafsController& ctl = make_controller(2, config);
+  ASSERT_TRUE(ctl.attach());
+  ASSERT_TRUE(run_session_to_finish());
+
+  const auto* p = ctl.decode_predictor(2, /*idr=*/false);
+  const auto* idr = ctl.decode_predictor(2, /*idr=*/true);
+  ASSERT_NE(p, nullptr);
+  ASSERT_NE(idr, nullptr);
+  // 24 s * 30 fps = 720 frames, GOP 30 => 24 IDR + 696 P.
+  EXPECT_EQ(idr->observations(), 24u);
+  EXPECT_EQ(p->observations(), 696u);
+  // IDR frames cost several times a P frame to decode.
+  EXPECT_GT(idr->predict(), 1.5 * p->predict());
+}
+
+TEST_F(VafsTest, ClassAwareImprovesMapeOnIntraHeavyContent) {
+  auto run_with = [](bool class_aware) {
+    VafsWorld world;
+    // Intra-heavy content: short GOP, big IDR frames.
+    video::ContentParams params;
+    params.gop_frames = 12;
+    params.idr_weight = 6.0;
+    world.content_ = video::ContentModel(11, params, &world.manifest_);
+    VafsConfig config;
+    config.class_aware = class_aware;
+    world.make_controller(2, config).attach();
+    EXPECT_TRUE(world.run_session_to_finish());
+    return world.controller_->decode_mape();
+  };
+  const double mixed = run_with(false);
+  const double split = run_with(true);
+  EXPECT_LT(split, mixed * 0.8);
+}
+
+TEST_F(VafsTest, DroppedFrameTriggersBoost) {
+  VafsConfig config;
+  // Sabotage: trust one observation and plan with no margin from a
+  // predictor fed artificially tiny costs — then verify the drop path
+  // raises the plan. We emulate by planning at min via a huge negative...
+  // Simpler: directly exercise the boost plumbing.
+  VafsController& ctl = make_controller(2, config);
+  ASSERT_TRUE(ctl.attach());
+  bool done = false;
+  player_->start([&] { done = true; });
+  // Run until a few decodes have happened so the predictor is warm.
+  while (!done && player_->decoded_frames() < 40) sim_.step();
+  const std::uint32_t before = ctl.last_planned_khz();
+  ctl.on_frame_dropped(player_->playhead_frame());
+  const std::uint32_t after = ctl.last_planned_khz();
+  EXPECT_GE(after, before);  // boost moves one OPP up (or stays at max)
+  EXPECT_GT(after, 300'000u);
+}
+
+}  // namespace
+}  // namespace vafs::core

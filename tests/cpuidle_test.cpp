@@ -1,0 +1,136 @@
+// Unit tests for the cpuidle extension: state selection per strategy,
+// energy arithmetic, and integration with CpuModel's idle-period tracking.
+#include <gtest/gtest.h>
+
+#include "cpu/cpu_model.h"
+#include "cpu/cpuidle.h"
+#include "simcore/simulator.h"
+
+namespace vafs::cpu {
+namespace {
+
+TEST(Cpuidle, ShallowOnlyAlwaysPicksWfi) {
+  CpuidleModel model(CpuidleParams::mobile(), CpuidleStrategy::kShallowOnly);
+  model.record_idle(sim::SimTime::micros(100));
+  model.record_idle(sim::SimTime::seconds(10));
+  EXPECT_EQ(model.entries(0), 2u);
+  EXPECT_EQ(model.entries(1), 0u);
+  EXPECT_EQ(model.entries(2), 0u);
+}
+
+TEST(Cpuidle, OraclePicksDepthByDuration) {
+  CpuidleModel model(CpuidleParams::mobile(), CpuidleStrategy::kOracle);
+  model.record_idle(sim::SimTime::micros(500));  // short: WFI
+  model.record_idle(sim::SimTime::millis(10));   // medium: core-off
+  model.record_idle(sim::SimTime::millis(500));  // long: cluster-off
+  EXPECT_EQ(model.entries(0), 1u);
+  EXPECT_EQ(model.entries(1), 1u);
+  EXPECT_EQ(model.entries(2), 1u);
+}
+
+TEST(Cpuidle, WfiEnergyMatchesFlatPower) {
+  CpuidleModel model(CpuidleParams::mobile(), CpuidleStrategy::kShallowOnly);
+  const double mj = model.record_idle(sim::SimTime::seconds(2));
+  EXPECT_NEAR(mj, 2.0 * 18.0, 1e-9);
+}
+
+TEST(Cpuidle, DeepStateEnergyIncludesOverhead) {
+  CpuidleParams params = CpuidleParams::mobile();
+  CpuidleModel model(params, CpuidleStrategy::kOracle);
+  const sim::SimTime d = sim::SimTime::millis(100);
+  const double mj = model.record_idle(d);
+  // cluster-off: 0.8 ms at 300 mW + 99.2 ms at 1.5 mW.
+  const double expected = 0.0008 * 300.0 + 0.0992 * 1.5;
+  EXPECT_NEAR(mj, expected, 1e-9);
+  EXPECT_LT(mj, 0.1 * 18.0);  // far below WFI pricing
+}
+
+TEST(Cpuidle, OracleNeverWorseThanShallow) {
+  CpuidleModel oracle(CpuidleParams::mobile(), CpuidleStrategy::kOracle);
+  CpuidleModel shallow(CpuidleParams::mobile(), CpuidleStrategy::kShallowOnly);
+  for (const std::int64_t us : {50, 500, 1500, 3000, 9000, 20'000, 1'000'000}) {
+    const double o = oracle.record_idle(sim::SimTime::micros(us));
+    const double s = shallow.record_idle(sim::SimTime::micros(us));
+    EXPECT_LE(o, s + 1e-12) << us << " us";
+  }
+}
+
+TEST(Cpuidle, MenuAdaptsToObservedDurations) {
+  CpuidleModel model(CpuidleParams::mobile(), CpuidleStrategy::kMenu);
+  // Train on long idles: the predictor learns to go deep.
+  for (int i = 0; i < 20; ++i) model.record_idle(sim::SimTime::millis(200));
+  EXPECT_GT(model.entries(2), 10u);
+
+  // Now a burst of very short idles: the first few still pick deep (the
+  // misprediction), then the prediction adapts toward shallow.
+  const auto deep_before = model.entries(2);
+  for (int i = 0; i < 20; ++i) model.record_idle(sim::SimTime::micros(200));
+  const auto deep_after = model.entries(2);
+  EXPECT_LT(deep_after - deep_before, 10u);
+  EXPECT_GT(model.entries(0) + model.entries(1), 10u);
+}
+
+TEST(Cpuidle, MenuMispredictionCostsEnergy) {
+  // A menu trained on long idles facing one short idle pays the deep
+  // state's overhead for nothing.
+  CpuidleModel model(CpuidleParams::mobile(), CpuidleStrategy::kMenu);
+  for (int i = 0; i < 20; ++i) model.record_idle(sim::SimTime::millis(200));
+  const double mj = model.record_idle(sim::SimTime::micros(300));
+  // 300 us all inside the 0.8 ms entry/exit window at 300 mW.
+  EXPECT_NEAR(mj, 0.0003 * 300.0, 1e-9);
+  EXPECT_GT(mj, 0.0003 * 18.0);  // worse than WFI would have been
+}
+
+TEST(Cpuidle, StrategyNames) {
+  EXPECT_STREQ(cpuidle_strategy_name(CpuidleStrategy::kShallowOnly), "shallow");
+  EXPECT_STREQ(cpuidle_strategy_name(CpuidleStrategy::kMenu), "menu");
+  EXPECT_STREQ(cpuidle_strategy_name(CpuidleStrategy::kOracle), "oracle");
+}
+
+// ---- CpuModel integration ----
+
+class CpuidleIntegration : public ::testing::Test {
+ protected:
+  CpuidleIntegration()
+      : cpu_(sim_, OppTable::mobile_big_core(), CpuPowerModel()),
+        idle_(CpuidleParams::mobile(), CpuidleStrategy::kOracle) {
+    cpu_.set_cpuidle(&idle_);
+  }
+
+  sim::Simulator sim_;
+  CpuModel cpu_;
+  CpuidleModel idle_;
+};
+
+TEST_F(CpuidleIntegration, IdlePeriodsAreRecordedBetweenTasks) {
+  cpu_.submit("a", 3e6, nullptr);  // 10 ms at 300 MHz
+  sim_.run();
+  sim_.run_until(sim::SimTime::millis(110));  // 100 ms idle
+  cpu_.submit("b", 3e6, nullptr);
+  sim_.run();
+  // Two completed periods: [0, 0) from construction-to-first-submit
+  // (zero-length, not recorded) and the 100 ms gap.
+  EXPECT_EQ(idle_.periods(), 1u);
+  EXPECT_EQ(idle_.entries(2), 1u);  // 100 ms -> cluster-off under oracle
+}
+
+TEST_F(CpuidleIntegration, EnergyUsesDeepIdlePricing) {
+  sim_.run_until(sim::SimTime::seconds(10));  // pure idle, period still open
+  const double with_deep = cpu_.energy_mj();
+  // Oracle prices 10 s of idle at cluster-off (1.5 mW -> ~15 mJ), far
+  // below the flat WFI pricing (18 mW -> 180 mJ).
+  EXPECT_NEAR(with_deep, 10.0 * 1.5, 1.0);
+  EXPECT_LT(with_deep, 0.2 * 10.0 * 18.0);
+}
+
+TEST_F(CpuidleIntegration, BusyEnergyUnchangedByCpuidle) {
+  cpu_.submit("t", 3e8, nullptr);  // 1 s busy at 300 MHz
+  sim_.run();
+  const double busy_only = cpu_.energy_mj();
+  const double expected_busy =
+      1.0 * cpu_.power_model().busy_mw(cpu_.opps().at(0));
+  EXPECT_NEAR(busy_only, expected_busy, 0.5);
+}
+
+}  // namespace
+}  // namespace vafs::cpu

@@ -1,0 +1,79 @@
+// Unit tests for the device energy meter.
+#include <gtest/gtest.h>
+
+#include "energy/meter.h"
+#include "simcore/simulator.h"
+
+namespace vafs::energy {
+namespace {
+
+class MeterTest : public ::testing::Test {
+ protected:
+  MeterTest()
+      : cpu_(sim_, cpu::OppTable::mobile_big_core(), cpu::CpuPowerModel()),
+        radio_(sim_, net::RadioParams::lte()),
+        meter_(sim_, cpu_, radio_, /*display_mw=*/400.0) {}
+
+  sim::Simulator sim_;
+  cpu::CpuModel cpu_;
+  net::RadioModel radio_;
+  DeviceEnergyMeter meter_;
+};
+
+TEST_F(MeterTest, ZeroAtConstruction) {
+  const auto r = meter_.report();
+  EXPECT_EQ(r.wall, sim::SimTime::zero());
+  EXPECT_EQ(r.cpu_mj, 0.0);
+  EXPECT_EQ(r.radio_mj, 0.0);
+  EXPECT_EQ(r.display_mj, 0.0);
+  EXPECT_EQ(r.total_mj(), 0.0);
+  EXPECT_EQ(r.mean_mw(), 0.0);
+}
+
+TEST_F(MeterTest, DisplayEnergyIsWallTimesPower) {
+  sim_.run_until(sim::SimTime::seconds(10));
+  const auto r = meter_.report();
+  EXPECT_EQ(r.wall, sim::SimTime::seconds(10));
+  EXPECT_NEAR(r.display_mj, 4000.0, 1e-9);  // 10 s * 400 mW
+}
+
+TEST_F(MeterTest, AggregatesComponents) {
+  radio_.acquire(nullptr);
+  cpu_.submit("t", 3e8, nullptr);  // 1 s at min freq (300 MHz)
+  sim_.run_until(sim::SimTime::seconds(2));
+  const auto r = meter_.report();
+  EXPECT_GT(r.cpu_mj, 0.0);
+  EXPECT_GT(r.radio_mj, 0.0);
+  EXPECT_NEAR(r.cpu_mj, cpu_.energy_mj(), 1e-9);
+  EXPECT_NEAR(r.radio_mj, radio_.energy_mj(), 1e-9);
+  EXPECT_NEAR(r.total_mj(), r.cpu_mj + r.radio_mj + r.display_mj, 1e-12);
+  EXPECT_NEAR(r.mean_mw(), r.total_mj() / 2.0, 1e-9);
+  EXPECT_NEAR(r.cpu_mean_mw(), r.cpu_mj / 2.0, 1e-9);
+}
+
+TEST_F(MeterTest, ResetRebaselines) {
+  cpu_.submit("t", 3e8, nullptr);
+  sim_.run_until(sim::SimTime::seconds(2));
+  meter_.reset();
+  const auto r0 = meter_.report();
+  EXPECT_EQ(r0.wall, sim::SimTime::zero());
+  EXPECT_EQ(r0.cpu_mj, 0.0);
+
+  sim_.run_until(sim::SimTime::seconds(3));
+  const auto r1 = meter_.report();
+  EXPECT_EQ(r1.wall, sim::SimTime::seconds(1));
+  // Only idle CPU power in the post-reset second.
+  EXPECT_NEAR(r1.cpu_mj, cpu_.power_model().idle_mw(), 1e-6);
+}
+
+TEST_F(MeterTest, TwoMetersAreIndependent) {
+  DeviceEnergyMeter late(sim_, cpu_, radio_, 400.0);
+  sim_.run_until(sim::SimTime::seconds(1));
+  DeviceEnergyMeter later(sim_, cpu_, radio_, 400.0);
+  sim_.run_until(sim::SimTime::seconds(2));
+  EXPECT_NEAR(late.report().wall.as_seconds_f(), 2.0, 1e-9);
+  EXPECT_NEAR(later.report().wall.as_seconds_f(), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace vafs::energy

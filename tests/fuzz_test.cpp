@@ -1,0 +1,229 @@
+// Randomized stress tests: throw seeded-random operation sequences and
+// configuration draws at the substrates and assert the conservation
+// invariants that must survive *any* usage, not just the scripted
+// scenarios of the unit tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/session.h"
+#include "cpu/cpu_model.h"
+#include "net/downloader.h"
+#include "simcore/rng.h"
+
+namespace vafs {
+namespace {
+
+// ------------------------------------------------------------ CPU fuzzing
+
+class CpuRandomOps : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CpuRandomOps, ConservationHoldsUnderRandomOperations) {
+  sim::Simulator simulator;
+  cpu::CpuModel cpu_model(simulator, cpu::OppTable::mobile_big_core(), cpu::CpuPowerModel());
+  sim::Rng rng(GetParam());
+
+  std::vector<cpu::CpuModel::TaskId> live_tasks;
+  std::uint64_t submitted = 0, completed = 0, cancelled = 0;
+
+  for (int op = 0; op < 400; ++op) {
+    const double dice = rng.uniform();
+    if (dice < 0.45) {
+      const double cycles = rng.uniform(1e4, 5e8);
+      live_tasks.push_back(cpu_model.submit("fuzz", cycles, [&completed] { ++completed; }));
+      ++submitted;
+    } else if (dice < 0.6 && !live_tasks.empty()) {
+      const auto idx =
+          static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(live_tasks.size()) - 1));
+      if (cpu_model.cancel(live_tasks[idx])) ++cancelled;
+      live_tasks.erase(live_tasks.begin() + static_cast<std::ptrdiff_t>(idx));
+    } else if (dice < 0.75) {
+      const auto& opps = cpu_model.opps();
+      const auto pick =
+          static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(opps.size()) - 1));
+      cpu_model.set_frequency(opps.at(pick).freq_khz);
+    } else {
+      simulator.run_until(simulator.now() +
+                          sim::SimTime::micros(rng.uniform_int(100, 400'000)));
+    }
+
+    // Invariant: residency accounting conserves wall time at every step.
+    sim::SimTime in_state;
+    for (std::size_t i = 0; i < cpu_model.opps().size(); ++i) {
+      in_state += cpu_model.time_in_state(i);
+    }
+    ASSERT_EQ(in_state, simulator.now());
+    ASSERT_EQ(cpu_model.total_busy_time() + cpu_model.total_idle_time(), simulator.now());
+  }
+
+  // Drain: every surviving task completes exactly once.
+  simulator.run();
+  EXPECT_EQ(completed + cancelled, submitted);
+  EXPECT_FALSE(cpu_model.busy());
+
+  // Energy must be consistent with an independent residency-based recompute.
+  double expect_mj = 0.0;
+  for (std::size_t i = 0; i < cpu_model.opps().size(); ++i) {
+    expect_mj += cpu_model.busy_time_in_state(i).as_seconds_f() *
+                 cpu_model.power_model().busy_mw(cpu_model.opps().at(i));
+  }
+  expect_mj += cpu_model.total_idle_time().as_seconds_f() * cpu_model.power_model().idle_mw();
+  expect_mj += static_cast<double>(cpu_model.transition_count()) *
+               cpu_model.power_model().transition_uj() / 1000.0;
+  EXPECT_NEAR(cpu_model.energy_mj(), expect_mj, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CpuRandomOps,
+                         ::testing::Values(1u, 22u, 333u, 4444u, 55555u, 666666u));
+
+// ----------------------------------------------------- Downloader fuzzing
+
+class DownloaderFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DownloaderFuzz, RandomConcurrentFetchesAllCompleteExactly) {
+  sim::Simulator simulator;
+  net::RadioModel radio(simulator, net::RadioParams::lte());
+  net::MarkovBandwidth::Params params;
+  params.mean_mbps = 10;
+  params.min_mbps = 0.5;
+  params.max_mbps = 40;
+  sim::Rng rng(GetParam());
+  net::MarkovBandwidth bandwidth(params, rng.fork(0));
+  cpu::CpuModel cpu_model(simulator, cpu::OppTable::mobile_big_core(), cpu::CpuPowerModel());
+  cpu_model.set_frequency(2'100'000);
+  net::Downloader downloader(simulator, radio, bandwidth, &cpu_model);
+
+  const int kFetches = 60;
+  std::uint64_t expected_bytes = 0;
+  int completions = 0;
+  for (int i = 0; i < kFetches; ++i) {
+    const auto bytes = static_cast<std::uint64_t>(rng.uniform(1e3, 3e6));
+    expected_bytes += bytes;
+    const auto at = sim::SimTime::micros(rng.uniform_int(0, 60'000'000));
+    simulator.at(at, [&downloader, &simulator, bytes, &completions] {
+      downloader.fetch(bytes, [&completions, &simulator, bytes](const net::FetchResult& r) {
+        ++completions;
+        EXPECT_EQ(r.bytes, bytes);
+        EXPECT_GE(r.first_byte, r.started);
+        EXPECT_GE(r.completed, r.first_byte);
+        EXPECT_LE(r.completed, simulator.now());
+      });
+    });
+  }
+
+  simulator.run();
+  EXPECT_EQ(completions, kFetches);
+  EXPECT_EQ(downloader.total_bytes_fetched(), expected_bytes);
+  EXPECT_EQ(downloader.inflight(), 0u);
+  EXPECT_EQ(radio.active_transfers(), 0u);
+  EXPECT_EQ(radio.state(), net::RadioState::kIdle);  // tail fully drained
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DownloaderFuzz, ::testing::Values(7u, 77u, 777u, 7777u));
+
+// -------------------------------------------------------- Session fuzzing
+
+class SessionFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SessionFuzz, RandomConfigurationsSatisfyInvariants) {
+  sim::Rng rng(GetParam());
+
+  const char* governors[] = {"performance", "powersave",   "ondemand", "conservative",
+                             "interactive", "schedutil",   "vafs",     "vafs-oracle"};
+  core::SessionConfig config;
+  config.governor = governors[rng.uniform_int(0, 7)];
+  config.fixed_rep = static_cast<std::size_t>(rng.uniform_int(0, 3));
+  config.abr = static_cast<core::AbrKind>(rng.uniform_int(0, 3));
+  config.net = static_cast<core::NetProfile>(rng.uniform_int(0, 3));  // poor..excellent
+  config.media_duration = sim::SimTime::seconds(rng.uniform_int(12, 60));
+  config.segment_duration = sim::SimTime::seconds(rng.uniform_int(2, 6));
+  config.big_little = rng.bernoulli(0.4);
+  config.thermal_enabled = rng.bernoulli(0.3);
+  config.cpuidle = static_cast<cpu::CpuidleStrategy>(rng.uniform_int(0, 2));
+  config.player.live = rng.bernoulli(0.25);
+  if (config.player.live) {
+    config.player.startup_buffer = config.segment_duration;
+    config.player.buffer_target = config.segment_duration * 3;
+    config.player.rebuffer_resume = config.segment_duration;
+  }
+  config.seed = rng.next_u64();
+
+  const core::SessionResult r = core::run_session(config);
+
+  ASSERT_TRUE(r.finished) << config.governor << " rep=" << config.fixed_rep;
+
+  // Frame conservation.
+  const auto fps = 30.0;
+  const auto total = static_cast<std::uint64_t>(
+      std::llround(config.media_duration.as_seconds_f() * fps));
+  EXPECT_EQ(r.qoe.frames_presented + r.qoe.frames_dropped, total);
+
+  // Energy sanity.
+  EXPECT_GT(r.energy.cpu_mj, 0.0);
+  EXPECT_GT(r.energy.radio_mj, 0.0);
+  EXPECT_GT(r.energy.total_mj(), r.energy.cpu_mj);
+
+  // Residency is a distribution.
+  double frac_sum = 0.0;
+  for (const auto& [khz, frac] : r.residency) frac_sum += frac;
+  EXPECT_NEAR(frac_sum, 1.0, 1e-6);
+
+  // big.LITTLE bookkeeping is consistent. Every *presented* frame was
+  // decoded on one of the clusters; when frames are dropped the session
+  // can end with the decode pipeline trailing the playhead, so the decode
+  // count may fall short of the frame total but never exceed it.
+  if (config.big_little) {
+    EXPECT_GE(r.decode_frames_big + r.decode_frames_little, r.qoe.frames_presented);
+    EXPECT_LE(r.decode_frames_big + r.decode_frames_little, total);
+    EXPECT_LE(r.cpu_little_mj, r.energy.cpu_mj);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SessionFuzz,
+                         ::testing::Range<std::uint64_t>(1000, 1032));  // 32 random configs
+
+// ----------------------------------------------------------- Seek fuzzing
+
+class SeekFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeekFuzz, RandomSeeksNeverWedgeTheSession) {
+  sim::Rng rng(GetParam());
+
+  core::SessionConfig config;
+  config.governor = rng.bernoulli(0.5) ? "vafs" : "ondemand";
+  config.fixed_rep = static_cast<std::size_t>(rng.uniform_int(0, 2));
+  config.net = core::NetProfile::kGood;
+  config.media_duration = sim::SimTime::seconds(40);
+  config.seed = rng.next_u64();
+  // Cap forward progress: random seeks can replay content, so bound wall.
+  config.sim_cap = sim::SimTime::seconds(600);
+
+  // Schedule 3 random seeks through the hooks.
+  core::SessionHooks hooks;
+  const std::int64_t seek_at_s[3] = {rng.uniform_int(3, 12), rng.uniform_int(13, 22),
+                                     rng.uniform_int(23, 32)};
+  const std::int64_t seek_to_s[3] = {rng.uniform_int(0, 39), rng.uniform_int(0, 39),
+                                     rng.uniform_int(0, 39)};
+  hooks.on_ready = [&](core::SessionLive& live) {
+    for (int i = 0; i < 3; ++i) {
+      live.sim->at(sim::SimTime::seconds(seek_at_s[i]),
+                   [player = live.player, to = seek_to_s[i]] {
+                     player->seek(sim::SimTime::seconds(to));  // may be rejected; fine
+                   });
+    }
+  };
+
+  const core::SessionResult r = core::run_session(config, hooks);
+  ASSERT_TRUE(r.finished);
+  EXPECT_LE(r.qoe.seek_count, 3u);
+  // Whatever happened, playback ended at the real end of the content.
+  EXPECT_GT(r.qoe.frames_presented, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeekFuzz,
+                         ::testing::Values(11u, 222u, 3333u, 44444u, 555555u, 6666666u, 777u,
+                                           88u));
+
+}  // namespace
+}  // namespace vafs

@@ -1,0 +1,323 @@
+// Unit tests for the network substrate: bandwidth processes, the LTE RRC
+// radio state machine (tail timers, promotion cost), and the downloader's
+// byte-arrival / CPU-charging behaviour.
+#include <gtest/gtest.h>
+
+#include "cpu/cpu_model.h"
+#include "net/bandwidth.h"
+#include "net/downloader.h"
+#include "net/radio.h"
+#include "simcore/simulator.h"
+
+namespace vafs::net {
+namespace {
+
+// ------------------------------------------------------------- bandwidth
+
+TEST(ConstantBandwidth, NeverChanges) {
+  ConstantBandwidth bw(10.0);
+  EXPECT_EQ(bw.current_mbps(sim::SimTime::zero()), 10.0);
+  EXPECT_EQ(bw.current_mbps(sim::SimTime::seconds(100)), 10.0);
+  EXPECT_EQ(bw.next_change(sim::SimTime::seconds(5)), sim::SimTime::max());
+}
+
+TEST(MarkovBandwidth, StaysWithinBounds) {
+  MarkovBandwidth::Params params;
+  params.mean_mbps = 10;
+  params.min_mbps = 2;
+  params.max_mbps = 30;
+  MarkovBandwidth bw(params, sim::Rng(5));
+  for (int s = 0; s < 600; ++s) {
+    const double mbps = bw.current_mbps(sim::SimTime::seconds(s));
+    EXPECT_GE(mbps, 2.0);
+    EXPECT_LE(mbps, 30.0);
+  }
+}
+
+TEST(MarkovBandwidth, MeanRevertsRoughly) {
+  MarkovBandwidth::Params params;
+  params.mean_mbps = 10;
+  params.min_mbps = 1;
+  params.max_mbps = 100;
+  MarkovBandwidth bw(params, sim::Rng(6));
+  double sum = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    sum += bw.current_mbps(sim::SimTime::millis(200) * i);
+  }
+  const double mean = sum / n;
+  EXPECT_GT(mean, 5.0);
+  EXPECT_LT(mean, 20.0);
+}
+
+TEST(MarkovBandwidth, NextChangeIsInTheFuture) {
+  MarkovBandwidth bw({}, sim::Rng(7));
+  sim::SimTime t = sim::SimTime::zero();
+  for (int i = 0; i < 100; ++i) {
+    const sim::SimTime change = bw.next_change(t);
+    EXPECT_GT(change, t);
+    t = change;
+  }
+}
+
+TEST(MarkovBandwidth, DeterministicForSameSeed) {
+  MarkovBandwidth a({}, sim::Rng(8));
+  MarkovBandwidth b({}, sim::Rng(8));
+  for (int s = 0; s < 100; ++s) {
+    EXPECT_EQ(a.current_mbps(sim::SimTime::seconds(s)), b.current_mbps(sim::SimTime::seconds(s)));
+  }
+}
+
+TEST(TraceBandwidth, StepFunctionReplay) {
+  TraceBandwidth bw({{sim::SimTime::zero(), 5.0},
+                     {sim::SimTime::seconds(10), 1.0},
+                     {sim::SimTime::seconds(20), 8.0}},
+                    /*loop=*/false);
+  EXPECT_EQ(bw.current_mbps(sim::SimTime::seconds(3)), 5.0);
+  EXPECT_EQ(bw.current_mbps(sim::SimTime::seconds(10)), 1.0);
+  EXPECT_EQ(bw.current_mbps(sim::SimTime::seconds(15)), 1.0);
+  EXPECT_EQ(bw.current_mbps(sim::SimTime::seconds(25)), 8.0);
+  EXPECT_EQ(bw.current_mbps(sim::SimTime::seconds(500)), 8.0);  // holds last
+  EXPECT_EQ(bw.next_change(sim::SimTime::seconds(3)), sim::SimTime::seconds(10));
+  EXPECT_EQ(bw.next_change(sim::SimTime::seconds(25)), sim::SimTime::max());
+}
+
+TEST(TraceBandwidth, LoopingWrapsAround) {
+  TraceBandwidth bw({{sim::SimTime::zero(), 5.0}, {sim::SimTime::seconds(10), 1.0}},
+                    /*loop=*/true);
+  // Loop period = 20 s (last step extended by the previous step length).
+  EXPECT_EQ(bw.current_mbps(sim::SimTime::seconds(3)), 5.0);
+  EXPECT_EQ(bw.current_mbps(sim::SimTime::seconds(23)), 5.0);
+  EXPECT_EQ(bw.current_mbps(sim::SimTime::seconds(33)), 1.0);
+}
+
+// ------------------------------------------------------------------ radio
+
+class RadioTest : public ::testing::Test {
+ protected:
+  RadioTest() : radio_(sim_, RadioParams::lte()) {}
+  sim::Simulator sim_;
+  RadioModel radio_;
+};
+
+TEST_F(RadioTest, StartsIdle) {
+  EXPECT_EQ(radio_.state(), RadioState::kIdle);
+  EXPECT_EQ(radio_.promotion_count(), 0u);
+}
+
+TEST_F(RadioTest, PromotionTakesConfiguredDelay) {
+  sim::SimTime ready_at;
+  radio_.acquire([&] { ready_at = sim_.now(); });
+  EXPECT_EQ(radio_.state(), RadioState::kPromotion);
+  sim_.run();
+  EXPECT_EQ(ready_at, sim::SimTime::millis(260));
+  EXPECT_EQ(radio_.state(), RadioState::kActive);
+  EXPECT_EQ(radio_.promotion_count(), 1u);
+}
+
+TEST_F(RadioTest, ReleaseWalksTheTail) {
+  radio_.acquire(nullptr);
+  sim_.run();
+  radio_.release();
+  EXPECT_EQ(radio_.state(), RadioState::kTailCr);
+  sim_.run_until(sim_.now() + sim::SimTime::millis(250));
+  EXPECT_EQ(radio_.state(), RadioState::kTailDrx);
+  sim_.run_until(sim_.now() + sim::SimTime::seconds(10));
+  EXPECT_EQ(radio_.state(), RadioState::kIdle);
+}
+
+TEST_F(RadioTest, AcquireDuringTailSkipsPromotion) {
+  radio_.acquire(nullptr);
+  sim_.run();
+  radio_.release();
+  sim_.run_until(sim_.now() + sim::SimTime::seconds(2));  // deep in DRX tail
+  ASSERT_EQ(radio_.state(), RadioState::kTailDrx);
+
+  bool ready = false;
+  radio_.acquire([&] { ready = true; });
+  EXPECT_TRUE(ready);  // immediate: still connected
+  EXPECT_EQ(radio_.state(), RadioState::kActive);
+  EXPECT_EQ(radio_.promotion_count(), 1u);  // no second promotion
+
+  // And the stale tail timer must not demote us while held.
+  sim_.run_until(sim_.now() + sim::SimTime::seconds(30));
+  EXPECT_EQ(radio_.state(), RadioState::kActive);
+}
+
+TEST_F(RadioTest, RefcountedConcurrentTransfers) {
+  radio_.acquire(nullptr);
+  sim_.run();
+  radio_.acquire(nullptr);  // second transfer joins
+  EXPECT_EQ(radio_.active_transfers(), 2u);
+  radio_.release();
+  EXPECT_EQ(radio_.state(), RadioState::kActive);  // one still holds
+  radio_.release();
+  EXPECT_EQ(radio_.state(), RadioState::kTailCr);
+}
+
+TEST_F(RadioTest, AcquireDuringPromotionJoins) {
+  int ready = 0;
+  radio_.acquire([&] { ++ready; });
+  sim_.run_until(sim::SimTime::millis(100));
+  radio_.acquire([&] { ++ready; });
+  EXPECT_EQ(ready, 0);
+  sim_.run();
+  EXPECT_EQ(ready, 2);
+  EXPECT_EQ(radio_.promotion_count(), 1u);
+}
+
+TEST_F(RadioTest, ReleaseWithinPromotionWindowStillTails) {
+  radio_.acquire(nullptr);
+  radio_.release();  // before promotion completes
+  sim_.run();
+  // The promotion completes, finds nobody holding, and starts the tail;
+  // eventually the radio must return to IDLE rather than hang ACTIVE.
+  EXPECT_EQ(radio_.state(), RadioState::kIdle);
+}
+
+TEST_F(RadioTest, EnergyIntegratesStatePowers) {
+  const RadioParams p = RadioParams::lte();
+  radio_.acquire(nullptr);
+  sim_.run();  // 260 ms promotion
+  sim_.run_until(sim_.now() + sim::SimTime::seconds(1));  // 1 s active
+  radio_.release();
+  sim_.run_until(sim_.now() + sim::SimTime::millis(100));  // 100 ms tail-CR
+  const double expected = 0.26 * p.promotion_mw + 1.0 * p.active_mw + 0.1 * p.tail_cr_mw;
+  EXPECT_NEAR(radio_.energy_mj(), expected, 1e-6);
+}
+
+TEST_F(RadioTest, ResidencyAccounting) {
+  radio_.acquire(nullptr);
+  sim_.run();
+  radio_.release();
+  sim_.run_until(sim::SimTime::seconds(30));
+  EXPECT_EQ(radio_.time_in(RadioState::kPromotion), sim::SimTime::millis(260));
+  EXPECT_EQ(radio_.time_in(RadioState::kTailCr), sim::SimTime::millis(200));
+  EXPECT_EQ(radio_.time_in(RadioState::kTailDrx), sim::SimTime::seconds_f(9.8));
+  EXPECT_GT(radio_.time_in(RadioState::kIdle), sim::SimTime::seconds(19));
+}
+
+TEST(RadioParamsTest, WifiProfileIsCheaper) {
+  const RadioParams lte = RadioParams::lte();
+  const RadioParams wifi = RadioParams::wifi();
+  EXPECT_LT(wifi.active_mw, lte.active_mw);
+  EXPECT_LT(wifi.promotion_delay, lte.promotion_delay);
+  EXPECT_LT(wifi.tail_drx, lte.tail_drx);
+}
+
+// -------------------------------------------------------------- downloader
+
+class DownloaderTest : public ::testing::Test {
+ protected:
+  DownloaderTest()
+      : radio_(sim_, RadioParams::lte()),
+        bw_(8.0),  // 8 Mbps = 1 MB/s
+        cpu_(sim_, cpu::OppTable::mobile_big_core(), cpu::CpuPowerModel()) {}
+
+  sim::Simulator sim_;
+  RadioModel radio_;
+  ConstantBandwidth bw_;
+  cpu::CpuModel cpu_;
+};
+
+TEST_F(DownloaderTest, FetchTimingWithoutCpu) {
+  Downloader dl(sim_, radio_, bw_, nullptr);
+  FetchResult result;
+  bool done = false;
+  dl.fetch(1'000'000, [&](const FetchResult& r) {
+    result = r;
+    done = true;
+  });
+  sim_.run();
+  ASSERT_TRUE(done);
+  // 260 ms promotion + 70 ms RTT + 1 MB at 1 MB/s = 1 s.
+  EXPECT_EQ(result.first_byte, sim::SimTime::millis(330));
+  EXPECT_EQ(result.completed, sim::SimTime::millis(1330));
+  EXPECT_NEAR(result.throughput_mbps(), 8.0, 0.01);
+  // run() drained the tail timers too: the radio must be back in IDLE.
+  EXPECT_EQ(radio_.state(), RadioState::kIdle);
+}
+
+TEST_F(DownloaderTest, CpuCyclesChargedForPayload) {
+  cpu_.set_frequency(2'100'000);  // plenty of headroom
+  Downloader dl(sim_, radio_, bw_, &cpu_);
+  bool done = false;
+  dl.fetch(1'000'000, [&](const FetchResult&) { done = true; });
+  sim_.run();
+  ASSERT_TRUE(done);
+  // 8 cycles/B * 1 MB + 2e6 request cycles ~ 1e7 cycles.
+  const double busy_s = cpu_.total_busy_time().as_seconds_f();
+  const double cycles = busy_s * 2.1e9;
+  EXPECT_NEAR(cycles, 8e6 + 2e6, 1e6);
+}
+
+TEST_F(DownloaderTest, CompletionGatedOnFinalCpuChunk) {
+  // At min frequency the protocol processing of the last chunk takes
+  // non-zero time: completion must come strictly after the last byte.
+  Downloader dl(sim_, radio_, bw_, &cpu_);
+  FetchResult result;
+  dl.fetch(1'000'000, [&](const FetchResult& r) { result = r; });
+  sim_.run();
+  EXPECT_GT(result.completed, sim::SimTime::millis(1330));
+}
+
+TEST_F(DownloaderTest, ConcurrentFetchesShareBandwidth) {
+  Downloader dl(sim_, radio_, bw_, nullptr);
+  sim::SimTime done_a, done_b;
+  dl.fetch(500'000, [&](const FetchResult& r) { done_a = r.completed; });
+  dl.fetch(500'000, [&](const FetchResult& r) { done_b = r.completed; });
+  sim_.run();
+  // Both receive 0.5 MB/s: each takes 1 s of transfer after first byte.
+  EXPECT_EQ(done_a, sim::SimTime::millis(1330));
+  EXPECT_EQ(done_b, sim::SimTime::millis(1330));
+}
+
+TEST_F(DownloaderTest, SequentialFetchReusesConnection) {
+  Downloader dl(sim_, radio_, bw_, nullptr);
+  sim::SimTime first_done;
+  sim::SimTime second_first_byte;
+  dl.fetch(1'000'000, [&](const FetchResult& r) {
+    first_done = r.completed;
+    dl.fetch(1'000'000, [&](const FetchResult& r2) { second_first_byte = r2.first_byte; });
+  });
+  sim_.run();
+  // Second fetch: no promotion (radio in tail), just the RTT.
+  EXPECT_EQ(second_first_byte - first_done, sim::SimTime::millis(70));
+  EXPECT_EQ(radio_.promotion_count(), 1u);
+}
+
+TEST_F(DownloaderTest, ZeroByteFetchCompletes) {
+  Downloader dl(sim_, radio_, bw_, nullptr);
+  bool done = false;
+  dl.fetch(0, [&](const FetchResult& r) {
+    done = true;
+    EXPECT_EQ(r.bytes, 0u);
+  });
+  sim_.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(radio_.active_transfers(), 0u);
+}
+
+TEST_F(DownloaderTest, VariableBandwidthExactArithmetic) {
+  // 8 Mbps for 1 s after first byte, then 4 Mbps: 1.5 MB total =
+  // 1 MB in the first second + 0.5 MB at 0.5 MB/s = 1 more second.
+  TraceBandwidth trace({{sim::SimTime::zero(), 8.0}, {sim::SimTime::millis(1330), 4.0}},
+                       /*loop=*/false);
+  Downloader dl(sim_, radio_, trace, nullptr);
+  FetchResult result;
+  dl.fetch(1'500'000, [&](const FetchResult& r) { result = r; });
+  sim_.run();
+  EXPECT_EQ(result.completed, sim::SimTime::millis(2330));
+}
+
+TEST_F(DownloaderTest, TotalBytesAccumulate) {
+  Downloader dl(sim_, radio_, bw_, nullptr);
+  dl.fetch(100, nullptr);
+  dl.fetch(200, nullptr);
+  sim_.run();
+  EXPECT_EQ(dl.total_bytes_fetched(), 300u);
+  EXPECT_EQ(dl.inflight(), 0u);
+}
+
+}  // namespace
+}  // namespace vafs::net

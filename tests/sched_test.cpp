@@ -1,0 +1,131 @@
+// Tests for the big.LITTLE substrate: router placement/penalty semantics
+// and end-to-end big.LITTLE sessions including VAFS's cluster choice.
+#include <gtest/gtest.h>
+
+#include "core/session.h"
+#include "sched/router.h"
+#include "simcore/simulator.h"
+
+namespace vafs::sched {
+namespace {
+
+class RouterTest : public ::testing::Test {
+ protected:
+  RouterTest()
+      : big_(sim_, cpu::OppTable::mobile_big_core(), cpu::CpuPowerModel()),
+        little_(sim_, cpu::OppTable::mobile_little_core(),
+                cpu::CpuPowerModel(cpu::PowerModelParams::little_core())),
+        router_(big_, little_, 2.0) {}
+
+  sim::Simulator sim_;
+  cpu::CpuModel big_;
+  cpu::CpuModel little_;
+  ClusterRouter router_;
+};
+
+TEST_F(RouterTest, NetworkTasksAlwaysGoLittle) {
+  router_.submit("http-recv", 1e6, nullptr);
+  router_.submit("http-request", 1e6, nullptr);
+  EXPECT_TRUE(little_.busy());
+  EXPECT_FALSE(big_.busy());
+}
+
+TEST_F(RouterTest, DecodeFollowsDecodeCluster) {
+  router_.submit("decode", 1e6, nullptr);
+  EXPECT_TRUE(big_.busy());
+
+  router_.set_decode_cluster(Cluster::kLittle);
+  router_.submit("decode", 1e6, nullptr);
+  EXPECT_TRUE(little_.busy());
+  EXPECT_EQ(router_.decode_tasks_on_big(), 1u);
+  EXPECT_EQ(router_.decode_tasks_on_little(), 1u);
+  EXPECT_EQ(router_.migrations(), 1u);
+}
+
+TEST_F(RouterTest, RedundantClusterSetIsNotAMigration) {
+  router_.set_decode_cluster(Cluster::kBig);
+  EXPECT_EQ(router_.migrations(), 0u);
+}
+
+TEST_F(RouterTest, LittlePenaltyInflatesCycles) {
+  // 3e6 big-cycles at penalty 2.0 -> 6e6 little-cycles. At the LITTLE
+  // cluster's 300 MHz boot frequency that is 20 ms.
+  sim::SimTime done;
+  router_.set_decode_cluster(Cluster::kLittle);
+  router_.submit("decode", 3e6, [&] { done = sim_.now(); });
+  sim_.run();
+  EXPECT_EQ(done.as_micros(), 20'000);
+}
+
+TEST_F(RouterTest, BigClusterRunsRawCycles) {
+  sim::SimTime done;
+  router_.submit("decode", 3e6, [&] { done = sim_.now(); });
+  sim_.run();
+  EXPECT_EQ(done.as_micros(), 10'000);  // 3e6 at 300 MHz
+}
+
+TEST(ClusterName, Names) {
+  EXPECT_STREQ(cluster_name(Cluster::kBig), "big");
+  EXPECT_STREQ(cluster_name(Cluster::kLittle), "little");
+}
+
+// ---- end-to-end big.LITTLE sessions ----
+
+core::SessionConfig bl_config(const std::string& governor, std::size_t rep) {
+  core::SessionConfig config;
+  config.governor = governor;
+  config.fixed_rep = rep;
+  config.big_little = true;
+  config.media_duration = sim::SimTime::seconds(60);
+  config.net = core::NetProfile::kGood;
+  config.seed = 12;
+  return config;
+}
+
+TEST(BigLittleSession, KernelGovernorKeepsDecodeOnBig) {
+  const auto r = core::run_session(bl_config("schedutil", 2));
+  ASSERT_TRUE(r.finished);
+  EXPECT_EQ(r.decode_frames_little, 0u);
+  EXPECT_EQ(r.decode_frames_big, 1800u);
+  EXPECT_GT(r.cpu_little_mj, 0.0);  // network stack ran there
+  EXPECT_LT(r.qoe.drop_ratio(), 0.01);
+}
+
+TEST(BigLittleSession, VafsMovesFeasibleDecodeToLittle) {
+  const auto r = core::run_session(bl_config("vafs", 2));  // 720p fits LITTLE
+  ASSERT_TRUE(r.finished);
+  EXPECT_GT(r.decode_frames_little, 1700u);
+  EXPECT_LT(r.decode_frames_big, 100u);  // only the cold-start frames
+  EXPECT_LT(r.qoe.drop_ratio(), 0.01);
+  EXPECT_EQ(r.qoe.rebuffer_events, 0u);
+}
+
+TEST(BigLittleSession, VafsKeepsInfeasibleDecodeOnBig) {
+  const auto r = core::run_session(bl_config("vafs", 3));  // 1080p does not fit
+  ASSERT_TRUE(r.finished);
+  EXPECT_EQ(r.decode_frames_little, 0u);
+  EXPECT_GT(r.decode_frames_big, 1700u);
+  EXPECT_LT(r.qoe.drop_ratio(), 0.01);
+}
+
+TEST(BigLittleSession, VafsBigLittleBeatsSingleClusterAtLowQuality) {
+  auto config = bl_config("vafs", 1);  // 480p
+  const auto bl = core::run_session(config);
+  config.big_little = false;
+  const auto single = core::run_session(config);
+  ASSERT_TRUE(bl.finished);
+  ASSERT_TRUE(single.finished);
+  EXPECT_LT(bl.energy.cpu_mj, single.energy.cpu_mj);
+  EXPECT_LT(bl.qoe.drop_ratio(), 0.01);
+}
+
+TEST(BigLittleSession, EnergySplitsAcrossClusters) {
+  const auto r = core::run_session(bl_config("vafs", 2));
+  ASSERT_TRUE(r.finished);
+  EXPECT_GT(r.cpu_little_mj, 0.0);
+  EXPECT_LT(r.cpu_little_mj, r.energy.cpu_mj);
+  EXPECT_GT(r.freq_transitions_little, 0u);
+}
+
+}  // namespace
+}  // namespace vafs::sched

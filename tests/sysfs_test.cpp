@@ -1,0 +1,163 @@
+// Unit tests for the sysfs emulation: kernel-style semantics at the string
+// level (trailing newlines, echo-style whitespace stripping, errno codes).
+#include <gtest/gtest.h>
+
+#include "sysfs/tree.h"
+
+namespace vafs::sysfs {
+namespace {
+
+TEST(SysfsTree, MkdirCreatesParents) {
+  Tree t;
+  EXPECT_TRUE(t.mkdir("a/b/c").ok());
+  EXPECT_TRUE(t.is_dir("a"));
+  EXPECT_TRUE(t.is_dir("a/b"));
+  EXPECT_TRUE(t.is_dir("a/b/c"));
+}
+
+TEST(SysfsTree, MkdirIsIdempotent) {
+  Tree t;
+  EXPECT_TRUE(t.mkdir("x/y").ok());
+  EXPECT_TRUE(t.mkdir("x/y").ok());
+}
+
+TEST(SysfsTree, MkdirThroughAttributeFails) {
+  Tree t;
+  ASSERT_TRUE(t.mkdir("d").ok());
+  ASSERT_TRUE(t.add_attr("d/file", [] { return "v"; }, nullptr).ok());
+  EXPECT_EQ(t.mkdir("d/file/sub").error(), Errno::kNotDir);
+}
+
+TEST(SysfsTree, ReadAppendsNewline) {
+  Tree t;
+  ASSERT_TRUE(t.mkdir("dir").ok());
+  ASSERT_TRUE(t.add_attr("dir/attr", [] { return "hello"; }, nullptr).ok());
+  const auto r = t.read("dir/attr");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), "hello\n");
+}
+
+TEST(SysfsTree, ReadKeepsExistingNewline) {
+  Tree t;
+  ASSERT_TRUE(t.mkdir("dir").ok());
+  ASSERT_TRUE(t.add_attr("dir/multi", [] { return "a\nb\n"; }, nullptr).ok());
+  EXPECT_EQ(t.read("dir/multi").value(), "a\nb\n");
+}
+
+TEST(SysfsTree, WriteStripsTrailingWhitespace) {
+  Tree t;
+  std::string stored;
+  ASSERT_TRUE(t.mkdir("dir").ok());
+  ASSERT_TRUE(t.add_attr("dir/attr", nullptr,
+                         [&](std::string_view v) {
+                           stored = std::string(v);
+                           return Status();
+                         })
+                  .ok());
+  EXPECT_TRUE(t.write("dir/attr", "1200000\n").ok());
+  EXPECT_EQ(stored, "1200000");
+  EXPECT_TRUE(t.write("dir/attr", "value \t\n").ok());
+  EXPECT_EQ(stored, "value");
+}
+
+TEST(SysfsTree, ErrnoSemantics) {
+  Tree t;
+  ASSERT_TRUE(t.mkdir("d").ok());
+  ASSERT_TRUE(t.add_attr("d/ro", [] { return "x"; }, nullptr).ok());
+  ASSERT_TRUE(t.add_attr("d/wo", nullptr, [](std::string_view) { return Status(); }).ok());
+
+  EXPECT_EQ(t.read("missing").error(), Errno::kNoEnt);
+  EXPECT_EQ(t.read("d").error(), Errno::kIsDir);
+  EXPECT_EQ(t.read("d/wo").error(), Errno::kAccess);
+  EXPECT_EQ(t.write("d/ro", "v").error(), Errno::kAccess);
+  EXPECT_EQ(t.write("d", "v").error(), Errno::kIsDir);
+  EXPECT_EQ(t.write("missing/attr", "v").error(), Errno::kNoEnt);
+  EXPECT_EQ(t.list("d/ro").error(), Errno::kNotDir);
+  EXPECT_EQ(t.list("nope").error(), Errno::kNoEnt);
+}
+
+TEST(SysfsTree, StoreHookCanRejectWithEinval) {
+  Tree t;
+  ASSERT_TRUE(t.mkdir("d").ok());
+  ASSERT_TRUE(t.add_attr("d/num", nullptr,
+                         [](std::string_view v) {
+                           return v == "ok" ? Status() : Status(Errno::kInval);
+                         })
+                  .ok());
+  EXPECT_TRUE(t.write("d/num", "ok").ok());
+  EXPECT_EQ(t.write("d/num", "bad").error(), Errno::kInval);
+}
+
+TEST(SysfsTree, AddAttrRequiresExistingParent) {
+  Tree t;
+  EXPECT_EQ(t.add_attr("nodir/attr", [] { return ""; }, nullptr).error(), Errno::kNoEnt);
+}
+
+TEST(SysfsTree, AddAttrRejectsDuplicates) {
+  Tree t;
+  ASSERT_TRUE(t.mkdir("d").ok());
+  ASSERT_TRUE(t.add_attr("d/a", [] { return ""; }, nullptr).ok());
+  EXPECT_EQ(t.add_attr("d/a", [] { return ""; }, nullptr).error(), Errno::kExist);
+}
+
+TEST(SysfsTree, ListIsSorted) {
+  Tree t;
+  ASSERT_TRUE(t.mkdir("d").ok());
+  ASSERT_TRUE(t.add_attr("d/zeta", [] { return ""; }, nullptr).ok());
+  ASSERT_TRUE(t.add_attr("d/alpha", [] { return ""; }, nullptr).ok());
+  ASSERT_TRUE(t.mkdir("d/mid").ok());
+  const auto names = t.list("d");
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(names.value(), (std::vector<std::string>{"alpha", "mid", "zeta"}));
+}
+
+TEST(SysfsTree, RemoveAttributeAndDirectory) {
+  Tree t;
+  ASSERT_TRUE(t.mkdir("d/sub").ok());
+  ASSERT_TRUE(t.add_attr("d/sub/a", [] { return ""; }, nullptr).ok());
+  EXPECT_TRUE(t.remove("d/sub/a").ok());
+  EXPECT_FALSE(t.exists("d/sub/a"));
+  ASSERT_TRUE(t.add_attr("d/sub/b", [] { return ""; }, nullptr).ok());
+  EXPECT_TRUE(t.remove("d/sub").ok());  // recursive
+  EXPECT_FALSE(t.exists("d/sub"));
+  EXPECT_TRUE(t.exists("d"));
+  EXPECT_EQ(t.remove("d/sub").error(), Errno::kNoEnt);
+}
+
+TEST(SysfsTree, RootListAndPathNormalization) {
+  Tree t;
+  ASSERT_TRUE(t.mkdir("a").ok());
+  EXPECT_TRUE(t.is_dir(""));
+  EXPECT_TRUE(t.exists("/a"));       // leading slash tolerated
+  EXPECT_TRUE(t.exists("a/"));       // trailing slash tolerated
+  EXPECT_TRUE(t.list("").ok());
+}
+
+TEST(SysfsTree, ShowHookSeesLiveState) {
+  Tree t;
+  int counter = 0;
+  ASSERT_TRUE(t.mkdir("d").ok());
+  ASSERT_TRUE(t.add_attr("d/n", [&] { return std::to_string(counter); }, nullptr).ok());
+  EXPECT_EQ(t.read("d/n").value(), "0\n");
+  counter = 42;
+  EXPECT_EQ(t.read("d/n").value(), "42\n");
+}
+
+TEST(SysfsResult, ValueOrFallback) {
+  Result<std::string> good(std::string("x"));
+  Result<std::string> bad(Errno::kNoEnt);
+  EXPECT_EQ(good.value_or("y"), "x");
+  EXPECT_EQ(bad.value_or("y"), "y");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error(), Errno::kNoEnt);
+}
+
+TEST(SysfsErrno, Names) {
+  EXPECT_EQ(errno_name(Errno::kNoEnt), "ENOENT");
+  EXPECT_EQ(errno_name(Errno::kAccess), "EACCES");
+  EXPECT_EQ(errno_name(Errno::kInval), "EINVAL");
+  EXPECT_EQ(errno_name(Errno::kOk), "OK");
+}
+
+}  // namespace
+}  // namespace vafs::sysfs

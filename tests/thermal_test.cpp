@@ -1,0 +1,152 @@
+// Unit tests for the thermal substrate: RC response of the temperature
+// model and engage/hold/release behaviour of the step-wise throttle.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cpu/cpufreq_policy.h"
+#include "governors/registry.h"
+#include "simcore/simulator.h"
+#include "thermal/model.h"
+#include "thermal/throttle.h"
+
+namespace vafs::thermal {
+namespace {
+
+class ThermalTest : public ::testing::Test {
+ protected:
+  ThermalTest() : cpu_(sim_, cpu::OppTable::mobile_big_core(), cpu::CpuPowerModel()) {}
+
+  sim::Simulator sim_;
+  cpu::CpuModel cpu_;
+};
+
+TEST_F(ThermalTest, IdleStaysNearAmbient) {
+  ThermalModel model(sim_, cpu_);
+  sim_.run_until(sim::SimTime::seconds(120));
+  // Idle power (18 mW) barely moves the junction: < 1 K over ambient.
+  EXPECT_NEAR(model.temperature_c(), model.params().ambient_c, 1.0);
+}
+
+TEST_F(ThermalTest, StepLoadApproachesSteadyStateExponentially) {
+  ThermalModel model(sim_, cpu_);
+  cpu_.set_frequency(2'100'000);
+  cpu_.submit("hot", 1e15, nullptr);  // saturate at max OPP
+
+  const double power_w = cpu_.power_model().busy_mw(cpu_.opps().max()) / 1000.0;
+  const double t_inf = model.params().ambient_c + power_w * model.params().resistance_k_per_w;
+  const double rc = model.params().resistance_k_per_w * model.params().capacitance_j_per_k;
+
+  // After one time constant: 63 % of the way to steady state.
+  sim_.run_until(sim::SimTime::seconds_f(rc));
+  const double expected_1tc =
+      t_inf + (model.params().ambient_c - t_inf) * std::exp(-1.0);
+  EXPECT_NEAR(model.temperature_c(), expected_1tc, 0.5);
+
+  // After five time constants: effectively at steady state.
+  sim_.run_until(sim::SimTime::seconds_f(5 * rc));
+  EXPECT_NEAR(model.temperature_c(), t_inf, 0.5);
+  EXPECT_GT(t_inf, 45.0);  // a saturated big core must be throttling-hot
+  EXPECT_NEAR(model.peak_temperature_c(), model.temperature_c(), 0.5);
+}
+
+TEST_F(ThermalTest, CoolsBackDownAfterLoadRemoved) {
+  ThermalModel model(sim_, cpu_);
+  cpu_.set_frequency(2'100'000);
+  const auto id = cpu_.submit("hot", 1e15, nullptr);
+  sim_.run_until(sim::SimTime::seconds(600));
+  const double hot = model.temperature_c();
+  cpu_.cancel(id);
+  cpu_.set_frequency(300'000, cpu::Relation::kAtMost);
+  sim_.run_until(sim::SimTime::seconds(1200));
+  EXPECT_LT(model.temperature_c(), hot - 10.0);
+  EXPECT_NEAR(model.temperature_c(), model.params().ambient_c, 2.0);
+  EXPECT_NEAR(model.peak_temperature_c(), hot, 0.5);  // peak sticks
+}
+
+TEST_F(ThermalTest, ListenerFiresEverySample) {
+  ThermalModel model(sim_, cpu_);
+  int fired = 0;
+  model.add_listener([&](double) { ++fired; });
+  sim_.run_until(sim::SimTime::seconds(10));
+  EXPECT_EQ(fired, 40);  // 250 ms sampling
+}
+
+class ThrottleTest : public ::testing::Test {
+ protected:
+  ThrottleTest() : cpu_(sim_, cpu::OppTable::mobile_big_core(), cpu::CpuPowerModel()) {
+    governors::register_standard(registry_);
+    policy_ = std::make_unique<cpu::CpufreqPolicy>(sim_, cpu_, registry_, "performance");
+  }
+
+  sim::Simulator sim_;
+  cpu::CpuModel cpu_;
+  cpu::GovernorRegistry registry_;
+  std::unique_ptr<cpu::CpufreqPolicy> policy_;
+};
+
+TEST_F(ThrottleTest, EngagesUnderSustainedMaxLoadAndCapsFrequency) {
+  // Hot ambient (40 C): a saturated big core sits ~21 K above it, far over
+  // the 45 C trip, so the throttle must engage decisively and stay capped
+  // (the default 25 C ambient leaves the steady state within the
+  // hysteresis band, where engagement legitimately oscillates).
+  ThermalParams hot;
+  hot.ambient_c = 40.0;
+  ThermalModel model(sim_, cpu_, hot);
+  ThermalThrottle throttle(model, *policy_);
+  cpu_.submit("hot", 1e15, nullptr);  // performance pins max: worst case
+
+  sim_.run_until(sim::SimTime::seconds(600));
+  EXPECT_TRUE(throttle.throttling());
+  EXPECT_GE(throttle.throttle_events(), 1u);
+  EXPECT_LT(policy_->max_khz(), 2'100'000u);
+  EXPECT_LT(policy_->cur_khz(), 2'100'000u);
+  EXPECT_GT(throttle.throttled_time(), sim::SimTime::seconds(60));
+  // The cap must settle the temperature near the trip band, not far above.
+  EXPECT_LT(model.temperature_c(), 45.0 + 2.0 * 5 + 3.0);
+}
+
+TEST_F(ThrottleTest, ReleasesWhenLoadStops) {
+  ThermalParams hot;
+  hot.ambient_c = 40.0;
+  ThermalModel model(sim_, cpu_, hot);
+  ThermalThrottle throttle(model, *policy_);
+  const auto id = cpu_.submit("hot", 1e15, nullptr);
+  sim_.run_until(sim::SimTime::seconds(600));
+  ASSERT_TRUE(throttle.throttling());
+
+  cpu_.cancel(id);
+  sim_.run_until(sim::SimTime::seconds(2000));
+  EXPECT_FALSE(throttle.throttling());
+  EXPECT_EQ(policy_->max_khz(), 2'100'000u);
+  // performance governor re-raises once the cap lifts (limits_changed).
+  EXPECT_EQ(policy_->cur_khz(), 2'100'000u);
+}
+
+TEST_F(ThrottleTest, ColdSocNeverThrottles) {
+  ThermalModel model(sim_, cpu_);
+  ThermalThrottle throttle(model, *policy_);
+  // Light load at min frequency.
+  policy_->set_governor("powersave");
+  sim_.every(sim::SimTime::millis(100), [this] { cpu_.submit("w", 1e6, nullptr); });
+  sim_.run_until(sim::SimTime::seconds(300));
+  EXPECT_FALSE(throttle.throttling());
+  EXPECT_EQ(throttle.throttle_events(), 0u);
+  EXPECT_EQ(throttle.throttled_time(), sim::SimTime::zero());
+}
+
+TEST_F(ThrottleTest, StepsAreBounded) {
+  ThrottleParams params;
+  params.trip_c = 26.0;       // absurdly low trip: everything throttles
+  params.max_steps = 3;
+  ThermalModel model(sim_, cpu_);
+  ThermalThrottle throttle(model, *policy_, params);
+  cpu_.submit("hot", 1e15, nullptr);
+  sim_.run_until(sim::SimTime::seconds(600));
+  EXPECT_LE(throttle.current_step(), 3u);
+  // Cap = 3 OPPs below max = 1.2 GHz on the default table.
+  EXPECT_GE(policy_->max_khz(), 1'200'000u);
+}
+
+}  // namespace
+}  // namespace vafs::thermal

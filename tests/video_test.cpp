@@ -1,0 +1,216 @@
+// Unit tests for the media substrate: manifest arithmetic, the content
+// model's statistical properties (GOP weighting, bitrate fidelity,
+// determinism), and the playback buffer.
+#include <gtest/gtest.h>
+
+#include "video/buffer.h"
+#include "video/content.h"
+#include "video/manifest.h"
+#include "video/qoe.h"
+
+namespace vafs::video {
+namespace {
+
+Manifest vod_2min() { return Manifest::typical_vod("t", sim::SimTime::seconds(120)); }
+
+// --------------------------------------------------------------- Manifest
+
+TEST(Manifest, SegmentCountCeils) {
+  const Manifest even = vod_2min();
+  EXPECT_EQ(even.segment_count(), 30u);  // 120 / 4
+
+  const Manifest ragged("r", sim::SimTime::seconds(4), sim::SimTime::seconds(10),
+                        {{"only", 1000, 640, 360, 30.0}});
+  EXPECT_EQ(ragged.segment_count(), 3u);
+  EXPECT_EQ(ragged.segment_duration(0), sim::SimTime::seconds(4));
+  EXPECT_EQ(ragged.segment_duration(2), sim::SimTime::seconds(2));  // tail
+}
+
+TEST(Manifest, FramesPerSegment) {
+  const Manifest m = vod_2min();
+  EXPECT_EQ(m.frames_in_segment(0, 0), 120u);  // 4 s * 30 fps
+  EXPECT_EQ(m.first_frame_of_segment(0, 0), 0u);
+  EXPECT_EQ(m.first_frame_of_segment(0, 5), 600u);
+}
+
+TEST(Manifest, LadderIsOrderedAndPlausible) {
+  const Manifest m = vod_2min();
+  ASSERT_EQ(m.representation_count(), 4u);
+  for (std::size_t i = 1; i < 4; ++i) {
+    EXPECT_GT(m.representation(i).bitrate_kbps, m.representation(i - 1).bitrate_kbps);
+    EXPECT_GT(m.representation(i).pixels(), m.representation(i - 1).pixels());
+  }
+}
+
+TEST(Manifest, RepIndexForBitrate) {
+  const Manifest m = vod_2min();  // 800 / 1200 / 2500 / 5000
+  EXPECT_EQ(m.rep_index_for_bitrate(100), 0u);   // below all: lowest
+  EXPECT_EQ(m.rep_index_for_bitrate(800), 0u);
+  EXPECT_EQ(m.rep_index_for_bitrate(1199), 0u);
+  EXPECT_EQ(m.rep_index_for_bitrate(2600), 2u);
+  EXPECT_EQ(m.rep_index_for_bitrate(99'999), 3u);
+}
+
+// ------------------------------------------------------------ ContentModel
+
+class ContentTest : public ::testing::Test {
+ protected:
+  ContentTest() : manifest_(vod_2min()), content_(99, ContentParams{}, &manifest_) {}
+  Manifest manifest_;
+  ContentModel content_;
+};
+
+TEST_F(ContentTest, DeterministicAcrossInstances) {
+  ContentModel other(99, ContentParams{}, &manifest_);
+  for (std::uint64_t f : {0ull, 1ull, 100ull, 3599ull}) {
+    EXPECT_EQ(content_.frame(2, f).bytes, other.frame(2, f).bytes);
+    EXPECT_EQ(content_.frame(2, f).decode_cycles, other.frame(2, f).decode_cycles);
+  }
+}
+
+TEST_F(ContentTest, DifferentSeedsDiffer) {
+  ContentModel other(100, ContentParams{}, &manifest_);
+  int same = 0;
+  for (std::uint64_t f = 0; f < 50; ++f) {
+    if (content_.frame(2, f).bytes == other.frame(2, f).bytes) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST_F(ContentTest, GopStructure) {
+  // Frame 0, 30, 60... are IDR and substantially larger than P frames.
+  EXPECT_TRUE(content_.frame(2, 0).is_idr);
+  EXPECT_TRUE(content_.frame(2, 30).is_idr);
+  EXPECT_FALSE(content_.frame(2, 1).is_idr);
+  EXPECT_FALSE(content_.frame(2, 29).is_idr);
+
+  double idr_sum = 0, p_sum = 0;
+  int idr_n = 0, p_n = 0;
+  for (std::uint64_t f = 0; f < 600; ++f) {
+    const FrameInfo info = content_.frame(2, f);
+    if (info.is_idr) {
+      idr_sum += static_cast<double>(info.bytes);
+      ++idr_n;
+    } else {
+      p_sum += static_cast<double>(info.bytes);
+      ++p_n;
+    }
+  }
+  EXPECT_GT(idr_sum / idr_n, 3.0 * (p_sum / p_n));
+}
+
+TEST_F(ContentTest, SegmentBytesMatchNominalBitrate) {
+  // 720p = 2500 kbps over 4 s ~ 1.25 MB per segment; jitter averages out.
+  double total = 0;
+  for (std::size_t s = 0; s < 30; ++s) {
+    total += static_cast<double>(content_.segment_bytes(2, s));
+  }
+  const double mean_segment = total / 30.0;
+  EXPECT_NEAR(mean_segment, 2500.0 * 1000 / 8 * 4, mean_segment * 0.08);
+}
+
+TEST_F(ContentTest, HigherRepsCostMoreCyclesAndBytes) {
+  for (std::size_t rep = 1; rep < 4; ++rep) {
+    EXPECT_GT(content_.segment_bytes(rep, 0), content_.segment_bytes(rep - 1, 0));
+    EXPECT_GT(content_.segment_cycles(rep, 0), content_.segment_cycles(rep - 1, 0));
+  }
+}
+
+TEST_F(ContentTest, DecodeRateMagnitudes) {
+  // Sustained decode demand (cycles/s) must be within a mobile-soft-decoder
+  // range: ~100-200 MHz at 360p, ~300-600 MHz at 720p, < 1.4 GHz at 1080p.
+  auto demand_hz = [&](std::size_t rep) {
+    return content_.segment_cycles(rep, 0) / 4.0;  // 4-second segment
+  };
+  EXPECT_GT(demand_hz(0), 50e6);
+  EXPECT_LT(demand_hz(0), 250e6);
+  EXPECT_GT(demand_hz(2), 250e6);
+  EXPECT_LT(demand_hz(2), 700e6);
+  EXPECT_GT(demand_hz(3), demand_hz(2));
+  EXPECT_LT(demand_hz(3), 1.4e9);
+}
+
+TEST_F(ContentTest, SegmentTotalsEqualFrameSums) {
+  std::uint64_t bytes = 0;
+  double cycles = 0;
+  for (std::uint64_t f = 0; f < 120; ++f) {
+    const FrameInfo info = content_.frame(1, f);
+    bytes += info.bytes;
+    cycles += info.decode_cycles;
+  }
+  EXPECT_EQ(content_.segment_bytes(1, 0), bytes);
+  EXPECT_DOUBLE_EQ(content_.segment_cycles(1, 0), cycles);
+}
+
+// ---------------------------------------------------------- PlaybackBuffer
+
+TEST(PlaybackBuffer, PushAndLevel) {
+  PlaybackBuffer buffer;
+  EXPECT_TRUE(buffer.empty());
+  buffer.push({0, 2, sim::SimTime::seconds(4), 1000});
+  buffer.push({1, 2, sim::SimTime::seconds(4), 1000});
+  EXPECT_EQ(buffer.level(), sim::SimTime::seconds(8));
+  EXPECT_EQ(buffer.segment_count(), 2u);
+  EXPECT_EQ(buffer.next_segment_index(), 2u);
+}
+
+TEST(PlaybackBuffer, DrainCrossesSegmentBoundaries) {
+  PlaybackBuffer buffer;
+  buffer.push({0, 0, sim::SimTime::seconds(4), 0});
+  buffer.push({1, 0, sim::SimTime::seconds(4), 0});
+  EXPECT_EQ(buffer.drain(sim::SimTime::seconds(5)), sim::SimTime::seconds(5));
+  EXPECT_EQ(buffer.level(), sim::SimTime::seconds(3));
+  EXPECT_EQ(buffer.segment_count(), 1u);
+  EXPECT_EQ(buffer.front().segment_index, 1u);
+}
+
+TEST(PlaybackBuffer, DrainStopsWhenDry) {
+  PlaybackBuffer buffer;
+  buffer.push({0, 0, sim::SimTime::seconds(4), 0});
+  EXPECT_EQ(buffer.drain(sim::SimTime::seconds(10)), sim::SimTime::seconds(4));
+  EXPECT_TRUE(buffer.empty());
+  EXPECT_EQ(buffer.level(), sim::SimTime::zero());
+  EXPECT_EQ(buffer.drain(sim::SimTime::seconds(1)), sim::SimTime::zero());
+  // The consumed index keeps advancing for the *next* push.
+  EXPECT_EQ(buffer.next_segment_index(), 1u);
+}
+
+TEST(PlaybackBuffer, ManySmallDrainsEqualOneBig) {
+  PlaybackBuffer a, b;
+  for (std::size_t i = 0; i < 3; ++i) {
+    a.push({i, 0, sim::SimTime::seconds(4), 0});
+    b.push({i, 0, sim::SimTime::seconds(4), 0});
+  }
+  for (int i = 0; i < 300; ++i) a.drain(sim::SimTime::millis(33));
+  b.drain(sim::SimTime::millis(33 * 300));
+  EXPECT_EQ(a.level(), b.level());
+  EXPECT_EQ(a.segment_count(), b.segment_count());
+}
+
+TEST(PlaybackBuffer, PeakLevelTracksHighWaterMark) {
+  PlaybackBuffer buffer;
+  buffer.push({0, 0, sim::SimTime::seconds(4), 0});
+  buffer.push({1, 0, sim::SimTime::seconds(4), 0});
+  buffer.drain(sim::SimTime::seconds(6));
+  buffer.push({2, 0, sim::SimTime::seconds(4), 0});
+  EXPECT_EQ(buffer.peak_level(), sim::SimTime::seconds(8));
+}
+
+// -------------------------------------------------------------------- QoE
+
+TEST(QoeStats, Ratios) {
+  QoeStats q;
+  q.frames_presented = 90;
+  q.frames_dropped = 10;
+  EXPECT_DOUBLE_EQ(q.drop_ratio(), 0.1);
+
+  q.rebuffer_time = sim::SimTime::seconds(5);
+  EXPECT_DOUBLE_EQ(q.rebuffer_ratio(sim::SimTime::seconds(95)), 0.05);
+
+  const QoeStats empty;
+  EXPECT_EQ(empty.drop_ratio(), 0.0);
+  EXPECT_EQ(empty.rebuffer_ratio(sim::SimTime::zero()), 0.0);
+}
+
+}  // namespace
+}  // namespace vafs::video

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Plot the F2 timeline CSV emitted by bench_f2_timeline.
+
+Usage:
+    ./build/bench/bench_f2_timeline > f2.txt
+    tools/plot_timeline.py f2.txt timeline.png
+
+The bench prints two CSV blocks (ondemand, vafs) surrounded by narration;
+this script extracts both and renders frequency, CPU power and buffer level
+over time. Requires matplotlib; without it, prints a summary instead.
+"""
+import sys
+
+
+def extract_blocks(path):
+    """Returns {label: list-of-row-dicts} for each '### label —' CSV block."""
+    blocks = {}
+    label = None
+    header = None
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if line.startswith("###"):
+                label = line.split("###")[1].split("—")[0].strip()
+                header = None
+                blocks[label] = []
+            elif label is not None and line.startswith("t_s,"):
+                header = line.split(",")
+            elif label is not None and header and "," in line:
+                parts = line.split(",")
+                if len(parts) == len(header):
+                    try:
+                        blocks[label].append(
+                            {k: float(v) for k, v in zip(header, parts)})
+                    except ValueError:
+                        pass  # narration line
+    return {k: v for k, v in blocks.items() if v}
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__)
+        return 1
+    blocks = extract_blocks(sys.argv[1])
+    if not blocks:
+        print("no CSV blocks found — is this bench_f2_timeline output?")
+        return 1
+
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        for label, rows in blocks.items():
+            mean_mw = sum(r["cpu_mw"] for r in rows) / len(rows)
+            mean_mhz = sum(r["freq_mhz"] for r in rows) / len(rows)
+            print(f"{label}: {len(rows)} samples, mean {mean_mw:.0f} mW, "
+                  f"mean {mean_mhz:.0f} MHz")
+        print("(install matplotlib for plots)")
+        return 0
+
+    fig, axes = plt.subplots(3, 1, figsize=(10, 8), sharex=True)
+    for label, rows in blocks.items():
+        t = [r["t_s"] for r in rows]
+        axes[0].step(t, [r["freq_mhz"] for r in rows], where="post", label=label)
+        axes[1].plot(t, [r["cpu_mw"] for r in rows], label=label)
+        axes[2].plot(t, [r["buffer_s"] for r in rows], label=label)
+    axes[0].set_ylabel("frequency (MHz)")
+    axes[1].set_ylabel("CPU power (mW)")
+    axes[2].set_ylabel("buffer (s)")
+    axes[2].set_xlabel("time (s)")
+    for ax in axes:
+        ax.legend()
+        ax.grid(alpha=0.3)
+    out = sys.argv[2] if len(sys.argv) > 2 else "timeline.png"
+    fig.tight_layout()
+    fig.savefig(out, dpi=130)
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
