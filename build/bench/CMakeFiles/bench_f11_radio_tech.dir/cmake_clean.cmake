@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f11_radio_tech.dir/bench_f11_radio_tech.cpp.o"
+  "CMakeFiles/bench_f11_radio_tech.dir/bench_f11_radio_tech.cpp.o.d"
+  "bench_f11_radio_tech"
+  "bench_f11_radio_tech.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f11_radio_tech.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

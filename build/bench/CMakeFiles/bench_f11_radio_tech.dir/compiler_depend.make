@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_f11_radio_tech.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_f11_radio_tech.
+# This may be replaced when dependencies are built.

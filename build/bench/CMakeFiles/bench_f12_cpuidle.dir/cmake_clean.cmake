@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f12_cpuidle.dir/bench_f12_cpuidle.cpp.o"
+  "CMakeFiles/bench_f12_cpuidle.dir/bench_f12_cpuidle.cpp.o.d"
+  "bench_f12_cpuidle"
+  "bench_f12_cpuidle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f12_cpuidle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

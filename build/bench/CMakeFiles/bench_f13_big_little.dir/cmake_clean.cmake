@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f13_big_little.dir/bench_f13_big_little.cpp.o"
+  "CMakeFiles/bench_f13_big_little.dir/bench_f13_big_little.cpp.o.d"
+  "bench_f13_big_little"
+  "bench_f13_big_little.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f13_big_little.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_f13_big_little.
+# This may be replaced when dependencies are built.

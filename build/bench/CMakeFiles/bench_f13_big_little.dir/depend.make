@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_f13_big_little.
+# This may be replaced when dependencies are built.

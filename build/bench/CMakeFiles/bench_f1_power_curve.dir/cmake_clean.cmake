@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f1_power_curve.dir/bench_f1_power_curve.cpp.o"
+  "CMakeFiles/bench_f1_power_curve.dir/bench_f1_power_curve.cpp.o.d"
+  "bench_f1_power_curve"
+  "bench_f1_power_curve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f1_power_curve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f2_timeline.dir/bench_f2_timeline.cpp.o"
+  "CMakeFiles/bench_f2_timeline.dir/bench_f2_timeline.cpp.o.d"
+  "bench_f2_timeline"
+  "bench_f2_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f2_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

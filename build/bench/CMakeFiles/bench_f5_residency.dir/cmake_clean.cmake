@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f5_residency.dir/bench_f5_residency.cpp.o"
+  "CMakeFiles/bench_f5_residency.dir/bench_f5_residency.cpp.o.d"
+  "bench_f5_residency"
+  "bench_f5_residency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f5_residency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

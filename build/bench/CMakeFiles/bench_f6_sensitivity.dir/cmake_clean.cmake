@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f6_sensitivity.dir/bench_f6_sensitivity.cpp.o"
+  "CMakeFiles/bench_f6_sensitivity.dir/bench_f6_sensitivity.cpp.o.d"
+  "bench_f6_sensitivity"
+  "bench_f6_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f6_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

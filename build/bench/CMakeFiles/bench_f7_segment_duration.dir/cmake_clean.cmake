@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f7_segment_duration.dir/bench_f7_segment_duration.cpp.o"
+  "CMakeFiles/bench_f7_segment_duration.dir/bench_f7_segment_duration.cpp.o.d"
+  "bench_f7_segment_duration"
+  "bench_f7_segment_duration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f7_segment_duration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f8_breakdown.dir/bench_f8_breakdown.cpp.o"
+  "CMakeFiles/bench_f8_breakdown.dir/bench_f8_breakdown.cpp.o.d"
+  "bench_f8_breakdown"
+  "bench_f8_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f8_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

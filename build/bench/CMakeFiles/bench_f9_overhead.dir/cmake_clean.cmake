@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f9_overhead.dir/bench_f9_overhead.cpp.o"
+  "CMakeFiles/bench_f9_overhead.dir/bench_f9_overhead.cpp.o.d"
+  "bench_f9_overhead"
+  "bench_f9_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f9_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

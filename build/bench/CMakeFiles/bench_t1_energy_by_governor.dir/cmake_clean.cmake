@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t1_energy_by_governor.dir/bench_t1_energy_by_governor.cpp.o"
+  "CMakeFiles/bench_t1_energy_by_governor.dir/bench_t1_energy_by_governor.cpp.o.d"
+  "bench_t1_energy_by_governor"
+  "bench_t1_energy_by_governor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t1_energy_by_governor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

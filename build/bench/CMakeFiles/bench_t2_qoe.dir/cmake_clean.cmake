@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t2_qoe.dir/bench_t2_qoe.cpp.o"
+  "CMakeFiles/bench_t2_qoe.dir/bench_t2_qoe.cpp.o.d"
+  "bench_t2_qoe"
+  "bench_t2_qoe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t2_qoe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

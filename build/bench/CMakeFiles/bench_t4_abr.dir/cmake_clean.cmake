@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t4_abr.dir/bench_t4_abr.cpp.o"
+  "CMakeFiles/bench_t4_abr.dir/bench_t4_abr.cpp.o.d"
+  "bench_t4_abr"
+  "bench_t4_abr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t4_abr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t5_live.dir/bench_t5_live.cpp.o"
+  "CMakeFiles/bench_t5_live.dir/bench_t5_live.cpp.o.d"
+  "bench_t5_live"
+  "bench_t5_live.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t5_live.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/battery_budget.dir/battery_budget.cpp.o"
+  "CMakeFiles/battery_budget.dir/battery_budget.cpp.o.d"
+  "battery_budget"
+  "battery_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/battery_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

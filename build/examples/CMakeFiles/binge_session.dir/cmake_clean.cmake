@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/binge_session.dir/binge_session.cpp.o"
+  "CMakeFiles/binge_session.dir/binge_session.cpp.o.d"
+  "binge_session"
+  "binge_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/binge_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/commute_stream.dir/commute_stream.cpp.o"
+  "CMakeFiles/commute_stream.dir/commute_stream.cpp.o.d"
+  "commute_stream"
+  "commute_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/commute_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/governor_tuning.dir/governor_tuning.cpp.o"
+  "CMakeFiles/governor_tuning.dir/governor_tuning.cpp.o.d"
+  "governor_tuning"
+  "governor_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/governor_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_latency.dir/live_latency.cpp.o"
+  "CMakeFiles/live_latency.dir/live_latency.cpp.o.d"
+  "live_latency"
+  "live_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vafs_cli.dir/vafs_cli.cpp.o"
+  "CMakeFiles/vafs_cli.dir/vafs_cli.cpp.o.d"
+  "vafs_cli"
+  "vafs_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vafs_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

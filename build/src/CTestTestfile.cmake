@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("simcore")
+subdirs("sysfs")
+subdirs("cpu")
+subdirs("governors")
+subdirs("net")
+subdirs("video")
+subdirs("stream")
+subdirs("energy")
+subdirs("thermal")
+subdirs("sched")
+subdirs("core")
+subdirs("trace")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vafs_core.dir/predictor.cpp.o"
+  "CMakeFiles/vafs_core.dir/predictor.cpp.o.d"
+  "CMakeFiles/vafs_core.dir/session.cpp.o"
+  "CMakeFiles/vafs_core.dir/session.cpp.o.d"
+  "CMakeFiles/vafs_core.dir/vafs_controller.cpp.o"
+  "CMakeFiles/vafs_core.dir/vafs_controller.cpp.o.d"
+  "libvafs_core.a"
+  "libvafs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vafs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

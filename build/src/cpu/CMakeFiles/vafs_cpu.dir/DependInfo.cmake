@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/cpu_model.cpp" "src/cpu/CMakeFiles/vafs_cpu.dir/cpu_model.cpp.o" "gcc" "src/cpu/CMakeFiles/vafs_cpu.dir/cpu_model.cpp.o.d"
+  "/root/repo/src/cpu/cpufreq_policy.cpp" "src/cpu/CMakeFiles/vafs_cpu.dir/cpufreq_policy.cpp.o" "gcc" "src/cpu/CMakeFiles/vafs_cpu.dir/cpufreq_policy.cpp.o.d"
+  "/root/repo/src/cpu/cpufreq_sysfs.cpp" "src/cpu/CMakeFiles/vafs_cpu.dir/cpufreq_sysfs.cpp.o" "gcc" "src/cpu/CMakeFiles/vafs_cpu.dir/cpufreq_sysfs.cpp.o.d"
+  "/root/repo/src/cpu/cpuidle.cpp" "src/cpu/CMakeFiles/vafs_cpu.dir/cpuidle.cpp.o" "gcc" "src/cpu/CMakeFiles/vafs_cpu.dir/cpuidle.cpp.o.d"
+  "/root/repo/src/cpu/governor.cpp" "src/cpu/CMakeFiles/vafs_cpu.dir/governor.cpp.o" "gcc" "src/cpu/CMakeFiles/vafs_cpu.dir/governor.cpp.o.d"
+  "/root/repo/src/cpu/opp.cpp" "src/cpu/CMakeFiles/vafs_cpu.dir/opp.cpp.o" "gcc" "src/cpu/CMakeFiles/vafs_cpu.dir/opp.cpp.o.d"
+  "/root/repo/src/cpu/power_model.cpp" "src/cpu/CMakeFiles/vafs_cpu.dir/power_model.cpp.o" "gcc" "src/cpu/CMakeFiles/vafs_cpu.dir/power_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simcore/CMakeFiles/vafs_simcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/sysfs/CMakeFiles/vafs_sysfs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

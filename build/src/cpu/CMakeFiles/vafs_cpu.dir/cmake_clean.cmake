@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vafs_cpu.dir/cpu_model.cpp.o"
+  "CMakeFiles/vafs_cpu.dir/cpu_model.cpp.o.d"
+  "CMakeFiles/vafs_cpu.dir/cpufreq_policy.cpp.o"
+  "CMakeFiles/vafs_cpu.dir/cpufreq_policy.cpp.o.d"
+  "CMakeFiles/vafs_cpu.dir/cpufreq_sysfs.cpp.o"
+  "CMakeFiles/vafs_cpu.dir/cpufreq_sysfs.cpp.o.d"
+  "CMakeFiles/vafs_cpu.dir/cpuidle.cpp.o"
+  "CMakeFiles/vafs_cpu.dir/cpuidle.cpp.o.d"
+  "CMakeFiles/vafs_cpu.dir/governor.cpp.o"
+  "CMakeFiles/vafs_cpu.dir/governor.cpp.o.d"
+  "CMakeFiles/vafs_cpu.dir/opp.cpp.o"
+  "CMakeFiles/vafs_cpu.dir/opp.cpp.o.d"
+  "CMakeFiles/vafs_cpu.dir/power_model.cpp.o"
+  "CMakeFiles/vafs_cpu.dir/power_model.cpp.o.d"
+  "libvafs_cpu.a"
+  "libvafs_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vafs_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

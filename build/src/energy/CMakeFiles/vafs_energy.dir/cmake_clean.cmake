@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vafs_energy.dir/meter.cpp.o"
+  "CMakeFiles/vafs_energy.dir/meter.cpp.o.d"
+  "libvafs_energy.a"
+  "libvafs_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vafs_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

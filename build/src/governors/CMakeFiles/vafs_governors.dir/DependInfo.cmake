@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/governors/basic.cpp" "src/governors/CMakeFiles/vafs_governors.dir/basic.cpp.o" "gcc" "src/governors/CMakeFiles/vafs_governors.dir/basic.cpp.o.d"
+  "/root/repo/src/governors/conservative.cpp" "src/governors/CMakeFiles/vafs_governors.dir/conservative.cpp.o" "gcc" "src/governors/CMakeFiles/vafs_governors.dir/conservative.cpp.o.d"
+  "/root/repo/src/governors/interactive.cpp" "src/governors/CMakeFiles/vafs_governors.dir/interactive.cpp.o" "gcc" "src/governors/CMakeFiles/vafs_governors.dir/interactive.cpp.o.d"
+  "/root/repo/src/governors/ondemand.cpp" "src/governors/CMakeFiles/vafs_governors.dir/ondemand.cpp.o" "gcc" "src/governors/CMakeFiles/vafs_governors.dir/ondemand.cpp.o.d"
+  "/root/repo/src/governors/registry.cpp" "src/governors/CMakeFiles/vafs_governors.dir/registry.cpp.o" "gcc" "src/governors/CMakeFiles/vafs_governors.dir/registry.cpp.o.d"
+  "/root/repo/src/governors/sampling_base.cpp" "src/governors/CMakeFiles/vafs_governors.dir/sampling_base.cpp.o" "gcc" "src/governors/CMakeFiles/vafs_governors.dir/sampling_base.cpp.o.d"
+  "/root/repo/src/governors/schedutil.cpp" "src/governors/CMakeFiles/vafs_governors.dir/schedutil.cpp.o" "gcc" "src/governors/CMakeFiles/vafs_governors.dir/schedutil.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cpu/CMakeFiles/vafs_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/vafs_simcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/sysfs/CMakeFiles/vafs_sysfs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

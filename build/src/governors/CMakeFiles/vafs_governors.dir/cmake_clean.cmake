@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vafs_governors.dir/basic.cpp.o"
+  "CMakeFiles/vafs_governors.dir/basic.cpp.o.d"
+  "CMakeFiles/vafs_governors.dir/conservative.cpp.o"
+  "CMakeFiles/vafs_governors.dir/conservative.cpp.o.d"
+  "CMakeFiles/vafs_governors.dir/interactive.cpp.o"
+  "CMakeFiles/vafs_governors.dir/interactive.cpp.o.d"
+  "CMakeFiles/vafs_governors.dir/ondemand.cpp.o"
+  "CMakeFiles/vafs_governors.dir/ondemand.cpp.o.d"
+  "CMakeFiles/vafs_governors.dir/registry.cpp.o"
+  "CMakeFiles/vafs_governors.dir/registry.cpp.o.d"
+  "CMakeFiles/vafs_governors.dir/sampling_base.cpp.o"
+  "CMakeFiles/vafs_governors.dir/sampling_base.cpp.o.d"
+  "CMakeFiles/vafs_governors.dir/schedutil.cpp.o"
+  "CMakeFiles/vafs_governors.dir/schedutil.cpp.o.d"
+  "libvafs_governors.a"
+  "libvafs_governors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vafs_governors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vafs_net.dir/bandwidth.cpp.o"
+  "CMakeFiles/vafs_net.dir/bandwidth.cpp.o.d"
+  "CMakeFiles/vafs_net.dir/downloader.cpp.o"
+  "CMakeFiles/vafs_net.dir/downloader.cpp.o.d"
+  "CMakeFiles/vafs_net.dir/radio.cpp.o"
+  "CMakeFiles/vafs_net.dir/radio.cpp.o.d"
+  "libvafs_net.a"
+  "libvafs_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vafs_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vafs_sched.dir/router.cpp.o"
+  "CMakeFiles/vafs_sched.dir/router.cpp.o.d"
+  "libvafs_sched.a"
+  "libvafs_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vafs_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvafs_sched.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simcore/event_queue.cpp" "src/simcore/CMakeFiles/vafs_simcore.dir/event_queue.cpp.o" "gcc" "src/simcore/CMakeFiles/vafs_simcore.dir/event_queue.cpp.o.d"
+  "/root/repo/src/simcore/rng.cpp" "src/simcore/CMakeFiles/vafs_simcore.dir/rng.cpp.o" "gcc" "src/simcore/CMakeFiles/vafs_simcore.dir/rng.cpp.o.d"
+  "/root/repo/src/simcore/simulator.cpp" "src/simcore/CMakeFiles/vafs_simcore.dir/simulator.cpp.o" "gcc" "src/simcore/CMakeFiles/vafs_simcore.dir/simulator.cpp.o.d"
+  "/root/repo/src/simcore/stats.cpp" "src/simcore/CMakeFiles/vafs_simcore.dir/stats.cpp.o" "gcc" "src/simcore/CMakeFiles/vafs_simcore.dir/stats.cpp.o.d"
+  "/root/repo/src/simcore/time.cpp" "src/simcore/CMakeFiles/vafs_simcore.dir/time.cpp.o" "gcc" "src/simcore/CMakeFiles/vafs_simcore.dir/time.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

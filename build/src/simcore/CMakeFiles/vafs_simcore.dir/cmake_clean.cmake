@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vafs_simcore.dir/event_queue.cpp.o"
+  "CMakeFiles/vafs_simcore.dir/event_queue.cpp.o.d"
+  "CMakeFiles/vafs_simcore.dir/rng.cpp.o"
+  "CMakeFiles/vafs_simcore.dir/rng.cpp.o.d"
+  "CMakeFiles/vafs_simcore.dir/simulator.cpp.o"
+  "CMakeFiles/vafs_simcore.dir/simulator.cpp.o.d"
+  "CMakeFiles/vafs_simcore.dir/stats.cpp.o"
+  "CMakeFiles/vafs_simcore.dir/stats.cpp.o.d"
+  "CMakeFiles/vafs_simcore.dir/time.cpp.o"
+  "CMakeFiles/vafs_simcore.dir/time.cpp.o.d"
+  "libvafs_simcore.a"
+  "libvafs_simcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vafs_simcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

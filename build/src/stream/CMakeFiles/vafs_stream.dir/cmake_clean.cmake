@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vafs_stream.dir/abr.cpp.o"
+  "CMakeFiles/vafs_stream.dir/abr.cpp.o.d"
+  "CMakeFiles/vafs_stream.dir/player.cpp.o"
+  "CMakeFiles/vafs_stream.dir/player.cpp.o.d"
+  "libvafs_stream.a"
+  "libvafs_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vafs_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

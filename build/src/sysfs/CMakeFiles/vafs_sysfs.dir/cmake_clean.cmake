@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vafs_sysfs.dir/tree.cpp.o"
+  "CMakeFiles/vafs_sysfs.dir/tree.cpp.o.d"
+  "libvafs_sysfs.a"
+  "libvafs_sysfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vafs_sysfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for vafs_sysfs.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/thermal/model.cpp" "src/thermal/CMakeFiles/vafs_thermal.dir/model.cpp.o" "gcc" "src/thermal/CMakeFiles/vafs_thermal.dir/model.cpp.o.d"
+  "/root/repo/src/thermal/throttle.cpp" "src/thermal/CMakeFiles/vafs_thermal.dir/throttle.cpp.o" "gcc" "src/thermal/CMakeFiles/vafs_thermal.dir/throttle.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cpu/CMakeFiles/vafs_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/vafs_simcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/sysfs/CMakeFiles/vafs_sysfs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vafs_thermal.dir/model.cpp.o"
+  "CMakeFiles/vafs_thermal.dir/model.cpp.o.d"
+  "CMakeFiles/vafs_thermal.dir/throttle.cpp.o"
+  "CMakeFiles/vafs_thermal.dir/throttle.cpp.o.d"
+  "libvafs_thermal.a"
+  "libvafs_thermal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vafs_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vafs_trace.dir/bandwidth_file.cpp.o"
+  "CMakeFiles/vafs_trace.dir/bandwidth_file.cpp.o.d"
+  "CMakeFiles/vafs_trace.dir/csv.cpp.o"
+  "CMakeFiles/vafs_trace.dir/csv.cpp.o.d"
+  "CMakeFiles/vafs_trace.dir/recorder.cpp.o"
+  "CMakeFiles/vafs_trace.dir/recorder.cpp.o.d"
+  "libvafs_trace.a"
+  "libvafs_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vafs_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/video/buffer.cpp" "src/video/CMakeFiles/vafs_video.dir/buffer.cpp.o" "gcc" "src/video/CMakeFiles/vafs_video.dir/buffer.cpp.o.d"
+  "/root/repo/src/video/content.cpp" "src/video/CMakeFiles/vafs_video.dir/content.cpp.o" "gcc" "src/video/CMakeFiles/vafs_video.dir/content.cpp.o.d"
+  "/root/repo/src/video/manifest.cpp" "src/video/CMakeFiles/vafs_video.dir/manifest.cpp.o" "gcc" "src/video/CMakeFiles/vafs_video.dir/manifest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simcore/CMakeFiles/vafs_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vafs_video.dir/buffer.cpp.o"
+  "CMakeFiles/vafs_video.dir/buffer.cpp.o.d"
+  "CMakeFiles/vafs_video.dir/content.cpp.o"
+  "CMakeFiles/vafs_video.dir/content.cpp.o.d"
+  "CMakeFiles/vafs_video.dir/manifest.cpp.o"
+  "CMakeFiles/vafs_video.dir/manifest.cpp.o.d"
+  "libvafs_video.a"
+  "libvafs_video.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vafs_video.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

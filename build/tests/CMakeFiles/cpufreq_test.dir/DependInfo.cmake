@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cpufreq_test.cpp" "tests/CMakeFiles/cpufreq_test.dir/cpufreq_test.cpp.o" "gcc" "tests/CMakeFiles/cpufreq_test.dir/cpufreq_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/vafs_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/vafs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/vafs_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/vafs_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/governors/CMakeFiles/vafs_governors.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/vafs_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vafs_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/vafs_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/vafs_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/vafs_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/sysfs/CMakeFiles/vafs_sysfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/vafs_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpufreq_test.dir/cpufreq_test.cpp.o"
+  "CMakeFiles/cpufreq_test.dir/cpufreq_test.cpp.o.d"
+  "cpufreq_test"
+  "cpufreq_test.pdb"
+  "cpufreq_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpufreq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

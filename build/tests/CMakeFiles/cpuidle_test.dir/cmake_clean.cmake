@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpuidle_test.dir/cpuidle_test.cpp.o"
+  "CMakeFiles/cpuidle_test.dir/cpuidle_test.cpp.o.d"
+  "cpuidle_test"
+  "cpuidle_test.pdb"
+  "cpuidle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpuidle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/governors_test.dir/governors_test.cpp.o"
+  "CMakeFiles/governors_test.dir/governors_test.cpp.o.d"
+  "governors_test"
+  "governors_test.pdb"
+  "governors_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/governors_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

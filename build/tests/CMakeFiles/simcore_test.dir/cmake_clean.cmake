@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simcore_test.dir/simcore_test.cpp.o"
+  "CMakeFiles/simcore_test.dir/simcore_test.cpp.o.d"
+  "simcore_test"
+  "simcore_test.pdb"
+  "simcore_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simcore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

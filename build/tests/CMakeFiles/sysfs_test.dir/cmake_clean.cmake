@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sysfs_test.dir/sysfs_test.cpp.o"
+  "CMakeFiles/sysfs_test.dir/sysfs_test.cpp.o.d"
+  "sysfs_test"
+  "sysfs_test.pdb"
+  "sysfs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sysfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/video_test.dir/video_test.cpp.o"
+  "CMakeFiles/video_test.dir/video_test.cpp.o.d"
+  "video_test"
+  "video_test.pdb"
+  "video_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/video_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
