@@ -1,49 +1,52 @@
 // F10 — thermal behaviour under sustained 1080p streaming (extension).
 //
-// 5-minute 1080p sessions in a warm environment (35 °C ambient) with the
+// 5-minute 1080p sessions in a warm environment (40 °C ambient) with the
 // lumped-RC thermal model and step-wise throttle enabled. Reactive
 // governors that burst to the top OPPs heat the SoC into the throttle
 // band; once capped, their QoE depends on the cap. VAFS's lower steady
 // frequency keeps the SoC cooler and out of (or barely into) throttling.
 #include <cstdio>
 #include <string>
+#include <vector>
 
-#include "bench_util.h"
+#include "exp/bench_app.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vafs;
 
-  bench::print_header("F10", "Thermal: sustained 1080p at 40 C ambient, throttle enabled");
+  exp::BenchApp app(argc, argv, "f10",
+                    "Thermal: sustained 1080p at 40 C ambient, throttle enabled");
+
+  const std::vector<std::string> governors = {"performance", "ondemand", "interactive",
+                                              "schedutil", "vafs"};
+
+  core::SessionConfig base;
+  base.fixed_rep = 3;  // 1080p: the hot case
+  base.media_duration = app.session_seconds(300);
+  base.net = core::NetProfile::kGood;
+  base.thermal_enabled = true;
+  base.thermal.ambient_c = 40.0;  // summer car-mount worst case
+
+  const exp::ResultSet& results = app.run(exp::ExperimentGrid(base).governors(governors));
 
   std::printf("%-13s %9s %9s %10s %11s %9s %9s %8s\n", "governor", "peak_C", "mean_C",
               "thr_time_s", "thr_events", "cpu_J", "drop_%", "rebuf");
-  bench::print_rule(84);
+  exp::print_rule(84);
 
-  for (const std::string governor :
-       {"performance", "ondemand", "interactive", "schedutil", "vafs"}) {
-    core::SessionConfig config;
-    config.governor = governor;
-    config.fixed_rep = 3;  // 1080p: the hot case
-    config.media_duration = sim::SimTime::seconds(300);
-    config.net = core::NetProfile::kGood;
-    config.seed = 404;
-    config.thermal_enabled = true;
-    config.thermal.ambient_c = 40.0;  // summer car-mount worst case
-
-    const auto r = core::run_session(config);
-    if (!r.finished) {
+  for (const auto& governor : governors) {
+    const auto& a = results.agg({{"governor", governor}});
+    if (!a.all_finished) {
       std::printf("%-13s DID NOT FINISH\n", governor.c_str());
       continue;
     }
-    std::printf("%-13s %9.1f %9.1f %10.1f %11llu %9.1f %9.2f %8llu\n", governor.c_str(),
-                r.peak_temp_c, r.mean_temp_c, r.throttled_time.as_seconds_f(),
-                static_cast<unsigned long long>(r.throttle_events), r.energy.cpu_mj / 1000.0,
-                r.qoe.drop_ratio() * 100.0,
-                static_cast<unsigned long long>(r.qoe.rebuffer_events));
+    std::printf("%-13s %9.1f %9.1f %10.1f %11.0f %9.1f %9.2f %8.1f\n", governor.c_str(),
+                a.peak_temp_c.mean(), a.mean_temp_c.mean(), a.throttled_s.mean(),
+                a.throttle_events.mean(), a.cpu_mj.mean() / 1000.0, a.drop_pct.mean(),
+                a.rebuffer_events.mean());
   }
 
   std::printf("\nExpected shape: performance spends most of the session throttled and\n"
               "ondemand/interactive minutes of it; VAFS and schedutil run ~2-3 C\n"
               "cooler and never cross the trip, so their QoE owes nothing to the cap.\n");
-  return 0;
+  return app.finish();
 }

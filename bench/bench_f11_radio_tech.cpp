@@ -10,42 +10,53 @@
 #include <string>
 #include <vector>
 
-#include "bench_util.h"
+#include "exp/bench_app.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vafs;
 
-  bench::print_header("F11", "Radio technology sweep (720p, fair bandwidth, 120 s)");
+  exp::BenchApp app(argc, argv, "f11", "Radio technology sweep (720p, fair bandwidth, 120 s)");
 
-  const std::vector<std::pair<const char*, net::RadioParams>> radios = {
+  const std::vector<std::pair<std::string, net::RadioParams>> radios = {
       {"wifi", net::RadioParams::wifi()},
       {"lte", net::RadioParams::lte()},
       {"3g-umts", net::RadioParams::umts_3g()},
   };
+  const std::vector<std::string> governors = {"ondemand", "vafs"};
+
+  core::SessionConfig base;
+  base.fixed_rep = 2;
+  base.media_duration = app.session_seconds(120);
+  base.net = core::NetProfile::kFair;
+
+  exp::ExperimentGrid grid(base);
+  std::vector<std::pair<std::string, exp::ExperimentGrid::Mutator>> radio_axis;
+  for (const auto& [name, params] : radios) {
+    radio_axis.emplace_back(name,
+                            [params = params](core::SessionConfig& c) { c.radio = params; });
+  }
+  grid.axis("radio", std::move(radio_axis)).governors(governors);
+
+  const exp::ResultSet& results = app.run(grid);
 
   std::printf("%-9s %-10s %9s %9s %9s %9s %10s\n", "radio", "governor", "cpu_J", "radio_J",
               "total_J", "vs_ondm", "startup_s");
-  bench::print_rule(72);
+  exp::print_rule(72);
 
-  for (const auto& [radio_name, radio_params] : radios) {
-    double ondemand_cpu = 0.0;
-    for (const std::string governor : {"ondemand", "vafs"}) {
-      core::SessionConfig config;
-      config.governor = governor;
-      config.fixed_rep = 2;
-      config.media_duration = sim::SimTime::seconds(120);
-      config.net = core::NetProfile::kFair;
-      config.radio = radio_params;
-      const auto a = bench::run_averaged(config, bench::default_seeds());
-      if (governor == "ondemand") ondemand_cpu = a.cpu_mj;
-      std::printf("%-9s %-10s %9.2f %9.2f %9.2f %8.1f%% %10.2f\n", radio_name,
-                  governor.c_str(), a.cpu_mj / 1000.0, a.radio_mj / 1000.0, a.total_mj / 1000.0,
-                  (1.0 - a.cpu_mj / ondemand_cpu) * 100.0, a.startup_s);
+  for (const auto& [radio_name, params] : radios) {
+    const double ondemand_cpu =
+        results.agg({{"radio", radio_name}, {"governor", "ondemand"}}).cpu_mj.mean();
+    for (const auto& governor : governors) {
+      const auto& a = results.agg({{"radio", radio_name}, {"governor", governor}});
+      std::printf("%-9s %-10s %9.2f %9.2f %9.2f %8.1f%% %10.2f\n", radio_name.c_str(),
+                  governor.c_str(), a.cpu_mj.mean() / 1000.0, a.radio_mj.mean() / 1000.0,
+                  a.total_mj.mean() / 1000.0, (1.0 - a.cpu_mj.mean() / ondemand_cpu) * 100.0,
+                  a.startup_s.mean());
     }
-    bench::print_rule(72);
+    exp::print_rule(72);
   }
 
   std::printf("\nExpected shape: VAFS's CPU saving is ~40%% on every radio; radio\n"
               "energy ranks wifi < lte < 3g; 3G's 2 s promotion shows in startup.\n");
-  return 0;
+  return app.finish();
 }

@@ -13,38 +13,48 @@
 #include <string>
 #include <vector>
 
-#include "bench_util.h"
+#include "exp/bench_app.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vafs;
 
-  bench::print_header("F12", "Idle-state strategy vs governor energy (720p, fair LTE)");
+  exp::BenchApp app(argc, argv, "f12", "Idle-state strategy vs governor energy (720p, fair LTE)");
 
   const std::vector<cpu::CpuidleStrategy> strategies = {
       cpu::CpuidleStrategy::kShallowOnly, cpu::CpuidleStrategy::kMenu,
       cpu::CpuidleStrategy::kOracle};
   const std::vector<std::string> governors = {"ondemand", "interactive", "schedutil", "vafs"};
 
+  core::SessionConfig base;
+  base.fixed_rep = 2;
+  base.media_duration = app.session_seconds(120);
+  base.net = core::NetProfile::kFair;
+
+  exp::ExperimentGrid grid(base);
+  std::vector<std::pair<std::string, exp::ExperimentGrid::Mutator>> idle_axis;
+  for (const auto strategy : strategies) {
+    idle_axis.emplace_back(cpu::cpuidle_strategy_name(strategy),
+                           [strategy](core::SessionConfig& c) { c.cpuidle = strategy; });
+  }
+  grid.axis("cpuidle", std::move(idle_axis)).governors(governors);
+
+  const exp::ResultSet& results = app.run(grid);
+
   std::printf("%-9s %-12s %10s %10s %9s\n", "cpuidle", "governor", "cpu_J", "vs_ondm",
               "drop_%");
-  bench::print_rule(56);
+  exp::print_rule(56);
 
   for (const auto strategy : strategies) {
-    double ondemand_cpu = 0.0;
+    const char* idle_name = cpu::cpuidle_strategy_name(strategy);
+    const double ondemand_cpu =
+        results.agg({{"cpuidle", idle_name}, {"governor", "ondemand"}}).cpu_mj.mean();
     for (const auto& governor : governors) {
-      core::SessionConfig config;
-      config.governor = governor;
-      config.fixed_rep = 2;
-      config.media_duration = sim::SimTime::seconds(120);
-      config.net = core::NetProfile::kFair;
-      config.cpuidle = strategy;
-      const auto a = bench::run_averaged(config, bench::default_seeds());
-      if (governor == "ondemand") ondemand_cpu = a.cpu_mj;
-      std::printf("%-9s %-12s %10.2f %9.1f%% %9.2f\n", cpu::cpuidle_strategy_name(strategy),
-                  governor.c_str(), a.cpu_mj / 1000.0,
-                  (1.0 - a.cpu_mj / ondemand_cpu) * 100.0, a.drop_pct);
+      const auto& a = results.agg({{"cpuidle", idle_name}, {"governor", governor}});
+      std::printf("%-9s %-12s %10.2f %9.1f%% %9.2f\n", idle_name, governor.c_str(),
+                  a.cpu_mj.mean() / 1000.0, (1.0 - a.cpu_mj.mean() / ondemand_cpu) * 100.0,
+                  a.drop_pct.mean());
     }
-    bench::print_rule(56);
+    exp::print_rule(56);
   }
-  return 0;
+  return app.finish();
 }

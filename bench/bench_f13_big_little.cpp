@@ -15,50 +15,56 @@
 #include <string>
 #include <vector>
 
-#include "bench_util.h"
+#include "exp/bench_app.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vafs;
 
-  bench::print_header("F13", "big.LITTLE vs single-cluster CPU energy (J), fair LTE, 120 s");
+  exp::BenchApp app(argc, argv, "f13",
+                    "big.LITTLE vs single-cluster CPU energy (J), fair LTE, 120 s");
 
-  const std::vector<std::pair<std::size_t, const char*>> reps = {
+  const std::vector<std::pair<std::size_t, std::string>> reps = {
       {0, "360p"}, {1, "480p"}, {2, "720p"}, {3, "1080p"}};
   const std::vector<std::string> governors = {"ondemand", "schedutil", "vafs"};
 
+  core::SessionConfig base;
+  base.media_duration = app.session_seconds(120);
+  base.net = core::NetProfile::kFair;
+
+  exp::ExperimentGrid grid(base);
+  grid.governors(governors)
+      .axis("cluster", {{"big-only", [](core::SessionConfig& c) { c.big_little = false; }},
+                        {"big.LITTLE", [](core::SessionConfig& c) { c.big_little = true; }}})
+      .reps(reps);
+
+  const exp::ResultSet& results = app.run(grid);
+
   std::printf("%-11s %-10s", "governor", "cluster");
-  for (const auto& [rep, name] : reps) std::printf(" %9s", name);
+  for (const auto& [rep, name] : reps) std::printf(" %9s", name.c_str());
   std::printf("  %s\n", "decode@little(720p)");
-  bench::print_rule(86);
+  exp::print_rule(86);
 
   for (const auto& governor : governors) {
-    for (const bool big_little : {false, true}) {
-      std::printf("%-11s %-10s", governor.c_str(), big_little ? "big.LITTLE" : "big-only");
-      std::uint64_t little_frames = 0;
+    for (const std::string cluster : {"big-only", "big.LITTLE"}) {
+      std::printf("%-11s %-10s", governor.c_str(), cluster.c_str());
       for (const auto& [rep, name] : reps) {
-        core::SessionConfig config;
-        config.governor = governor;
-        config.fixed_rep = rep;
-        config.big_little = big_little;
-        config.media_duration = sim::SimTime::seconds(120);
-        config.net = core::NetProfile::kFair;
-        const auto a = bench::run_averaged(config, bench::default_seeds());
-        std::printf(" %9.2f", a.cpu_mj / 1000.0);
-        if (rep == 2 && big_little) {
-          config.seed = bench::default_seeds().front();
-          little_frames = core::run_session(config).decode_frames_little;
-        }
+        const auto& a =
+            results.agg({{"governor", governor}, {"cluster", cluster}, {"rep", name}});
+        std::printf(" %9.2f", a.cpu_mj.mean() / 1000.0);
       }
-      if (big_little) {
-        std::printf("  %llu", static_cast<unsigned long long>(little_frames));
+      if (cluster == "big.LITTLE") {
+        const auto& sr =
+            results.at({{"governor", governor}, {"cluster", cluster}, {"rep", "720p"}});
+        std::printf("  %llu",
+                    static_cast<unsigned long long>(sr.run0().decode_frames_little));
       }
       std::printf("\n");
     }
-    bench::print_rule(86);
+    exp::print_rule(86);
   }
 
   std::printf("\nExpected shape: VAFS+big.LITTLE is the best cell at every quality up\n"
               "to 720p (decode placed on LITTLE); at 1080p it matches big-only VAFS\n"
               "because the LITTLE cluster cannot meet the frame deadline.\n");
-  return 0;
+  return app.finish();
 }

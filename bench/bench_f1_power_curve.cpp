@@ -4,41 +4,56 @@
 // default mobile big core. The shape (superlinear power, an energy-per-
 // cycle sweet spot at low-mid OPPs) is what makes deadline-aware frequency
 // selection save energy; this figure documents the model those results
-// rest on.
+// rest on. No sessions run here — the whole curve lands in the artifact's
+// "extra" payload.
+#include <algorithm>
 #include <cstdio>
 
-#include "bench_util.h"
 #include "cpu/opp.h"
 #include "cpu/power_model.h"
+#include "exp/bench_app.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vafs;
 
-  bench::print_header("F1", "CPU power vs frequency (model validation)");
+  exp::BenchApp app(argc, argv, "f1", "CPU power vs frequency (model validation)");
 
   const cpu::OppTable table = cpu::OppTable::mobile_big_core();
   const cpu::CpuPowerModel model;
 
   std::printf("%10s %10s %12s %16s %14s\n", "freq_mhz", "volt_v", "busy_mw", "energy_pj/cycle",
               "rel_to_min");
-  bench::print_rule();
+  exp::print_rule();
 
   double min_pj = 1e300;
   for (std::size_t i = 0; i < table.size(); ++i) {
     const double pj = model.busy_mw(table.at(i)) / (table.at(i).freq_mhz() * 1e6) * 1e9;
     min_pj = std::min(min_pj, pj);
   }
+  exp::Json curve = exp::Json::array();
   for (std::size_t i = 0; i < table.size(); ++i) {
     const auto& opp = table.at(i);
     const double mw = model.busy_mw(opp);
     const double pj_per_cycle = mw / (opp.freq_mhz() * 1e6) * 1e9;
     std::printf("%10.0f %10.3f %12.1f %16.2f %13.2fx\n", opp.freq_mhz(), opp.volt(), mw,
                 pj_per_cycle, pj_per_cycle / min_pj);
+
+    exp::Json row = exp::Json::object();
+    row.set("freq_mhz", opp.freq_mhz());
+    row.set("volt_v", opp.volt());
+    row.set("busy_mw", mw);
+    row.set("energy_pj_per_cycle", pj_per_cycle);
+    row.set("rel_to_min", pj_per_cycle / min_pj);
+    curve.push(std::move(row));
   }
-  bench::print_rule();
+  exp::print_rule();
   std::printf("idle power: %.1f mW   transition energy: %.1f uJ\n", model.idle_mw(),
               model.transition_uj());
   std::printf("\nExpected shape: busy power superlinear in frequency; energy/cycle has a\n"
               "sweet spot at low-mid OPPs and grows ~2x by the top OPP (voltage ramp).\n");
-  return 0;
+
+  app.extra().set("power_curve", std::move(curve));
+  app.extra().set("idle_mw", model.idle_mw());
+  app.extra().set("transition_uj", model.transition_uj());
+  return app.finish();
 }

@@ -8,30 +8,47 @@
 #include <cstdio>
 #include <iostream>
 #include <string>
+#include <vector>
 
-#include "bench_util.h"
+#include "exp/bench_app.h"
 #include "trace/csv.h"
 #include "trace/recorder.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vafs;
 
-  bench::print_header("F2", "Timeline: frequency / power / buffer, ondemand vs VAFS");
+  exp::BenchApp app(argc, argv, "f2", "Timeline: frequency / power / buffer, ondemand vs VAFS");
 
-  for (const std::string governor : {"ondemand", "vafs"}) {
-    core::SessionConfig config;
-    config.governor = governor;
-    config.fixed_rep = 2;
-    config.media_duration = sim::SimTime::seconds(60);
-    config.net = core::NetProfile::kFair;
-    config.seed = 101;
+  const std::vector<std::string> governors = {"ondemand", "vafs"};
 
-    trace::TimelineRecorder recorder(sim::SimTime::millis(100));
-    core::SessionHooks hooks;
-    hooks.on_ready = [&recorder](core::SessionLive& live) { recorder.attach(live); };
-    const auto result = core::run_session(config, hooks);
+  core::SessionConfig base;
+  base.fixed_rep = 2;
+  base.media_duration = app.session_seconds(60);
+  base.net = core::NetProfile::kFair;
 
-    std::printf("\n### %s — CSV series (500 ms samples) ###\n", governor.c_str());
+  // One recorder per (scenario, seed) task; the printed series uses each
+  // governor's first seed.
+  const std::size_t nseeds = app.seeds().size();
+  std::vector<trace::TimelineRecorder> recorders(governors.size() * nseeds,
+                                                 trace::TimelineRecorder(sim::SimTime::millis(100)));
+  const auto hooks = [&recorders, nseeds](const exp::ScenarioSpec&, std::size_t scenario_index,
+                                          std::size_t seed_index) {
+    trace::TimelineRecorder* recorder = &recorders[scenario_index * nseeds + seed_index];
+    core::SessionHooks h;
+    h.on_ready = [recorder](core::SessionLive& live) { recorder->attach(live); };
+    return h;
+  };
+
+  const exp::ResultSet& results =
+      app.run(exp::ExperimentGrid(base).governors(governors), "main", hooks);
+
+  for (std::size_t g = 0; g < governors.size(); ++g) {
+    const std::string& governor = governors[g];
+    const auto& sr = results.at({{"governor", governor}});
+    const trace::TimelineRecorder& recorder = recorders[g * nseeds];
+
+    std::printf("\n### %s — CSV series (500 ms samples, seed %llu) ###\n", governor.c_str(),
+                static_cast<unsigned long long>(app.seeds().front()));
     {
       trace::CsvWriter csv(std::cout, {"t_s", "freq_mhz", "cpu_mw", "buffer_s", "radio_state",
                                        "player_state"});
@@ -57,12 +74,13 @@ int main() {
       last = s.freq_khz;
       mw_sum += s.cpu_power_mw;
     }
+    const auto& r = sr.run0();
     std::printf("summary[%s]: cpu=%.2f J, mean_cpu=%.0f mW, freq-changes(100ms grid)=%d, "
                 "transitions=%llu, drops=%.2f%%\n",
-                governor.c_str(), result.energy.cpu_mj / 1000.0,
+                governor.c_str(), r.energy.cpu_mj / 1000.0,
                 mw_sum / static_cast<double>(recorder.samples().size()), flips,
-                static_cast<unsigned long long>(result.freq_transitions),
-                result.qoe.drop_ratio() * 100.0);
+                static_cast<unsigned long long>(r.freq_transitions),
+                r.qoe.drop_ratio() * 100.0);
   }
-  return 0;
+  return app.finish();
 }

@@ -5,43 +5,54 @@
 // are long (poor network keeps the reactive governors bursting at max for
 // longer), while absolute radio energy grows as the network degrades.
 #include <cstdio>
+#include <string>
 #include <vector>
 
-#include "bench_util.h"
+#include "exp/bench_app.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vafs;
 
-  bench::print_header("F4", "Energy vs network bandwidth profile (720p, fixed ABR)");
+  exp::BenchApp app(argc, argv, "f4", "Energy vs network bandwidth profile (720p, fixed ABR)");
 
   const std::vector<core::NetProfile> profiles = {
       core::NetProfile::kPoor, core::NetProfile::kFair, core::NetProfile::kGood,
       core::NetProfile::kExcellent};
   const std::vector<std::string> governors = {"ondemand", "interactive", "schedutil", "vafs"};
 
+  core::SessionConfig base;
+  base.fixed_rep = 2;
+  base.media_duration = app.session_seconds(120);
+
+  exp::ExperimentGrid grid(base);
+  std::vector<std::pair<std::string, exp::ExperimentGrid::Mutator>> profile_axis;
+  for (const auto profile : profiles) {
+    profile_axis.emplace_back(core::net_profile_name(profile),
+                              [profile](core::SessionConfig& c) { c.net = profile; });
+  }
+  grid.axis("profile", std::move(profile_axis)).governors(governors);
+
+  const exp::ResultSet& results = app.run(grid);
+
   std::printf("%-11s %-12s %10s %10s %10s %9s %8s\n", "profile", "governor", "cpu_J",
               "radio_J", "total_J", "vs_ondm", "drop_%");
-  bench::print_rule(78);
+  exp::print_rule(78);
 
   for (const auto profile : profiles) {
-    double ondemand_cpu = 0.0;
+    const char* profile_name = core::net_profile_name(profile);
+    const double ondemand_cpu =
+        results.agg({{"profile", profile_name}, {"governor", "ondemand"}}).cpu_mj.mean();
     for (const auto& governor : governors) {
-      core::SessionConfig config;
-      config.governor = governor;
-      config.fixed_rep = 2;
-      config.media_duration = sim::SimTime::seconds(120);
-      config.net = profile;
-      const auto a = bench::run_averaged(config, bench::default_seeds());
-      if (governor == "ondemand") ondemand_cpu = a.cpu_mj;
-      const double saving = (1.0 - a.cpu_mj / ondemand_cpu) * 100.0;
-      std::printf("%-11s %-12s %10.2f %10.2f %10.2f %8.1f%% %8.2f\n",
-                  core::net_profile_name(profile), governor.c_str(), a.cpu_mj / 1000.0,
-                  a.radio_mj / 1000.0, a.total_mj / 1000.0, saving, a.drop_pct);
+      const auto& a = results.agg({{"profile", profile_name}, {"governor", governor}});
+      const double saving = (1.0 - a.cpu_mj.mean() / ondemand_cpu) * 100.0;
+      std::printf("%-11s %-12s %10.2f %10.2f %10.2f %8.1f%% %8.2f\n", profile_name,
+                  governor.c_str(), a.cpu_mj.mean() / 1000.0, a.radio_mj.mean() / 1000.0,
+                  a.total_mj.mean() / 1000.0, saving, a.drop_pct.mean());
     }
-    bench::print_rule(78);
+    exp::print_rule(78);
   }
 
   std::printf("\nExpected shape: VAFS saving vs ondemand is 25-45%% on every profile;\n"
               "radio energy rises as bandwidth falls (longer transfers, more tail).\n");
-  return 0;
+  return app.finish();
 }

@@ -1,107 +1,124 @@
 // F6 — VAFS sensitivity / ablation.
 //
-// Three sweeps on 720p / fair LTE:
+// Four sweeps on 720p / fair LTE:
 //   (a) safety margin: energy rises with margin, deadline misses explode
 //       as margin -> 0 (the energy/QoE knob);
 //   (b) predictor window: too small is jittery (more setspeed writes),
 //       too large is stale — energy roughly flat, writes tell the story;
 //   (c) race-to-idle downloads ON vs OFF (the design-choice ablation from
-//       DESIGN.md §6.5): OFF mimics reactive governors' burst behaviour.
+//       DESIGN.md §6.5): OFF mimics reactive governors' burst behaviour;
+//   (d) audio pipeline on/off.
 #include <cstdio>
+#include <string>
 #include <vector>
 
-#include "bench_util.h"
+#include "exp/bench_app.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vafs;
 
-  bench::print_header("F6", "VAFS sensitivity: safety margin, predictor window, race-to-idle");
+  exp::BenchApp app(argc, argv, "f6",
+                    "VAFS sensitivity: safety margin, predictor window, race-to-idle");
 
-  const auto seeds = bench::default_seeds();
+  core::SessionConfig base;
+  base.governor = "vafs";
+  base.fixed_rep = 2;
+  base.media_duration = app.session_seconds(120);
+  base.net = core::NetProfile::kFair;
 
-  // Negative margins deliberately under-provision (plan *below* predicted
-  // demand) to expose the deadline cliff: snapping to the OPP grid gives a
-  // positive-margin plan implicit headroom, so misses only appear once the
-  // plan undershoots the grid point the decode rate actually needs.
-  std::printf("(a) safety margin sweep (quantile predictor, window 24)\n\n");
-  std::printf("%8s %10s %10s %10s %9s\n", "margin", "cpu_J", "misses", "drop_%", "writes");
-  bench::print_rule(54);
+  // (a) Negative margins deliberately under-provision (plan *below*
+  // predicted demand) to expose the deadline cliff: snapping to the OPP
+  // grid gives a positive-margin plan implicit headroom, so misses only
+  // appear once the plan undershoots the grid point the decode rate
+  // actually needs.
+  exp::ExperimentGrid margin_grid(base);
+  std::vector<std::pair<std::string, exp::ExperimentGrid::Mutator>> margin_axis;
   for (const double margin :
        {-0.60, -0.45, -0.30, -0.15, 0.0, 0.05, 0.10, 0.15, 0.25, 0.40, 0.60}) {
-    core::SessionConfig config;
-    config.governor = "vafs";
-    config.vafs.safety_margin = margin;
-    config.fixed_rep = 2;
-    config.media_duration = sim::SimTime::seconds(120);
-    config.net = core::NetProfile::kFair;
-    // setspeed writes need the raw per-run value; use one seed for that
-    // column and the average for the scalars.
-    const auto a = bench::run_averaged(config, seeds);
-    config.seed = seeds.front();
-    const auto r = core::run_session(config);
-    std::printf("%8.2f %10.2f %10.0f %10.2f %9llu\n", margin, a.cpu_mj / 1000.0,
-                a.deadline_misses, a.drop_pct,
-                static_cast<unsigned long long>(r.vafs_setspeed_writes));
+    char label[16];
+    std::snprintf(label, sizeof label, "%.2f", margin);
+    margin_axis.emplace_back(label,
+                             [margin](core::SessionConfig& c) { c.vafs.safety_margin = margin; });
   }
+  margin_grid.axis("margin", std::move(margin_axis));
+  const exp::ResultSet& margins = app.run(margin_grid, "margin");
+
+  std::printf("(a) safety margin sweep (quantile predictor, window 24)\n\n");
+  std::printf("%8s %10s %10s %10s %9s\n", "margin", "cpu_J", "misses", "drop_%", "writes");
+  exp::print_rule(54);
+  for (const auto& sr : margins.all()) {
+    // setspeed writes stay a raw per-run value (first seed), as before.
+    std::printf("%8s %10.2f %10.0f %10.2f %9llu\n", sr.spec.label("margin")->c_str(),
+                sr.agg.cpu_mj.mean() / 1000.0, sr.agg.deadline_misses.mean(),
+                sr.agg.drop_pct.mean(),
+                static_cast<unsigned long long>(sr.run0().vafs_setspeed_writes));
+  }
+
+  // (b) predictor window sweep.
+  exp::ExperimentGrid window_grid(base);
+  std::vector<std::pair<std::string, exp::ExperimentGrid::Mutator>> window_axis;
+  for (const std::size_t window : {2u, 4u, 8u, 16u, 24u, 48u, 64u}) {
+    window_axis.emplace_back(std::to_string(window), [window](core::SessionConfig& c) {
+      c.vafs.predictor.window = window;
+    });
+  }
+  window_grid.axis("window", std::move(window_axis));
+  const exp::ResultSet& windows = app.run(window_grid, "window");
 
   std::printf("\n(b) predictor window sweep (margin 0.15)\n\n");
   std::printf("%8s %10s %10s %10s %9s %8s\n", "window", "cpu_J", "misses", "drop_%", "writes",
               "mape");
-  bench::print_rule(62);
-  for (const std::size_t window : {2u, 4u, 8u, 16u, 24u, 48u, 64u}) {
-    core::SessionConfig config;
-    config.governor = "vafs";
-    config.vafs.predictor.window = window;
-    config.fixed_rep = 2;
-    config.media_duration = sim::SimTime::seconds(120);
-    config.net = core::NetProfile::kFair;
-    const auto a = bench::run_averaged(config, seeds);
-    config.seed = seeds.front();
-    const auto r = core::run_session(config);
-    std::printf("%8zu %10.2f %10.0f %10.2f %9llu %8.3f\n", window, a.cpu_mj / 1000.0,
-                a.deadline_misses, a.drop_pct,
-                static_cast<unsigned long long>(r.vafs_setspeed_writes), a.vafs_mape);
+  exp::print_rule(62);
+  for (const auto& sr : windows.all()) {
+    std::printf("%8s %10.2f %10.0f %10.2f %9llu %8.3f\n", sr.spec.label("window")->c_str(),
+                sr.agg.cpu_mj.mean() / 1000.0, sr.agg.deadline_misses.mean(),
+                sr.agg.drop_pct.mean(),
+                static_cast<unsigned long long>(sr.run0().vafs_setspeed_writes),
+                sr.agg.vafs_mape.mean());
   }
+
+  // (c) race-to-idle downloads ablation.
+  exp::ExperimentGrid race_grid(base);
+  race_grid.axis("race",
+                 {{"network-bound (VAFS)",
+                   [](core::SessionConfig& c) { c.vafs.race_to_idle_downloads = true; }},
+                  {"burst-to-max (reactive)",
+                   [](core::SessionConfig& c) { c.vafs.race_to_idle_downloads = false; }}});
+  const exp::ResultSet& races = app.run(race_grid, "race_to_idle");
 
   std::printf("\n(c) race-to-idle downloads ablation (margin 0.15, window 24)\n\n");
   std::printf("%-22s %10s %10s %10s\n", "mode", "cpu_J", "drop_%", "rebuf");
-  bench::print_rule(56);
-  for (const bool race : {true, false}) {
-    core::SessionConfig config;
-    config.governor = "vafs";
-    config.vafs.race_to_idle_downloads = race;
-    config.fixed_rep = 2;
-    config.media_duration = sim::SimTime::seconds(120);
-    config.net = core::NetProfile::kFair;
-    const auto a = bench::run_averaged(config, seeds);
-    std::printf("%-22s %10.2f %10.2f %10.1f\n",
-                race ? "network-bound (VAFS)" : "burst-to-max (reactive)", a.cpu_mj / 1000.0,
-                a.drop_pct, a.rebuffer_events);
+  exp::print_rule(56);
+  for (const auto& sr : races.all()) {
+    std::printf("%-22s %10.2f %10.2f %10.1f\n", sr.spec.label("race")->c_str(),
+                sr.agg.cpu_mj.mean() / 1000.0, sr.agg.drop_pct.mean(),
+                sr.agg.rebuffer_events.mean());
   }
+
+  // (d) audio pipeline on/off (AAC-class: 1.2 Mcycles per frame period).
+  exp::ExperimentGrid audio_grid(base);
+  audio_grid
+      .axis("audio", {{"off", [](core::SessionConfig&) {}},
+                      {"on",
+                       [](core::SessionConfig& c) {
+                         c.player.audio_cycles_per_frame = 1.2e6;
+                         c.vafs.audio_cycles_per_frame = 1.2e6;
+                       }}})
+      .governors({"ondemand", "vafs"});
+  const exp::ResultSet& audio = app.run(audio_grid, "audio");
 
   std::printf("\n(d) audio pipeline on/off (AAC-class: 1.2 Mcycles per frame period)\n\n");
   std::printf("%-10s %-12s %10s %10s\n", "audio", "governor", "cpu_J", "drop_%");
-  bench::print_rule(46);
-  for (const bool audio : {false, true}) {
-    for (const std::string governor : {"ondemand", "vafs"}) {
-      core::SessionConfig config;
-      config.governor = governor;
-      config.fixed_rep = 2;
-      config.media_duration = sim::SimTime::seconds(120);
-      config.net = core::NetProfile::kFair;
-      if (audio) {
-        config.player.audio_cycles_per_frame = 1.2e6;
-        config.vafs.audio_cycles_per_frame = 1.2e6;
-      }
-      const auto a = bench::run_averaged(config, seeds);
-      std::printf("%-10s %-12s %10.2f %10.2f\n", audio ? "on" : "off", governor.c_str(),
-                  a.cpu_mj / 1000.0, a.drop_pct);
-    }
+  exp::print_rule(46);
+  for (const auto& sr : audio.all()) {
+    std::printf("%-10s %-12s %10.2f %10.2f\n", sr.spec.label("audio")->c_str(),
+                sr.spec.label("governor")->c_str(), sr.agg.cpu_mj.mean() / 1000.0,
+                sr.agg.drop_pct.mean());
   }
 
   std::printf("\nExpected shape: (a) energy monotone in margin, misses vanish by ~0.10;\n"
               "(b) energy roughly flat, tiny windows write setspeed far more often;\n"
               "(c) treating downloads as network-bound is a large part of the saving;\n"
               "(d) audio adds ~36 MHz of steady load to both, preserving the gap.\n");
-  return 0;
+  return app.finish();
 }

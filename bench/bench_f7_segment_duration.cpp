@@ -7,42 +7,55 @@
 // percentage), which is the point of the figure: CPU-side DVFS and
 // radio-side scheduling attack different energy pools.
 #include <cstdio>
+#include <string>
 #include <vector>
 
-#include "bench_util.h"
+#include "exp/bench_app.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vafs;
 
-  bench::print_header("F7", "Segment duration vs radio/CPU energy (720p, fair LTE)");
+  exp::BenchApp app(argc, argv, "f7", "Segment duration vs radio/CPU energy (720p, fair LTE)");
+
+  const std::vector<std::int64_t> segments = {2, 4, 6, 10};
+  const std::vector<std::string> governors = {"ondemand", "vafs"};
+
+  core::SessionConfig base;
+  base.fixed_rep = 2;
+  base.media_duration = app.session_seconds(120);
+  base.net = core::NetProfile::kFair;
+
+  exp::ExperimentGrid grid(base);
+  std::vector<std::pair<std::string, exp::ExperimentGrid::Mutator>> seg_axis;
+  for (const auto seg_s : segments) {
+    seg_axis.emplace_back(std::to_string(seg_s), [seg_s](core::SessionConfig& c) {
+      c.segment_duration = sim::SimTime::seconds(seg_s);
+    });
+  }
+  grid.axis("seg_s", std::move(seg_axis)).governors(governors);
+
+  const exp::ResultSet& results = app.run(grid);
 
   std::printf("%8s %-10s %10s %10s %10s %9s %8s\n", "seg_s", "governor", "cpu_J", "radio_J",
               "total_J", "vs_ondm", "promos");
-  bench::print_rule(72);
+  exp::print_rule(72);
 
-  for (const std::int64_t seg_s : {2, 4, 6, 10}) {
-    double ondemand_cpu = 0.0;
-    for (const std::string governor : {"ondemand", "vafs"}) {
-      core::SessionConfig config;
-      config.governor = governor;
-      config.fixed_rep = 2;
-      config.segment_duration = sim::SimTime::seconds(seg_s);
-      config.media_duration = sim::SimTime::seconds(120);
-      config.net = core::NetProfile::kFair;
-      const auto a = bench::run_averaged(config, bench::default_seeds());
-      config.seed = bench::default_seeds().front();
-      const auto r = core::run_session(config);
-      if (governor == "ondemand") ondemand_cpu = a.cpu_mj;
-      std::printf("%8lld %-10s %10.2f %10.2f %10.2f %8.1f%% %8llu\n",
-                  static_cast<long long>(seg_s), governor.c_str(), a.cpu_mj / 1000.0,
-                  a.radio_mj / 1000.0, a.total_mj / 1000.0,
-                  (1.0 - a.cpu_mj / ondemand_cpu) * 100.0,
-                  static_cast<unsigned long long>(r.radio_promotions));
+  for (const auto seg_s : segments) {
+    const std::string seg = std::to_string(seg_s);
+    const double ondemand_cpu =
+        results.agg({{"seg_s", seg}, {"governor", "ondemand"}}).cpu_mj.mean();
+    for (const auto& governor : governors) {
+      const auto& sr = results.at({{"seg_s", seg}, {"governor", governor}});
+      std::printf("%8s %-10s %10.2f %10.2f %10.2f %8.1f%% %8llu\n", seg.c_str(),
+                  governor.c_str(), sr.agg.cpu_mj.mean() / 1000.0,
+                  sr.agg.radio_mj.mean() / 1000.0, sr.agg.total_mj.mean() / 1000.0,
+                  (1.0 - sr.agg.cpu_mj.mean() / ondemand_cpu) * 100.0,
+                  static_cast<unsigned long long>(sr.run0().radio_promotions));
     }
-    bench::print_rule(72);
+    exp::print_rule(72);
   }
 
   std::printf("\nExpected shape: radio energy falls as segments lengthen (fewer\n"
               "tail-resets); VAFS's relative CPU saving stays roughly constant.\n");
-  return 0;
+  return app.finish();
 }

@@ -8,40 +8,39 @@
 #include <string>
 #include <vector>
 
-#include "bench_util.h"
+#include "exp/bench_app.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vafs;
 
-  bench::print_header("F8", "Device energy breakdown by component (720p, fair LTE, 120 s)");
+  exp::BenchApp app(argc, argv, "f8",
+                    "Device energy breakdown by component (720p, fair LTE, 120 s)");
 
   const std::vector<std::string> governors = {"performance", "ondemand", "interactive",
                                               "schedutil", "vafs"};
 
+  core::SessionConfig base;
+  base.fixed_rep = 2;
+  base.media_duration = app.session_seconds(120);
+  base.net = core::NetProfile::kFair;
+
+  const exp::ResultSet& results = app.run(exp::ExperimentGrid(base).governors(governors));
+
   std::printf("%-13s %9s %9s %9s %9s %8s %9s\n", "governor", "cpu_J", "radio_J", "disp_J",
               "total_J", "cpu_%", "vs_ondm");
-  bench::print_rule(74);
+  exp::print_rule(74);
 
-  std::vector<std::pair<std::string, bench::Aggregate>> rows;
-  double ondemand_total = 0.0;
+  const double ondemand_total = results.agg({{"governor", "ondemand"}}).total_mj.mean();
   for (const auto& governor : governors) {
-    core::SessionConfig config;
-    config.governor = governor;
-    config.fixed_rep = 2;
-    config.media_duration = sim::SimTime::seconds(120);
-    config.net = core::NetProfile::kFair;
-    const auto a = bench::run_averaged(config, bench::default_seeds());
-    if (governor == "ondemand") ondemand_total = a.total_mj;
-    rows.emplace_back(governor, a);
-  }
-  for (const auto& [governor, a] : rows) {
+    const auto& a = results.agg({{"governor", governor}});
     std::printf("%-13s %9.2f %9.2f %9.2f %9.2f %7.1f%% %8.1f%%\n", governor.c_str(),
-                a.cpu_mj / 1000.0, a.radio_mj / 1000.0, a.display_mj / 1000.0,
-                a.total_mj / 1000.0, a.cpu_mj / a.total_mj * 100.0,
-                (1.0 - a.total_mj / ondemand_total) * 100.0);
+                a.cpu_mj.mean() / 1000.0, a.radio_mj.mean() / 1000.0,
+                a.display_mj.mean() / 1000.0, a.total_mj.mean() / 1000.0,
+                a.cpu_mj.mean() / a.total_mj.mean() * 100.0,
+                (1.0 - a.total_mj.mean() / ondemand_total) * 100.0);
   }
 
   std::printf("\nExpected shape: radio ~50-60%% and display ~30%% of device energy; the\n"
               "CPU slice is what DVFS can address, and VAFS removes a third of it.\n");
-  return 0;
+  return app.finish();
 }

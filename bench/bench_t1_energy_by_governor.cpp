@@ -1,71 +1,79 @@
 // T1 — the headline table: CPU energy per governor × content quality.
 //
-// 120-second sessions, fair LTE, fixed ABR at each ladder rung, averaged
-// over seeds. Reports CPU energy, total device energy, and the saving of
-// each governor relative to ondemand (the classic Android baseline).
+// 120-second sessions, fair LTE, fixed ABR at each ladder rung, aggregated
+// over seeds by the experiment engine. Reports CPU energy (with stddev
+// across seeds), total device energy, and the saving of each governor
+// relative to ondemand (the classic Android baseline).
 //
 // Expected shape: performance worst; ondemand/interactive pay heavily for
 // reactive bursts; VAFS saves 20-40 % of CPU energy vs ondemand at mid
 // qualities with unchanged QoE (QoE shown in T2); powersave "wins" only by
 // destroying playback.
 #include <cstdio>
-#include <map>
 #include <string>
 #include <vector>
 
-#include "bench_util.h"
+#include "exp/bench_app.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vafs;
 
-  bench::print_header("T1", "CPU energy (J) by governor and content quality");
+  exp::BenchApp app(argc, argv, "t1", "CPU energy (J) by governor and content quality");
 
   const std::vector<std::string> governors = {"performance", "ondemand", "interactive",
                                               "conservative", "schedutil", "powersave", "vafs",
                                               "vafs-oracle"};
-  const std::vector<std::pair<std::size_t, const char*>> reps = {
+  const std::vector<std::pair<std::size_t, std::string>> reps = {
       {0, "360p"}, {1, "480p"}, {2, "720p"}, {3, "1080p"}};
 
-  // governor -> rep -> aggregate
-  std::map<std::string, std::map<std::size_t, bench::Aggregate>> results;
+  core::SessionConfig base;
+  base.media_duration = app.session_seconds(120);
+  base.net = core::NetProfile::kFair;
 
-  for (const auto& governor : governors) {
-    for (const auto& [rep, name] : reps) {
-      core::SessionConfig config;
-      config.governor = governor;
-      config.fixed_rep = rep;
-      config.media_duration = sim::SimTime::seconds(120);
-      config.net = core::NetProfile::kFair;
-      results[governor][rep] = bench::run_averaged(config, bench::default_seeds());
-    }
-  }
+  const exp::ResultSet& results =
+      app.run(exp::ExperimentGrid(base).governors(governors).reps(reps));
 
   std::printf("%-13s", "governor");
-  for (const auto& [rep, name] : reps) std::printf(" %9s(J) %8s", name, "vs-ondm");
+  for (const auto& [rep, name] : reps) std::printf(" %9s(J) %8s", name.c_str(), "vs-ondm");
   std::printf("\n");
-  bench::print_rule(88);
+  exp::print_rule(88);
 
   for (const auto& governor : governors) {
     std::printf("%-13s", governor.c_str());
     for (const auto& [rep, name] : reps) {
-      const double cpu_j = results[governor][rep].cpu_mj / 1000.0;
-      const double base_j = results["ondemand"][rep].cpu_mj / 1000.0;
+      const double cpu_j = results.agg({{"governor", governor}, {"rep", name}}).cpu_mj.mean() / 1000.0;
+      const double base_j = results.agg({{"governor", "ondemand"}, {"rep", name}}).cpu_mj.mean() / 1000.0;
       const double saving = (1.0 - cpu_j / base_j) * 100.0;
       std::printf(" %12.2f %7.1f%%", cpu_j, saving);
     }
     std::printf("\n");
   }
 
-  bench::print_rule(88);
-  std::printf("\nTotal device energy (J), including radio and display:\n\n");
+  exp::print_rule(88);
+  std::printf("\nDispersion across seeds (CPU J, mean ± stddev):\n\n");
   std::printf("%-13s", "governor");
-  for (const auto& [rep, name] : reps) std::printf(" %11s", name);
+  for (const auto& [rep, name] : reps) std::printf(" %16s", name.c_str());
   std::printf("\n");
-  bench::print_rule(62);
+  exp::print_rule(82);
   for (const auto& governor : governors) {
     std::printf("%-13s", governor.c_str());
     for (const auto& [rep, name] : reps) {
-      std::printf(" %11.2f", results[governor][rep].total_mj / 1000.0);
+      const auto& cpu = results.agg({{"governor", governor}, {"rep", name}}).cpu_mj;
+      std::printf(" %9.2f ±%5.2f", cpu.mean() / 1000.0, cpu.stddev() / 1000.0);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nTotal device energy (J), including radio and display:\n\n");
+  std::printf("%-13s", "governor");
+  for (const auto& [rep, name] : reps) std::printf(" %11s", name.c_str());
+  std::printf("\n");
+  exp::print_rule(62);
+  for (const auto& governor : governors) {
+    std::printf("%-13s", governor.c_str());
+    for (const auto& [rep, name] : reps) {
+      std::printf(" %11.2f",
+                  results.agg({{"governor", governor}, {"rep", name}}).total_mj.mean() / 1000.0);
     }
     std::printf("\n");
   }
@@ -73,5 +81,5 @@ int main() {
   std::printf("\nNote: powersave rows are not QoE-comparable (see T2: it drops nearly\n"
               "every frame at 720p+). VAFS savings vs ondemand should read 20-40%% at\n"
               "480p-1080p and shrink at 360p where decode fits the lowest OPP anyway.\n");
-  return 0;
+  return app.finish();
 }

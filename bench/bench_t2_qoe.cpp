@@ -5,49 +5,44 @@
 // metric; powersave's deadline-miss rate explodes at 720p/1080p (F3's
 // crossover), which is why "just run slow" is not a usable policy.
 #include <cstdio>
-#include <map>
 #include <string>
 #include <vector>
 
-#include "bench_util.h"
+#include "exp/bench_app.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vafs;
 
-  bench::print_header("T2/F3", "QoE per governor and quality (startup s / rebuf / drop %)");
+  exp::BenchApp app(argc, argv, "t2",
+                    "T2/F3: QoE per governor and quality (startup s / rebuf / drop %)");
 
   const std::vector<std::string> governors = {"performance", "ondemand", "interactive",
                                               "conservative", "schedutil", "powersave", "vafs"};
-  const std::vector<std::pair<std::size_t, const char*>> reps = {
+  const std::vector<std::pair<std::size_t, std::string>> reps = {
       {0, "360p"}, {1, "480p"}, {2, "720p"}, {3, "1080p"}};
 
-  std::map<std::string, std::map<std::size_t, bench::Aggregate>> results;
-  for (const auto& governor : governors) {
-    for (const auto& [rep, name] : reps) {
-      core::SessionConfig config;
-      config.governor = governor;
-      config.fixed_rep = rep;
-      config.media_duration = sim::SimTime::seconds(120);
-      config.net = core::NetProfile::kFair;
-      results[governor][rep] = bench::run_averaged(config, bench::default_seeds());
-    }
-  }
+  core::SessionConfig base;
+  base.media_duration = app.session_seconds(120);
+  base.net = core::NetProfile::kFair;
+
+  const exp::ResultSet& results =
+      app.run(exp::ExperimentGrid(base).governors(governors).reps(reps));
 
   for (const auto& [rep, name] : reps) {
-    std::printf("\n--- %s ---\n", name);
+    std::printf("\n--- %s ---\n", name.c_str());
     std::printf("%-13s %10s %8s %10s %9s %12s %12s\n", "governor", "startup_s", "rebuf",
                 "rebuf_s", "drop_%", "misses", "transitions");
-    bench::print_rule(80);
+    exp::print_rule(80);
     for (const auto& governor : governors) {
-      const auto& a = results[governor][rep];
+      const auto& a = results.agg({{"governor", governor}, {"rep", name}});
       std::printf("%-13s %10.2f %8.1f %10.2f %9.2f %12.0f %12.0f\n", governor.c_str(),
-                  a.startup_s, a.rebuffer_events, a.rebuffer_s, a.drop_pct, a.deadline_misses,
-                  a.transitions);
+                  a.startup_s.mean(), a.rebuffer_events.mean(), a.rebuffer_s.mean(),
+                  a.drop_pct.mean(), a.deadline_misses.mean(), a.transitions.mean());
     }
   }
 
   std::printf("\nF3 reading: deadline-miss (drop) rate vs quality — powersave crosses\n"
               "from usable (<=480p) to broken (720p+); every other governor, including\n"
               "VAFS, stays at ~0%% drops across the ladder.\n");
-  return 0;
+  return app.finish();
 }

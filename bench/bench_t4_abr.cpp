@@ -6,42 +6,55 @@
 // so quality switches do not confuse it), and QoE metrics match the
 // baseline within noise for every ABR.
 #include <cstdio>
+#include <string>
 #include <vector>
 
-#include "bench_util.h"
+#include "exp/bench_app.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vafs;
 
-  bench::print_header("T4", "Energy & QoE under different ABR algorithms (fair LTE)");
+  exp::BenchApp app(argc, argv, "t4", "Energy & QoE under different ABR algorithms (fair LTE)");
+
+  const std::vector<std::pair<core::AbrKind, std::string>> abrs = {
+      {core::AbrKind::kFixed, "fixed"},
+      {core::AbrKind::kRate, "rate"},
+      {core::AbrKind::kBuffer, "buffer"},
+      {core::AbrKind::kBola, "bola"}};
+  const std::vector<std::string> governors = {"ondemand", "vafs"};
+
+  core::SessionConfig base;
+  base.fixed_rep = 2;
+  base.media_duration = app.session_seconds(120);
+  base.net = core::NetProfile::kFair;
+
+  exp::ExperimentGrid grid(base);
+  std::vector<std::pair<std::string, exp::ExperimentGrid::Mutator>> abr_axis;
+  for (const auto& [kind, name] : abrs) {
+    abr_axis.emplace_back(name, [kind = kind](core::SessionConfig& c) { c.abr = kind; });
+  }
+  grid.axis("abr", std::move(abr_axis)).governors(governors);
+
+  const exp::ResultSet& results = app.run(grid);
 
   std::printf("%-8s %-10s %9s %9s %9s %9s %10s %9s\n", "abr", "governor", "cpu_J", "vs_ondm",
               "drop_%", "rebuf", "kbps", "switches");
-  bench::print_rule(80);
+  exp::print_rule(80);
 
-  for (const auto abr : {core::AbrKind::kFixed, core::AbrKind::kRate, core::AbrKind::kBuffer,
-                         core::AbrKind::kBola}) {
-    double ondemand_cpu = 0.0;
-    for (const std::string governor : {"ondemand", "vafs"}) {
-      core::SessionConfig config;
-      config.governor = governor;
-      config.abr = abr;
-      config.fixed_rep = 2;
-      config.media_duration = sim::SimTime::seconds(120);
-      config.net = core::NetProfile::kFair;
-      const auto a = bench::run_averaged(config, bench::default_seeds());
-      if (governor == "ondemand") ondemand_cpu = a.cpu_mj;
-
-      // Quality switches from one representative run.
-      config.seed = bench::default_seeds().front();
-      const auto r = core::run_session(config);
-
-      std::printf("%-8s %-10s %9.2f %8.1f%% %9.2f %9.1f %10.0f %9llu\n",
-                  core::abr_kind_name(abr), governor.c_str(), a.cpu_mj / 1000.0,
-                  (1.0 - a.cpu_mj / ondemand_cpu) * 100.0, a.drop_pct, a.rebuffer_events,
-                  a.mean_bitrate_kbps, static_cast<unsigned long long>(r.qoe.quality_switches));
+  for (const auto& [kind, abr] : abrs) {
+    const double ondemand_cpu = results.agg({{"abr", abr}, {"governor", "ondemand"}}).cpu_mj.mean();
+    for (const auto& governor : governors) {
+      const auto& sr = results.at({{"abr", abr}, {"governor", governor}});
+      const auto& a = sr.agg;
+      // Quality switches from one representative run (the first seed).
+      const auto switches = sr.run0().qoe.quality_switches;
+      std::printf("%-8s %-10s %9.2f %8.1f%% %9.2f %9.1f %10.0f %9llu\n", abr.c_str(),
+                  governor.c_str(), a.cpu_mj.mean() / 1000.0,
+                  (1.0 - a.cpu_mj.mean() / ondemand_cpu) * 100.0, a.drop_pct.mean(),
+                  a.rebuffer_events.mean(), a.mean_bitrate_kbps.mean(),
+                  static_cast<unsigned long long>(switches));
     }
-    bench::print_rule(80);
+    exp::print_rule(80);
   }
-  return 0;
+  return app.finish();
 }

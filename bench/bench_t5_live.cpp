@@ -9,56 +9,50 @@
 // VAFS is safe for latency-critical sessions.
 #include <cstdio>
 #include <string>
+#include <vector>
 
-#include "bench_util.h"
-#include "trace/recorder.h"
+#include "exp/bench_app.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vafs;
 
-  bench::print_header("T5", "Live streaming: 2 s segments, 120 s session, fair LTE, 720p");
+  exp::BenchApp app(argc, argv, "t5",
+                    "Live streaming: 2 s segments, 120 s session, fair LTE, 720p");
+
+  const std::vector<std::string> governors = {"performance", "ondemand", "interactive",
+                                              "schedutil", "vafs"};
+
+  core::SessionConfig base;
+  base.fixed_rep = 2;
+  base.segment_duration = sim::SimTime::seconds(2);
+  base.media_duration = app.session_seconds(120);
+  base.net = core::NetProfile::kFair;
+  base.player.live = true;
+  base.player.startup_buffer = sim::SimTime::seconds(2);
+  base.player.buffer_target = sim::SimTime::seconds(6);
+  base.player.rebuffer_resume = sim::SimTime::seconds(2);
+
+  const exp::ResultSet& results = app.run(exp::ExperimentGrid(base).governors(governors));
 
   std::printf("%-13s %9s %9s %10s %11s %9s %8s\n", "governor", "cpu_J", "vs_ondm",
               "latency_s", "startup_s", "drop_%", "rebuf");
-  bench::print_rule(76);
+  exp::print_rule(76);
 
-  double ondemand_cpu = 0.0;
-  for (const std::string governor :
-       {"performance", "ondemand", "interactive", "schedutil", "vafs"}) {
-    core::SessionConfig config;
-    config.governor = governor;
-    config.fixed_rep = 2;
-    config.segment_duration = sim::SimTime::seconds(2);
-    config.media_duration = sim::SimTime::seconds(120);
-    config.net = core::NetProfile::kFair;
-    config.seed = 808;
-    config.player.live = true;
-    config.player.startup_buffer = sim::SimTime::seconds(2);
-    config.player.buffer_target = sim::SimTime::seconds(6);
-    config.player.rebuffer_resume = sim::SimTime::seconds(2);
-
-    // The final live latency needs the live player object: capture it.
-    double latency_s = 0.0;
-    core::SessionHooks hooks;
-    stream::Player* player = nullptr;
-    hooks.on_ready = [&player](core::SessionLive& live) { player = live.player; };
-    const auto r = core::run_session(config, hooks);
-    if (player != nullptr) latency_s = player->live_latency().as_seconds_f();
-
-    if (!r.finished) {
+  const double ondemand_cpu = results.agg({{"governor", "ondemand"}}).cpu_mj.mean();
+  for (const auto& governor : governors) {
+    const auto& a = results.agg({{"governor", governor}});
+    if (!a.all_finished) {
       std::printf("%-13s DID NOT FINISH\n", governor.c_str());
       continue;
     }
-    if (governor == "ondemand") ondemand_cpu = r.energy.cpu_mj;
-    std::printf("%-13s %9.2f %8.1f%% %10.2f %11.2f %9.2f %8llu\n", governor.c_str(),
-                r.energy.cpu_mj / 1000.0,
-                ondemand_cpu > 0 ? (1.0 - r.energy.cpu_mj / ondemand_cpu) * 100.0 : 0.0,
-                latency_s, r.qoe.startup_delay.as_seconds_f(), r.qoe.drop_ratio() * 100.0,
-                static_cast<unsigned long long>(r.qoe.rebuffer_events));
+    std::printf("%-13s %9.2f %8.1f%% %10.2f %11.2f %9.2f %8.1f\n", governor.c_str(),
+                a.cpu_mj.mean() / 1000.0, (1.0 - a.cpu_mj.mean() / ondemand_cpu) * 100.0,
+                a.live_latency_s.mean(), a.startup_s.mean(), a.drop_pct.mean(),
+                a.rebuffer_events.mean());
   }
 
   std::printf("\nExpected shape: same energy ordering as VoD; live latency within a\n"
               "few hundred ms across governors — frequency policy does not trade\n"
               "latency for energy.\n");
-  return 0;
+  return app.finish();
 }

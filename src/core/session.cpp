@@ -218,6 +218,7 @@ SessionResult run_session(const SessionConfig& config, const SessionHooks& hooks
   result.energy = meter.report();
   result.wall = result.energy.wall;
   result.played = player.played();
+  result.live_latency = player.live_latency();
   result.freq_transitions = cpu_model.transition_count();
   result.busy_fraction =
       result.wall > sim::SimTime::zero()

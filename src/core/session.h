@@ -86,6 +86,9 @@ struct SessionResult {
   energy::DeviceEnergyReport energy;
   sim::SimTime wall;    // session start → last frame presented
   sim::SimTime played;  // media time presented
+  /// End-to-end live latency at session end (live player mode); for VoD
+  /// sessions the value is wall - played and carries no meaning.
+  sim::SimTime live_latency;
 
   std::uint64_t freq_transitions = 0;
   /// (freq_khz, fraction of wall time programmed at it), ascending.

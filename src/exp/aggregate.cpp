@@ -1,0 +1,54 @@
+#include "exp/aggregate.h"
+
+namespace vafs::exp {
+
+void Aggregate::add(const core::SessionResult& r) {
+  all_finished = all_finished && r.finished;
+  cpu_mj.add(r.energy.cpu_mj);
+  radio_mj.add(r.energy.radio_mj);
+  display_mj.add(r.energy.display_mj);
+  total_mj.add(r.energy.total_mj());
+  cpu_mean_mw.add(r.energy.cpu_mean_mw());
+  startup_s.add(r.qoe.startup_delay.as_seconds_f());
+  rebuffer_events.add(static_cast<double>(r.qoe.rebuffer_events));
+  rebuffer_s.add(r.qoe.rebuffer_time.as_seconds_f());
+  drop_pct.add(r.qoe.drop_ratio() * 100.0);
+  deadline_misses.add(static_cast<double>(r.qoe.deadline_misses));
+  quality_switches.add(static_cast<double>(r.qoe.quality_switches));
+  mean_bitrate_kbps.add(r.qoe.mean_bitrate_kbps);
+  transitions.add(static_cast<double>(r.freq_transitions));
+  busy_fraction.add(r.busy_fraction);
+  wall_s.add(r.wall.as_seconds_f());
+  live_latency_s.add(r.live_latency.as_seconds_f());
+  radio_promotions.add(static_cast<double>(r.radio_promotions));
+  vafs_mape.add(r.vafs_decode_mape);
+  vafs_plans.add(static_cast<double>(r.vafs_plans));
+  vafs_setspeed_writes.add(static_cast<double>(r.vafs_setspeed_writes));
+  peak_temp_c.add(r.peak_temp_c);
+  mean_temp_c.add(r.mean_temp_c);
+  throttled_s.add(r.throttled_time.as_seconds_f());
+  throttle_events.add(static_cast<double>(r.throttle_events));
+  cpu_little_mj.add(r.cpu_little_mj);
+  transitions_little.add(static_cast<double>(r.freq_transitions_little));
+  decode_frames_big.add(static_cast<double>(r.decode_frames_big));
+  decode_frames_little.add(static_cast<double>(r.decode_frames_little));
+  decode_migrations.add(static_cast<double>(r.decode_migrations));
+  ++runs;
+}
+
+void Aggregate::merge(const Aggregate& other) {
+  for (const auto& m : metrics()) (this->*(m.member)).merge(other.*(m.member));
+  runs += other.runs;
+  all_finished = all_finished && other.all_finished;
+}
+
+const std::vector<Aggregate::MetricRef>& Aggregate::metrics() {
+  static const std::vector<MetricRef> kTable = {
+#define VAFS_EXP_REF(name) {#name, &Aggregate::name},
+      VAFS_EXP_METRICS(VAFS_EXP_REF)
+#undef VAFS_EXP_REF
+  };
+  return kTable;
+}
+
+}  // namespace vafs::exp

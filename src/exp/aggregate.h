@@ -1,0 +1,70 @@
+// Per-scenario aggregate over N seed-varied sessions. Unlike the old
+// bench::run_averaged (bare means), every metric carries full dispersion —
+// mean / stddev / min / max via sim::OnlineStats — and aggregates merge,
+// so partial results from parallel shards combine exactly.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/session.h"
+#include "simcore/stats.h"
+
+namespace vafs::exp {
+
+/// Every scalar the evaluation tables draw from a SessionResult. Adding a
+/// metric here automatically adds it to add()/merge(), the metric table,
+/// and the JSON/CSV sinks.
+#define VAFS_EXP_METRICS(X) \
+  X(cpu_mj)                 \
+  X(radio_mj)               \
+  X(display_mj)             \
+  X(total_mj)               \
+  X(cpu_mean_mw)            \
+  X(startup_s)              \
+  X(rebuffer_events)        \
+  X(rebuffer_s)             \
+  X(drop_pct)               \
+  X(deadline_misses)        \
+  X(quality_switches)       \
+  X(mean_bitrate_kbps)      \
+  X(transitions)            \
+  X(busy_fraction)          \
+  X(wall_s)                 \
+  X(live_latency_s)         \
+  X(radio_promotions)       \
+  X(vafs_mape)              \
+  X(vafs_plans)             \
+  X(vafs_setspeed_writes)   \
+  X(peak_temp_c)            \
+  X(mean_temp_c)            \
+  X(throttled_s)            \
+  X(throttle_events)        \
+  X(cpu_little_mj)          \
+  X(transitions_little)     \
+  X(decode_frames_big)      \
+  X(decode_frames_little)   \
+  X(decode_migrations)
+
+struct Aggregate {
+#define VAFS_EXP_DECLARE(name) sim::OnlineStats name;
+  VAFS_EXP_METRICS(VAFS_EXP_DECLARE)
+#undef VAFS_EXP_DECLARE
+
+  int runs = 0;
+  bool all_finished = true;
+
+  /// Folds one session's scalar outputs into every metric.
+  void add(const core::SessionResult& r);
+  /// Exact parallel combine (Chan et al. merge under the hood).
+  void merge(const Aggregate& other);
+
+  struct MetricRef {
+    const char* name;
+    sim::OnlineStats Aggregate::*member;
+  };
+  /// Stable name -> member table, in declaration order (drives the sinks).
+  static const std::vector<MetricRef>& metrics();
+};
+
+}  // namespace vafs::exp

@@ -1,0 +1,71 @@
+#include "exp/grid.h"
+
+#include <cassert>
+
+namespace vafs::exp {
+
+const std::string* ScenarioSpec::label(std::string_view axis) const {
+  for (const auto& [name, value] : labels) {
+    if (name == axis) return &value;
+  }
+  return nullptr;
+}
+
+ExperimentGrid& ExperimentGrid::axis(std::string name,
+                                     std::vector<std::pair<std::string, Mutator>> values) {
+  assert(!values.empty() && "an axis needs at least one value");
+  axes_.push_back(Axis{std::move(name), std::move(values)});
+  return *this;
+}
+
+ExperimentGrid& ExperimentGrid::governors(const std::vector<std::string>& names) {
+  std::vector<std::pair<std::string, Mutator>> values;
+  values.reserve(names.size());
+  for (const auto& name : names) {
+    values.emplace_back(name, [name](core::SessionConfig& c) { c.governor = name; });
+  }
+  return axis("governor", std::move(values));
+}
+
+ExperimentGrid& ExperimentGrid::reps(
+    const std::vector<std::pair<std::size_t, std::string>>& rungs) {
+  std::vector<std::pair<std::string, Mutator>> values;
+  values.reserve(rungs.size());
+  for (const auto& [rep, name] : rungs) {
+    values.emplace_back(name, [rep](core::SessionConfig& c) { c.fixed_rep = rep; });
+  }
+  return axis("rep", std::move(values));
+}
+
+std::vector<ScenarioSpec> ExperimentGrid::scenarios() const {
+  std::vector<ScenarioSpec> out;
+  std::size_t total = 1;
+  for (const auto& a : axes_) total *= a.values.size();
+  out.reserve(total);
+
+  // Odometer over the axes, last axis fastest.
+  std::vector<std::size_t> index(axes_.size(), 0);
+  for (std::size_t n = 0; n < total; ++n) {
+    ScenarioSpec spec;
+    spec.config = base_;
+    for (std::size_t d = 0; d < axes_.size(); ++d) {
+      const auto& [label, mutate] = axes_[d].values[index[d]];
+      mutate(spec.config);
+      spec.labels.emplace_back(axes_[d].name, label);
+      if (!spec.id.empty()) spec.id.push_back(' ');
+      spec.id += axes_[d].name;
+      spec.id.push_back('=');
+      spec.id += label;
+    }
+    if (axes_.empty()) spec.id = "base";
+    out.push_back(std::move(spec));
+
+    for (std::size_t d = axes_.size(); d-- > 0;) {
+      if (++index[d] < axes_[d].values.size()) break;
+      index[d] = 0;
+    }
+  }
+  return out;
+}
+
+}  // namespace vafs::exp

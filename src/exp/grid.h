@@ -1,0 +1,56 @@
+// Declarative experiment grids: named axes of SessionConfig mutators whose
+// cartesian product yields the scenario list a bench runs. Replaces the
+// hand-rolled nested governor × quality × ... loops every bench used to
+// carry.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/session.h"
+
+namespace vafs::exp {
+
+/// One fully-specified cell of a grid: the config to run plus the axis
+/// labels that name it (e.g. {governor: vafs, rep: 720p}).
+struct ScenarioSpec {
+  std::string id;  // "governor=vafs rep=720p"
+  std::vector<std::pair<std::string, std::string>> labels;  // (axis, value)
+  core::SessionConfig config;
+
+  /// Label value for `axis`; nullptr when the axis is absent.
+  const std::string* label(std::string_view axis) const;
+};
+
+class ExperimentGrid {
+ public:
+  using Mutator = std::function<void(core::SessionConfig&)>;
+
+  explicit ExperimentGrid(core::SessionConfig base = {}) : base_(std::move(base)) {}
+
+  /// Adds a named axis; scenarios enumerate axes in declaration order with
+  /// the last axis varying fastest (matching the old nested-loop order).
+  ExperimentGrid& axis(std::string name,
+                       std::vector<std::pair<std::string, Mutator>> values);
+
+  /// Common axis: governor names straight into SessionConfig::governor.
+  ExperimentGrid& governors(const std::vector<std::string>& names);
+  /// Common axis: representation ladder rungs into SessionConfig::fixed_rep.
+  ExperimentGrid& reps(const std::vector<std::pair<std::size_t, std::string>>& rungs);
+
+  /// Cartesian product of every axis over the base config.
+  std::vector<ScenarioSpec> scenarios() const;
+
+ private:
+  struct Axis {
+    std::string name;
+    std::vector<std::pair<std::string, Mutator>> values;
+  };
+  core::SessionConfig base_;
+  std::vector<Axis> axes_;
+};
+
+}  // namespace vafs::exp

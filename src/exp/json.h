@@ -1,0 +1,64 @@
+// Minimal ordered JSON value tree + serializer for the machine-readable
+// experiment artifacts (BENCH_<id>.json). No external dependencies; object
+// members keep insertion order so artifacts diff cleanly across runs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace vafs::exp {
+
+class Json {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() = default;  // null
+  Json(bool b) : kind_(Kind::kBool), bool_(b) {}
+  Json(double v) : kind_(Kind::kNumber), num_(v) {}
+  Json(int v) : Json(static_cast<double>(v)) {}
+  Json(std::int64_t v) : Json(static_cast<double>(v)) {}
+  Json(std::uint64_t v) : Json(static_cast<double>(v)) {}
+  Json(const char* s) : kind_(Kind::kString), str_(s) {}
+  Json(std::string s) : kind_(Kind::kString), str_(std::move(s)) {}
+
+  static Json array() {
+    Json j;
+    j.kind_ = Kind::kArray;
+    return j;
+  }
+  static Json object() {
+    Json j;
+    j.kind_ = Kind::kObject;
+    return j;
+  }
+
+  Kind kind() const { return kind_; }
+  bool empty() const { return items_.empty() && members_.empty(); }
+
+  /// Array append. Aborts (assert) on non-arrays.
+  Json& push(Json v);
+  /// Object insert-or-replace, preserving first-insertion order.
+  Json& set(std::string key, Json value);
+  /// Object member lookup; nullptr when absent (or not an object).
+  const Json* find(std::string_view key) const;
+
+  std::string dump(int indent = 2) const;
+
+ private:
+  void write(std::string& out, int indent, int depth) const;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<Json> items_;                            // kArray
+  std::vector<std::pair<std::string, Json>> members_;  // kObject
+};
+
+/// Shortest round-trip decimal rendering of a double (JSON number syntax;
+/// non-finite values render as null).
+std::string json_number(double v);
+
+}  // namespace vafs::exp

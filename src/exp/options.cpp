@@ -1,0 +1,116 @@
+#include "exp/options.h"
+
+#include <charconv>
+#include <cstring>
+#include <thread>
+
+namespace vafs::exp {
+
+int BenchOptions::effective_jobs() const {
+  if (jobs > 0) return jobs;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+std::vector<std::uint64_t> BenchOptions::effective_seeds() const {
+  if (quick && !seeds.empty()) return {seeds.front()};
+  return seeds;
+}
+
+namespace {
+
+bool parse_u64(std::string_view s, std::uint64_t* out) {
+  if (s.empty()) return false;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), *out);
+  return ec == std::errc() && ptr == s.data() + s.size();
+}
+
+bool parse_seed_list(std::string_view s, std::vector<std::uint64_t>* out) {
+  out->clear();
+  while (!s.empty()) {
+    const std::size_t comma = s.find(',');
+    const std::string_view item = s.substr(0, comma);
+    std::uint64_t seed = 0;
+    if (!parse_u64(item, &seed)) return false;
+    out->push_back(seed);
+    if (comma == std::string_view::npos) break;
+    s.remove_prefix(comma + 1);
+  }
+  return !out->empty();
+}
+
+}  // namespace
+
+bool parse_bench_args(int argc, char** argv, BenchOptions* options, std::string* error) {
+  // Accepts both "--flag value" and "--flag=value".
+  const auto next_value = [&](int& i, std::string_view flag, std::string_view inline_value,
+                              bool has_inline, std::string* value) {
+    if (has_inline) {
+      *value = std::string(inline_value);
+      return true;
+    }
+    if (i + 1 >= argc) {
+      *error = std::string(flag) + " requires a value";
+      return false;
+    }
+    *value = argv[++i];
+    return true;
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    std::string_view inline_value;
+    bool has_inline = false;
+    if (const std::size_t eq = arg.find('='); eq != std::string_view::npos) {
+      inline_value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      has_inline = true;
+    }
+
+    std::string value;
+    if (arg == "--help" || arg == "-h") {
+      options->help = true;
+    } else if (arg == "--quick") {
+      options->quick = true;
+    } else if (arg == "--jobs" || arg == "-j") {
+      if (!next_value(i, arg, inline_value, has_inline, &value)) return false;
+      std::uint64_t jobs = 0;
+      if (!parse_u64(value, &jobs) || jobs == 0 || jobs > 4096) {
+        *error = "--jobs wants an integer in [1, 4096], got '" + value + "'";
+        return false;
+      }
+      options->jobs = static_cast<int>(jobs);
+    } else if (arg == "--seeds") {
+      if (!next_value(i, arg, inline_value, has_inline, &value)) return false;
+      if (!parse_seed_list(value, &options->seeds)) {
+        *error = "--seeds wants a comma-separated integer list, got '" + value + "'";
+        return false;
+      }
+    } else if (arg == "--out-json") {
+      if (!next_value(i, arg, inline_value, has_inline, &value)) return false;
+      options->out_json = value;
+    } else if (arg == "--out-csv") {
+      if (!next_value(i, arg, inline_value, has_inline, &value)) return false;
+      options->out_csv = value;
+    } else {
+      *error = "unknown flag '" + std::string(arg) + "'";
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string bench_usage(const std::string& bench_id) {
+  return "usage: bench_" + bench_id +
+         " [--jobs N] [--seeds a,b,c] [--quick]"
+         " [--out-json PATH|none] [--out-csv PATH|none]\n"
+         "  --jobs N       worker threads for the session grid (default: all cores)\n"
+         "  --seeds LIST   comma-separated session seeds (default: 101,202,303)\n"
+         "  --quick        first seed only, shortened sessions (smoke mode)\n"
+         "  --out-json P   machine-readable results (default: BENCH_" +
+         bench_id + ".json; 'none' disables)\n"
+         "  --out-csv P    long-format CSV of every metric (default: BENCH_" +
+         bench_id + ".csv; 'none' disables)\n";
+}
+
+}  // namespace vafs::exp

@@ -1,0 +1,38 @@
+// Shared command-line surface of every bench binary:
+//   --jobs N        worker threads (default: hardware concurrency)
+//   --seeds a,b,c   seed list (default: 101,202,303)
+//   --quick         first seed only + shortened sessions (smoke mode)
+//   --out-json P    JSON artifact path ("none" disables; default BENCH_<id>.json)
+//   --out-csv P     CSV artifact path ("none" disables; default BENCH_<id>.csv)
+//   --help          usage
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vafs::exp {
+
+struct BenchOptions {
+  int jobs = 0;  // 0 = auto (hardware concurrency)
+  std::vector<std::uint64_t> seeds = {101, 202, 303};
+  bool quick = false;
+  std::string out_json;  // empty = default path, "none" = disabled
+  std::string out_csv;
+  bool help = false;
+
+  /// Jobs with `auto` resolved against this machine.
+  int effective_jobs() const;
+  /// Seed list after --quick truncation.
+  std::vector<std::uint64_t> effective_seeds() const;
+};
+
+/// Parses the shared flags. Unknown flags are an error. Returns false and
+/// fills `error` on malformed input; `--help` parses as success with
+/// options.help set.
+bool parse_bench_args(int argc, char** argv, BenchOptions* options, std::string* error);
+
+/// Usage text for `--help` / parse errors.
+std::string bench_usage(const std::string& bench_id);
+
+}  // namespace vafs::exp

@@ -1,0 +1,108 @@
+#include "exp/runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace vafs::exp {
+
+const ScenarioResult& ResultSet::at(
+    std::initializer_list<std::pair<std::string_view, std::string_view>> query) const {
+  const ScenarioResult* found = nullptr;
+  for (const auto& sr : scenarios_) {
+    bool match = true;
+    for (const auto& [axis, value] : query) {
+      const std::string* label = sr.spec.label(axis);
+      if (label == nullptr || *label != value) {
+        match = false;
+        break;
+      }
+    }
+    if (!match) continue;
+    if (found != nullptr) {
+      std::fprintf(stderr, "exp::ResultSet::at: query is ambiguous (matches '%s' and '%s')\n",
+                   found->spec.id.c_str(), sr.spec.id.c_str());
+      std::abort();
+    }
+    found = &sr;
+  }
+  if (found == nullptr) {
+    std::fprintf(stderr, "exp::ResultSet::at: no scenario matches the query\n");
+    std::abort();
+  }
+  return *found;
+}
+
+ResultSet run_grid(const std::vector<ScenarioSpec>& scenarios, const RunOptions& opts) {
+  std::vector<ScenarioResult> results(scenarios.size());
+  for (std::size_t s = 0; s < scenarios.size(); ++s) {
+    results[s].spec = scenarios[s];
+    results[s].seeds = opts.seeds;
+    results[s].runs.resize(opts.seeds.size());
+  }
+
+  // Flattened task list: task t = (scenario t / nseeds, seed t % nseeds).
+  // Hooks are constructed up front on this thread (factories may touch
+  // bench-local containers); each task's hooks then fire only on the one
+  // worker that runs it.
+  const std::size_t nseeds = opts.seeds.size();
+  const std::size_t ntasks = scenarios.size() * nseeds;
+  std::vector<core::SessionHooks> hooks(ntasks);
+  if (opts.hooks) {
+    for (std::size_t t = 0; t < ntasks; ++t) {
+      hooks[t] = opts.hooks(scenarios[t / nseeds], t / nseeds, t % nseeds);
+    }
+  }
+
+  const auto run_task = [&](std::size_t t) {
+    const std::size_t s = t / nseeds;
+    const std::size_t i = t % nseeds;
+    core::SessionConfig config = scenarios[s].config;
+    config.seed = opts.seeds[i];
+    results[s].runs[i] = core::run_session(config, hooks[t]);
+  };
+
+  const int jobs = opts.jobs;
+  if (jobs <= 1 || ntasks <= 1) {
+    for (std::size_t t = 0; t < ntasks; ++t) run_task(t);
+  } else {
+    std::atomic<std::size_t> next{0};
+    std::mutex error_mutex;
+    std::exception_ptr error;
+    const auto worker = [&] {
+      for (;;) {
+        const std::size_t t = next.fetch_add(1, std::memory_order_relaxed);
+        if (t >= ntasks) return;
+        try {
+          run_task(t);
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(error_mutex);
+          if (!error) error = std::current_exception();
+        }
+      }
+    };
+    std::vector<std::thread> pool;
+    const std::size_t width = std::min<std::size_t>(static_cast<std::size_t>(jobs), ntasks);
+    pool.reserve(width);
+    for (std::size_t w = 0; w < width; ++w) pool.emplace_back(worker);
+    for (auto& th : pool) th.join();
+    if (error) std::rethrow_exception(error);
+  }
+
+  // Serial aggregation in (scenario, seed) order: identical regardless of
+  // the completion order above.
+  for (auto& sr : results) {
+    for (const auto& r : sr.runs) sr.agg.add(r);
+  }
+  return ResultSet(std::move(results));
+}
+
+ResultSet run_grid(const ExperimentGrid& grid, const RunOptions& opts) {
+  return run_grid(grid.scenarios(), opts);
+}
+
+}  // namespace vafs::exp

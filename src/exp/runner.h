@@ -1,0 +1,75 @@
+// Parallel experiment execution. Each (scenario, seed) pair is one task: a
+// full core::run_session call, which owns its Simulator / Rng / sysfs tree
+// and shares nothing, so tasks run concurrently on a fixed-size thread
+// pool. Results land in preallocated slots and are aggregated serially in
+// (scenario, seed) order afterwards, so a parallel run is bit-identical to
+// a serial one regardless of completion order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/session.h"
+#include "exp/aggregate.h"
+#include "exp/grid.h"
+
+namespace vafs::exp {
+
+struct RunOptions {
+  /// Worker threads; <= 1 runs inline on the calling thread.
+  int jobs = 1;
+  /// One session per scenario per seed, aggregated in this order.
+  std::vector<std::uint64_t> seeds = {101, 202, 303};
+
+  /// Optional probe factory (e.g. timeline recorders). Called once per
+  /// task *before* execution starts, from the calling thread; the hooks it
+  /// returns fire on the worker running that task, so any state they
+  /// capture must not be shared across tasks.
+  using HookFactory = std::function<core::SessionHooks(
+      const ScenarioSpec& spec, std::size_t scenario_index, std::size_t seed_index)>;
+  HookFactory hooks;
+};
+
+/// One scenario's runs (per-seed, in seed order) plus their aggregate.
+struct ScenarioResult {
+  ScenarioSpec spec;
+  std::vector<std::uint64_t> seeds;
+  std::vector<core::SessionResult> runs;
+  Aggregate agg;
+
+  /// The first seed's raw result — for per-run values (residency vectors,
+  /// setspeed write counts) the old benches took from one representative run.
+  const core::SessionResult& run0() const { return runs.front(); }
+};
+
+class ResultSet {
+ public:
+  ResultSet() = default;
+  explicit ResultSet(std::vector<ScenarioResult> scenarios)
+      : scenarios_(std::move(scenarios)) {}
+
+  const std::vector<ScenarioResult>& all() const { return scenarios_; }
+  bool empty() const { return scenarios_.empty(); }
+
+  /// The unique scenario matching every given (axis, value) pair; aborts
+  /// if none or several match — table printers want exactly one cell.
+  const ScenarioResult& at(
+      std::initializer_list<std::pair<std::string_view, std::string_view>> query) const;
+  const Aggregate& agg(
+      std::initializer_list<std::pair<std::string_view, std::string_view>> query) const {
+    return at(query).agg;
+  }
+
+ private:
+  std::vector<ScenarioResult> scenarios_;
+};
+
+/// Runs scenarios × seeds on a pool of `opts.jobs` threads.
+ResultSet run_grid(const std::vector<ScenarioSpec>& scenarios, const RunOptions& opts);
+ResultSet run_grid(const ExperimentGrid& grid, const RunOptions& opts);
+
+}  // namespace vafs::exp

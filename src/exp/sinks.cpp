@@ -1,0 +1,80 @@
+#include "exp/sinks.h"
+
+#include "trace/csv.h"
+
+namespace vafs::exp {
+
+Json aggregate_metrics_json(const Aggregate& agg) {
+  Json metrics = Json::object();
+  for (const auto& m : Aggregate::metrics()) {
+    const sim::OnlineStats& s = agg.*(m.member);
+    Json cell = Json::object();
+    cell.set("mean", s.mean());
+    cell.set("stddev", s.stddev());
+    cell.set("min", s.min());
+    cell.set("max", s.max());
+    metrics.set(m.name, std::move(cell));
+  }
+  return metrics;
+}
+
+Json bench_report_json(const std::string& bench_id, const std::string& title,
+                       const BenchOptions& options, const std::vector<Section>& sections) {
+  Json root = Json::object();
+  root.set("bench", bench_id);
+  root.set("title", title);
+  root.set("schema_version", 1);
+
+  Json opts = Json::object();
+  opts.set("jobs", options.effective_jobs());
+  Json seeds = Json::array();
+  for (const auto seed : options.effective_seeds()) seeds.push(seed);
+  opts.set("seeds", std::move(seeds));
+  opts.set("quick", options.quick);
+  root.set("options", std::move(opts));
+
+  Json out_sections = Json::array();
+  for (const auto& section : sections) {
+    Json sec = Json::object();
+    sec.set("name", section.name);
+    Json scenarios = Json::array();
+    for (const auto& sr : section.results.all()) {
+      Json scenario = Json::object();
+      scenario.set("id", sr.spec.id);
+      Json labels = Json::object();
+      for (const auto& [axis, value] : sr.spec.labels) labels.set(axis, value);
+      scenario.set("labels", std::move(labels));
+      scenario.set("runs", sr.agg.runs);
+      scenario.set("all_finished", sr.agg.all_finished);
+      scenario.set("metrics", aggregate_metrics_json(sr.agg));
+      scenarios.push(std::move(scenario));
+    }
+    sec.set("scenarios", std::move(scenarios));
+    out_sections.push(std::move(sec));
+  }
+  root.set("sections", std::move(out_sections));
+  return root;
+}
+
+void write_bench_csv(std::ostream& out, const std::vector<Section>& sections) {
+  trace::CsvWriter csv(out, {"section", "scenario", "metric", "mean", "stddev", "min", "max",
+                             "runs"});
+  for (const auto& section : sections) {
+    for (const auto& sr : section.results.all()) {
+      for (const auto& m : Aggregate::metrics()) {
+        const sim::OnlineStats& s = sr.agg.*(m.member);
+        csv.row()
+            .cell(section.name)
+            .cell(sr.spec.id)
+            .cell(std::string(m.name))
+            .cell(s.mean())
+            .cell(s.stddev())
+            .cell(s.min())
+            .cell(s.max())
+            .cell(static_cast<std::int64_t>(sr.agg.runs));
+      }
+    }
+  }
+}
+
+}  // namespace vafs::exp

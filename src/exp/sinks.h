@@ -1,0 +1,36 @@
+// Machine-readable sinks for experiment results: the BENCH_<id>.json
+// artifact (per-scenario mean/stddev/min/max for every metric) and a
+// long-format CSV. The aligned text tables stay with each bench — they are
+// figure-specific — while these two formats are uniform across the suite.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "exp/json.h"
+#include "exp/options.h"
+#include "exp/runner.h"
+
+namespace vafs::exp {
+
+/// A named group of scenarios (benches with several sweeps emit several
+/// sections, e.g. F6's margin / window / race-to-idle sweeps).
+struct Section {
+  std::string name;
+  ResultSet results;
+};
+
+/// JSON object keyed by metric name, each value
+/// {"mean":..,"stddev":..,"min":..,"max":..}.
+Json aggregate_metrics_json(const Aggregate& agg);
+
+/// The full artifact: bench id/title, the options it ran under, and every
+/// section's scenarios.
+Json bench_report_json(const std::string& bench_id, const std::string& title,
+                       const BenchOptions& options, const std::vector<Section>& sections);
+
+/// Long-format CSV: section,scenario,metric,mean,stddev,min,max,runs.
+void write_bench_csv(std::ostream& out, const std::vector<Section>& sections);
+
+}  // namespace vafs::exp

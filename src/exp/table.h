@@ -1,0 +1,20 @@
+// Aligned-text helpers shared by the bench table printers (moved here from
+// the old bench/bench_util.h).
+#pragma once
+
+#include <cstdio>
+
+namespace vafs::exp {
+
+inline void print_header(const char* experiment, const char* description) {
+  std::printf("\n==============================================================================\n");
+  std::printf("%s — %s\n", experiment, description);
+  std::printf("==============================================================================\n");
+}
+
+inline void print_rule(int width = 78) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace vafs::exp

@@ -81,7 +81,9 @@ TEST(PowerModel, BusyPowerIncreasesSuperlinearlyWithOpp) {
     // voltage ramp makes high OPPs disproportionately expensive (the slack
     // VAFS exploits). At the bottom of the table leakage dominates, so a
     // small dip there is expected and realistic.
-    if (i >= 3) EXPECT_GT(per_hz, prev_per_hz);
+    if (i >= 3) {
+      EXPECT_GT(per_hz, prev_per_hz);
+    }
     prev = mw;
     prev_per_hz = per_hz;
   }

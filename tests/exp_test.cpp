@@ -1,0 +1,311 @@
+// Tests for the experiment engine (src/exp): grid expansion, CLI parsing,
+// aggregate dispersion and merge, JSON emission — and the two properties
+// the parallel runner rests on: run_session is deterministic for a fixed
+// (config, seed), and a parallel grid run is bit-identical to a serial
+// one.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+#include "exp/aggregate.h"
+#include "exp/grid.h"
+#include "exp/json.h"
+#include "exp/options.h"
+#include "exp/runner.h"
+#include "exp/sinks.h"
+
+namespace vafs::exp {
+namespace {
+
+core::SessionConfig small_config() {
+  core::SessionConfig config;
+  config.media_duration = sim::SimTime::seconds(20);
+  config.net = core::NetProfile::kFair;
+  config.fixed_rep = 2;
+  return config;
+}
+
+/// Bitwise equality across every scalar field the aggregates and tables
+/// consume; catches any nondeterminism, not just "close enough" drift.
+void expect_identical(const core::SessionResult& a, const core::SessionResult& b) {
+  EXPECT_EQ(a.finished, b.finished);
+  EXPECT_EQ(a.energy.cpu_mj, b.energy.cpu_mj);
+  EXPECT_EQ(a.energy.radio_mj, b.energy.radio_mj);
+  EXPECT_EQ(a.energy.display_mj, b.energy.display_mj);
+  EXPECT_EQ(a.qoe.startup_delay, b.qoe.startup_delay);
+  EXPECT_EQ(a.qoe.rebuffer_events, b.qoe.rebuffer_events);
+  EXPECT_EQ(a.qoe.rebuffer_time, b.qoe.rebuffer_time);
+  EXPECT_EQ(a.qoe.frames_presented, b.qoe.frames_presented);
+  EXPECT_EQ(a.qoe.frames_dropped, b.qoe.frames_dropped);
+  EXPECT_EQ(a.qoe.deadline_misses, b.qoe.deadline_misses);
+  EXPECT_EQ(a.qoe.quality_switches, b.qoe.quality_switches);
+  EXPECT_EQ(a.qoe.mean_bitrate_kbps, b.qoe.mean_bitrate_kbps);
+  EXPECT_EQ(a.wall, b.wall);
+  EXPECT_EQ(a.played, b.played);
+  EXPECT_EQ(a.live_latency, b.live_latency);
+  EXPECT_EQ(a.freq_transitions, b.freq_transitions);
+  EXPECT_EQ(a.busy_fraction, b.busy_fraction);
+  EXPECT_EQ(a.radio_promotions, b.radio_promotions);
+  EXPECT_EQ(a.vafs_decode_mape, b.vafs_decode_mape);
+  EXPECT_EQ(a.vafs_plans, b.vafs_plans);
+  EXPECT_EQ(a.vafs_setspeed_writes, b.vafs_setspeed_writes);
+  ASSERT_EQ(a.residency.size(), b.residency.size());
+  for (std::size_t i = 0; i < a.residency.size(); ++i) {
+    EXPECT_EQ(a.residency[i].first, b.residency[i].first);
+    EXPECT_EQ(a.residency[i].second, b.residency[i].second);
+  }
+}
+
+TEST(SessionDeterminism, SameConfigAndSeedIsBitIdentical) {
+  for (const char* governor : {"ondemand", "vafs"}) {
+    core::SessionConfig config = small_config();
+    config.governor = governor;
+    config.seed = 12345;
+    const core::SessionResult first = core::run_session(config);
+    const core::SessionResult second = core::run_session(config);
+    ASSERT_TRUE(first.finished);
+    expect_identical(first, second);
+  }
+}
+
+TEST(SessionDeterminism, DifferentSeedsDiffer) {
+  core::SessionConfig config = small_config();
+  config.seed = 1;
+  const core::SessionResult a = core::run_session(config);
+  config.seed = 2;
+  const core::SessionResult b = core::run_session(config);
+  EXPECT_NE(a.energy.cpu_mj, b.energy.cpu_mj);
+}
+
+TEST(Grid, CartesianProductLastAxisFastest) {
+  ExperimentGrid grid(small_config());
+  grid.governors({"ondemand", "vafs"}).reps({{0, "360p"}, {2, "720p"}});
+  const auto scenarios = grid.scenarios();
+  ASSERT_EQ(scenarios.size(), 4u);
+  EXPECT_EQ(scenarios[0].id, "governor=ondemand rep=360p");
+  EXPECT_EQ(scenarios[1].id, "governor=ondemand rep=720p");
+  EXPECT_EQ(scenarios[2].id, "governor=vafs rep=360p");
+  EXPECT_EQ(scenarios[3].id, "governor=vafs rep=720p");
+  EXPECT_EQ(scenarios[3].config.governor, "vafs");
+  EXPECT_EQ(scenarios[3].config.fixed_rep, 2u);
+  ASSERT_NE(scenarios[2].label("rep"), nullptr);
+  EXPECT_EQ(*scenarios[2].label("rep"), "360p");
+  EXPECT_EQ(scenarios[2].label("nope"), nullptr);
+}
+
+TEST(Grid, EmptyGridIsSingleBaseScenario) {
+  core::SessionConfig base = small_config();
+  base.governor = "schedutil";
+  const auto scenarios = ExperimentGrid(base).scenarios();
+  ASSERT_EQ(scenarios.size(), 1u);
+  EXPECT_EQ(scenarios[0].id, "base");
+  EXPECT_EQ(scenarios[0].config.governor, "schedutil");
+}
+
+TEST(Runner, ParallelMatchesSerialBitIdentically) {
+  ExperimentGrid grid(small_config());
+  grid.governors({"ondemand", "schedutil", "vafs"}).reps({{0, "360p"}, {2, "720p"}});
+
+  RunOptions serial;
+  serial.jobs = 1;
+  serial.seeds = {101, 202};
+  RunOptions parallel = serial;
+  parallel.jobs = 4;
+
+  const ResultSet s = run_grid(grid, serial);
+  const ResultSet p = run_grid(grid, parallel);
+
+  ASSERT_EQ(s.all().size(), p.all().size());
+  for (std::size_t i = 0; i < s.all().size(); ++i) {
+    const ScenarioResult& ss = s.all()[i];
+    const ScenarioResult& pp = p.all()[i];
+    EXPECT_EQ(ss.spec.id, pp.spec.id);
+    ASSERT_EQ(ss.runs.size(), pp.runs.size());
+    for (std::size_t r = 0; r < ss.runs.size(); ++r) expect_identical(ss.runs[r], pp.runs[r]);
+    // Aggregation happens serially in both cases, so it matches bitwise too.
+    EXPECT_EQ(ss.agg.cpu_mj.mean(), pp.agg.cpu_mj.mean());
+    EXPECT_EQ(ss.agg.cpu_mj.stddev(), pp.agg.cpu_mj.stddev());
+    EXPECT_EQ(ss.agg.runs, pp.agg.runs);
+  }
+}
+
+TEST(Runner, ResultSetLookupAndAggregates) {
+  ExperimentGrid grid(small_config());
+  grid.governors({"ondemand", "vafs"});
+  RunOptions opts;
+  opts.jobs = 2;
+  opts.seeds = {101, 202, 303};
+  const ResultSet results = run_grid(grid, opts);
+
+  const ScenarioResult& vafs = results.at({{"governor", "vafs"}});
+  EXPECT_EQ(vafs.agg.runs, 3);
+  EXPECT_TRUE(vafs.agg.all_finished);
+  EXPECT_EQ(vafs.runs.size(), 3u);
+  EXPECT_EQ(vafs.seeds, opts.seeds);
+  // min <= mean <= max, and dispersion over distinct seeds is nonzero.
+  EXPECT_LE(vafs.agg.cpu_mj.min(), vafs.agg.cpu_mj.mean());
+  EXPECT_LE(vafs.agg.cpu_mj.mean(), vafs.agg.cpu_mj.max());
+  EXPECT_GT(vafs.agg.cpu_mj.stddev(), 0.0);
+  // The VAFS headline holds in the small grid too.
+  const ScenarioResult& ondemand = results.at({{"governor", "ondemand"}});
+  EXPECT_LT(vafs.agg.cpu_mj.mean(), ondemand.agg.cpu_mj.mean());
+}
+
+TEST(Runner, HookFactoryFiresPerTask) {
+  ExperimentGrid grid(small_config());
+  grid.governors({"ondemand", "vafs"});
+  RunOptions opts;
+  opts.jobs = 3;
+  opts.seeds = {101, 202};
+  std::vector<int> fired(4, 0);
+  opts.hooks = [&fired](const ScenarioSpec&, std::size_t scenario_index,
+                        std::size_t seed_index) {
+    core::SessionHooks hooks;
+    int* slot = &fired[scenario_index * 2 + seed_index];
+    hooks.on_ready = [slot](core::SessionLive& live) {
+      ASSERT_NE(live.sim, nullptr);
+      ++*slot;
+    };
+    return hooks;
+  };
+  run_grid(grid, opts);
+  for (const int count : fired) EXPECT_EQ(count, 1);
+}
+
+TEST(Aggregate, MergeMatchesSequential) {
+  core::SessionConfig config = small_config();
+  std::vector<core::SessionResult> results;
+  for (const std::uint64_t seed : {11ull, 22ull, 33ull, 44ull}) {
+    config.seed = seed;
+    results.push_back(core::run_session(config));
+  }
+
+  Aggregate whole;
+  for (const auto& r : results) whole.add(r);
+
+  Aggregate left, right;
+  left.add(results[0]);
+  left.add(results[1]);
+  right.add(results[2]);
+  right.add(results[3]);
+  left.merge(right);
+
+  EXPECT_EQ(left.runs, whole.runs);
+  EXPECT_EQ(left.all_finished, whole.all_finished);
+  for (const auto& m : Aggregate::metrics()) {
+    const sim::OnlineStats& merged = left.*(m.member);
+    const sim::OnlineStats& direct = whole.*(m.member);
+    EXPECT_EQ(merged.count(), direct.count()) << m.name;
+    EXPECT_EQ(merged.min(), direct.min()) << m.name;
+    EXPECT_EQ(merged.max(), direct.max()) << m.name;
+    EXPECT_NEAR(merged.mean(), direct.mean(), 1e-9 * (1.0 + std::abs(direct.mean())))
+        << m.name;
+    EXPECT_NEAR(merged.stddev(), direct.stddev(), 1e-6 * (1.0 + direct.stddev())) << m.name;
+  }
+}
+
+TEST(Aggregate, MetricTableCoversKnownFields) {
+  // A change to the metric list shows up here on purpose: the JSON/CSV
+  // schema is part of the bench contract.
+  const auto& metrics = Aggregate::metrics();
+  EXPECT_EQ(metrics.size(), 29u);
+  EXPECT_STREQ(metrics.front().name, "cpu_mj");
+}
+
+TEST(Options, ParsesAllFlags) {
+  const char* argv[] = {"bench", "--jobs", "8", "--seeds=1,2,3", "--quick",
+                        "--out-json", "x.json", "--out-csv=none"};
+  BenchOptions options;
+  std::string error;
+  ASSERT_TRUE(parse_bench_args(8, const_cast<char**>(argv), &options, &error)) << error;
+  EXPECT_EQ(options.jobs, 8);
+  EXPECT_EQ(options.effective_jobs(), 8);
+  EXPECT_EQ(options.seeds, (std::vector<std::uint64_t>{1, 2, 3}));
+  EXPECT_TRUE(options.quick);
+  EXPECT_EQ(options.effective_seeds(), (std::vector<std::uint64_t>{1}));
+  EXPECT_EQ(options.out_json, "x.json");
+  EXPECT_EQ(options.out_csv, "none");
+}
+
+TEST(Options, RejectsBadInput) {
+  BenchOptions options;
+  std::string error;
+  {
+    const char* argv[] = {"bench", "--jobs", "0"};
+    EXPECT_FALSE(parse_bench_args(3, const_cast<char**>(argv), &options, &error));
+  }
+  {
+    const char* argv[] = {"bench", "--seeds", "1,,2"};
+    EXPECT_FALSE(parse_bench_args(3, const_cast<char**>(argv), &options, &error));
+  }
+  {
+    const char* argv[] = {"bench", "--frobnicate"};
+    EXPECT_FALSE(parse_bench_args(2, const_cast<char**>(argv), &options, &error));
+    EXPECT_NE(error.find("frobnicate"), std::string::npos);
+  }
+  {
+    const char* argv[] = {"bench", "--out-json"};
+    EXPECT_FALSE(parse_bench_args(2, const_cast<char**>(argv), &options, &error));
+  }
+}
+
+TEST(Options, DefaultsAreSuiteDefaults) {
+  BenchOptions options;
+  EXPECT_EQ(options.seeds, (std::vector<std::uint64_t>{101, 202, 303}));
+  EXPECT_FALSE(options.quick);
+  EXPECT_GE(options.effective_jobs(), 1);
+}
+
+TEST(Json, StructureAndEscaping) {
+  Json root = Json::object();
+  root.set("name", "a \"quoted\"\nvalue");
+  root.set("count", 3);
+  root.set("ratio", 0.25);
+  root.set("flag", true);
+  Json list = Json::array();
+  list.push(1).push(Json());
+  root.set("list", std::move(list));
+
+  const std::string compact = root.dump(0);
+  EXPECT_EQ(compact,
+            "{\"name\":\"a \\\"quoted\\\"\\nvalue\",\"count\":3,\"ratio\":0.25,"
+            "\"flag\":true,\"list\":[1,null]}");
+  // Non-finite numbers degrade to null rather than emitting invalid JSON.
+  EXPECT_EQ(Json(std::numeric_limits<double>::quiet_NaN()).dump(0), "null");
+  EXPECT_EQ(json_number(0.1), "0.1");
+}
+
+TEST(Sinks, ReportJsonAndCsvCoverEveryScenario) {
+  ExperimentGrid grid(small_config());
+  grid.governors({"ondemand", "vafs"});
+  RunOptions run_options;
+  run_options.jobs = 2;
+  run_options.seeds = {101, 202};
+  std::vector<Section> sections;
+  sections.push_back(Section{"main", run_grid(grid, run_options)});
+
+  BenchOptions options;
+  options.jobs = 2;
+  options.seeds = {101, 202};
+  const Json report = bench_report_json("t1", "title", options, sections);
+  const std::string text = report.dump();
+  EXPECT_NE(text.find("\"bench\": \"t1\""), std::string::npos);
+  EXPECT_NE(text.find("governor=vafs"), std::string::npos);
+  EXPECT_NE(text.find("\"cpu_mj\""), std::string::npos);
+  EXPECT_NE(text.find("\"stddev\""), std::string::npos);
+
+  std::ostringstream csv;
+  write_bench_csv(csv, sections);
+  const std::string csv_text = csv.str();
+  // Header + 2 scenarios x all metrics.
+  std::size_t lines = 0;
+  for (const char c : csv_text) lines += c == '\n';
+  EXPECT_EQ(lines, 1u + 2u * Aggregate::metrics().size());
+  EXPECT_EQ(csv_text.rfind("section,scenario,metric,mean,stddev,min,max,runs", 0), 0u);
+}
+
+}  // namespace
+}  // namespace vafs::exp

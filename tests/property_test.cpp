@@ -80,8 +80,8 @@ INSTANTIATE_TEST_SUITE_P(
                                          "interactive", "schedutil", "vafs"),
                        ::testing::Values(std::size_t{0}, std::size_t{1}, std::size_t{2},
                                          std::size_t{3})),
-    [](const ::testing::TestParamInfo<GridParam>& info) {
-      return std::get<0>(info.param) + "_rep" + std::to_string(std::get<1>(info.param));
+    [](const ::testing::TestParamInfo<GridParam>& p) {
+      return std::get<0>(p.param) + "_rep" + std::to_string(std::get<1>(p.param));
     });
 
 // ===================================================== Network-profile grid
@@ -116,9 +116,9 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values("ondemand", "schedutil", "vafs"),
                        ::testing::Values(core::NetProfile::kPoor, core::NetProfile::kFair,
                                          core::NetProfile::kGood, core::NetProfile::kExcellent)),
-    [](const ::testing::TestParamInfo<NetParam>& info) {
-      return std::get<0>(info.param) + "_" +
-             core::net_profile_name(std::get<1>(info.param));
+    [](const ::testing::TestParamInfo<NetParam>& p) {
+      return std::get<0>(p.param) + "_" +
+             core::net_profile_name(std::get<1>(p.param));
     });
 
 // ============================================================== Seed sweep
@@ -196,14 +196,14 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(std::size_t{1}, std::size_t{4}, std::size_t{24},
                                          std::size_t{64}),
                        ::testing::Values(111u, 222u)),
-    [](const ::testing::TestParamInfo<PredictorParam>& info) {
-      const char* kind = core::predictor_kind_name(std::get<0>(info.param));
+    [](const ::testing::TestParamInfo<PredictorParam>& p) {
+      const char* kind = core::predictor_kind_name(std::get<0>(p.param));
       std::string name = kind;
       for (auto& c : name) {
         if (c == '-') c = '_';
       }
-      return name + "_w" + std::to_string(std::get<1>(info.param)) + "_s" +
-             std::to_string(std::get<2>(info.param));
+      return name + "_w" + std::to_string(std::get<1>(p.param)) + "_s" +
+             std::to_string(std::get<2>(p.param));
     });
 
 // ==================================================== Margin monotonicity
@@ -263,8 +263,8 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values("ondemand", "vafs"),
                        ::testing::Values(core::AbrKind::kFixed, core::AbrKind::kRate,
                                          core::AbrKind::kBuffer)),
-    [](const ::testing::TestParamInfo<AbrParam>& info) {
-      return std::get<0>(info.param) + "_" + core::abr_kind_name(std::get<1>(info.param));
+    [](const ::testing::TestParamInfo<AbrParam>& p) {
+      return std::get<0>(p.param) + "_" + core::abr_kind_name(std::get<1>(p.param));
     });
 
 }  // namespace

@@ -74,7 +74,9 @@ TEST(TimelineRecorder, SamplesLiveSession) {
   // Samples are ordered and sane.
   double energy_sum = 0.0;
   for (std::size_t i = 0; i < samples.size(); ++i) {
-    if (i > 0) EXPECT_GT(samples[i].at, samples[i - 1].at);
+    if (i > 0) {
+      EXPECT_GT(samples[i].at, samples[i - 1].at);
+    }
     EXPECT_GE(samples[i].freq_khz, 300'000u);
     EXPECT_LE(samples[i].freq_khz, 2'100'000u);
     EXPECT_GE(samples[i].buffer_seconds, 0.0);
@@ -186,7 +188,9 @@ TEST(BandwidthFile, GeneratorHonoursBounds) {
   for (std::size_t i = 0; i < steps.size(); ++i) {
     EXPECT_GE(steps[i].mbps, 2.0);
     EXPECT_LE(steps[i].mbps, 20.0);
-    if (i > 0) EXPECT_GT(steps[i].at, steps[i - 1].at);
+    if (i > 0) {
+      EXPECT_GT(steps[i].at, steps[i - 1].at);
+    }
   }
 }
 
