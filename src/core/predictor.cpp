@@ -20,6 +20,7 @@ CycleDemandPredictor::CycleDemandPredictor(PredictorConfig config) : config_(con
   assert(config_.ewma_alpha > 0 && config_.ewma_alpha <= 1);
   assert(config_.quantile > 0 && config_.quantile <= 1);
   window_.resize(config_.window, 0.0);
+  sorted_window_.reserve(config_.window);
 }
 
 void CycleDemandPredictor::observe(double cycles) {
@@ -28,14 +29,34 @@ void CycleDemandPredictor::observe(double cycles) {
     if (predicted > 0) ape_.add(std::abs(predicted - cycles) / cycles);
   }
 
+  if (config_.kind == PredictorKind::kQuantile) {
+    if (filled_ == window_.size()) {
+      // Ring is full: the slot we are about to overwrite leaves the window.
+      const double outgoing = window_[next_slot_];
+      sorted_window_.erase(
+          std::lower_bound(sorted_window_.begin(), sorted_window_.end(), outgoing));
+    }
+    sorted_window_.insert(
+        std::upper_bound(sorted_window_.begin(), sorted_window_.end(), cycles), cycles);
+  }
+
   window_[next_slot_] = cycles;
   next_slot_ = (next_slot_ + 1) % window_.size();
   filled_ = std::min(filled_ + 1, window_.size());
   ewma_ = count_ == 0 ? cycles : config_.ewma_alpha * cycles + (1 - config_.ewma_alpha) * ewma_;
   ++count_;
+  cache_valid_ = false;
 }
 
 double CycleDemandPredictor::predict() const {
+  if (!cache_valid_) {
+    cached_prediction_ = compute_prediction();
+    cache_valid_ = true;
+  }
+  return cached_prediction_;
+}
+
+double CycleDemandPredictor::compute_prediction() const {
   if (count_ == 0) return 0.0;
   switch (config_.kind) {
     case PredictorKind::kEwma:
@@ -46,12 +67,9 @@ double CycleDemandPredictor::predict() const {
       return peak;
     }
     case PredictorKind::kQuantile: {
-      std::vector<double> sorted(window_.begin(),
-                                 window_.begin() + static_cast<std::ptrdiff_t>(filled_));
-      std::sort(sorted.begin(), sorted.end());
       const auto rank = static_cast<std::size_t>(
-          config_.quantile * static_cast<double>(sorted.size() - 1) + 0.5);
-      return sorted[rank];
+          config_.quantile * static_cast<double>(sorted_window_.size() - 1) + 0.5);
+      return sorted_window_[rank];
     }
   }
   return 0.0;

@@ -35,7 +35,9 @@ class CycleDemandPredictor {
   /// prediction against this observation for the accuracy report.
   void observe(double cycles);
 
-  /// Predicted demand of the next occurrence; 0 with no history.
+  /// Predicted demand of the next occurrence; 0 with no history. Pure
+  /// between observe() calls, so the value is computed once per window
+  /// state and memoized (the planner asks several times per frame).
   double predict() const;
 
   std::size_t observations() const { return count_; }
@@ -47,6 +49,8 @@ class CycleDemandPredictor {
   const PredictorConfig& config() const { return config_; }
 
  private:
+  double compute_prediction() const;
+
   PredictorConfig config_;
   std::vector<double> window_;  // ring buffer
   std::size_t next_slot_ = 0;
@@ -54,6 +58,13 @@ class CycleDemandPredictor {
   double ewma_ = 0.0;
   std::size_t count_ = 0;
   sim::OnlineStats ape_;
+
+  /// kQuantile only: the window's values in ascending order, maintained
+  /// incrementally on each observe (one erase + one insert instead of a
+  /// full sort per prediction).
+  std::vector<double> sorted_window_;
+  mutable double cached_prediction_ = 0.0;
+  mutable bool cache_valid_ = false;
 };
 
 }  // namespace vafs::core

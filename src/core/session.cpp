@@ -95,8 +95,18 @@ std::unique_ptr<stream::AbrAlgorithm> make_abr(const SessionConfig& config) {
 
 }  // namespace
 
-SessionResult run_session(const SessionConfig& config, const SessionHooks& hooks) {
-  sim::Simulator simulator;
+video::ContentStore& SessionArena::content_store(const ContentKey& key) {
+  for (auto& entry : content_) {
+    if (entry.key == key) return entry.store;
+  }
+  return content_.emplace_back(ContentEntry{key, {}}).store;
+}
+
+SessionResult run_session(const SessionConfig& config, const SessionHooks& hooks,
+                          SessionArena* arena) {
+  // The simulator is declared first so every component (all of which may
+  // hold EventHandles into its queue) is destroyed before it.
+  sim::Simulator simulator(arena != nullptr ? &arena->events : nullptr);
   sim::Rng master(config.seed);
 
   cpu::CpuModel cpu_model(simulator, cpu::OppTable::mobile_big_core(),
@@ -155,6 +165,17 @@ SessionResult run_session(const SessionConfig& config, const SessionHooks& hooks
   video::Manifest manifest =
       video::Manifest::typical_vod("vod", config.media_duration, config.segment_duration);
   video::ContentModel content(master.fork(2).next_u64(), config.content, &manifest);
+  if (arena != nullptr) {
+    // Grids replay the same workload under every governor; share the
+    // synthesized frames across those sessions (exact: every value is a
+    // pure function of the key).
+    SessionArena::ContentKey key;
+    key.seed = config.seed;
+    key.media_us = config.media_duration.as_micros();
+    key.segment_us = config.segment_duration.as_micros();
+    key.params = config.content;
+    content.use_store(&arena->content_store(key));
+  }
 
   assert(config.fixed_rep < manifest.representation_count());
   stream::Player player(simulator, *sink, downloader, content, make_abr(config),
@@ -214,6 +235,7 @@ SessionResult run_session(const SessionConfig& config, const SessionHooks& hooks
 
   SessionResult result;
   result.finished = done;
+  result.sim_events = simulator.events_executed();
   result.qoe = player.qoe();
   result.energy = meter.report();
   result.wall = result.energy.wall;

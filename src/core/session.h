@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <string>
 #include <vector>
@@ -21,6 +22,7 @@
 #include "stream/player.h"
 #include "thermal/model.h"
 #include "thermal/throttle.h"
+#include "video/content.h"
 #include "video/qoe.h"
 
 namespace vafs::core {
@@ -82,6 +84,8 @@ struct SessionConfig {
 
 struct SessionResult {
   bool finished = false;  // false => hit sim_cap
+  /// Discrete events executed by the simulator (throughput accounting).
+  std::uint64_t sim_events = 0;
   video::QoeStats qoe;
   energy::DeviceEnergyReport energy;
   sim::SimTime wall;    // session start → last frame presented
@@ -135,7 +139,47 @@ struct SessionHooks {
   std::function<void(SessionLive&)> on_ready;
 };
 
-SessionResult run_session(const SessionConfig& config, const SessionHooks& hooks = {});
+/// Reusable storage for back-to-back sessions: holds the event queue's
+/// slab/heap capacity between runs so a worker sweeping a grid allocates
+/// only during its first session, and the synthesized content of each
+/// distinct workload so a grid that replays the same (seed, content,
+/// duration) tuple under every governor pays for frame synthesis once.
+/// One arena per thread; never shared.
+struct SessionArena {
+  sim::EventQueue::Arena events;
+
+  /// Everything frame values are a pure function of. Durations are in
+  /// micros; the manifest itself is derived from them inside run_session,
+  /// so two equal keys describe byte-identical content.
+  struct ContentKey {
+    std::uint64_t seed = 0;
+    std::int64_t media_us = 0;
+    std::int64_t segment_us = 0;
+    video::ContentParams params;
+    bool operator==(const ContentKey& o) const {
+      return seed == o.seed && media_us == o.media_us && segment_us == o.segment_us &&
+             params.gop_frames == o.params.gop_frames && params.idr_weight == o.params.idr_weight &&
+             params.size_sigma == o.params.size_sigma &&
+             params.cycles_per_pixel == o.params.cycles_per_pixel &&
+             params.cycles_per_bit == o.params.cycles_per_bit &&
+             params.cycles_sigma == o.params.cycles_sigma;
+    }
+  };
+
+  /// The store for `key`, created empty on first sight. References stay
+  /// valid across later insertions (grids see a handful of keys).
+  video::ContentStore& content_store(const ContentKey& key);
+
+ private:
+  struct ContentEntry {
+    ContentKey key;
+    video::ContentStore store;
+  };
+  std::deque<ContentEntry> content_;  // deque: stable references on growth
+};
+
+SessionResult run_session(const SessionConfig& config, const SessionHooks& hooks = {},
+                          SessionArena* arena = nullptr);
 
 /// The Markov bandwidth parameters behind each named profile.
 net::MarkovBandwidth::Params net_profile_params(NetProfile p);

@@ -91,11 +91,20 @@ double VafsController::decode_demand_hz() const {
     const std::uint64_t gop = content.params().gop_frames;
     const std::uint64_t end = std::min(start + gop, player_.total_frames());
     if (end <= start) return 0.0;
-    double cycles = 0.0;
-    for (std::uint64_t f = start; f < end; ++f) {
-      cycles += content.frame(rep, f).decode_cycles;
+    // Most plans arrive between decodes (fetch/state triggers), with the
+    // window unmoved — reuse the last sum; recompute (identically) when
+    // the window advances.
+    if (rep != gop_rep_ || start != gop_start_ || end != gop_end_) {
+      double cycles = 0.0;
+      for (std::uint64_t f = start; f < end; ++f) {
+        cycles += content.frame(rep, f).decode_cycles;
+      }
+      gop_rep_ = rep;
+      gop_start_ = start;
+      gop_end_ = end;
+      gop_cycles_ = cycles;
     }
-    return cycles / static_cast<double>(end - start) * fps;
+    return gop_cycles_ / static_cast<double>(end - start) * fps;
   }
 
   const auto it = decode_histories_.find(rep);

@@ -166,6 +166,13 @@ class VafsController final : public stream::PlayerObserver {
   bool downloading_ = false;
   std::vector<std::uint32_t> available_khz_;  // parsed from sysfs, ascending
 
+  /// Oracle GOP-scan memo: the last (rep, window) summed by
+  /// decode_demand_hz() and its result, reused while the window is unmoved.
+  mutable std::size_t gop_rep_ = SIZE_MAX;
+  mutable std::uint64_t gop_start_ = 0;
+  mutable std::uint64_t gop_end_ = 0;
+  mutable double gop_cycles_ = 0.0;
+
   /// Per-representation decode state: separate IDR/P predictors (merged
   /// into `p` when class_aware is off) plus the observed class mix.
   struct DecodeHistory {

@@ -23,7 +23,7 @@ CpuModel::CpuModel(sim::Simulator& simulator, OppTable opps, CpuPowerModel power
       busy_in_state_(opps_.size(), sim::SimTime::zero()),
       trans_table_(opps_.size() * opps_.size(), 0) {}
 
-void CpuModel::advance() {
+void CpuModel::advance_slow() {
   sim::SimTime now = sim_.now();
   while (last_advance_ < now) {
     // A segment ends at `now` or at the freeze boundary, whichever is first;
@@ -36,17 +36,21 @@ void CpuModel::advance() {
     wall_in_state_[cur_opp_] += d;
     if (is_busy) {
       busy_in_state_[cur_opp_] += d;
+      total_busy_ += d;  // micros are integral, so the running sum is exact
     } else {
       idle_time_ += d;
     }
 
-    // PELT: frequency-invariant decayed utilization.
-    const double decay = std::exp2(-d.as_seconds_f() * 1e6 / kPeltHalflifeUs);
+    // PELT: frequency-invariant decayed utilization. A fully-decayed idle
+    // signal stays at exactly 0 without evaluating the exponential.
     const double contrib =
         is_busy && !frozen
             ? static_cast<double>(cur_freq_khz()) / static_cast<double>(opps_.max().freq_khz)
             : 0.0;
-    pelt_util_ = pelt_util_ * decay + contrib * (1.0 - decay);
+    if (pelt_util_ != 0.0 || contrib != 0.0) {
+      const double decay = pelt_decay(d);
+      pelt_util_ = pelt_util_ * decay + contrib * (1.0 - decay);
+    }
 
     if (is_busy && !frozen) {
       // Processor sharing: k tasks each retire d * f / k cycles. k is
@@ -62,9 +66,19 @@ void CpuModel::advance() {
   }
 }
 
+double CpuModel::pelt_decay(sim::SimTime d) {
+  if (d != decay_for_) {
+    decay_for_ = d;
+    decay_value_ = std::exp2(-d.as_seconds_f() * 1e6 / kPeltHalflifeUs);
+  }
+  return decay_value_;
+}
+
 void CpuModel::reschedule_completion() {
-  completion_event_.cancel();
-  if (tasks_.empty()) return;
+  if (tasks_.empty()) {
+    completion_event_.cancel();
+    return;
+  }
 
   double min_cycles = tasks_.front().cycles_remaining;
   for (const auto& task : tasks_) min_cycles = std::min(min_cycles, task.cycles_remaining);
@@ -76,28 +90,35 @@ void CpuModel::reschedule_completion() {
       min_cycles * static_cast<double>(tasks_.size()) / cycles_per_us();
   when += sim::SimTime::micros(static_cast<std::int64_t>(std::ceil(exec_us)));
   if (when <= now) when = now;  // fire "immediately" for zero-cycle tasks
-  completion_event_ = sim_.at(when, [this] { on_completion_event(); });
+  // Re-arm the pending event in place when possible; this is the hottest
+  // schedule path in a session (every submit/cancel/freq change lands here).
+  if (!sim_.reschedule(completion_event_, when)) {
+    completion_event_ = sim_.at(when, [this] { on_completion_event(); });
+  }
 }
 
 void CpuModel::on_completion_event() {
   advance();
   // Collect finished tasks first; callbacks may submit new work or change
-  // frequency, both of which re-enter this object.
-  std::vector<std::function<void()>> done;
-  for (auto it = tasks_.begin(); it != tasks_.end();) {
-    if (it->cycles_remaining <= kCycleEpsilon) {
-      if (it->on_complete) done.push_back(std::move(it->on_complete));
-      it = tasks_.erase(it);
+  // frequency, both of which re-enter this object. Stable compaction keeps
+  // survivors and callbacks in submission order.
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    if (tasks_[i].cycles_remaining <= kCycleEpsilon) {
+      if (tasks_[i].on_complete) done_scratch_.push_back(std::move(tasks_[i].on_complete));
     } else {
-      ++it;
+      if (kept != i) tasks_[kept] = std::move(tasks_[i]);
+      ++kept;
     }
   }
+  tasks_.resize(kept);
   if (tasks_.empty()) {  // busy -> idle (callbacks may immediately resubmit)
     idle_open_ = true;
     idle_since_ = sim_.now();
   }
   reschedule_completion();
-  for (auto& fn : done) fn();
+  for (auto& fn : done_scratch_) fn();
+  done_scratch_.clear();
 }
 
 void CpuModel::close_idle_period() {
@@ -107,13 +128,13 @@ void CpuModel::close_idle_period() {
   if (cpuidle_ != nullptr) idle_energy_mj_ += cpuidle_->record_idle(duration);
 }
 
-CpuModel::TaskId CpuModel::submit(std::string name, double cycles,
-                                  std::function<void()> on_complete) {
+CpuModel::TaskId CpuModel::submit(std::string_view name, double cycles,
+                                  sim::EventFn on_complete) {
   assert(cycles >= 0.0);
   advance();
   if (tasks_.empty()) close_idle_period();  // idle -> busy
   const TaskId id = next_task_id_++;
-  tasks_.push_back(Task{id, std::move(name), cycles, std::move(on_complete)});
+  tasks_.push_back(Task{id, name, cycles, std::move(on_complete)});
   reschedule_completion();
   return id;
 }
@@ -136,9 +157,9 @@ bool CpuModel::cancel(TaskId id) {
 
 void CpuModel::set_frequency(std::uint32_t target_khz, Relation rel) {
   advance();
-  const Opp& opp = opps_.resolve(target_khz, rel);
-  const std::size_t new_index = opps_.index_of(opp.freq_khz);
+  const std::size_t new_index = opps_.resolve_index(target_khz, rel);
   if (new_index == cur_opp_) return;
+  const Opp& opp = opps_.at(new_index);
 
   const std::uint32_t old_khz = cur_freq_khz();
   trans_table_[cur_opp_ * opps_.size() + new_index] += 1;
@@ -151,9 +172,7 @@ void CpuModel::set_frequency(std::uint32_t target_khz, Relation rel) {
 
 sim::SimTime CpuModel::total_busy_time() {
   advance();
-  sim::SimTime total = sim::SimTime::zero();
-  for (const auto& t : busy_in_state_) total += t;
-  return total;
+  return total_busy_;
 }
 
 double CpuModel::pelt_util() {

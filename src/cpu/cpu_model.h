@@ -15,8 +15,7 @@
 
 #include <cstdint>
 #include <functional>
-#include <list>
-#include <string>
+#include <string_view>
 #include <vector>
 
 #include "cpu/cpu_sink.h"
@@ -42,7 +41,7 @@ class CpuModel final : public CpuSink {
 
   /// Submits a task needing `cycles` CPU cycles; `on_complete` fires (via
   /// the event queue) when it has retired them all. Returns its id.
-  TaskId submit(std::string name, double cycles, std::function<void()> on_complete) override;
+  TaskId submit(std::string_view name, double cycles, sim::EventFn on_complete) override;
 
   /// Cancels a pending task. Returns false if it already completed.
   bool cancel(TaskId id) override;
@@ -110,13 +109,23 @@ class CpuModel final : public CpuSink {
  private:
   struct Task {
     TaskId id;
-    std::string name;
+    std::string_view name;  // referenced, not owned (a literal in practice)
     double cycles_remaining;
-    std::function<void()> on_complete;
+    sim::EventFn on_complete;
   };
 
   /// Brings accounting (residency, PELT, task progress) up to now().
-  void advance();
+  /// Every public reader calls this first, so most calls find the clock
+  /// already caught up — that no-op check stays inline.
+  void advance() {
+    if (last_advance_ < sim_.now()) advance_slow();
+  }
+  void advance_slow();
+
+  /// exp2 of the PELT decay for a segment of length `d`, memoized on the
+  /// last distinct d — idle stretches tick at a governor's fixed sampling
+  /// period, so consecutive segments repeat the same length constantly.
+  double pelt_decay(sim::SimTime d);
 
   /// Re-schedules the completion event for the earliest-finishing task.
   void reschedule_completion();
@@ -131,7 +140,11 @@ class CpuModel final : public CpuSink {
   sim::SimTime transition_latency_;
 
   std::size_t cur_opp_;
-  std::list<Task> tasks_;
+  std::vector<Task> tasks_;
+  /// Completion callbacks collected before firing; member so the capacity
+  /// survives across completion events (cleared after each use, never
+  /// accessed reentrantly — callbacks run after collection finishes).
+  std::vector<sim::EventFn> done_scratch_;
   TaskId next_task_id_ = 1;
 
   sim::SimTime last_advance_ = sim::SimTime::zero();
@@ -142,6 +155,7 @@ class CpuModel final : public CpuSink {
 
   std::vector<sim::SimTime> wall_in_state_;
   std::vector<sim::SimTime> busy_in_state_;
+  sim::SimTime total_busy_ = sim::SimTime::zero();  // running sum of busy_in_state_
   sim::SimTime idle_time_ = sim::SimTime::zero();
   std::uint64_t transitions_ = 0;
   std::vector<std::uint64_t> trans_table_;  // size() x size(), row-major from->to
@@ -152,6 +166,8 @@ class CpuModel final : public CpuSink {
   double idle_energy_mj_ = 0.0;  // priced by cpuidle_; unused when null
 
   double pelt_util_ = 0.0;
+  sim::SimTime decay_for_ = sim::SimTime::max();  // pelt_decay memo key
+  double decay_value_ = 0.0;
 
   sim::EventHandle completion_event_;
   std::vector<std::function<void(std::uint32_t, std::uint32_t)>> freq_listeners_;

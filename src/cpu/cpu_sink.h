@@ -5,8 +5,9 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <string>
+#include <string_view>
+
+#include "simcore/event_queue.h"
 
 namespace vafs::cpu {
 
@@ -16,8 +17,11 @@ class CpuSink {
 
   /// Submits a task needing `cycles` CPU cycles; `on_complete` fires when
   /// it has retired them all. Returns a task id (0 is never used).
-  virtual std::uint64_t submit(std::string name, double cycles,
-                               std::function<void()> on_complete) = 0;
+  /// `name` classifies the task (e.g. "decode", "http-recv"); it is
+  /// referenced, not copied, so it must outlive the task — in practice a
+  /// string literal.
+  virtual std::uint64_t submit(std::string_view name, double cycles,
+                               sim::EventFn on_complete) = 0;
 
   /// Cancels a pending task; returns false if it already completed (its
   /// callback has then already run) or is unknown.

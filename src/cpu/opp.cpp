@@ -21,17 +21,17 @@ std::size_t OppTable::index_of(std::uint32_t freq_khz) const {
   return SIZE_MAX;
 }
 
-const Opp& OppTable::resolve(std::uint32_t target_khz, Relation rel) const {
+std::size_t OppTable::resolve_index(std::uint32_t target_khz, Relation rel) const {
   if (rel == Relation::kAtLeast) {
-    for (const auto& opp : opps_) {
-      if (opp.freq_khz >= target_khz) return opp;
+    for (std::size_t i = 0; i < opps_.size(); ++i) {
+      if (opps_[i].freq_khz >= target_khz) return i;
     }
-    return opps_.back();
+    return opps_.size() - 1;
   }
-  for (auto it = opps_.rbegin(); it != opps_.rend(); ++it) {
-    if (it->freq_khz <= target_khz) return *it;
+  for (std::size_t i = opps_.size(); i-- > 0;) {
+    if (opps_[i].freq_khz <= target_khz) return i;
   }
-  return opps_.front();
+  return 0;
 }
 
 std::string OppTable::available_frequencies_string() const {

@@ -43,7 +43,13 @@ class OppTable {
   /// Snaps `target_khz` to the table under `rel`, clamped to the table's
   /// range (kAtLeast above max() returns max(); kAtMost below min()
   /// returns min()).
-  const Opp& resolve(std::uint32_t target_khz, Relation rel) const;
+  const Opp& resolve(std::uint32_t target_khz, Relation rel) const {
+    return opps_[resolve_index(target_khz, rel)];
+  }
+
+  /// Index form of resolve() — one table scan where resolve() + index_of()
+  /// would take two. This is the per-sample path of every governor.
+  std::size_t resolve_index(std::uint32_t target_khz, Relation rel) const;
 
   /// The next OPP above / below index i, clamped to the table edges.
   std::size_t step_up(std::size_t i) const { return i + 1 < opps_.size() ? i + 1 : i; }

@@ -58,27 +58,31 @@ ResultSet run_grid(const std::vector<ScenarioSpec>& scenarios, const RunOptions&
     }
   }
 
-  const auto run_task = [&](std::size_t t) {
+  // One arena per worker: sessions on the same thread reuse the event
+  // slab/heap capacity, so only the first session of each worker allocates.
+  const auto run_task = [&](std::size_t t, core::SessionArena& arena) {
     const std::size_t s = t / nseeds;
     const std::size_t i = t % nseeds;
     core::SessionConfig config = scenarios[s].config;
     config.seed = opts.seeds[i];
-    results[s].runs[i] = core::run_session(config, hooks[t]);
+    results[s].runs[i] = core::run_session(config, hooks[t], &arena);
   };
 
   const int jobs = opts.jobs;
   if (jobs <= 1 || ntasks <= 1) {
-    for (std::size_t t = 0; t < ntasks; ++t) run_task(t);
+    core::SessionArena arena;
+    for (std::size_t t = 0; t < ntasks; ++t) run_task(t, arena);
   } else {
     std::atomic<std::size_t> next{0};
     std::mutex error_mutex;
     std::exception_ptr error;
     const auto worker = [&] {
+      core::SessionArena arena;
       for (;;) {
         const std::size_t t = next.fetch_add(1, std::memory_order_relaxed);
         if (t >= ntasks) return;
         try {
-          run_task(t);
+          run_task(t, arena);
         } catch (...) {
           const std::lock_guard<std::mutex> lock(error_mutex);
           if (!error) error = std::current_exception();

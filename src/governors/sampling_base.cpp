@@ -28,15 +28,16 @@ void SamplingGovernorBase::stop() {
 }
 
 void SamplingGovernorBase::arm_next() {
-  timer_ = policy_->simulator().after(sampling_period(), [this] {
-    on_sample();
-    if (policy_ != nullptr) arm_next();  // on_sample may have detached us
-  });
+  // A periodic series: one armed event carried across samples instead of a
+  // fresh schedule per sample. The period is fixed at arm time; tunable
+  // writes that change it go through rearm(), which re-creates the series,
+  // and stop() cancels it (detaching mid-sample included).
+  timer_.cancel();
+  timer_ = policy_->simulator().every(sampling_period(), [this] { on_sample(); });
 }
 
 void SamplingGovernorBase::rearm() {
   if (policy_ == nullptr) return;
-  timer_.cancel();
   arm_next();
 }
 

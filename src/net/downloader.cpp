@@ -92,12 +92,14 @@ void Downloader::pump() {
   last_pump_ = now;
 
   // Re-arm: next bandwidth change or earliest completion.
-  pump_event_.cancel();
   receivers = 0;
   for (const auto& j : jobs_) {
     if (j.receiving) ++receivers;
   }
-  if (receivers == 0) return;
+  if (receivers == 0) {
+    pump_event_.cancel();
+    return;
+  }
 
   const double rate = bandwidth_.current_mbps(now);
   sim::SimTime next = bandwidth_.next_change(now);
@@ -112,8 +114,15 @@ void Downloader::pump() {
     const auto done_us = static_cast<std::int64_t>(std::ceil(min_remaining / per_job_rate));
     next = std::min(next, now + sim::SimTime::micros(std::max<std::int64_t>(1, done_us)));
   }
-  if (next == sim::SimTime::max()) return;  // outage with no scheduled recovery
-  pump_event_ = sim_.at(next, [this] { pump(); });
+  if (next == sim::SimTime::max()) {  // outage with no scheduled recovery
+    pump_event_.cancel();
+    return;
+  }
+  // Re-arm in place when a pump is pending (the common case when a new job
+  // or an early wake moved the horizon); fresh schedule otherwise.
+  if (!sim_.reschedule(pump_event_, next)) {
+    pump_event_ = sim_.at(next, [this] { pump(); });
+  }
 }
 
 void Downloader::finish_job(std::uint64_t id) {

@@ -10,16 +10,16 @@ ClusterRouter::ClusterRouter(cpu::CpuModel& big, cpu::CpuModel& little,
                              double little_cycle_penalty)
     : big_(big), little_(little), little_penalty_(little_cycle_penalty) {}
 
-std::uint64_t ClusterRouter::submit(std::string name, double cycles,
-                                    std::function<void()> on_complete) {
-  const bool is_decode = std::string_view(name).starts_with("decode");
+std::uint64_t ClusterRouter::submit(std::string_view name, double cycles,
+                                    sim::EventFn on_complete) {
+  const bool is_decode = name.starts_with("decode");
   if (is_decode && decode_cluster_ == Cluster::kBig) {
     ++decode_big_;
-    return big_.submit(std::move(name), cycles, std::move(on_complete));
+    return big_.submit(name, cycles, std::move(on_complete));
   }
   if (is_decode) ++decode_little_;
   // LITTLE: inflate the cycle count by the IPC penalty.
-  return little_.submit(std::move(name), cycles * little_penalty_, std::move(on_complete));
+  return little_.submit(name, cycles * little_penalty_, std::move(on_complete));
 }
 
 bool ClusterRouter::cancel(std::uint64_t id) {

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 
 #include "cpu/cpu_model.h"
 #include "cpu/cpu_sink.h"
@@ -31,8 +32,8 @@ class ClusterRouter final : public cpu::CpuSink {
 
   /// Routes by task class: "decode" tasks to the decode cluster, all
   /// network/other tasks to LITTLE.
-  std::uint64_t submit(std::string name, double cycles,
-                       std::function<void()> on_complete) override;
+  std::uint64_t submit(std::string_view name, double cycles,
+                       sim::EventFn on_complete) override;
 
   /// Tries both clusters (task ids are unique per CpuModel instance but
   /// not across them; ties are broken big-first, which is harmless for

@@ -1,48 +1,206 @@
 #include "simcore/event_queue.h"
 
-#include <cassert>
 #include <utility>
 
 namespace vafs::sim {
 
+namespace {
+/// Below this heap size, compaction is not worth the pass.
+constexpr std::size_t kCompactMinHeap = 64;
+}  // namespace
+
 void EventHandle::cancel() {
-  if (cancelled_) *cancelled_ = true;
+  if (queue_ != nullptr) queue_->cancel_slot(slot_, gen_);
 }
 
-bool EventHandle::pending() const { return cancelled_ && !*cancelled_; }
+bool EventHandle::pending() const {
+  return queue_ != nullptr && queue_->slot_matches(slot_, gen_);
+}
+
+EventQueue::EventQueue(Arena* arena) : arena_(arena) {
+  if (arena_ != nullptr) {
+    slots_ = std::move(arena_->slots_);
+    heap_ = std::move(arena_->heap_);
+    free_ = std::move(arena_->free_);
+  }
+}
+
+EventQueue::~EventQueue() {
+  if (arena_ != nullptr) {
+    // Return the storage with its capacity; contents (including any
+    // pending callbacks) are destroyed, generations reset with the slots.
+    slots_.clear();
+    heap_.clear();
+    free_.clear();
+    arena_->slots_ = std::move(slots_);
+    arena_->heap_ = std::move(heap_);
+    arena_->free_ = std::move(free_);
+  }
+}
+
+std::uint32_t EventQueue::alloc_slot() {
+  if (!free_.empty()) {
+    const std::uint32_t idx = free_.back();
+    free_.pop_back();
+    return idx;
+  }
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+EventHandle EventQueue::arm(SimTime when, SimTime period, EventFn&& fn) {
+  const std::uint32_t idx = alloc_slot();
+  Slot& s = slots_[idx];
+  s.fn = std::move(fn);
+  s.seq = next_seq_++;
+  s.period = period;
+  s.in_heap = true;
+  push_entry(HeapEntry{when, s.seq, idx, s.gen});
+  return EventHandle(this, idx, s.gen);
+}
 
 EventHandle EventQueue::schedule(SimTime when, EventFn fn) {
-  auto flag = std::make_shared<bool>(false);
-  heap_.push(Entry{when, next_seq_++, std::move(fn), flag});
-  return EventHandle(std::move(flag));
+  return arm(when, SimTime::zero(), std::move(fn));
 }
 
-void EventQueue::drop_cancelled_head() {
-  while (!heap_.empty() && *heap_.top().cancelled) heap_.pop();
+EventHandle EventQueue::schedule_periodic(SimTime first, SimTime period, EventFn fn) {
+  assert(period > SimTime::zero());
+  return arm(first, period, std::move(fn));
+}
+
+bool EventQueue::reschedule(const EventHandle& h, SimTime when) {
+  if (h.queue_ != this || !slot_matches(h.slot_, h.gen_)) return false;
+  Slot& s = slots_[h.slot_];
+  if (s.in_heap) ++stale_;  // the old entry is now dead weight in the heap
+  s.seq = next_seq_++;
+  s.in_heap = true;
+  push_entry(HeapEntry{when, s.seq, h.slot_, s.gen});
+  return true;
+}
+
+void EventQueue::cancel_slot(std::uint32_t slot, std::uint32_t gen) {
+  if (!slot_matches(slot, gen)) return;
+  Slot& s = slots_[slot];
+  if (s.in_heap) {
+    ++stale_;
+    s.in_heap = false;
+  }
+  ++s.gen;
+  s.fn.reset();  // release captures eagerly
+  s.period = SimTime::zero();
+  free_.push_back(slot);
+}
+
+void EventQueue::push_entry(const HeapEntry& e) {
+  if (stale_ > (heap_.size() >> 1) && heap_.size() >= kCompactMinHeap) compact();
+  heap_.push_back(e);
+  std::size_t i = heap_.size() - 1;
+  while (i > 0) {
+    const std::size_t parent = (i - 1) >> 2;
+    if (!before(heap_[i], heap_[parent])) break;
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+}
+
+void EventQueue::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  for (;;) {
+    const std::size_t first_child = (i << 2) + 1;
+    if (first_child >= n) return;
+    std::size_t best = first_child;
+    const std::size_t last_child = first_child + 4 <= n ? first_child + 4 : n;
+    for (std::size_t c = first_child + 1; c < last_child; ++c) {
+      if (before(heap_[c], heap_[best])) best = c;
+    }
+    if (!before(heap_[best], heap_[i])) return;
+    std::swap(heap_[i], heap_[best]);
+    i = best;
+  }
+}
+
+void EventQueue::pop_root() {
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+}
+
+void EventQueue::settle_head() {
+  while (!heap_.empty() && is_stale(heap_.front())) {
+    pop_root();
+    --stale_;
+  }
+}
+
+void EventQueue::compact() {
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < heap_.size(); ++i) {
+    if (!is_stale(heap_[i])) heap_[kept++] = heap_[i];
+  }
+  heap_.resize(kept);
+  stale_ = 0;
+  if (heap_.size() > 1) {
+    for (std::size_t i = (heap_.size() - 2) >> 2; ; --i) {
+      sift_down(i);
+      if (i == 0) break;
+    }
+  }
 }
 
 bool EventQueue::empty() {
-  drop_cancelled_head();
+  settle_head();
   return heap_.empty();
 }
 
 SimTime EventQueue::next_time() {
-  drop_cancelled_head();
+  settle_head();
   assert(!heap_.empty());
-  return heap_.top().time;
+  return heap_.front().time;
+}
+
+void EventQueue::take_root(Popped* out) {
+  const HeapEntry e = heap_.front();
+  pop_root();
+
+  Slot& s = slots_[e.slot];
+  s.in_heap = false;
+  out->time = e.time;
+  out->slot = e.slot;
+  out->gen = e.gen;
+  out->periodic = !s.period.is_zero();
+  out->fn = std::move(s.fn);
+  if (!out->periodic) {
+    // One-shot: the slot dies with the firing, so outstanding handles
+    // report !pending() while the callback runs.
+    ++s.gen;
+    free_.push_back(e.slot);
+  }
 }
 
 EventQueue::Popped EventQueue::pop() {
-  drop_cancelled_head();
+  settle_head();
   assert(!heap_.empty());
-  // priority_queue::top() returns const&; the entry is moved out via the
-  // usual const_cast idiom, which is safe because pop() follows immediately.
-  Entry& top = const_cast<Entry&>(heap_.top());
-  Popped out{top.time, std::move(top.fn)};
-  // Mark fired so outstanding handles report !pending().
-  *top.cancelled = true;
-  heap_.pop();
+  Popped out;
+  take_root(&out);
   return out;
+}
+
+bool EventQueue::pop_next(SimTime deadline, Popped* out) {
+  settle_head();
+  if (heap_.empty() || heap_.front().time > deadline) return false;
+  take_root(out);
+  return true;
+}
+
+void EventQueue::rearm(Popped&& popped) {
+  if (!popped.periodic) return;
+  if (!slot_matches(popped.slot, popped.gen)) return;  // series cancelled mid-fire
+  Slot& s = slots_[popped.slot];
+  if (s.in_heap) ++stale_;  // callback rescheduled its own series entry
+  s.fn = std::move(popped.fn);
+  s.seq = next_seq_++;
+  s.in_heap = true;
+  push_entry(HeapEntry{popped.time + s.period, s.seq, popped.slot, s.gen});
 }
 
 }  // namespace vafs::sim

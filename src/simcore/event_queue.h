@@ -2,30 +2,42 @@
 //
 // Events are (time, sequence, callback) triples ordered by time and, for
 // equal times, by insertion order — guaranteeing deterministic execution.
-// Scheduling returns an EventHandle that can cancel the event in O(1)
-// (lazily: the entry stays in the heap but is skipped when popped).
+//
+// Storage is allocation-free in steady state: callbacks live in a slab of
+// pooled slots (small-buffer callables, no std::function), the priority
+// structure is a 4-ary implicit heap of 24-byte POD entries, and handles
+// are (slot, generation) pairs — cancellation is O(1) and lazy (the heap
+// entry is skipped when it surfaces, with a compaction pass when stale
+// entries outnumber live ones). A slab can be donated via EventQueue::Arena
+// so back-to-back simulations (the experiment runner's per-worker loop)
+// reuse the same memory.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
-#include <functional>
-#include <memory>
-#include <queue>
 #include <vector>
 
+#include "simcore/inline_fn.h"
 #include "simcore/time.h"
 
 namespace vafs::sim {
 
-using EventFn = std::function<void()>;
+/// Event callbacks: move-only, 64 bytes of inline capture storage — enough
+/// for every callback in the pipeline (heap fallback beyond that).
+using EventFn = InlineFunction<64>;
+
+class EventQueue;
 
 /// Handle to a scheduled event; allows cancellation. Copyable and cheap.
-/// A default-constructed handle refers to no event.
+/// A default-constructed handle refers to no event. A handle must not be
+/// used after its EventQueue is destroyed (components always die with or
+/// before their Simulator, which owns the queue).
 class EventHandle {
  public:
   EventHandle() = default;
 
   /// Cancels the event if it has not fired yet. Safe to call repeatedly
-  /// and on empty handles.
+  /// and on empty handles. For a periodic series, cancels the series.
   void cancel();
 
   /// True if the handle refers to an event that is still pending.
@@ -33,15 +45,51 @@ class EventHandle {
 
  private:
   friend class EventQueue;
-  friend class Simulator;
-  explicit EventHandle(std::shared_ptr<bool> cancelled) : cancelled_(std::move(cancelled)) {}
-  std::shared_ptr<bool> cancelled_;
+  EventHandle(EventQueue* queue, std::uint32_t slot, std::uint32_t gen)
+      : queue_(queue), slot_(slot), gen_(gen) {}
+
+  EventQueue* queue_ = nullptr;
+  std::uint32_t slot_ = 0;
+  std::uint32_t gen_ = 0;
 };
 
 /// Min-heap of timed events with stable ordering for simultaneous events.
 class EventQueue {
+ private:
+  struct Slot {
+    EventFn fn;
+    std::uint64_t seq = 0;  // sequence of this slot's live heap entry
+    SimTime period;         // nonzero => periodic series
+    std::uint32_t gen = 0;  // bumped on free; validates handles and entries
+    bool in_heap = false;
+  };
+  struct HeapEntry {
+    SimTime time;
+    std::uint64_t seq;
+    std::uint32_t slot;
+    std::uint32_t gen;
+  };
+
  public:
-  EventQueue() = default;
+  /// Reusable slab + heap storage. Donate one arena to at most one live
+  /// EventQueue at a time; capacity survives queue destruction, so a
+  /// worker running thousands of back-to-back sessions allocates only
+  /// during the first.
+  class Arena {
+   public:
+    Arena() = default;
+    Arena(const Arena&) = delete;
+    Arena& operator=(const Arena&) = delete;
+
+   private:
+    friend class EventQueue;
+    std::vector<Slot> slots_;
+    std::vector<HeapEntry> heap_;
+    std::vector<std::uint32_t> free_;
+  };
+
+  explicit EventQueue(Arena* arena = nullptr);
+  ~EventQueue();
   EventQueue(const EventQueue&) = delete;
   EventQueue& operator=(const EventQueue&) = delete;
 
@@ -49,42 +97,93 @@ class EventQueue {
   /// the past relative to the last popped event (checked by Simulator).
   EventHandle schedule(SimTime when, EventFn fn);
 
-  /// True if no runnable (non-cancelled) event remains. May pop and drop
-  /// cancelled entries to answer.
+  /// Schedules a periodic series: first firing at `first`, then every
+  /// `period` after each firing (re-armed by rearm()). The handle cancels
+  /// the whole series.
+  EventHandle schedule_periodic(SimTime first, SimTime period, EventFn fn);
+
+  /// Moves a still-pending event to `when`, keeping its callback (the
+  /// allocation-free form of cancel + re-schedule with the same lambda).
+  /// The event is re-sequenced as if newly scheduled. Returns false — and
+  /// does nothing — if the handle is empty, fired or cancelled.
+  bool reschedule(const EventHandle& h, SimTime when);
+
+  /// True if no runnable (non-cancelled) event remains. May drop stale
+  /// entries to answer.
   bool empty();
 
   /// Time of the earliest runnable event. Requires !empty().
   SimTime next_time();
 
   /// Removes and returns the earliest runnable event. Requires !empty().
+  /// For periodic events, pass the fired Popped back to rearm() to keep
+  /// the series alive (the Simulator run loop does this).
   struct Popped {
     SimTime time;
     EventFn fn;
+    std::uint32_t slot = 0;
+    std::uint32_t gen = 0;
+    bool periodic = false;
   };
   Popped pop();
 
-  /// Number of entries in the heap, including not-yet-collected cancelled
+  /// Fused empty() + next_time() + pop(): pops the earliest runnable event
+  /// into `out` if one exists and fires no later than `deadline`. One
+  /// settle of the heap head where the three-call form does three — this
+  /// is the run loop's per-event path.
+  bool pop_next(SimTime deadline, Popped* out);
+
+  /// Re-arms a popped periodic event one period after its firing time —
+  /// unless the series was cancelled from inside its own callback. No-op
+  /// for one-shot events.
+  void rearm(Popped&& popped);
+
+  /// Number of entries in the heap, including not-yet-collected stale
   /// ones. For tests and introspection only.
   std::size_t raw_size() const { return heap_.size(); }
+  /// Stale (cancelled/rescheduled) entries still occupying the heap.
+  std::size_t stale_entries() const { return stale_; }
+  /// Total slots in the slab (live + free). For tests.
+  std::size_t slab_size() const { return slots_.size(); }
 
  private:
-  struct Entry {
-    SimTime time;
-    std::uint64_t seq;
-    EventFn fn;
-    std::shared_ptr<bool> cancelled;
-  };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
-  };
+  friend class EventHandle;
 
-  void drop_cancelled_head();
+  bool slot_matches(std::uint32_t slot, std::uint32_t gen) const {
+    return slot < slots_.size() && slots_[slot].gen == gen;
+  }
+  void cancel_slot(std::uint32_t slot, std::uint32_t gen);
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint32_t alloc_slot();
+  EventHandle arm(SimTime when, SimTime period, EventFn&& fn);
+
+  bool is_stale(const HeapEntry& e) const {
+    const Slot& s = slots_[e.slot];
+    return s.gen != e.gen || s.seq != e.seq;
+  }
+
+  /// Heap ops on the 4-ary implicit heap (children of i: 4i+1 .. 4i+4).
+  static bool before(const HeapEntry& a, const HeapEntry& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+  void push_entry(const HeapEntry& e);
+  void pop_root();
+  /// Pops the (already settled, live) root into `out`.
+  void take_root(Popped* out);
+  void sift_down(std::size_t i);
+  /// Drops stale entries off the head so the root is live (or heap empty).
+  void settle_head();
+  /// Removes every stale entry and re-heapifies. Called when stale entries
+  /// outnumber live ones.
+  void compact();
+
+  Arena* arena_ = nullptr;
+  std::vector<Slot> slots_;
+  std::vector<HeapEntry> heap_;
+  std::vector<std::uint32_t> free_;
   std::uint64_t next_seq_ = 0;
+  std::size_t stale_ = 0;
 };
 
 }  // namespace vafs::sim

@@ -1,0 +1,110 @@
+// A small-buffer, move-only callable — the allocation-free replacement for
+// std::function<void()> on the simulation hot path.
+//
+// Every event the simulator fires used to carry a heap-allocated
+// std::function; the captures are almost always tiny ([this] plus a few
+// scalars), so InlineFunction stores the callable inside a fixed inline
+// buffer and only falls back to the heap for oversized captures (none in
+// this codebase today). Move-only: the event queue is the single owner of
+// a scheduled callback.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace vafs::sim {
+
+template <std::size_t Capacity>
+class InlineFunction {
+ public:
+  InlineFunction() = default;
+  InlineFunction(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineFunction> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  InlineFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= Capacity && alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      ops_ = &inline_ops<Fn>;
+    } else {
+      // Oversized capture: box it. Rare by design — the hot path never
+      // takes this branch.
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = &boxed_ops<Fn>;
+    }
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept { move_from(std::move(other)); }
+
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(std::move(other));
+    }
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+
+  ~InlineFunction() { reset(); }
+
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  void operator()() { ops_->invoke(buf_); }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    /// Move-constructs into `dst` from `src`, then destroys `src`.
+    void (*relocate)(void* src, void* dst);
+    void (*destroy)(void*);
+  };
+
+  template <typename Fn>
+  static constexpr Ops inline_ops = {
+      [](void* p) { (*std::launder(reinterpret_cast<Fn*>(p)))(); },
+      [](void* src, void* dst) {
+        Fn* s = std::launder(reinterpret_cast<Fn*>(src));
+        ::new (dst) Fn(std::move(*s));
+        s->~Fn();
+      },
+      [](void* p) { std::launder(reinterpret_cast<Fn*>(p))->~Fn(); },
+  };
+
+  template <typename Fn>
+  static constexpr Ops boxed_ops = {
+      [](void* p) { (**std::launder(reinterpret_cast<Fn**>(p)))(); },
+      [](void* src, void* dst) {
+        Fn** s = std::launder(reinterpret_cast<Fn**>(src));
+        ::new (dst) Fn*(*s);
+      },
+      [](void* p) { delete *std::launder(reinterpret_cast<Fn**>(p)); },
+  };
+
+  void move_from(InlineFunction&& other) {
+    if (other.ops_ != nullptr) {
+      other.ops_->relocate(other.buf_, buf_);
+      ops_ = other.ops_;
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[Capacity];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace vafs::sim

@@ -1,7 +1,6 @@
 #include "simcore/simulator.h"
 
 #include <cassert>
-#include <memory>
 #include <utility>
 
 namespace vafs::sim {
@@ -16,68 +15,50 @@ EventHandle Simulator::after(SimTime delay, EventFn fn) {
   return at(now_ + delay, std::move(fn));
 }
 
-// Periodic series: each firing re-schedules the next through a small shared
-// state object. Cancelling the returned handle flips the shared `stopped`
-// flag, which both cancels the pending event and stops re-scheduling.
-struct Simulator::PeriodicState {
-  SimTime period;
-  std::function<void()> fn;
-  EventHandle pending;
-};
-
-EventHandle Simulator::every(SimTime period, std::function<void()> fn) {
+EventHandle Simulator::every(SimTime period, EventFn fn) {
   assert(period > SimTime::zero() && "period must be positive");
-  auto stopped = std::make_shared<bool>(false);
-  auto state = std::make_shared<PeriodicState>(PeriodicState{period, std::move(fn), {}});
+  return queue_.schedule_periodic(now_ + period, period, std::move(fn));
+}
 
-  // `tick` owns its own recursion: fire the user fn, then re-arm.
-  auto tick = std::make_shared<std::function<void()>>();
-  *tick = [this, state, stopped, tick]() {
-    if (*stopped) return;
-    state->fn();
-    if (*stopped) return;  // fn may have cancelled the series
-    state->pending = queue_.schedule(now_ + state->period, [tick] { (*tick)(); });
-  };
-  state->pending = queue_.schedule(now_ + period, [tick] { (*tick)(); });
+bool Simulator::reschedule(EventHandle& handle, SimTime when) {
+  assert(when >= now_ && "cannot schedule in the past");
+  return queue_.reschedule(handle, when);
+}
 
-  // The returned handle wraps `stopped` directly: EventHandle::cancel sets
-  // the flag; the tick lambda checks it before doing anything.
-  return EventHandle(stopped);
+void Simulator::fire(EventQueue::Popped&& ev) {
+  now_ = ev.time;
+  ev.fn();
+  queue_.rearm(std::move(ev));  // keeps periodic series alive; no-op otherwise
+  ++events_executed_;
 }
 
 std::uint64_t Simulator::run(std::uint64_t limit) {
   std::uint64_t fired = 0;
-  while (fired < limit && !queue_.empty()) {
-    auto ev = queue_.pop();
+  EventQueue::Popped ev;
+  while (fired < limit && queue_.pop_next(SimTime::max(), &ev)) {
     assert(ev.time >= now_);
-    now_ = ev.time;
-    ev.fn();
+    fire(std::move(ev));
     ++fired;
-    ++events_executed_;
   }
   return fired;
 }
 
 std::uint64_t Simulator::run_until(SimTime deadline) {
   std::uint64_t fired = 0;
-  while (!queue_.empty() && queue_.next_time() <= deadline) {
-    auto ev = queue_.pop();
+  EventQueue::Popped ev;
+  while (queue_.pop_next(deadline, &ev)) {
     assert(ev.time >= now_);
-    now_ = ev.time;
-    ev.fn();
+    fire(std::move(ev));
     ++fired;
-    ++events_executed_;
   }
   if (now_ < deadline) now_ = deadline;
   return fired;
 }
 
 bool Simulator::step() {
-  if (queue_.empty()) return false;
-  auto ev = queue_.pop();
-  now_ = ev.time;
-  ev.fn();
-  ++events_executed_;
+  EventQueue::Popped ev;
+  if (!queue_.pop_next(SimTime::max(), &ev)) return false;
+  fire(std::move(ev));
   return true;
 }
 

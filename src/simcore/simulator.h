@@ -6,7 +6,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 
 #include "simcore/event_queue.h"
 #include "simcore/time.h"
@@ -15,7 +14,10 @@ namespace vafs::sim {
 
 class Simulator {
  public:
-  Simulator() = default;
+  /// With an arena, the event slab/heap storage is borrowed from (and
+  /// returned to) it — back-to-back simulators sharing one arena run
+  /// allocation-free after the first session warms the capacity.
+  explicit Simulator(EventQueue::Arena* arena = nullptr) : queue_(arena) {}
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
@@ -30,7 +32,13 @@ class Simulator {
 
   /// Schedules `fn` to run repeatedly with the given period, first firing
   /// after one period. The returned handle cancels the *series*.
-  EventHandle every(SimTime period, std::function<void()> fn);
+  EventHandle every(SimTime period, EventFn fn);
+
+  /// Moves a still-pending event to absolute time `when` (>= now()),
+  /// keeping its callback — the allocation-free re-arm for timer-style
+  /// events. Returns false if the handle no longer refers to a pending
+  /// event (caller then schedules a fresh one).
+  bool reschedule(EventHandle& handle, SimTime when);
 
   /// Runs events until the queue drains or `limit` events fired.
   /// Returns the number of events executed.
@@ -50,7 +58,7 @@ class Simulator {
   std::uint64_t events_executed() const { return events_executed_; }
 
  private:
-  struct PeriodicState;
+  void fire(EventQueue::Popped&& ev);
 
   SimTime now_ = SimTime::zero();
   EventQueue queue_;

@@ -20,6 +20,10 @@ void OnlineStats::add(double x) {
   m2_ += delta * (x - mean_);
 }
 
+void OnlineStats::add_n(const double* xs, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) add(xs[i]);
+}
+
 double OnlineStats::variance() const {
   if (n_ < 2) return 0.0;
   return m2_ / static_cast<double>(n_ - 1);

@@ -13,6 +13,11 @@ class OnlineStats {
  public:
   void add(double x);
 
+  /// Folds `n` samples in one call — identical arithmetic to n add()
+  /// calls (bit-for-bit), but one non-inlined call per block instead of
+  /// one per sample. The flush path of StatsBatch.
+  void add_n(const double* xs, std::size_t n);
+
   std::size_t count() const { return n_; }
   double mean() const { return n_ ? mean_ : 0.0; }
   /// Sample variance (n-1 denominator); 0 for fewer than 2 samples.
@@ -31,6 +36,29 @@ class OnlineStats {
   double m2_ = 0.0;
   double min_ = 0.0;
   double max_ = 0.0;
+};
+
+/// Fixed-size staging buffer in front of an OnlineStats: per-tick samplers
+/// (thermal integrator, residency probes) append to the buffer — one store
+/// and a bounds check — and pay the accumulator call once per block rather
+/// than once per sample. Results are bit-identical to unbatched add()
+/// calls; flush() before reading the target accumulator.
+template <std::size_t N = 64>
+class StatsBatch {
+ public:
+  void add(double x, OnlineStats& into) {
+    buf_[n_++] = x;
+    if (n_ == N) flush(into);
+  }
+  void flush(OnlineStats& into) {
+    into.add_n(buf_, n_);
+    n_ = 0;
+  }
+  std::size_t buffered() const { return n_; }
+
+ private:
+  double buf_[N];
+  std::size_t n_ = 0;
 };
 
 /// Stores samples for exact quantiles. Suited to the session-scale sample

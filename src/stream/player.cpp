@@ -253,14 +253,19 @@ bool Player::seek(sim::SimTime target) {
 }
 
 void Player::schedule_vsync() {
+  // A periodic series: ticks stay armed across frames without a fresh
+  // schedule per tick. Paths that leave kPlaying cancel the series.
   vsync_event_.cancel();
-  vsync_event_ = sim_.after(frame_period_, [this] { on_vsync(); });
+  vsync_event_ = sim_.every(frame_period_, [this] { on_vsync(); });
 }
 
 void Player::on_vsync() {
-  if (state_ != PlayerState::kPlaying) return;
+  if (state_ != PlayerState::kPlaying) {
+    vsync_event_.cancel();  // defensive: a state change should have cancelled
+    return;
+  }
   if (playhead_ >= total_frames_) {
-    finish();
+    finish();  // cancels the series
     return;
   }
 
@@ -275,12 +280,8 @@ void Player::on_vsync() {
     buffer_.drain(frame_period_);
     maybe_decode();  // the ahead-window moved
     maybe_fetch();   // the buffer drained
-    if (playhead_ >= total_frames_) {
-      finish();
-      return;
-    }
-    schedule_vsync();
-    return;
+    if (playhead_ >= total_frames_) finish();
+    return;  // otherwise the periodic series carries the next tick
   }
 
   if (playhead_ < frames_downloaded_) {
@@ -292,17 +293,14 @@ void Player::on_vsync() {
     buffer_.drain(frame_period_);
     maybe_decode();
     maybe_fetch();
-    if (playhead_ >= total_frames_) {
-      finish();
-      return;
-    }
-    schedule_vsync();
+    if (playhead_ >= total_frames_) finish();
     return;
   }
 
   // The due frame has not even been downloaded: stall.
   ++qoe_.rebuffer_events;
   rebuffer_start_ = sim_.now();
+  vsync_event_.cancel();  // ticks stop until playback resumes
   set_state(PlayerState::kRebuffering);
   maybe_fetch();
 }

@@ -36,7 +36,7 @@ void ThermalModel::sample() {
   temp_c_ = t_inf + (temp_c_ - t_inf) * std::exp(-dt / rc);
 
   peak_c_ = std::max(peak_c_, temp_c_);
-  stats_.add(temp_c_);
+  batch_.add(temp_c_, stats_);
   for (const auto& fn : listeners_) fn(temp_c_);
 }
 

@@ -41,7 +41,10 @@ class ThermalModel {
   /// between them).
   double temperature_c() const { return temp_c_; }
   double peak_temperature_c() const { return peak_c_; }
-  const sim::OnlineStats& temperature_stats() const { return stats_; }
+  const sim::OnlineStats& temperature_stats() const {
+    batch_.flush(stats_);  // fold staged samples before anyone reads
+    return stats_;
+  }
 
   /// Registers a callback fired after every sample with the new
   /// temperature — the hook the throttle governor uses.
@@ -61,7 +64,10 @@ class ThermalModel {
   double last_energy_mj_ = 0.0;
   sim::SimTime last_sample_;
   sim::EventHandle timer_;
-  sim::OnlineStats stats_;
+  // Samples stage in the batch and fold into stats_ in blocks; mutable so
+  // the const accessor can flush. Bit-identical to per-sample add().
+  mutable sim::OnlineStats stats_;
+  mutable sim::StatsBatch<64> batch_;
   std::vector<std::function<void(double)>> listeners_;
 };
 

@@ -25,7 +25,17 @@ ContentModel::ContentModel(std::uint64_t seed, ContentParams params, const Manif
   assert(params_.idr_weight > 1.0 && params_.idr_weight < static_cast<double>(params_.gop_frames));
 }
 
-FrameInfo ContentModel::frame(std::size_t rep, std::uint64_t frame_index) const {
+FrameInfo ContentModel::frame_miss(std::size_t rep, std::uint64_t frame_index) const {
+  // Two lognormal draws per computation make this the single hottest pure
+  // function in a session; the memo turns repeat lookups into one load.
+  ContentStore& s = store();
+  if (s.frames.size() <= rep) s.frames.resize(rep + 1);
+  auto& per_rep = s.frames[rep];
+  if (frame_index >= per_rep.size()) per_rep.resize(frame_index + 1);
+  return per_rep[frame_index] = compute_frame(rep, frame_index);
+}
+
+FrameInfo ContentModel::compute_frame(std::size_t rep, std::uint64_t frame_index) const {
   const Representation& r = manifest_->representation(rep);
 
   const double mean_frame_bytes =
@@ -59,12 +69,13 @@ FrameInfo ContentModel::frame(std::size_t rep, std::uint64_t frame_index) const 
   return info;
 }
 
-const ContentModel::SegmentTotals& ContentModel::totals(std::size_t rep, std::size_t seg) const {
+const ContentStore::SegmentTotals& ContentModel::totals(std::size_t rep, std::size_t seg) const {
   const std::uint64_t key = (static_cast<std::uint64_t>(rep) << 40) | seg;
-  auto it = segment_cache_.find(key);
-  if (it != segment_cache_.end()) return it->second;
+  ContentStore& s = store();
+  auto it = s.segments.find(key);
+  if (it != s.segments.end()) return it->second;
 
-  SegmentTotals t{0, 0.0};
+  ContentStore::SegmentTotals t{0, 0.0};
   const std::uint64_t first = manifest_->first_frame_of_segment(rep, seg);
   const std::uint64_t count = manifest_->frames_in_segment(rep, seg);
   for (std::uint64_t f = 0; f < count; ++f) {
@@ -72,7 +83,7 @@ const ContentModel::SegmentTotals& ContentModel::totals(std::size_t rep, std::si
     t.bytes += info.bytes;
     t.cycles += info.decode_cycles;
   }
-  return segment_cache_.emplace(key, t).first->second;
+  return s.segments.emplace(key, t).first->second;
 }
 
 std::uint64_t ContentModel::segment_bytes(std::size_t rep, std::size_t seg) const {

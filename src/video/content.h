@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <vector>
 
 #include "video/manifest.h"
 
@@ -20,6 +21,22 @@ struct FrameInfo {
   std::uint64_t bytes = 0;
   double decode_cycles = 0.0;
   bool is_idr = false;
+};
+
+/// Memo storage behind a ContentModel: the per-(rep, frame) table and the
+/// per-segment totals. Owned by the model by default; a harness may hand
+/// the same store to successive models constructed with identical
+/// (seed, params, manifest shape) — every value is a pure function of
+/// those inputs, so sharing the memo across sessions is exact and saves
+/// re-synthesizing the same content under each governor of a grid.
+struct ContentStore {
+  struct SegmentTotals {
+    std::uint64_t bytes;
+    double cycles;
+  };
+  std::unordered_map<std::uint64_t, SegmentTotals> segments;
+  /// bytes == 0 marks an empty entry (real frames are >= 64 bytes).
+  std::vector<std::vector<FrameInfo>> frames;
 };
 
 struct ContentParams {
@@ -47,9 +64,27 @@ class ContentModel {
   const Manifest& manifest() const { return *manifest_; }
   const ContentParams& params() const { return params_; }
 
+  /// Redirects memoization to `store` (not owned; must outlive the model).
+  /// The store must have been filled — if at all — by a model with the
+  /// same (seed, params, manifest shape); passing nullptr reverts to the
+  /// private store.
+  void use_store(ContentStore* store) { shared_ = store; }
+
   /// Frame `frame_index` (global, per-representation timeline) of
-  /// representation `rep`.
-  FrameInfo frame(std::size_t rep, std::uint64_t frame_index) const;
+  /// representation `rep`. Memoized: the value is a pure function of
+  /// (seed, rep, frame), and the pipeline asks for each frame several
+  /// times (download sizing, decode scheduling, segment totals) — hits
+  /// outnumber misses ~5:1 in a session, so the hit path stays inline.
+  FrameInfo frame(std::size_t rep, std::uint64_t frame_index) const {
+    const ContentStore& s = store();
+    if (rep < s.frames.size()) {
+      const auto& per_rep = s.frames[rep];
+      if (frame_index < per_rep.size() && per_rep[frame_index].bytes != 0) {
+        return per_rep[frame_index];
+      }
+    }
+    return frame_miss(rep, frame_index);
+  }
 
   /// Total bytes of segment `seg` in representation `rep` (sum of its
   /// frames; memoized).
@@ -60,16 +95,20 @@ class ContentModel {
   double segment_cycles(std::size_t rep, std::size_t seg) const;
 
  private:
-  struct SegmentTotals {
-    std::uint64_t bytes;
-    double cycles;
-  };
-  const SegmentTotals& totals(std::size_t rep, std::size_t seg) const;
+  const ContentStore::SegmentTotals& totals(std::size_t rep, std::size_t seg) const;
+  FrameInfo frame_miss(std::size_t rep, std::uint64_t frame_index) const;
+  FrameInfo compute_frame(std::size_t rep, std::uint64_t frame_index) const;
+
+  /// Active memo: the shared store if attached, else the private one.
+  /// Resolved per access (not cached in a pointer) so the implicitly
+  /// generated copy/move operations stay correct.
+  ContentStore& store() const { return shared_ != nullptr ? *shared_ : own_store_; }
 
   std::uint64_t seed_;
   ContentParams params_;
   const Manifest* manifest_;
-  mutable std::unordered_map<std::uint64_t, SegmentTotals> segment_cache_;
+  mutable ContentStore own_store_;
+  ContentStore* shared_ = nullptr;  // not owned
 };
 
 }  // namespace vafs::video

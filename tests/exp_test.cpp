@@ -132,6 +132,31 @@ TEST(Runner, ParallelMatchesSerialBitIdentically) {
   }
 }
 
+TEST(Runner, ArenaSharedContentStoreIsExact) {
+  // An arena shares synthesized content between sessions with the same
+  // (seed, content, duration) workload. A session run against a store
+  // pre-warmed by a *different governor's* session must be bit-identical
+  // to one run with no arena at all — the memo is pure, not stateful.
+  core::SessionConfig config = small_config();
+  config.governor = "ondemand";
+  const core::SessionResult bare = core::run_session(config);
+
+  core::SessionArena arena;
+  core::SessionConfig warmup = config;
+  warmup.governor = "schedutil";
+  core::run_session(warmup, {}, &arena);  // fills the shared store
+  const core::SessionResult warmed = core::run_session(config, {}, &arena);
+  expect_identical(bare, warmed);
+
+  // A different seed is a different workload: it must get its own store,
+  // not collide with the warm one.
+  core::SessionConfig reseeded = config;
+  reseeded.seed = config.seed + 1;
+  const core::SessionResult bare2 = core::run_session(reseeded);
+  const core::SessionResult warmed2 = core::run_session(reseeded, {}, &arena);
+  expect_identical(bare2, warmed2);
+}
+
 TEST(Runner, ResultSetLookupAndAggregates) {
   ExperimentGrid grid(small_config());
   grid.governors({"ondemand", "vafs"});

@@ -3,6 +3,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <map>
+#include <utility>
 #include <vector>
 
 #include "simcore/event_queue.h"
@@ -110,6 +113,110 @@ TEST(EventQueue, NextTimeSkipsCancelled) {
   q.schedule(SimTime::millis(9), [] {});
   h.cancel();
   EXPECT_EQ(q.next_time(), SimTime::millis(9));
+}
+
+TEST(EventQueue, PopNextRespectsDeadlineAndSettlesStaleHead) {
+  EventQueue q;
+  EventQueue::Popped out;
+  EXPECT_FALSE(q.pop_next(SimTime::max(), &out));  // empty queue
+
+  int fired = 0;
+  q.schedule(SimTime::millis(10), [&] { ++fired; });
+  EventHandle h = q.schedule(SimTime::millis(5), [&] { fired += 100; });
+  h.cancel();  // the heap head is now stale; pop_next must skip past it
+
+  EXPECT_FALSE(q.pop_next(SimTime::millis(9), &out));  // next live is at 10
+  ASSERT_TRUE(q.pop_next(SimTime::millis(10), &out));
+  EXPECT_EQ(out.time, SimTime::millis(10));
+  out.fn();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(q.pop_next(SimTime::max(), &out));
+}
+
+TEST(EventQueue, StaleHandleDoesNotAliasReusedSlot) {
+  EventQueue q;
+  int first = 0;
+  int second = 0;
+  EventHandle old = q.schedule(SimTime::millis(1), [&] { ++first; });
+  q.pop().fn();  // frees old's slot (and bumps its generation)
+  EXPECT_EQ(first, 1);
+
+  // The freed slot is reused for the next event; the stale handle now
+  // points at the same slot with an older generation.
+  EventHandle fresh = q.schedule(SimTime::millis(2), [&] { ++second; });
+  ASSERT_EQ(q.slab_size(), 1u);  // same slot, or the test proves nothing
+
+  EXPECT_FALSE(old.pending());
+  old.cancel();  // generation mismatch: must not touch the new event
+  EXPECT_TRUE(fresh.pending());
+  ASSERT_FALSE(q.empty());
+  q.pop().fn();
+  EXPECT_EQ(second, 1);
+}
+
+TEST(EventQueue, ChurnMatchesReferenceModelAcrossGenerations) {
+  // Randomized schedule/cancel/reschedule churn, cross-checked against a
+  // map ordered by (time, arming order) — the queue's documented order.
+  // Three full drain cycles recycle every slot repeatedly, exercising
+  // generation bumps, handle invalidation, lazy deletion and compaction.
+  EventQueue q;
+  Rng rng(2024);
+  int next_id = 0;
+  std::uint64_t order = 0;  // monotone arming counter, bumped like seq
+
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    struct Live {
+      EventHandle handle;
+      std::pair<std::int64_t, std::uint64_t> key;
+      int id;
+    };
+    std::vector<Live> live;
+    std::map<std::pair<std::int64_t, std::uint64_t>, int> expected;
+    std::vector<int> fired;
+
+    auto arm = [&](std::int64_t ms) {
+      const int id = next_id++;
+      EventHandle h = q.schedule(SimTime::millis(ms), [&fired, id] { fired.push_back(id); });
+      live.push_back({h, {ms, order}, id});
+      expected.emplace(std::make_pair(ms, order), id);
+      ++order;
+    };
+
+    for (int op = 0; op < 600; ++op) {
+      // Few distinct times on purpose: ties are the interesting case.
+      const std::int64_t ms = rng.uniform_int(1, 40);
+      const double dice = rng.uniform();
+      if (live.empty() || dice < 0.5) {
+        arm(ms);
+      } else {
+        const std::size_t pick =
+            static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(live.size()) - 1));
+        if (dice < 0.75) {  // cancel
+          live[pick].handle.cancel();
+          expected.erase(live[pick].key);
+          live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+        } else {  // reschedule: keeps the callback, re-sequences the event
+          ASSERT_TRUE(q.reschedule(live[pick].handle, SimTime::millis(ms)));
+          expected.erase(live[pick].key);
+          live[pick].key = {ms, order};
+          expected.emplace(std::make_pair(ms, order), live[pick].id);
+          ++order;
+        }
+      }
+    }
+    EXPECT_LE(q.stale_entries(), q.raw_size());
+
+    // Drain through the run-loop path and compare the full firing order.
+    EventQueue::Popped out;
+    while (q.pop_next(SimTime::max(), &out)) out.fn();
+    std::vector<int> want;
+    want.reserve(expected.size());
+    for (const auto& [key, id] : expected) want.push_back(id);
+    EXPECT_EQ(fired, want);
+    EXPECT_TRUE(q.empty());
+
+    for (const Live& l : live) EXPECT_FALSE(l.handle.pending());
+  }
 }
 
 // ------------------------------------------------------------- Simulator

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Coverage gate: parse an lcov tracefile and enforce a minimum line
+coverage over selected source prefixes.
+
+Usage::
+
+    python3 tools/check_coverage.py coverage.info \
+        --path src/simcore --path src/exp --min-lines 80
+
+Understands the lcov ``.info`` format directly (``SF:``, ``DA:``,
+``end_of_record``), so it needs no lcov installation itself. Paths are
+matched by substring against each record's source-file path, which keeps the
+check independent of the absolute build prefix lcov happened to record.
+
+A per-prefix and per-file breakdown goes to stdout and, when
+``GITHUB_STEP_SUMMARY`` is set, to the GitHub Actions job summary.
+
+Exit codes: 0 ok, 1 below threshold, 2 usage/input error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+
+def parse_lcov(path: str) -> dict[str, tuple[int, int]]:
+    """Returns {source_file: (lines_hit, lines_instrumented)}."""
+    per_file: dict[str, tuple[int, int]] = {}
+    current = None
+    hit = total = 0
+    try:
+        fh = open(path, "r", encoding="utf-8", errors="replace")
+    except OSError as err:
+        sys.exit(f"error: cannot read {path}: {err}")
+    with fh:
+        for line in fh:
+            line = line.strip()
+            if line.startswith("SF:"):
+                current, hit, total = line[3:], 0, 0
+            elif line.startswith("DA:") and current is not None:
+                # DA:<line>,<execution count>[,<checksum>]
+                parts = line[3:].split(",")
+                if len(parts) >= 2:
+                    total += 1
+                    if parts[1] != "0" and not parts[1].startswith("-"):
+                        hit += 1
+            elif line == "end_of_record" and current is not None:
+                prev_hit, prev_total = per_file.get(current, (0, 0))
+                per_file[current] = (prev_hit + hit, prev_total + total)
+                current = None
+    if not per_file:
+        sys.exit(f"error: no coverage records found in {path}")
+    return per_file
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("tracefile", help="lcov .info tracefile")
+    parser.add_argument("--path", action="append", required=True, metavar="PREFIX",
+                        help="source path substring to gate on (repeatable)")
+    parser.add_argument("--min-lines", type=float, default=80.0,
+                        help="minimum line coverage percent (default 80)")
+    args = parser.parse_args()
+
+    per_file = parse_lcov(args.tracefile)
+
+    lines = ["### Coverage gate", "",
+             f"Minimum line coverage: **{args.min_lines:.0f}%**", "",
+             "| scope | lines hit | lines total | coverage | status |",
+             "|---|---:|---:|---:|---|"]
+    failures = []
+    for prefix in args.path:
+        files = {f: c for f, c in per_file.items() if prefix in f}
+        hit = sum(h for h, _ in files.values())
+        total = sum(t for _, t in files.values())
+        if total == 0:
+            failures.append(f"{prefix}: no instrumented lines found")
+            lines.append(f"| `{prefix}` | 0 | 0 | — | ❌ no data |")
+            continue
+        pct = 100.0 * hit / total
+        ok = pct >= args.min_lines
+        if not ok:
+            failures.append(f"{prefix}: {pct:.1f}% < {args.min_lines:.0f}%")
+        lines.append(f"| `{prefix}` | {hit} | {total} | {pct:.1f}% | "
+                     f"{'✅ ok' if ok else '❌ below minimum'} |")
+        for f in sorted(files):
+            fh_, ft = files[f]
+            fpct = 100.0 * fh_ / ft if ft else 0.0
+            lines.append(f"| &nbsp;&nbsp;`{os.path.basename(f)}` | {fh_} | {ft} | "
+                         f"{fpct:.1f}% | |")
+
+    table = "\n".join(lines)
+    print(table)
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        with open(summary_path, "a", encoding="utf-8") as fh:
+            fh.write(table + "\n")
+
+    if failures:
+        print("\ncoverage gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\ncoverage gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
