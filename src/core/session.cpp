@@ -1,10 +1,11 @@
 #include "core/session.h"
 
-#include <cassert>
 #include <memory>
+#include <string>
 
 #include "cpu/cpufreq_policy.h"
 #include "cpu/cpufreq_sysfs.h"
+#include "fault/injector.h"
 #include "governors/registry.h"
 #include "net/bandwidth.h"
 #include "stream/abr.h"
@@ -76,7 +77,9 @@ std::unique_ptr<net::BandwidthProcess> make_bandwidth(const SessionConfig& confi
     return std::make_unique<net::ConstantBandwidth>(config.constant_mbps);
   }
   if (config.net == NetProfile::kTrace) {
-    assert(!config.trace.empty() && "kTrace requires SessionConfig::trace");
+    if (config.trace.empty()) {
+      throw SessionError("NetProfile::kTrace requires a non-empty SessionConfig::trace");
+    }
     return std::make_unique<net::TraceBandwidth>(config.trace, config.trace_loop);
   }
   return std::make_unique<net::MarkovBandwidth>(net_profile_params(config.net), rng);
@@ -160,7 +163,6 @@ SessionResult run_session(const SessionConfig& config, const SessionHooks& hooks
 
   net::RadioModel radio(simulator, config.radio);
   auto bandwidth = make_bandwidth(config, master.fork(1));
-  net::Downloader downloader(simulator, radio, *bandwidth, sink, config.downloader);
 
   video::Manifest manifest =
       video::Manifest::typical_vod("vod", config.media_duration, config.segment_duration);
@@ -177,9 +179,70 @@ SessionResult run_session(const SessionConfig& config, const SessionHooks& hooks
     content.use_store(&arena->content_store(key));
   }
 
-  assert(config.fixed_rep < manifest.representation_count());
+  if (config.fixed_rep >= manifest.representation_count()) {
+    throw SessionError("fixed_rep " + std::to_string(config.fixed_rep) +
+                       " out of range: manifest has " +
+                       std::to_string(manifest.representation_count()) + " representations");
+  }
+
+  // Fault layer. Built only when a fault source is enabled; the forks here
+  // come *after* the bandwidth (fork 1) and content (fork 2) draws, so the
+  // base workload trajectory is identical with and without faults, and a
+  // fault-free session draws nothing extra (byte-identical schedule).
+  std::unique_ptr<fault::FaultInjector> injector;
+  std::unique_ptr<fault::FaultyBandwidth> faulty_bandwidth;
+  net::BandwidthProcess* link = bandwidth.get();
+  net::FetchFaultHook* fetch_faults = nullptr;
+  if (config.fault.any()) {
+    fault::FaultPlan plan(config.fault, master.fork(3), config.sim_cap);
+    injector = std::make_unique<fault::FaultInjector>(std::move(plan), master.fork(4));
+    faulty_bandwidth = std::make_unique<fault::FaultyBandwidth>(*bandwidth, *injector);
+    link = faulty_bandwidth.get();
+    fetch_faults = injector.get();
+  }
+
+  // The jitter stream is consumed only on actual retries, so deriving it
+  // from the session seed (no master draw) keeps fault-free sessions
+  // byte-identical while giving each seed distinct backoff timing.
+  net::Downloader downloader(simulator, radio, *link, sink, config.downloader, fetch_faults,
+                             config.seed ^ 0x9E3779B97F4A7C15ULL);
+
   stream::Player player(simulator, *sink, downloader, content, make_abr(config),
                         config.player);
+
+  if (injector != nullptr) {
+    if (!injector->plan().windows(fault::FaultKind::kDecodeSpike).empty()) {
+      fault::FaultInjector* inj = injector.get();
+      player.set_decode_scale([inj](sim::SimTime now) { return inj->decode_scale(now); });
+    }
+    if (!injector->plan().windows(fault::FaultKind::kSysfsWriteFault).empty()) {
+      fault::FaultInjector* inj = injector.get();
+      sim::Simulator* sim = &simulator;
+      tree.set_write_interceptor(
+          [inj, sim](std::string_view path, std::string_view) -> std::optional<sysfs::Errno> {
+            if (!path.ends_with("/scaling_setspeed")) return std::nullopt;
+            return inj->sysfs_write_error(sim->now());
+          });
+    }
+    // Thermal-cap excursions arrive the way a vendor thermal daemon's do:
+    // scaling_max_freq writes on the big policy, restored at window end.
+    const auto& caps = injector->plan().windows(fault::FaultKind::kThermalCap);
+    if (!caps.empty()) {
+      const std::uint32_t fmax = cpu_model.opps().max().freq_khz;
+      const std::string max_path = binder.dir() + "/scaling_max_freq";
+      sysfs::Tree* tree_ptr = &tree;
+      for (const auto& window : caps) {
+        const auto capped =
+            static_cast<std::uint32_t>(window.magnitude * static_cast<double>(fmax));
+        simulator.at(window.start, [tree_ptr, max_path, capped] {
+          (void)tree_ptr->write(max_path, std::to_string(capped));
+        });
+        simulator.at(window.end, [tree_ptr, max_path, fmax] {
+          (void)tree_ptr->write(max_path, std::to_string(fmax));
+        });
+      }
+    }
+  }
 
   std::unique_ptr<VafsController> vafs_controller;
   if (use_vafs) {
@@ -191,9 +254,9 @@ SessionResult run_session(const SessionConfig& config, const SessionHooks& hooks
     vafs_controller = std::make_unique<VafsController>(simulator, tree, binder.dir(), player,
                                                        vafs_config);
     if (router) vafs_controller->enable_big_little(little_binder->dir(), router.get());
-    const bool ok = vafs_controller->attach();
-    assert(ok && "VAFS failed to attach through sysfs");
-    (void)ok;
+    if (!vafs_controller->attach()) {
+      throw SessionError("VAFS failed to attach through sysfs (userspace governor rejected)");
+    }
   }
 
   std::unique_ptr<thermal::ThermalModel> thermal_model;
@@ -217,6 +280,7 @@ SessionResult run_session(const SessionConfig& config, const SessionHooks& hooks
     live.radio = &radio;
     live.player = &player;
     live.vafs = vafs_controller.get();
+    live.faults = injector.get();
     live.thermal = thermal_model.get();
     live.cpu_little = little_model.get();
     live.router = router.get();
@@ -257,10 +321,20 @@ SessionResult run_session(const SessionConfig& config, const SessionHooks& hooks
     result.residency.emplace_back(opps.at(i).freq_khz, frac);
   }
 
+  result.fetch_timeouts = downloader.total_timeouts();
+  if (injector) {
+    result.fault_windows = injector->plan().total_windows();
+    result.injected_fetch_failures = injector->injected_fetch_failures();
+    result.injected_fetch_hangs = injector->injected_fetch_hangs();
+    result.injected_sysfs_errors = injector->injected_sysfs_errors();
+  }
   if (vafs_controller) {
     result.vafs_decode_mape = vafs_controller->decode_mape();
     result.vafs_plans = vafs_controller->plan_count();
     result.vafs_setspeed_writes = vafs_controller->setspeed_writes();
+    result.vafs_fallback_entries = vafs_controller->fallback_entries();
+    result.vafs_fallback_time = vafs_controller->fallback_time();
+    result.vafs_sysfs_write_errors = vafs_controller->sysfs_write_errors();
   }
   if (thermal_model) {
     result.peak_temp_c = thermal_model->peak_temperature_c();

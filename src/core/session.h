@@ -7,10 +7,12 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "core/vafs_controller.h"
+#include "fault/plan.h"
 #include "cpu/cpu_model.h"
 #include "cpu/cpufreq_policy.h"
 #include "energy/meter.h"
@@ -25,6 +27,10 @@
 #include "video/content.h"
 #include "video/qoe.h"
 
+namespace vafs::fault {
+class FaultInjector;
+}
+
 namespace vafs::core {
 
 enum class NetProfile { kPoor, kFair, kGood, kExcellent, kConstant, kTrace };
@@ -32,6 +38,16 @@ enum class AbrKind { kFixed, kRate, kBuffer, kBola };
 
 const char* net_profile_name(NetProfile p);
 const char* abr_kind_name(AbrKind k);
+
+/// Setup failure surfaced by run_session instead of an assert: an invalid
+/// configuration (empty kTrace trace, out-of-range fixed_rep) or a device
+/// bring-up failure (VAFS unable to attach through sysfs). The experiment
+/// runner catches these per run and records them with scenario + seed
+/// context instead of aborting the whole grid.
+class SessionError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 struct SessionConfig {
   /// A registered kernel governor name, or "vafs" for the userspace
@@ -54,6 +70,11 @@ struct SessionConfig {
   bool trace_loop = true;
   net::RadioParams radio = net::RadioParams::lte();
   net::DownloaderParams downloader;
+
+  // Fault injection (all rates zero by default: the fault layer is not
+  // even constructed and the session is byte-identical to a build without
+  // it). The plan is compiled once, per-seed, before the session starts.
+  fault::FaultPlanConfig fault;
 
   // Device.
   cpu::PowerModelParams power;
@@ -105,6 +126,18 @@ struct SessionResult {
   std::uint64_t vafs_plans = 0;
   std::uint64_t vafs_setspeed_writes = 0;
 
+  // Resilience (zeroed for fault-free sessions with the watchdog off).
+  // Player-visible fetch retries/failures live in qoe; these cover the
+  // injection side and the controller's failover behaviour.
+  std::uint64_t fault_windows = 0;
+  std::uint64_t injected_fetch_failures = 0;
+  std::uint64_t injected_fetch_hangs = 0;
+  std::uint64_t injected_sysfs_errors = 0;
+  std::uint64_t fetch_timeouts = 0;
+  std::uint64_t vafs_fallback_entries = 0;
+  sim::SimTime vafs_fallback_time;
+  std::uint64_t vafs_sysfs_write_errors = 0;
+
   // Thermal (zeroed unless thermal_enabled).
   double peak_temp_c = 0.0;
   double mean_temp_c = 0.0;
@@ -130,6 +163,7 @@ struct SessionLive {
   net::RadioModel* radio = nullptr;
   stream::Player* player = nullptr;
   VafsController* vafs = nullptr;            // null unless governor == "vafs"
+  fault::FaultInjector* faults = nullptr;    // null unless config.fault.any()
   thermal::ThermalModel* thermal = nullptr;  // null unless thermal_enabled
   cpu::CpuModel* cpu_little = nullptr;       // null unless big_little
   sched::ClusterRouter* router = nullptr;    // null unless big_little

@@ -60,7 +60,18 @@ bool VafsController::attach() {
     if (!tree_.write(little_dir_ + "/scaling_governor", "userspace").ok()) return false;
   }
 
-  if (!tree_.write(dir_ + "/scaling_governor", "userspace").ok()) return false;
+  if (!tree_.write(dir_ + "/scaling_governor", "userspace").ok()) {
+    if (config_.watchdog.enabled) {
+      // Boot straight into safe mode; the hysteresis timer retries the
+      // takeover once the actuation channel recovers.
+      attached_ = true;
+      last_written_khz_ = 0;
+      last_written_little_khz_ = 0;
+      enter_fallback();
+      return true;
+    }
+    return false;
+  }
   attached_ = true;
   last_written_khz_ = 0;
   last_written_little_khz_ = 0;
@@ -71,6 +82,11 @@ bool VafsController::attach() {
 void VafsController::detach(std::string_view restore_governor) {
   if (!attached_) return;
   attached_ = false;
+  reengage_event_.cancel();
+  if (fallback_) {
+    fallback_accum_ += sim_.now() - fallback_since_;
+    fallback_ = false;
+  }
   tree_.write(dir_ + "/scaling_governor", restore_governor);
   if (router_ != nullptr) tree_.write(little_dir_ + "/scaling_governor", restore_governor);
 }
@@ -167,7 +183,7 @@ std::uint32_t VafsController::snap_to_available(double required_khz, bool booste
 }
 
 void VafsController::plan_now() {
-  if (!attached_) return;
+  if (!attached_ || fallback_) return;  // safe mode owns the policy
   ++plans_;
 
   const auto state = player_.state();
@@ -253,8 +269,13 @@ void VafsController::plan_big_little(double margin, bool boosted) {
 void VafsController::write_setspeed(std::uint32_t khz) {
   if (khz == last_written_khz_) return;
   const auto status = tree_.write(dir_ + "/scaling_setspeed", std::to_string(khz));
-  assert(status.ok());
-  (void)status;
+  if (!status.ok()) {
+    // Keep last_written_khz_ unchanged so the next plan retries the write
+    // (the dedup short-circuit would otherwise swallow it).
+    note_write_failure();
+    return;
+  }
+  consecutive_write_errors_ = 0;
   last_written_khz_ = khz;
   ++writes_;
 }
@@ -262,10 +283,93 @@ void VafsController::write_setspeed(std::uint32_t khz) {
 void VafsController::write_little_setspeed(std::uint32_t khz) {
   if (khz == last_written_little_khz_) return;
   const auto status = tree_.write(little_dir_ + "/scaling_setspeed", std::to_string(khz));
-  assert(status.ok());
-  (void)status;
+  if (!status.ok()) {
+    note_write_failure();
+    return;
+  }
+  consecutive_write_errors_ = 0;
   last_written_little_khz_ = khz;
   ++writes_;
+}
+
+void VafsController::note_write_failure() {
+  ++write_errors_;
+  ++consecutive_write_errors_;
+  const auto& wd = config_.watchdog;
+  if (!wd.enabled || !attached_) return;
+  last_incident_ = sim_.now();
+  if (!fallback_ && consecutive_write_errors_ >= wd.write_error_threshold) enter_fallback();
+}
+
+void VafsController::note_deadline_miss() {
+  const auto& wd = config_.watchdog;
+  if (!wd.enabled || !attached_) return;
+  last_incident_ = sim_.now();  // misses during fallback delay re-engage
+  if (fallback_) return;
+  if (sim_.now() - miss_window_start_ > wd.miss_window) {
+    miss_window_start_ = sim_.now();
+    miss_count_ = 0;
+  }
+  if (++miss_count_ >= wd.miss_threshold) enter_fallback();
+}
+
+void VafsController::enter_fallback() {
+  if (fallback_) return;
+  fallback_ = true;
+  ++fallback_entries_;
+  fallback_since_ = sim_.now();
+  last_incident_ = sim_.now();
+  consecutive_write_errors_ = 0;
+  miss_count_ = 0;
+  const auto& wd = config_.watchdog;
+  if (wd.mode == VafsWatchdogConfig::Mode::kRestoreGovernor) {
+    tree_.write(dir_ + "/scaling_governor", wd.fallback_governor);
+    if (router_ != nullptr) tree_.write(little_dir_ + "/scaling_governor", wd.fallback_governor);
+  } else if (!available_khz_.empty()) {
+    // Pin fmax; best-effort — the actuation channel may be the very thing
+    // that is broken, in which case the CPU rides at its last frequency
+    // until re-engage replans.
+    if (tree_.write(dir_ + "/scaling_setspeed", std::to_string(available_khz_.back())).ok()) {
+      last_written_khz_ = available_khz_.back();
+    }
+    if (router_ != nullptr && !little_available_khz_.empty() &&
+        tree_.write(little_dir_ + "/scaling_setspeed",
+                    std::to_string(little_available_khz_.back()))
+            .ok()) {
+      last_written_little_khz_ = little_available_khz_.back();
+    }
+  }
+  reengage_event_.cancel();
+  reengage_event_ = sim_.after(wd.hysteresis, [this] { try_reengage(); });
+}
+
+void VafsController::try_reengage() {
+  if (!fallback_ || !attached_) return;
+  const auto& wd = config_.watchdog;
+  const sim::SimTime clean_at = last_incident_ + wd.hysteresis;
+  if (sim_.now() < clean_at) {
+    reengage_event_ = sim_.after(clean_at - sim_.now(), [this] { try_reengage(); });
+    return;
+  }
+  if (wd.mode == VafsWatchdogConfig::Mode::kRestoreGovernor) {
+    const bool big_ok = tree_.write(dir_ + "/scaling_governor", "userspace").ok();
+    const bool little_ok =
+        router_ == nullptr || tree_.write(little_dir_ + "/scaling_governor", "userspace").ok();
+    if (!big_ok || !little_ok) {
+      reengage_event_ = sim_.after(wd.hysteresis, [this] { try_reengage(); });
+      return;
+    }
+  }
+  fallback_accum_ += sim_.now() - fallback_since_;
+  fallback_ = false;
+  consecutive_write_errors_ = 0;
+  miss_count_ = 0;
+  miss_window_start_ = sim_.now();
+  // The governor switch reset the frequency out from under us: force the
+  // next plan to rewrite whatever it targets.
+  last_written_khz_ = 0;
+  last_written_little_khz_ = 0;
+  plan_now();
 }
 
 const CycleDemandPredictor* VafsController::decode_predictor(std::size_t rep, bool idr) const {
@@ -295,6 +399,13 @@ void VafsController::on_segment_complete(std::size_t, std::size_t, const net::Fe
   plan_now();
 }
 
+void VafsController::on_segment_failed(std::size_t, std::size_t, const net::FetchResult&) {
+  // The fetch is dead until the player re-requests it: stop planning for
+  // download demand in the meantime.
+  downloading_ = false;
+  plan_now();
+}
+
 void VafsController::on_decode_complete(std::uint64_t frame, double cycles, sim::SimTime,
                                         bool idr) {
   const std::size_t rep = player_.rep_of_frame(frame);
@@ -319,6 +430,7 @@ void VafsController::on_decode_complete(std::uint64_t frame, double cycles, sim:
 
 void VafsController::on_frame_dropped(std::uint64_t) {
   boost_until_ = sim_.now() + config_.boost_duration;
+  note_deadline_miss();
   plan_now();
 }
 

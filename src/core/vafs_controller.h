@@ -37,6 +37,34 @@
 
 namespace vafs::core {
 
+/// Deadline-miss / actuation watchdog. When enabled, repeated deadline
+/// misses or consecutive failed scaling_setspeed writes fail the
+/// controller over to a safe mode — hand the policy back to a kernel
+/// governor, or stay on userspace pinned at fmax — and re-engage only
+/// after a hysteresis window with no further incidents.
+struct VafsWatchdogConfig {
+  bool enabled = false;
+
+  /// Deadline misses within miss_window that trip the failover (the
+  /// window tumbles: it restarts at the first miss after a quiet gap).
+  std::uint32_t miss_threshold = 8;
+  sim::SimTime miss_window = sim::SimTime::seconds(2);
+
+  /// Consecutive rejected scaling_setspeed writes that trip the failover.
+  std::uint32_t write_error_threshold = 3;
+
+  /// Clean operation (no miss, no write error) required before the
+  /// controller re-takes the policy.
+  sim::SimTime hysteresis = sim::SimTime::seconds(5);
+
+  /// kRestoreGovernor hands the policy to fallback_governor for the
+  /// fallback's duration; kPinMax keeps the userspace governor but runs
+  /// at fmax (safe, not frugal).
+  enum class Mode : std::uint8_t { kRestoreGovernor, kPinMax };
+  Mode mode = Mode::kRestoreGovernor;
+  std::string fallback_governor = "ondemand";
+};
+
 struct VafsConfig {
   /// Headroom multiplier over predicted demand (F6 ablates it).
   double safety_margin = 0.15;
@@ -82,6 +110,11 @@ struct VafsConfig {
   /// device). Combined with safety_margin = 0 this is the offline
   /// lower-bound baseline the evaluation measures VAFS against.
   bool oracle = false;
+
+  /// Off by default: fault-free sessions keep their exact pre-watchdog
+  /// behaviour (a clean VAFS run drops the occasional frame without that
+  /// being a failure).
+  VafsWatchdogConfig watchdog;
 };
 
 class VafsController final : public stream::PlayerObserver {
@@ -118,6 +151,17 @@ class VafsController final : public stream::PlayerObserver {
   std::uint64_t plan_count() const { return plans_; }
   std::uint64_t setspeed_writes() const { return writes_; }
   std::uint32_t last_planned_khz() const { return last_written_khz_; }
+
+  /// Watchdog state: currently failed over to safe mode?
+  bool in_fallback() const { return fallback_; }
+  std::uint64_t fallback_entries() const { return fallback_entries_; }
+  /// Total time spent in fallback so far (open interval included).
+  sim::SimTime fallback_time() const {
+    return fallback_ ? fallback_accum_ + (sim_.now() - fallback_since_) : fallback_accum_;
+  }
+  /// scaling_setspeed writes rejected by sysfs (counted with or without
+  /// the watchdog; only the watchdog acts on them).
+  std::uint64_t sysfs_write_errors() const { return write_errors_; }
   /// Decode predictor for a representation and frame class (class-aware
   /// mode keys P and IDR separately; otherwise `idr` is ignored).
   /// Returns nullptr if never observed.
@@ -134,6 +178,8 @@ class VafsController final : public stream::PlayerObserver {
   void on_segment_request(std::size_t segment, std::size_t rep, std::uint64_t bytes) override;
   void on_segment_complete(std::size_t segment, std::size_t rep,
                            const net::FetchResult& result) override;
+  void on_segment_failed(std::size_t segment, std::size_t rep,
+                         const net::FetchResult& result) override;
   void on_decode_complete(std::uint64_t frame, double cycles, sim::SimTime wall,
                           bool idr) override;
   void on_frame_dropped(std::uint64_t frame) override;
@@ -149,6 +195,10 @@ class VafsController final : public stream::PlayerObserver {
   void write_little_setspeed(std::uint32_t khz);
   void plan_single_cluster(double margin, bool boosted);
   void plan_big_little(double margin, bool boosted);
+  void note_write_failure();
+  void note_deadline_miss();
+  void enter_fallback();
+  void try_reengage();
 
   sim::Simulator& sim_;
   sysfs::Tree& tree_;
@@ -188,6 +238,18 @@ class VafsController final : public stream::PlayerObserver {
   std::uint32_t last_written_khz_ = 0;
   std::uint64_t plans_ = 0;
   std::uint64_t writes_ = 0;
+
+  // Watchdog state.
+  bool fallback_ = false;
+  std::uint64_t fallback_entries_ = 0;
+  sim::SimTime fallback_accum_;
+  sim::SimTime fallback_since_;
+  sim::SimTime last_incident_;  // most recent miss or write error
+  std::uint64_t write_errors_ = 0;
+  std::uint32_t consecutive_write_errors_ = 0;
+  std::uint32_t miss_count_ = 0;
+  sim::SimTime miss_window_start_;
+  sim::EventHandle reengage_event_;
 };
 
 }  // namespace vafs::core

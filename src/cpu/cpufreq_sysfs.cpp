@@ -5,14 +5,16 @@
 
 namespace vafs::cpu {
 
-std::uint32_t parse_khz(std::string_view text) {
-  if (text.empty() || text.size() > 10) return UINT32_MAX;
+std::optional<std::uint32_t> parse_khz(std::string_view text) {
+  if (text.empty() || text.size() > 10) return std::nullopt;
   std::uint64_t value = 0;
   for (const char c : text) {
-    if (c < '0' || c > '9') return UINT32_MAX;
+    if (c < '0' || c > '9') return std::nullopt;
     value = value * 10 + static_cast<std::uint64_t>(c - '0');
   }
-  if (value >= UINT32_MAX) return UINT32_MAX;
+  // UINT32_MAX itself is CPUFREQ_ENTRY_INVALID in the kernel's tables —
+  // reject it as a value rather than reusing it as an error sentinel.
+  if (value >= UINT32_MAX) return std::nullopt;
   return static_cast<std::uint32_t>(value);
 }
 
@@ -48,15 +50,15 @@ CpufreqSysfs::CpufreqSysfs(sysfs::Tree& tree, CpufreqPolicy& policy, unsigned in
                       [&p] { return std::to_string(p.min_khz()); },
                       [&p](std::string_view v) {
                         const auto khz = parse_khz(v);
-                        if (khz == UINT32_MAX) return sysfs::Status(sysfs::Errno::kInval);
-                        return p.set_min(khz);
+                        if (!khz) return sysfs::Status(sysfs::Errno::kInval);
+                        return p.set_min(*khz);
                       }));
   must(tree_.add_attr(dir_ + "/scaling_max_freq",
                       [&p] { return std::to_string(p.max_khz()); },
                       [&p](std::string_view v) {
                         const auto khz = parse_khz(v);
-                        if (khz == UINT32_MAX) return sysfs::Status(sysfs::Errno::kInval);
-                        return p.set_max(khz);
+                        if (!khz) return sysfs::Status(sysfs::Errno::kInval);
+                        return p.set_max(*khz);
                       }));
   must(tree_.add_attr(dir_ + "/scaling_governor",
                       [&p] { return std::string(p.governor_name()); },
@@ -73,8 +75,8 @@ CpufreqSysfs::CpufreqSysfs(sysfs::Tree& tree, CpufreqPolicy& policy, unsigned in
                           return sysfs::Errno::kInval;
                         }
                         const auto khz = parse_khz(v);
-                        if (khz == UINT32_MAX) return sysfs::Errno::kInval;
-                        return gov->set_speed(khz);
+                        if (!khz) return sysfs::Errno::kInval;
+                        return gov->set_speed(*khz);
                       }));
   must(tree_.add_attr(dir_ + "/stats/time_in_state",
                       [&p] {

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 
 #include "cpu/cpufreq_policy.h"
@@ -36,8 +37,11 @@ class CpufreqSysfs {
 };
 
 /// Parses a non-negative decimal integer, rejecting trailing garbage —
-/// the validation a kernel store() hook performs. Returns UINT32_MAX on
-/// parse failure (not a representable cpufreq value).
-std::uint32_t parse_khz(std::string_view text);
+/// the validation a kernel store() hook performs. Returns nullopt for
+/// empty/garbage input, overflow, and the literal UINT32_MAX (the
+/// kernel's CPUFREQ_ENTRY_INVALID sentinel, never a programmable
+/// frequency) — so store hooks reject all of them with EINVAL instead of
+/// conflating "4294967295" with a parse failure.
+std::optional<std::uint32_t> parse_khz(std::string_view text);
 
 }  // namespace vafs::cpu

@@ -33,6 +33,12 @@ void Aggregate::add(const core::SessionResult& r) {
   decode_frames_big.add(static_cast<double>(r.decode_frames_big));
   decode_frames_little.add(static_cast<double>(r.decode_frames_little));
   decode_migrations.add(static_cast<double>(r.decode_migrations));
+  fetch_retries.add(static_cast<double>(r.qoe.fetch_retries));
+  fetch_failures.add(static_cast<double>(r.qoe.fetch_failures));
+  fetch_timeouts.add(static_cast<double>(r.fetch_timeouts));
+  vafs_fallback_entries.add(static_cast<double>(r.vafs_fallback_entries));
+  vafs_fallback_s.add(r.vafs_fallback_time.as_seconds_f());
+  vafs_sysfs_write_errors.add(static_cast<double>(r.vafs_sysfs_write_errors));
   ++runs;
 }
 

@@ -44,7 +44,13 @@ namespace vafs::exp {
   X(transitions_little)     \
   X(decode_frames_big)      \
   X(decode_frames_little)   \
-  X(decode_migrations)
+  X(decode_migrations)      \
+  X(fetch_retries)          \
+  X(fetch_failures)         \
+  X(fetch_timeouts)         \
+  X(vafs_fallback_entries)  \
+  X(vafs_fallback_s)        \
+  X(vafs_sysfs_write_errors)
 
 struct Aggregate {
 #define VAFS_EXP_DECLARE(name) sim::OnlineStats name;

@@ -5,7 +5,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
-#include <mutex>
+#include <string>
 #include <thread>
 
 namespace vafs::exp {
@@ -60,12 +60,25 @@ ResultSet run_grid(const std::vector<ScenarioSpec>& scenarios, const RunOptions&
 
   // One arena per worker: sessions on the same thread reuse the event
   // slab/heap capacity, so only the first session of each worker allocates.
+  // A task that throws records its message into a preallocated slot (no
+  // shared mutable state, no lock) instead of killing the grid; slots are
+  // folded into per-scenario failure lists in (scenario, seed) order below,
+  // so the failure report is as deterministic as the results.
+  std::vector<std::string> errors(ntasks);
   const auto run_task = [&](std::size_t t, core::SessionArena& arena) {
     const std::size_t s = t / nseeds;
     const std::size_t i = t % nseeds;
     core::SessionConfig config = scenarios[s].config;
     config.seed = opts.seeds[i];
-    results[s].runs[i] = core::run_session(config, hooks[t], &arena);
+    try {
+      results[s].runs[i] = core::run_session(config, hooks[t], &arena);
+    } catch (const std::exception& e) {
+      errors[t] = "scenario '" + scenarios[s].id + "' seed " + std::to_string(opts.seeds[i]) +
+                  ": " + e.what();
+    } catch (...) {
+      errors[t] = "scenario '" + scenarios[s].id + "' seed " + std::to_string(opts.seeds[i]) +
+                  ": unknown exception";
+    }
   };
 
   const int jobs = opts.jobs;
@@ -74,19 +87,12 @@ ResultSet run_grid(const std::vector<ScenarioSpec>& scenarios, const RunOptions&
     for (std::size_t t = 0; t < ntasks; ++t) run_task(t, arena);
   } else {
     std::atomic<std::size_t> next{0};
-    std::mutex error_mutex;
-    std::exception_ptr error;
     const auto worker = [&] {
       core::SessionArena arena;
       for (;;) {
         const std::size_t t = next.fetch_add(1, std::memory_order_relaxed);
         if (t >= ntasks) return;
-        try {
-          run_task(t, arena);
-        } catch (...) {
-          const std::lock_guard<std::mutex> lock(error_mutex);
-          if (!error) error = std::current_exception();
-        }
+        run_task(t, arena);
       }
     };
     std::vector<std::thread> pool;
@@ -94,13 +100,22 @@ ResultSet run_grid(const std::vector<ScenarioSpec>& scenarios, const RunOptions&
     pool.reserve(width);
     for (std::size_t w = 0; w < width; ++w) pool.emplace_back(worker);
     for (auto& th : pool) th.join();
-    if (error) std::rethrow_exception(error);
   }
 
   // Serial aggregation in (scenario, seed) order: identical regardless of
-  // the completion order above.
-  for (auto& sr : results) {
-    for (const auto& r : sr.runs) sr.agg.add(r);
+  // the completion order above. Failed runs are skipped (their slots are
+  // default-constructed) and clear all_finished.
+  for (std::size_t s = 0; s < results.size(); ++s) {
+    auto& sr = results[s];
+    for (std::size_t i = 0; i < nseeds; ++i) {
+      std::string& err = errors[s * nseeds + i];
+      if (err.empty()) {
+        sr.agg.add(sr.runs[i]);
+      } else {
+        sr.failures.push_back(RunFailure{i, opts.seeds[i], std::move(err)});
+        sr.agg.all_finished = false;
+      }
+    }
   }
   return ResultSet(std::move(results));
 }

@@ -6,9 +6,11 @@
 // a serial one regardless of completion order.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <initializer_list>
+#include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
@@ -34,15 +36,31 @@ struct RunOptions {
   HookFactory hooks;
 };
 
+/// One run that threw instead of returning: which seed, and a message
+/// already wrapped with scenario + seed context ("scenario 'x' seed 101:
+/// what()"), so a log line or JSON entry is self-describing.
+struct RunFailure {
+  std::size_t seed_index = 0;
+  std::uint64_t seed = 0;
+  std::string message;
+};
+
 /// One scenario's runs (per-seed, in seed order) plus their aggregate.
+/// A run that threw (core::SessionError or anything else) leaves its slot
+/// default-constructed, lands in `failures`, is skipped by `agg`, and
+/// clears agg.all_finished — the grid keeps going instead of aborting.
 struct ScenarioResult {
   ScenarioSpec spec;
   std::vector<std::uint64_t> seeds;
   std::vector<core::SessionResult> runs;
+  std::vector<RunFailure> failures;  // in seed order (deterministic)
   Aggregate agg;
 
+  bool ok() const { return failures.empty(); }
+
   /// The first seed's raw result — for per-run values (residency vectors,
-  /// setspeed write counts) the old benches took from one representative run.
+  /// setspeed write counts) the old benches took from one representative
+  /// run. Default-constructed if that seed's run failed (check failures).
   const core::SessionResult& run0() const { return runs.front(); }
 };
 

@@ -46,6 +46,19 @@ Json bench_report_json(const std::string& bench_id, const std::string& title,
       scenario.set("labels", std::move(labels));
       scenario.set("runs", sr.agg.runs);
       scenario.set("all_finished", sr.agg.all_finished);
+      // Emitted only on failure so clean artifacts are byte-identical to
+      // builds without the failure surface.
+      if (!sr.failures.empty()) {
+        scenario.set("failed_runs", static_cast<std::int64_t>(sr.failures.size()));
+        Json failures = Json::array();
+        for (const auto& f : sr.failures) {
+          Json failure = Json::object();
+          failure.set("seed", f.seed);
+          failure.set("message", f.message);
+          failures.push(std::move(failure));
+        }
+        scenario.set("failures", std::move(failures));
+      }
       scenario.set("metrics", aggregate_metrics_json(sr.agg));
       scenarios.push(std::move(scenario));
     }
@@ -71,6 +84,20 @@ void write_bench_csv(std::ostream& out, const std::vector<Section>& sections) {
             .cell(s.stddev())
             .cell(s.min())
             .cell(s.max())
+            .cell(static_cast<std::int64_t>(sr.agg.runs));
+      }
+      // Failure count as an extra pseudo-metric row, only when non-zero
+      // (clean CSVs keep their exact shape).
+      if (!sr.failures.empty()) {
+        const auto n = static_cast<double>(sr.failures.size());
+        csv.row()
+            .cell(section.name)
+            .cell(sr.spec.id)
+            .cell(std::string("failed_runs"))
+            .cell(n)
+            .cell(0.0)
+            .cell(n)
+            .cell(n)
             .cell(static_cast<std::int64_t>(sr.agg.runs));
       }
     }

@@ -1,0 +1,71 @@
+#include "fault/injector.h"
+
+#include <algorithm>
+
+namespace vafs::fault {
+
+FaultInjector::FaultInjector(FaultPlan plan, sim::Rng rng)
+    : plan_(std::move(plan)), rng_(rng) {}
+
+const FaultWindow* FaultInjector::active(FaultKind kind, sim::SimTime now) const {
+  const auto& ws = plan_.windows(kind);
+  // First window starting after now; the candidate is its predecessor.
+  auto it = std::upper_bound(ws.begin(), ws.end(), now,
+                             [](sim::SimTime t, const FaultWindow& w) { return t < w.start; });
+  if (it == ws.begin()) return nullptr;
+  --it;
+  return now < it->end ? &*it : nullptr;
+}
+
+double FaultInjector::bandwidth_scale(sim::SimTime now) const {
+  if (active(FaultKind::kLinkOutage, now) != nullptr) return 0.0;
+  if (const FaultWindow* w = active(FaultKind::kThroughputCollapse, now)) return w->magnitude;
+  return 1.0;
+}
+
+sim::SimTime FaultInjector::next_bandwidth_change(sim::SimTime now) const {
+  sim::SimTime next = sim::SimTime::max();
+  for (const FaultKind kind : {FaultKind::kLinkOutage, FaultKind::kThroughputCollapse}) {
+    for (const auto& w : plan_.windows(kind)) {
+      if (w.start > now) {
+        next = std::min(next, w.start);
+        break;  // windows are sorted; later ones are no earlier
+      }
+      if (w.end > now) next = std::min(next, w.end);
+    }
+  }
+  return next;
+}
+
+double FaultInjector::decode_scale(sim::SimTime now) const {
+  const FaultWindow* w = active(FaultKind::kDecodeSpike, now);
+  return w != nullptr ? std::max(1.0, w->magnitude) : 1.0;
+}
+
+std::optional<sysfs::Errno> FaultInjector::sysfs_write_error(sim::SimTime now) {
+  const FaultWindow* w = active(FaultKind::kSysfsWriteFault, now);
+  if (w == nullptr) return std::nullopt;
+  ++sysfs_errors_;
+  return w->magnitude > 0.5 ? sysfs::Errno::kInval : sysfs::Errno::kAccess;
+}
+
+net::FetchFate FaultInjector::fetch_attempt_fate(sim::SimTime, sim::SimTime* fail_delay) {
+  const FaultPlanConfig& c = plan_.config();
+  if (c.fetch_failure_prob <= 0 && c.fetch_hang_prob <= 0) return net::FetchFate::kOk;
+  const double u = rng_.uniform();
+  if (u < c.fetch_failure_prob) {
+    ++fetch_failures_;
+    if (fail_delay != nullptr) {
+      *fail_delay =
+          sim::SimTime::seconds_f(rng_.exponential(c.fetch_failure_mean_delay.as_seconds_f()));
+    }
+    return net::FetchFate::kFail;
+  }
+  if (u < c.fetch_failure_prob + c.fetch_hang_prob) {
+    ++fetch_hangs_;
+    return net::FetchFate::kHang;
+  }
+  return net::FetchFate::kOk;
+}
+
+}  // namespace vafs::fault

@@ -1,0 +1,80 @@
+// Runtime side of fault injection: answers "is a fault active at time t"
+// against a compiled FaultPlan (binary search over the per-kind windows),
+// draws per-fetch fates from its own seeded stream, and decorates a
+// BandwidthProcess with the outage/collapse overlay. One injector per
+// session; stateless apart from its RNG and counters.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "fault/plan.h"
+#include "net/bandwidth.h"
+#include "net/downloader.h"
+#include "simcore/rng.h"
+#include "sysfs/result.h"
+
+namespace vafs::fault {
+
+class FaultInjector final : public net::FetchFaultHook {
+ public:
+  FaultInjector(FaultPlan plan, sim::Rng rng);
+
+  const FaultPlan& plan() const { return plan_; }
+
+  /// Bandwidth multiplier at `now`: 0 inside an outage, the collapse
+  /// factor inside a collapse (outage wins when both overlap), 1 otherwise.
+  double bandwidth_scale(sim::SimTime now) const;
+  /// Earliest outage/collapse window boundary strictly after `now`
+  /// (SimTime::max() when none remain) — the pump re-arm point.
+  sim::SimTime next_bandwidth_change(sim::SimTime now) const;
+
+  /// Decode-cycle multiplier at `now` (>= 1).
+  double decode_scale(sim::SimTime now) const;
+
+  /// Errno to fail a scaling_setspeed write with at `now`, or nullopt to
+  /// let the write through.
+  std::optional<sysfs::Errno> sysfs_write_error(sim::SimTime now);
+
+  // ---- net::FetchFaultHook ----
+  net::FetchFate fetch_attempt_fate(sim::SimTime now, sim::SimTime* fail_delay) override;
+
+  // ---- Counters (for result plumbing and tests) ----
+  std::uint64_t injected_fetch_failures() const { return fetch_failures_; }
+  std::uint64_t injected_fetch_hangs() const { return fetch_hangs_; }
+  std::uint64_t injected_sysfs_errors() const { return sysfs_errors_; }
+
+ private:
+  /// The window of `kind` covering `now`, or nullptr. Queries may go
+  /// backwards in time (the downloader integrates rate over
+  /// [last_pump, now]), so this is a fresh binary search per call.
+  const FaultWindow* active(FaultKind kind, sim::SimTime now) const;
+
+  FaultPlan plan_;
+  sim::Rng rng_;
+  std::uint64_t fetch_failures_ = 0;
+  std::uint64_t fetch_hangs_ = 0;
+  std::uint64_t sysfs_errors_ = 0;
+};
+
+/// BandwidthProcess decorator applying the injector's outage/collapse
+/// overlay to a base process. The base keeps its own RNG stream, so the
+/// underlying trajectory is identical with and without faults.
+class FaultyBandwidth final : public net::BandwidthProcess {
+ public:
+  FaultyBandwidth(net::BandwidthProcess& base, const FaultInjector& injector)
+      : base_(base), injector_(injector) {}
+
+  double current_mbps(sim::SimTime now) override {
+    return base_.current_mbps(now) * injector_.bandwidth_scale(now);
+  }
+  sim::SimTime next_change(sim::SimTime now) override {
+    return std::min(base_.next_change(now), injector_.next_bandwidth_change(now));
+  }
+
+ private:
+  net::BandwidthProcess& base_;
+  const FaultInjector& injector_;
+};
+
+}  // namespace vafs::fault

@@ -1,0 +1,123 @@
+#include "fault/plan.h"
+
+#include <algorithm>
+
+namespace vafs::fault {
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kLinkOutage: return "link-outage";
+    case FaultKind::kThroughputCollapse: return "throughput-collapse";
+    case FaultKind::kDecodeSpike: return "decode-spike";
+    case FaultKind::kSysfsWriteFault: return "sysfs-write-fault";
+    case FaultKind::kThermalCap: return "thermal-cap";
+  }
+  return "?";
+}
+
+bool FaultPlanConfig::any() const {
+  return outage_rate_per_min > 0 || collapse_rate_per_min > 0 || fetch_failure_prob > 0 ||
+         fetch_hang_prob > 0 || decode_spike_rate_per_min > 0 || sysfs_fault_rate_per_min > 0 ||
+         thermal_cap_rate_per_min > 0;
+}
+
+FaultPlanConfig FaultPlanConfig::mild() {
+  FaultPlanConfig c;
+  c.outage_rate_per_min = 0.5;
+  c.outage_mean_duration = sim::SimTime::seconds(1);
+  c.outage_max_duration = sim::SimTime::seconds(4);
+  c.collapse_rate_per_min = 1.0;
+  c.collapse_factor = 0.25;
+  c.fetch_failure_prob = 0.03;
+  c.fetch_hang_prob = 0.01;
+  c.decode_spike_rate_per_min = 0.5;
+  c.decode_spike_factor = 1.8;
+  c.sysfs_fault_rate_per_min = 0.5;
+  c.thermal_cap_rate_per_min = 0.25;
+  c.thermal_cap_fraction = 0.75;
+  return c;
+}
+
+FaultPlanConfig FaultPlanConfig::harsh() {
+  FaultPlanConfig c;
+  c.outage_rate_per_min = 2.0;
+  c.outage_mean_duration = sim::SimTime::seconds(3);
+  c.outage_max_duration = sim::SimTime::seconds(12);
+  c.collapse_rate_per_min = 3.0;
+  c.collapse_factor = 0.08;
+  c.fetch_failure_prob = 0.10;
+  c.fetch_hang_prob = 0.04;
+  c.decode_spike_rate_per_min = 2.0;
+  c.decode_spike_factor = 3.0;
+  c.sysfs_fault_rate_per_min = 2.0;
+  c.sysfs_fault_mean_duration = sim::SimTime::seconds(5);
+  c.thermal_cap_rate_per_min = 1.0;
+  c.thermal_cap_fraction = 0.55;
+  return c;
+}
+
+namespace {
+
+/// Poisson arrivals at `rate_per_min` with exponential durations, clipped
+/// to the horizon; a window never starts before the previous one of the
+/// same kind ends.
+void compile_kind(FaultKind kind, double rate_per_min, sim::SimTime mean_duration,
+                  sim::SimTime max_duration, double magnitude, sim::Rng rng,
+                  sim::SimTime horizon, std::vector<FaultWindow>& out,
+                  double* einval_fraction = nullptr) {
+  if (rate_per_min <= 0 || horizon <= sim::SimTime::zero()) return;
+  const double mean_gap_s = 60.0 / rate_per_min;
+  sim::SimTime t = sim::SimTime::zero();
+  for (;;) {
+    t += sim::SimTime::seconds_f(rng.exponential(mean_gap_s));
+    if (t >= horizon) return;
+    const double duration_s =
+        std::min(rng.exponential(mean_duration.as_seconds_f()), max_duration.as_seconds_f());
+    sim::SimTime end = t + sim::SimTime::seconds_f(std::max(duration_s, 1e-3));
+    end = std::min(end, horizon);
+    FaultWindow w{kind, t, end, magnitude};
+    if (einval_fraction != nullptr) {
+      // Sysfs windows encode the errno choice in the magnitude:
+      // 1.0 => EINVAL, 0.0 => EACCES.
+      w.magnitude = rng.bernoulli(*einval_fraction) ? 1.0 : 0.0;
+    }
+    out.push_back(w);
+    t = end;
+  }
+}
+
+}  // namespace
+
+FaultPlan::FaultPlan(const FaultPlanConfig& config, sim::Rng rng, sim::SimTime horizon)
+    : config_(config), horizon_(horizon) {
+  // One forked substream per kind: re-tuning one kind leaves the others'
+  // schedules untouched.
+  compile_kind(FaultKind::kLinkOutage, config.outage_rate_per_min, config.outage_mean_duration,
+               config.outage_max_duration, 0.0, rng.fork(1), horizon,
+               windows_[static_cast<std::size_t>(FaultKind::kLinkOutage)]);
+  compile_kind(FaultKind::kThroughputCollapse, config.collapse_rate_per_min,
+               config.collapse_mean_duration, config.collapse_max_duration,
+               config.collapse_factor, rng.fork(2), horizon,
+               windows_[static_cast<std::size_t>(FaultKind::kThroughputCollapse)]);
+  compile_kind(FaultKind::kDecodeSpike, config.decode_spike_rate_per_min,
+               config.decode_spike_mean_duration, config.decode_spike_max_duration,
+               config.decode_spike_factor, rng.fork(3), horizon,
+               windows_[static_cast<std::size_t>(FaultKind::kDecodeSpike)]);
+  double einval = config.sysfs_einval_fraction;
+  compile_kind(FaultKind::kSysfsWriteFault, config.sysfs_fault_rate_per_min,
+               config.sysfs_fault_mean_duration, config.sysfs_fault_max_duration, 0.0,
+               rng.fork(4), horizon,
+               windows_[static_cast<std::size_t>(FaultKind::kSysfsWriteFault)], &einval);
+  compile_kind(FaultKind::kThermalCap, config.thermal_cap_rate_per_min,
+               config.thermal_cap_mean_duration, config.thermal_cap_max_duration,
+               config.thermal_cap_fraction, rng.fork(5), horizon,
+               windows_[static_cast<std::size_t>(FaultKind::kThermalCap)]);
+}
+
+std::size_t FaultPlan::total_windows() const {
+  std::size_t n = 0;
+  for (const auto& ws : windows_) n += ws.size();
+  return n;
+}
+
+}  // namespace vafs::fault

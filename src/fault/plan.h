@@ -1,0 +1,120 @@
+// Deterministic fault planning. A FaultPlan compiles a FaultPlanConfig
+// (rates, durations, magnitudes per fault kind) into a seeded schedule of
+// FaultWindows before the session starts. Everything downstream — the
+// bandwidth overlay, the sysfs write interceptor, the thermal-cap
+// excursions — replays that fixed schedule, so a faulted session is
+// exactly as reproducible as a clean one: same seed, same schedule, same
+// result, serial or parallel.
+//
+// Each fault kind draws from its own forked RNG substream, so enabling or
+// re-tuning one kind never perturbs the schedule of another.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "simcore/rng.h"
+#include "simcore/time.h"
+
+namespace vafs::fault {
+
+enum class FaultKind : std::uint8_t {
+  kLinkOutage,          // bandwidth drops to zero
+  kThroughputCollapse,  // bandwidth scaled down by a factor
+  kDecodeSpike,         // decode cycle cost scaled up by a factor
+  kSysfsWriteFault,     // scaling_setspeed writes fail (EACCES/EINVAL)
+  kThermalCap,          // scaling_max_freq capped to a fraction of fmax
+};
+inline constexpr std::size_t kFaultKindCount = 5;
+
+const char* fault_kind_name(FaultKind kind);
+
+/// One scheduled excursion: [start, end) with a kind-specific magnitude
+/// (collapse/spike factor, thermal-cap fraction, EINVAL-vs-EACCES flag;
+/// unused for outages).
+struct FaultWindow {
+  FaultKind kind = FaultKind::kLinkOutage;
+  sim::SimTime start;
+  sim::SimTime end;
+  double magnitude = 0.0;
+};
+
+/// Knobs for the planner. Rates are Poisson arrivals per minute; windows
+/// of one kind never overlap (a new arrival during an active window is
+/// pushed past its end). Durations are exponential with the given mean,
+/// truncated at the max. All rates default to zero: a default config
+/// injects nothing and costs nothing.
+struct FaultPlanConfig {
+  // Link outages: bandwidth is zero inside the window.
+  double outage_rate_per_min = 0.0;
+  sim::SimTime outage_mean_duration = sim::SimTime::seconds(2);
+  sim::SimTime outage_max_duration = sim::SimTime::seconds(10);
+
+  // Throughput collapses: bandwidth is scaled by collapse_factor.
+  double collapse_rate_per_min = 0.0;
+  double collapse_factor = 0.1;
+  sim::SimTime collapse_mean_duration = sim::SimTime::seconds(4);
+  sim::SimTime collapse_max_duration = sim::SimTime::seconds(20);
+
+  // Per-fetch-attempt fates, drawn at request time (not windowed): the
+  // server errors out after a delay, or goes silent (only the
+  // downloader's timeout rescues a hang).
+  double fetch_failure_prob = 0.0;
+  sim::SimTime fetch_failure_mean_delay = sim::SimTime::millis(300);
+  double fetch_hang_prob = 0.0;
+
+  // Decode-cost spikes: frame decode cycles scaled by spike_factor.
+  double decode_spike_rate_per_min = 0.0;
+  double decode_spike_factor = 2.5;
+  sim::SimTime decode_spike_mean_duration = sim::SimTime::seconds(3);
+  sim::SimTime decode_spike_max_duration = sim::SimTime::seconds(12);
+
+  // Sysfs write faults on scaling_setspeed: writes inside a window fail
+  // with EINVAL (probability sysfs_einval_fraction, drawn per window) or
+  // EACCES otherwise.
+  double sysfs_fault_rate_per_min = 0.0;
+  sim::SimTime sysfs_fault_mean_duration = sim::SimTime::seconds(3);
+  sim::SimTime sysfs_fault_max_duration = sim::SimTime::seconds(15);
+  double sysfs_einval_fraction = 0.5;
+
+  // Thermal-cap excursions: scaling_max_freq capped to
+  // thermal_cap_fraction x cpuinfo_max_freq for the window.
+  double thermal_cap_rate_per_min = 0.0;
+  double thermal_cap_fraction = 0.6;
+  sim::SimTime thermal_cap_mean_duration = sim::SimTime::seconds(5);
+  sim::SimTime thermal_cap_max_duration = sim::SimTime::seconds(30);
+
+  /// True if any fault source is enabled. run_session skips the whole
+  /// fault layer when false, keeping the zero-fault hot path untouched.
+  bool any() const;
+
+  /// Presets used by the chaos bench and the fuzzer.
+  static FaultPlanConfig mild();
+  static FaultPlanConfig harsh();
+};
+
+/// The compiled schedule: per-kind sorted, non-overlapping windows over
+/// [0, horizon). Per-fetch fates stay probabilistic (they are drawn by the
+/// injector from its own stream at request time) — the plan only carries
+/// their probabilities via config().
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+  FaultPlan(const FaultPlanConfig& config, sim::Rng rng, sim::SimTime horizon);
+
+  const FaultPlanConfig& config() const { return config_; }
+  const std::vector<FaultWindow>& windows(FaultKind kind) const {
+    return windows_[static_cast<std::size_t>(kind)];
+  }
+  std::size_t total_windows() const;
+  sim::SimTime horizon() const { return horizon_; }
+
+ private:
+  FaultPlanConfig config_;
+  sim::SimTime horizon_;
+  std::array<std::vector<FaultWindow>, kFaultKindCount> windows_;
+};
+
+}  // namespace vafs::fault

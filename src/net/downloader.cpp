@@ -11,10 +11,33 @@ double mbps_to_bytes_per_us(double mbps) { return mbps * 1e6 / 8.0 / 1e6; }
 
 }  // namespace
 
+const char* fetch_error_name(FetchError e) {
+  switch (e) {
+    case FetchError::kNone: return "none";
+    case FetchError::kTimeout: return "timeout";
+    case FetchError::kInjected: return "injected";
+  }
+  return "?";
+}
+
 Downloader::Downloader(sim::Simulator& simulator, RadioModel& radio,
                        BandwidthProcess& bandwidth, cpu::CpuSink* cpu_model,
-                       DownloaderParams params)
-    : sim_(simulator), radio_(radio), bandwidth_(bandwidth), cpu_(cpu_model), params_(params) {}
+                       DownloaderParams params, FetchFaultHook* faults,
+                       std::uint64_t retry_seed)
+    : sim_(simulator),
+      radio_(radio),
+      bandwidth_(bandwidth),
+      cpu_(cpu_model),
+      params_(params),
+      faults_(faults),
+      retry_rng_(retry_seed) {}
+
+Downloader::Job* Downloader::find_job(std::uint64_t id) {
+  for (auto& j : jobs_) {
+    if (j.id == id) return &j;
+  }
+  return nullptr;
+}
 
 void Downloader::fetch(std::uint64_t bytes, std::function<void(const FetchResult&)> on_done) {
   const std::uint64_t id = next_id_++;
@@ -25,26 +48,121 @@ void Downloader::fetch(std::uint64_t bytes, std::function<void(const FetchResult
   job.bytes_remaining = static_cast<double>(bytes);
   job.on_done = std::move(on_done);
   jobs_.push_back(std::move(job));
+  start_attempt(jobs_.back());
+}
 
-  radio_.acquire([this, id] {
-    sim_.after(params_.rtt, [this, id] {
-      pump();  // settle existing receivers before the receiver set changes
-      for (auto& j : jobs_) {
-        if (j.id != id) continue;
-        j.receiving = true;
-        j.result.first_byte = sim_.now();
-        if (cpu_ != nullptr && params_.cpu_cycles_per_request > 0) {
-          cpu_->submit("http-request", params_.cpu_cycles_per_request, nullptr);
-        }
-        if (j.bytes_remaining <= 0) {
-          j.receiving = false;
-          finish_job(id);  // zero-byte fetch completes straight away
-          return;
-        }
-        break;
-      }
-      pump();  // re-arm with the new receiver set
+void Downloader::start_attempt(Job& job) {
+  ++job.attempts;
+  job.attempt_epoch = ++attempt_seq_;
+  job.bytes_remaining = static_cast<double>(job.result.bytes);
+  job.fate = FetchFate::kOk;
+  job.fail_delay = sim::SimTime::zero();
+  if (faults_ != nullptr) job.fate = faults_->fetch_attempt_fate(sim_.now(), &job.fail_delay);
+
+  const std::uint64_t id = job.id;
+  const std::uint64_t epoch = job.attempt_epoch;
+  if (params_.attempt_timeout != sim::SimTime::max()) {
+    job.timeout_event = sim_.after(params_.attempt_timeout, [this, id, epoch] {
+      attempt_failed(id, epoch, FetchError::kTimeout);
     });
+  }
+  job.radio = RadioHold::kAcquiring;
+  // May fire synchronously (radio already active) — don't touch `job`
+  // through the reference after this call.
+  radio_.acquire([this, id, epoch] { on_radio_ready(id, epoch); });
+}
+
+void Downloader::on_radio_ready(std::uint64_t id, std::uint64_t epoch) {
+  Job* job = find_job(id);
+  if (job == nullptr || job->attempt_epoch != epoch) {
+    // The attempt this acquire belonged to was aborted (or the whole fetch
+    // gave up) while the radio was promoting: balance the acquire.
+    radio_.release();
+    return;
+  }
+  job->radio = RadioHold::kHeld;
+  sim_.after(params_.rtt, [this, id, epoch] { begin_receive(id, epoch); });
+}
+
+void Downloader::begin_receive(std::uint64_t id, std::uint64_t epoch) {
+  {
+    Job* job = find_job(id);
+    if (job == nullptr || job->attempt_epoch != epoch) return;  // attempt aborted mid-RTT
+    if (job->fate == FetchFate::kHang) return;  // server went silent; only the timeout rescues
+    if (job->fate == FetchFate::kFail) {
+      const sim::SimTime delay = job->fail_delay;
+      job->fail_event = sim_.after(delay, [this, id, epoch] {
+        attempt_failed(id, epoch, FetchError::kInjected);
+      });
+      return;
+    }
+  }
+  pump();  // settle existing receivers before the receiver set changes
+  Job* job = find_job(id);  // pump may finish jobs and shift the vector
+  assert(job != nullptr && job->attempt_epoch == epoch);
+  job->receiving = true;
+  job->result.first_byte = sim_.now();
+  if (cpu_ != nullptr && params_.cpu_cycles_per_request > 0) {
+    cpu_->submit("http-request", params_.cpu_cycles_per_request, nullptr);
+  }
+  if (job->bytes_remaining <= 0) {
+    job->receiving = false;
+    finish_job(id);  // zero-byte fetch completes straight away
+    return;
+  }
+  pump();  // re-arm with the new receiver set
+}
+
+void Downloader::attempt_failed(std::uint64_t id, std::uint64_t epoch, FetchError error) {
+  Job* job = find_job(id);
+  if (job == nullptr || job->attempt_epoch != epoch) return;
+
+  job->timeout_event.cancel();
+  job->fail_event.cancel();
+  if (job->receiving) {
+    pump();  // settle arrivals (and other jobs) through now
+    job = find_job(id);
+    assert(job != nullptr);
+    job->receiving = false;
+  }
+  if (job->radio == RadioHold::kHeld) radio_.release();
+  // kAcquiring: the pending ready callback sees the bumped epoch below and
+  // releases; kNone: nothing to balance.
+  job->radio = RadioHold::kNone;
+  job->attempt_epoch = ++attempt_seq_;  // stales this attempt's callbacks
+
+  if (error == FetchError::kTimeout) ++timeouts_;
+
+  if (job->attempts >= params_.max_attempts) {
+    ++failed_fetches_;
+    const std::uint64_t jid = job->id;
+    for (auto it = jobs_.begin(); it != jobs_.end(); ++it) {
+      if (it->id != jid) continue;
+      Job failed = std::move(*it);
+      jobs_.erase(it);
+      failed.result.completed = sim_.now();
+      failed.result.ok = false;
+      failed.result.error = error;
+      failed.result.attempts = failed.attempts;
+      if (failed.on_done) failed.on_done(failed.result);
+      return;
+    }
+    assert(false && "attempt_failed: job vanished");
+    return;
+  }
+
+  ++retries_;
+  const double expo = std::pow(params_.backoff_factor, static_cast<double>(job->attempts - 1));
+  double backoff_us =
+      static_cast<double>(params_.backoff_base.as_micros()) * std::max(1.0, expo);
+  if (params_.backoff_jitter > 0) {
+    backoff_us *= 1.0 + params_.backoff_jitter * (retry_rng_.uniform() * 2.0 - 1.0);
+  }
+  const auto delay = sim::SimTime::micros(
+      std::max<std::int64_t>(1, static_cast<std::int64_t>(std::llround(backoff_us))));
+  job->retry_event = sim_.after(delay, [this, id] {
+    Job* j = find_job(id);
+    if (j != nullptr) start_attempt(*j);
   });
 }
 
@@ -73,10 +191,12 @@ void Downloader::pump() {
       if (cpu_ != nullptr && arrived > 0) {
         const double cycles = arrived * params_.cpu_cycles_per_byte;
         if (j.bytes_remaining <= 0.5) {
-          // Final chunk: completion is gated on its CPU processing.
+          // Final chunk: completion is gated on its CPU processing. The
+          // payload is fully down, so the attempt can no longer time out.
           const std::uint64_t id = j.id;
           j.bytes_remaining = 0;
           j.receiving = false;  // stop accruing
+          j.timeout_event.cancel();
           cpu_->submit("http-recv-final", cycles, [this, id] { finish_job(id); });
         } else {
           cpu_->submit("http-recv", cycles, nullptr);
@@ -130,7 +250,10 @@ void Downloader::finish_job(std::uint64_t id) {
     if (it->id != id) continue;
     Job job = std::move(*it);
     jobs_.erase(it);
+    job.timeout_event.cancel();
+    job.fail_event.cancel();
     job.result.completed = sim_.now();
+    job.result.attempts = job.attempts;
     total_bytes_ += job.result.bytes;
     radio_.release();
     if (job.on_done) job.on_done(job.result);

@@ -2,6 +2,13 @@
 // over the radio + bandwidth models, charging protocol-processing cycles
 // (TCP/TLS/HTTP) to the CPU as the bytes arrive. This CPU load during
 // download bursts is exactly what workload-agnostic governors overreact to.
+//
+// Failure model: every fetch is a sequence of attempts. An attempt can be
+// failed by the fault hook (server error after a delay, or a silent hang)
+// or by the per-attempt timeout; the downloader then releases the radio,
+// waits out an exponential backoff (with jitter), and retries from byte
+// zero, up to max_attempts. Exhausted fetches complete with ok = false so
+// the player can stall-and-rerequest instead of wedging.
 #pragma once
 
 #include <cstdint>
@@ -11,9 +18,25 @@
 #include "cpu/cpu_sink.h"
 #include "net/bandwidth.h"
 #include "net/radio.h"
+#include "simcore/rng.h"
 #include "simcore/simulator.h"
 
 namespace vafs::net {
+
+/// Outcome of one fetch attempt, decided at request time by the fault
+/// hook: proceed normally, fail after a delay (an HTTP 5xx / reset), or
+/// hang silently (nothing arrives; only the timeout rescues it).
+enum class FetchFate : std::uint8_t { kOk, kFail, kHang };
+
+/// Injection point for per-fetch faults. Implemented by
+/// fault::FaultInjector; declared here so net does not depend on fault.
+class FetchFaultHook {
+ public:
+  virtual ~FetchFaultHook() = default;
+  /// Fate of one attempt. For kFail, `fail_delay` (if non-null) receives
+  /// the delay from first-byte eligibility to the injected failure.
+  virtual FetchFate fetch_attempt_fate(sim::SimTime now, sim::SimTime* fail_delay) = 0;
+};
 
 struct DownloaderParams {
   /// Request/response round trip before the first byte.
@@ -26,17 +49,40 @@ struct DownloaderParams {
 
   /// Fixed per-request CPU cost (socket + TLS handshake resume + headers).
   double cpu_cycles_per_request = 2.0e6;
+
+  /// Per-attempt watchdog: an attempt still incomplete after this long is
+  /// aborted and retried. SimTime::max() disables it (no timer is armed —
+  /// the zero-fault event schedule is byte-identical to the pre-retry
+  /// downloader).
+  sim::SimTime attempt_timeout = sim::SimTime::max();
+
+  /// Attempts per fetch before giving up with ok = false.
+  unsigned max_attempts = 3;
+
+  /// Backoff before attempt n+1: base * factor^(n-1), scaled by a uniform
+  /// jitter in [1-jitter, 1+jitter]. Jitter draws happen only on actual
+  /// retries, so fault-free sessions never touch the retry RNG stream.
+  sim::SimTime backoff_base = sim::SimTime::millis(200);
+  double backoff_factor = 2.0;
+  double backoff_jitter = 0.25;
 };
+
+enum class FetchError : std::uint8_t { kNone, kTimeout, kInjected };
+
+const char* fetch_error_name(FetchError e);
 
 struct FetchResult {
   std::uint64_t bytes = 0;
   sim::SimTime started;      // fetch() call time
-  sim::SimTime first_byte;   // after radio ready + RTT
-  sim::SimTime completed;    // last byte arrived and processed
+  sim::SimTime first_byte;   // after radio ready + RTT (last attempt's)
+  sim::SimTime completed;    // last byte arrived and processed, or gave up
+  bool ok = true;            // false => all attempts exhausted
+  FetchError error = FetchError::kNone;  // cause of the *last* failed attempt
+  unsigned attempts = 1;
 
   double throughput_mbps() const {
     const double secs = (completed - first_byte).as_seconds_f();
-    return secs > 0 ? static_cast<double>(bytes) * 8.0 / 1e6 / secs : 0.0;
+    return ok && secs > 0 ? static_cast<double>(bytes) * 8.0 / 1e6 / secs : 0.0;
   }
 };
 
@@ -44,28 +90,64 @@ class Downloader {
  public:
   /// `cpu` may be null to model a zero-cost network stack (used by some
   /// unit tests); all other dependencies must outlive the downloader.
+  /// `faults` (optional) decides per-attempt fates; `retry_seed` seeds the
+  /// backoff-jitter stream (consumed only on retries).
   Downloader(sim::Simulator& simulator, RadioModel& radio, BandwidthProcess& bandwidth,
-             cpu::CpuSink* cpu_model, DownloaderParams params = {});
+             cpu::CpuSink* cpu_model, DownloaderParams params = {},
+             FetchFaultHook* faults = nullptr, std::uint64_t retry_seed = 0x9E3779B97F4A7C15ULL);
 
   Downloader(const Downloader&) = delete;
   Downloader& operator=(const Downloader&) = delete;
 
   /// Fetches `bytes`; `on_done` fires when the payload has both arrived
-  /// and been processed by the CPU. Multiple concurrent fetches share the
-  /// link fairly (equal split of the bandwidth process's rate).
+  /// and been processed by the CPU — or when every attempt has failed
+  /// (result.ok == false). Multiple concurrent fetches share the link
+  /// fairly (equal split of the bandwidth process's rate).
   void fetch(std::uint64_t bytes, std::function<void(const FetchResult&)> on_done);
 
   unsigned inflight() const { return static_cast<unsigned>(jobs_.size()); }
   std::uint64_t total_bytes_fetched() const { return total_bytes_; }
 
+  /// Attempts beyond each fetch's first (timeouts + injected failures that
+  /// were retried).
+  std::uint64_t total_retries() const { return retries_; }
+  /// Attempts aborted by the per-attempt timeout.
+  std::uint64_t total_timeouts() const { return timeouts_; }
+  /// Fetches that exhausted max_attempts and completed with ok = false.
+  std::uint64_t failed_fetches() const { return failed_fetches_; }
+
  private:
+  /// Whether (and how) the current attempt holds the radio: kAcquiring
+  /// between acquire() and its ready callback, kHeld afterwards. An
+  /// aborted kAcquiring attempt leaves its stale ready callback to do the
+  /// release, so every acquire pairs with exactly one release.
+  enum class RadioHold : std::uint8_t { kNone, kAcquiring, kHeld };
+
   struct Job {
     std::uint64_t id;
     FetchResult result;
     double bytes_remaining;
     bool receiving = false;  // radio ready + RTT elapsed
+    unsigned attempts = 0;
+    /// Distinguishes this attempt's scheduled callbacks from an aborted
+    /// predecessor's (bumped on every attempt start and abort).
+    std::uint64_t attempt_epoch = 0;
+    FetchFate fate = FetchFate::kOk;
+    sim::SimTime fail_delay;
+    RadioHold radio = RadioHold::kNone;
+    sim::EventHandle timeout_event;
+    sim::EventHandle fail_event;
+    sim::EventHandle retry_event;
     std::function<void(const FetchResult&)> on_done;
   };
+
+  Job* find_job(std::uint64_t id);
+  void start_attempt(Job& job);
+  void on_radio_ready(std::uint64_t id, std::uint64_t epoch);
+  void begin_receive(std::uint64_t id, std::uint64_t epoch);
+  /// Aborts the current attempt (releasing the radio if held) and either
+  /// schedules a retry or completes the fetch with ok = false.
+  void attempt_failed(std::uint64_t id, std::uint64_t epoch, FetchError error);
 
   /// Advances all receiving jobs to now, then re-arms the next event
   /// (bandwidth change or earliest job completion).
@@ -77,10 +159,16 @@ class Downloader {
   BandwidthProcess& bandwidth_;
   cpu::CpuSink* cpu_;
   DownloaderParams params_;
+  FetchFaultHook* faults_;
+  sim::Rng retry_rng_;
 
   std::vector<Job> jobs_;
   std::uint64_t next_id_ = 1;
+  std::uint64_t attempt_seq_ = 0;
   std::uint64_t total_bytes_ = 0;
+  std::uint64_t retries_ = 0;
+  std::uint64_t timeouts_ = 0;
+  std::uint64_t failed_fetches_ = 0;
   sim::SimTime last_pump_ = sim::SimTime::zero();
   sim::EventHandle pump_event_;
 };

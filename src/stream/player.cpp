@@ -115,6 +115,21 @@ void Player::on_segment_done(std::size_t segment, std::size_t rep, std::uint64_t
                              const net::FetchResult& result) {
   if (epoch != pipeline_epoch_) return;  // stale pre-seek fetch: drop it
   fetch_inflight_ = false;
+  qoe_.fetch_retries += result.attempts > 0 ? result.attempts - 1 : 0;
+
+  if (!result.ok) {
+    // The downloader exhausted its retries. Stay in the current state
+    // (startup/rebuffering stalls continue, playing drains the buffer)
+    // and re-request the same segment after a short pause — the session
+    // degrades to a longer stall instead of wedging on a dead fetch.
+    ++qoe_.fetch_failures;
+    for (auto* o : observers_) o->on_segment_failed(segment, rep, result);
+    refetch_event_.cancel();
+    refetch_event_ = sim_.after(config_.fetch_retry_delay, [this, epoch] {
+      if (epoch == pipeline_epoch_) maybe_fetch();
+    });
+    return;
+  }
 
   // Throughput EWMA for the ABR context.
   const double mbps = result.throughput_mbps();
@@ -186,13 +201,17 @@ void Player::maybe_decode() {
   const std::uint64_t rep_frame =
       manifest.first_frame_of_segment(rec.rep, rec.segment_index) + (frame - rec.first_frame);
   const video::FrameInfo info = content_.frame(rec.rep, rep_frame);
+  // Fault-injected decode-cost spikes scale the submitted cycles; the
+  // observer callback reports the scaled cost (what a device would see).
+  const double decode_cycles =
+      decode_scale_ ? info.decode_cycles * decode_scale_(sim_.now()) : info.decode_cycles;
 
   decode_inflight_ = true;
   const sim::SimTime started = sim_.now();
   for (auto* o : observers_) o->on_decode_start(frame);
   decode_task_id_ = cpu_.submit(
-      "decode", info.decode_cycles,
-      [this, frame, cycles = info.decode_cycles, started, idr = info.is_idr,
+      "decode", decode_cycles,
+      [this, frame, cycles = decode_cycles, started, idr = info.is_idr,
        epoch = pipeline_epoch_] { on_frame_decoded(frame, cycles, started, idr, epoch); });
   if (config_.audio_cycles_per_frame > 0) {
     cpu_.submit("audio", config_.audio_cycles_per_frame, nullptr);
@@ -234,6 +253,7 @@ bool Player::seek(sim::SimTime target) {
   seek_start_ = sim_.now();
   vsync_event_.cancel();
   live_wait_event_.cancel();
+  refetch_event_.cancel();
   if (decode_inflight_) {
     cpu_.cancel(decode_task_id_);
     decode_inflight_ = false;
@@ -308,6 +328,7 @@ void Player::on_vsync() {
 void Player::finish() {
   vsync_event_.cancel();
   live_wait_event_.cancel();
+  refetch_event_.cancel();
   if (qoe_.frames_presented > 0) {
     qoe_.mean_bitrate_kbps = bitrate_weighted_sum_ / static_cast<double>(qoe_.frames_presented);
   }

@@ -58,6 +58,11 @@ struct PlayerConfig {
   /// Audio never gates presentation (it is never the bottleneck); it adds
   /// the steady background load a real player carries.
   double audio_cycles_per_frame = 0.0;
+
+  /// Pause before re-requesting a segment whose fetch exhausted the
+  /// downloader's retries (a beat for the link to recover; real players
+  /// back off before re-issuing a failed request).
+  sim::SimTime fetch_retry_delay = sim::SimTime::millis(250);
 };
 
 /// Observer hooks — the interface the VAFS governor (and trace recorders)
@@ -70,6 +75,10 @@ class PlayerObserver {
                                   std::uint64_t /*bytes*/) {}
   virtual void on_segment_complete(std::size_t /*segment*/, std::size_t /*rep*/,
                                    const net::FetchResult& /*result*/) {}
+  /// A fetch exhausted the downloader's retries; the player will re-request
+  /// after its fetch_retry_delay.
+  virtual void on_segment_failed(std::size_t /*segment*/, std::size_t /*rep*/,
+                                 const net::FetchResult& /*result*/) {}
   virtual void on_decode_start(std::uint64_t /*frame*/) {}
   /// `idr` distinguishes intra frames from predicted frames — a userspace
   /// policy gets this from the demuxer on a real device.
@@ -135,6 +144,12 @@ class Player {
   /// Registers an observer (not owned; must outlive the player).
   void add_observer(PlayerObserver* observer);
 
+  /// Installs a decode-cost multiplier sampled at decode-submit time
+  /// (fault injection: decode-cost spikes). Call before start().
+  void set_decode_scale(std::function<double(sim::SimTime)> scale) {
+    decode_scale_ = std::move(scale);
+  }
+
  private:
   struct SegmentRecord {
     std::size_t segment_index;
@@ -180,6 +195,8 @@ class Player {
   bool fetch_inflight_ = false;
   std::size_t last_rep_ = 0;
   double throughput_mbps_ = 0.0;
+  sim::EventHandle refetch_event_;  // delayed re-request after a failed fetch
+  std::function<double(sim::SimTime)> decode_scale_;
 
   // Decode state.
   std::vector<SegmentRecord> records_;

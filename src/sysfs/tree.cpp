@@ -121,6 +121,9 @@ Status Tree::write(std::string_view path, std::string_view value) {
   while (!value.empty() && (value.back() == '\n' || value.back() == ' ' || value.back() == '\t')) {
     value.remove_suffix(1);
   }
+  if (write_interceptor_) {
+    if (const auto injected = write_interceptor_(path, value)) return *injected;
+  }
   return node->store(value);
 }
 

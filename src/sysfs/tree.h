@@ -11,6 +11,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -54,6 +55,17 @@ class Tree {
   /// stripped before the store hook runs (mirroring `echo x > attr`).
   Status write(std::string_view path, std::string_view value);
 
+  /// Fault hook consulted on every write to an existing, writable
+  /// attribute (after the existence/permission checks, before the store
+  /// hook): returning an Errno fails the write with it, nullopt lets the
+  /// write proceed. Used by the fault injector to make scaling_setspeed
+  /// writes fail with EACCES/EINVAL on schedule.
+  using WriteInterceptor =
+      std::function<std::optional<Errno>(std::string_view path, std::string_view value)>;
+  void set_write_interceptor(WriteInterceptor interceptor) {
+    write_interceptor_ = std::move(interceptor);
+  }
+
   /// Lists entry names in a directory, sorted.
   Result<std::vector<std::string>> list(std::string_view path) const;
 
@@ -73,6 +85,7 @@ class Tree {
   static std::vector<std::string_view> split(std::string_view path);
 
   std::unique_ptr<Node> root_;
+  WriteInterceptor write_interceptor_;
 };
 
 }  // namespace vafs::sysfs

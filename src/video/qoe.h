@@ -23,6 +23,12 @@ struct QoeStats {
   std::uint64_t seek_count = 0;
   sim::SimTime seek_time;  // total seek-to-resume latency
 
+  /// Download-resilience accounting: extra attempts behind delivered
+  /// segments, and fetches the downloader gave up on (each re-requested
+  /// by the player until the segment eventually lands).
+  std::uint64_t fetch_retries = 0;
+  std::uint64_t fetch_failures = 0;
+
   double drop_ratio() const {
     const auto total = frames_presented + frames_dropped;
     return total > 0 ? static_cast<double>(frames_dropped) / static_cast<double>(total) : 0.0;

@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <optional>
+#include <string_view>
 
 #include "core/predictor.h"
 #include "core/vafs_controller.h"
@@ -300,6 +302,165 @@ TEST_F(VafsTest, DroppedFrameTriggersBoost) {
   const std::uint32_t after = ctl.last_planned_khz();
   EXPECT_GE(after, before);  // boost moves one OPP up (or stays at max)
   EXPECT_GT(after, 300'000u);
+}
+
+
+// ---------------------------------------------------------------- watchdog
+
+TEST_F(VafsTest, WatchdogFailsOverOnConsecutiveWriteErrors) {
+  VafsConfig config;
+  config.watchdog.enabled = true;
+  config.watchdog.write_error_threshold = 2;
+  config.watchdog.hysteresis = sim::SimTime::seconds(1);
+  VafsController& ctl = make_controller(2, config);
+
+  bool fail_writes = true;
+  tree_.set_write_interceptor(
+      [&](std::string_view path, std::string_view) -> std::optional<sysfs::Errno> {
+        if (fail_writes && path.ends_with("/scaling_setspeed")) return sysfs::Errno::kAccess;
+        return std::nullopt;
+      });
+
+  // Governor switch succeeds, the first plan write is rejected (1 of 2).
+  ASSERT_TRUE(ctl.attach());
+  EXPECT_FALSE(ctl.in_fallback());
+  EXPECT_EQ(ctl.sysfs_write_errors(), 1u);
+
+  // Second rejection trips the failover: the policy goes back to ondemand.
+  ctl.plan_now();
+  EXPECT_TRUE(ctl.in_fallback());
+  EXPECT_EQ(ctl.fallback_entries(), 1u);
+  EXPECT_EQ(policy_->governor_name(), "ondemand");
+
+  // While failed over the controller stops planning entirely.
+  const auto writes_before = ctl.sysfs_write_errors();
+  ctl.plan_now();
+  EXPECT_EQ(ctl.sysfs_write_errors(), writes_before);
+
+  // Channel recovers; after a clean hysteresis the controller re-takes
+  // the policy and replans.
+  fail_writes = false;
+  sim_.run_until(sim_.now() + sim::SimTime::seconds(3));
+  EXPECT_FALSE(ctl.in_fallback());
+  EXPECT_EQ(policy_->governor_name(), "userspace");
+  EXPECT_GT(ctl.setspeed_writes(), 0u);
+  EXPECT_GT(ctl.fallback_time(), sim::SimTime::zero());
+}
+
+TEST_F(VafsTest, WatchdogPinMaxModeRunsFlatOut) {
+  VafsConfig config;
+  config.watchdog.enabled = true;
+  config.watchdog.miss_threshold = 3;
+  config.watchdog.miss_window = sim::SimTime::seconds(2);
+  config.watchdog.mode = VafsWatchdogConfig::Mode::kPinMax;
+  config.watchdog.hysteresis = sim::SimTime::seconds(30);  // stay in fallback
+  VafsController& ctl = make_controller(2, config);
+  ASSERT_TRUE(ctl.attach());
+
+  // A burst of deadline misses inside the window trips the failover.
+  ctl.on_frame_dropped(1);
+  ctl.on_frame_dropped(2);
+  EXPECT_FALSE(ctl.in_fallback());
+  ctl.on_frame_dropped(3);
+  EXPECT_TRUE(ctl.in_fallback());
+  // kPinMax keeps the userspace governor but parks at fmax.
+  EXPECT_EQ(policy_->governor_name(), "userspace");
+  EXPECT_EQ(policy_->cur_khz(), 2'100'000u);
+}
+
+TEST_F(VafsTest, WatchdogMissWindowTumbles) {
+  VafsConfig config;
+  config.watchdog.enabled = true;
+  config.watchdog.miss_threshold = 3;
+  config.watchdog.miss_window = sim::SimTime::seconds(1);
+  VafsController& ctl = make_controller(2, config);
+  ASSERT_TRUE(ctl.attach());
+
+  // Two misses, then a quiet gap longer than the window: the counter
+  // restarts, so two more misses do not trip it.
+  ctl.on_frame_dropped(1);
+  ctl.on_frame_dropped(2);
+  sim_.run_until(sim_.now() + sim::SimTime::seconds(2));
+  ctl.on_frame_dropped(3);
+  ctl.on_frame_dropped(4);
+  EXPECT_FALSE(ctl.in_fallback());
+  ctl.on_frame_dropped(5);
+  EXPECT_TRUE(ctl.in_fallback());
+}
+
+TEST_F(VafsTest, WatchdogDisabledCountsErrorsWithoutFailover) {
+  VafsConfig config;  // watchdog off (default)
+  VafsController& ctl = make_controller(2, config);
+  bool fail_writes = false;
+  tree_.set_write_interceptor(
+      [&](std::string_view path, std::string_view) -> std::optional<sysfs::Errno> {
+        if (fail_writes && path.ends_with("/scaling_setspeed")) return sysfs::Errno::kAccess;
+        return std::nullopt;
+      });
+  ASSERT_TRUE(ctl.attach());
+  fail_writes = true;
+  ctl.on_frame_dropped(1);  // boost: forces a higher target -> a write
+  EXPECT_GT(ctl.sysfs_write_errors(), 0u);
+  EXPECT_FALSE(ctl.in_fallback());
+  EXPECT_EQ(ctl.fallback_entries(), 0u);
+  // Recovery is plan-driven: once writes succeed again the controller
+  // carries on as if nothing happened.
+  fail_writes = false;
+  ctl.plan_now();
+  EXPECT_FALSE(ctl.in_fallback());
+}
+
+TEST_F(VafsTest, WatchdogAttachBootsIntoFallbackWhenGovernorWriteFails) {
+  VafsConfig config;
+  config.watchdog.enabled = true;
+  config.watchdog.hysteresis = sim::SimTime::seconds(1);
+  VafsController& ctl = make_controller(2, config);
+  bool fail_governor = true;
+  tree_.set_write_interceptor(
+      [&](std::string_view path, std::string_view) -> std::optional<sysfs::Errno> {
+        if (fail_governor && path.ends_with("/scaling_governor")) return sysfs::Errno::kAccess;
+        return std::nullopt;
+      });
+  // Without the watchdog this is a hard setup failure; with it the
+  // controller attaches degraded and keeps retrying the takeover.
+  ASSERT_TRUE(ctl.attach());
+  EXPECT_TRUE(ctl.in_fallback());
+  EXPECT_EQ(policy_->governor_name(), "ondemand");  // never switched
+
+  fail_governor = false;
+  sim_.run_until(sim_.now() + sim::SimTime::seconds(3));
+  EXPECT_FALSE(ctl.in_fallback());
+  EXPECT_EQ(policy_->governor_name(), "userspace");
+}
+
+TEST_F(VafsTest, SessionUnderSysfsFaultsFinishesWithFallbackResidency) {
+  VafsConfig config;
+  config.watchdog.enabled = true;
+  config.watchdog.write_error_threshold = 2;
+  config.watchdog.hysteresis = sim::SimTime::seconds(2);
+  VafsController& ctl = make_controller(2, config);
+
+  // Writes fail during a mid-session window, as the fault injector would
+  // make them.
+  tree_.set_write_interceptor(
+      [this](std::string_view path, std::string_view) -> std::optional<sysfs::Errno> {
+        if (!path.ends_with("/scaling_setspeed")) return std::nullopt;
+        const auto now = sim_.now();
+        if (now >= sim::SimTime::seconds(4) && now < sim::SimTime::seconds(8)) {
+          return sysfs::Errno::kAccess;
+        }
+        return std::nullopt;
+      });
+  // Steady-state plans dedup to zero writes; frame drops inside the window
+  // force boost writes, which is exactly the situation where a wedged
+  // sysfs knob would otherwise leave the governor stuck mid-boost.
+  sim_.at(sim::SimTime::seconds(5), [&ctl] { ctl.on_frame_dropped(1); });
+  sim_.at(sim::SimTime::millis(5'500), [&ctl] { ctl.on_frame_dropped(2); });
+  ASSERT_TRUE(ctl.attach());
+  EXPECT_TRUE(run_session_to_finish());
+  EXPECT_GT(ctl.fallback_entries(), 0u);
+  EXPECT_FALSE(ctl.in_fallback());  // re-engaged once the window passed
+  EXPECT_GT(ctl.fallback_time(), sim::SimTime::zero());
 }
 
 }  // namespace

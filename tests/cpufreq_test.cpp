@@ -204,10 +204,19 @@ TEST_F(CpufreqTest, TunableWriteValidation) {
 
 TEST_F(CpufreqTest, ParseKhzRejectsNonDigits) {
   EXPECT_EQ(parse_khz("1200000"), 1'200'000u);
-  EXPECT_EQ(parse_khz(""), UINT32_MAX);
-  EXPECT_EQ(parse_khz("12 00"), UINT32_MAX);
-  EXPECT_EQ(parse_khz("99999999999"), UINT32_MAX);
-  EXPECT_EQ(parse_khz("+5"), UINT32_MAX);
+  EXPECT_EQ(parse_khz(""), std::nullopt);
+  EXPECT_EQ(parse_khz("12 00"), std::nullopt);
+  EXPECT_EQ(parse_khz("99999999999"), std::nullopt);
+  EXPECT_EQ(parse_khz("+5"), std::nullopt);
+  // UINT32_MAX is the kernel's CPUFREQ_ENTRY_INVALID, not a programmable
+  // value: explicitly invalid rather than a sentinel collision.
+  EXPECT_EQ(parse_khz("4294967295"), std::nullopt);
+  EXPECT_EQ(parse_khz("4294967294"), 4'294'967'294u);
+}
+
+TEST_F(CpufreqTest, SetspeedRejectsEntryInvalidLiteral) {
+  ASSERT_TRUE(tree_.write(attr("scaling_governor"), "userspace").ok());
+  EXPECT_EQ(tree_.write(attr("scaling_setspeed"), "4294967295").error(), sysfs::Errno::kInval);
 }
 
 TEST_F(CpufreqTest, BinderRemovesDirectoryOnDestruction) {

@@ -236,7 +236,7 @@ TEST(Aggregate, MetricTableCoversKnownFields) {
   // A change to the metric list shows up here on purpose: the JSON/CSV
   // schema is part of the bench contract.
   const auto& metrics = Aggregate::metrics();
-  EXPECT_EQ(metrics.size(), 29u);
+  EXPECT_EQ(metrics.size(), 35u);
   EXPECT_STREQ(metrics.front().name, "cpu_mj");
 }
 
@@ -330,6 +330,129 @@ TEST(Sinks, ReportJsonAndCsvCoverEveryScenario) {
   for (const char c : csv_text) lines += c == '\n';
   EXPECT_EQ(lines, 1u + 2u * Aggregate::metrics().size());
   EXPECT_EQ(csv_text.rfind("section,scenario,metric,mean,stddev,min,max,runs", 0), 0u);
+}
+
+
+// ------------------------------------------------------- failure capture
+
+TEST(Runner, FailedRunsAreRecordedNotFatal) {
+  // An invalid scenario (kTrace with no trace) throws SessionError per
+  // run; the grid must keep going, record each failure with scenario +
+  // seed context, and aggregate only the good scenario.
+  core::SessionConfig good = small_config();
+  core::SessionConfig bad = small_config();
+  bad.net = core::NetProfile::kTrace;  // trace left empty -> SessionError
+
+  std::vector<ScenarioSpec> scenarios(2);
+  scenarios[0].id = "good";
+  scenarios[0].config = good;
+  scenarios[1].id = "bad";
+  scenarios[1].config = bad;
+
+  for (const int jobs : {1, 4}) {
+    RunOptions opts;
+    opts.jobs = jobs;
+    opts.seeds = {101, 202};
+    const ResultSet results = run_grid(scenarios, opts);
+
+    const ScenarioResult& ok = results.all()[0];
+    EXPECT_TRUE(ok.ok());
+    EXPECT_EQ(ok.agg.runs, 2);
+    EXPECT_TRUE(ok.agg.all_finished);
+
+    const ScenarioResult& failed = results.all()[1];
+    EXPECT_FALSE(failed.ok());
+    ASSERT_EQ(failed.failures.size(), 2u);
+    EXPECT_EQ(failed.agg.runs, 0);
+    EXPECT_FALSE(failed.agg.all_finished);
+    EXPECT_EQ(failed.failures[0].seed, 101u);
+    EXPECT_EQ(failed.failures[0].seed_index, 0u);
+    EXPECT_EQ(failed.failures[1].seed, 202u);
+    // The message is self-describing: scenario id, seed, and the cause.
+    EXPECT_NE(failed.failures[0].message.find("scenario 'bad'"), std::string::npos)
+        << failed.failures[0].message;
+    EXPECT_NE(failed.failures[0].message.find("seed 101"), std::string::npos);
+    EXPECT_NE(failed.failures[0].message.find("trace"), std::string::npos);
+  }
+}
+
+TEST(Runner, FailureReportIsDeterministicAcrossJobs) {
+  std::vector<ScenarioSpec> scenarios(1);
+  scenarios[0].id = "bad";
+  scenarios[0].config = small_config();
+  scenarios[0].config.net = core::NetProfile::kTrace;
+
+  RunOptions serial;
+  serial.jobs = 1;
+  serial.seeds = {5, 6, 7};
+  RunOptions parallel = serial;
+  parallel.jobs = 3;
+  const ResultSet s = run_grid(scenarios, serial);
+  const ResultSet p = run_grid(scenarios, parallel);
+  ASSERT_EQ(s.all()[0].failures.size(), 3u);
+  ASSERT_EQ(p.all()[0].failures.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(s.all()[0].failures[i].seed, p.all()[0].failures[i].seed);
+    EXPECT_EQ(s.all()[0].failures[i].message, p.all()[0].failures[i].message);
+  }
+}
+
+TEST(Sinks, FailuresSurfaceInJsonAndCsvOnlyWhenPresent) {
+  std::vector<ScenarioSpec> scenarios(2);
+  scenarios[0].id = "good";
+  scenarios[0].config = small_config();
+  scenarios[1].id = "bad";
+  scenarios[1].config = small_config();
+  scenarios[1].config.net = core::NetProfile::kTrace;
+
+  RunOptions opts;
+  opts.seeds = {101};
+  std::vector<Section> sections;
+  sections.push_back(Section{"main", run_grid(scenarios, opts)});
+
+  const Json report = bench_report_json("rx", "t", BenchOptions{}, sections);
+  const std::string text = report.dump();
+  EXPECT_NE(text.find("\"failed_runs\""), std::string::npos);
+  EXPECT_NE(text.find("scenario 'bad' seed 101"), std::string::npos);
+  // The clean scenario's JSON object carries no failure keys at all.
+  EXPECT_EQ(text.find("\"failed_runs\""), text.rfind("\"failed_runs\""));
+
+  std::ostringstream csv;
+  write_bench_csv(csv, sections);
+  const std::string csv_text = csv.str();
+  EXPECT_NE(csv_text.find("bad,failed_runs,1"), std::string::npos);
+  EXPECT_EQ(csv_text.find("good,failed_runs"), std::string::npos);
+}
+
+TEST(Runner, ParallelMatchesSerialUnderFaults) {
+  // The fault layer must not disturb the runner's bit-identity guarantee:
+  // a faulted grid over --jobs 4 equals the serial run exactly.
+  core::SessionConfig base = small_config();
+  base.media_duration = sim::SimTime::seconds(30);
+  base.fault = fault::FaultPlanConfig::harsh();
+  base.downloader.attempt_timeout = sim::SimTime::seconds(6);
+  base.downloader.max_attempts = 4;
+  base.vafs.watchdog.enabled = true;
+  ExperimentGrid grid(base);
+  grid.governors({"ondemand", "vafs"});
+
+  RunOptions serial;
+  serial.jobs = 1;
+  serial.seeds = {101, 202};
+  RunOptions parallel = serial;
+  parallel.jobs = 4;
+  const ResultSet s = run_grid(grid, serial);
+  const ResultSet p = run_grid(grid, parallel);
+  ASSERT_EQ(s.all().size(), p.all().size());
+  for (std::size_t i = 0; i < s.all().size(); ++i) {
+    ASSERT_EQ(s.all()[i].runs.size(), p.all()[i].runs.size());
+    for (std::size_t r = 0; r < s.all()[i].runs.size(); ++r) {
+      expect_identical(s.all()[i].runs[r], p.all()[i].runs[r]);
+      EXPECT_EQ(s.all()[i].runs[r].fault_windows, p.all()[i].runs[r].fault_windows);
+      EXPECT_EQ(s.all()[i].runs[r].vafs_fallback_time, p.all()[i].runs[r].vafs_fallback_time);
+      EXPECT_EQ(s.all()[i].runs[r].qoe.fetch_retries, p.all()[i].runs[r].qoe.fetch_retries);
+    }
+  }
 }
 
 }  // namespace

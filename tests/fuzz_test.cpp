@@ -9,6 +9,7 @@
 
 #include "core/session.h"
 #include "cpu/cpu_model.h"
+#include "fault/plan.h"
 #include "net/downloader.h"
 #include "simcore/rng.h"
 
@@ -182,6 +183,89 @@ TEST_P(SessionFuzz, RandomConfigurationsSatisfyInvariants) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SessionFuzz,
                          ::testing::Range<std::uint64_t>(1000, 1032));  // 32 random configs
+
+// ---------------------------------------------------------- Fault fuzzing
+
+class FaultFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FaultFuzz, RandomFaultPlansNeverWedgeAndStayDeterministic) {
+  sim::Rng rng(GetParam());
+
+  core::SessionConfig config;
+  config.governor = rng.bernoulli(0.5) ? "vafs" : "ondemand";
+  config.fixed_rep = static_cast<std::size_t>(rng.uniform_int(0, 2));
+  config.net = static_cast<core::NetProfile>(rng.uniform_int(0, 2));  // poor..good
+  config.media_duration = sim::SimTime::seconds(rng.uniform_int(20, 45));
+  config.seed = rng.next_u64();
+  // Degraded-mode machinery always armed; outages can stall playback for a
+  // while, so bound the wall clock well above the media length.
+  config.downloader.attempt_timeout = sim::SimTime::seconds(rng.uniform_int(3, 8));
+  config.downloader.max_attempts = static_cast<std::uint32_t>(rng.uniform_int(2, 5));
+  config.vafs.watchdog.enabled = true;
+  config.sim_cap = sim::SimTime::seconds(900);
+
+  // Random fault plan: each kind independently on with a random intensity.
+  if (rng.bernoulli(0.6)) {
+    config.fault.outage_rate_per_min = rng.uniform(0.5, 3.0);
+    config.fault.outage_mean_duration = sim::SimTime::millis(rng.uniform_int(500, 4000));
+  }
+  if (rng.bernoulli(0.6)) {
+    config.fault.collapse_rate_per_min = rng.uniform(0.5, 3.0);
+    config.fault.collapse_factor = rng.uniform(0.05, 0.5);
+  }
+  if (rng.bernoulli(0.5)) config.fault.fetch_failure_prob = rng.uniform(0.0, 0.15);
+  if (rng.bernoulli(0.5)) config.fault.fetch_hang_prob = rng.uniform(0.0, 0.08);
+  if (rng.bernoulli(0.5)) {
+    config.fault.sysfs_fault_rate_per_min = rng.uniform(0.5, 4.0);
+    config.fault.sysfs_fault_mean_duration = sim::SimTime::seconds(rng.uniform_int(1, 6));
+  }
+  if (rng.bernoulli(0.4)) {
+    config.fault.decode_spike_rate_per_min = rng.uniform(0.5, 2.0);
+    config.fault.decode_spike_factor = rng.uniform(1.2, 2.5);
+  }
+  if (rng.bernoulli(0.4)) {
+    config.fault.thermal_cap_rate_per_min = rng.uniform(0.5, 2.0);
+    config.fault.thermal_cap_fraction = rng.uniform(0.4, 0.9);
+  }
+
+  const core::SessionResult r = core::run_session(config);
+
+  // Whatever the plan threw at it, the session finished (or hit the cap
+  // having never wedged — finished must still be set by full playback).
+  ASSERT_TRUE(r.finished) << "governor=" << config.governor;
+
+  // Frame conservation survives faults.
+  const auto total = static_cast<std::uint64_t>(
+      std::llround(config.media_duration.as_seconds_f() * 30.0));
+  EXPECT_EQ(r.qoe.frames_presented + r.qoe.frames_dropped, total);
+
+  // Residency is still a distribution and energy is still positive.
+  double frac_sum = 0.0;
+  for (const auto& [khz, frac] : r.residency) frac_sum += frac;
+  EXPECT_NEAR(frac_sum, 1.0, 1e-6);
+  EXPECT_GT(r.energy.cpu_mj, 0.0);
+
+  // Injection bookkeeping is internally consistent: every timed-out
+  // attempt became either a retry or a terminal failure.
+  EXPECT_LE(r.fetch_timeouts, r.qoe.fetch_retries + r.qoe.fetch_failures);
+  EXPECT_LE(r.vafs_fallback_time, r.wall);
+  if (config.governor != "vafs") {
+    EXPECT_EQ(r.vafs_fallback_entries, 0u);
+    EXPECT_EQ(r.injected_sysfs_errors, 0u);
+  }
+
+  // Determinism: the identical faulted config replays bit-identically.
+  const core::SessionResult again = core::run_session(config);
+  EXPECT_EQ(r.energy.cpu_mj, again.energy.cpu_mj);
+  EXPECT_EQ(r.qoe.rebuffer_time, again.qoe.rebuffer_time);
+  EXPECT_EQ(r.qoe.fetch_retries, again.qoe.fetch_retries);
+  EXPECT_EQ(r.fault_windows, again.fault_windows);
+  EXPECT_EQ(r.vafs_fallback_time, again.vafs_fallback_time);
+  EXPECT_EQ(r.wall, again.wall);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultFuzz,
+                         ::testing::Range<std::uint64_t>(9000, 9016));  // 16 random plans
 
 // ----------------------------------------------------------- Seek fuzzing
 

@@ -3,6 +3,9 @@
 // byte-arrival / CPU-charging behaviour.
 #include <gtest/gtest.h>
 
+#include <utility>
+#include <vector>
+
 #include "cpu/cpu_model.h"
 #include "net/bandwidth.h"
 #include "net/downloader.h"
@@ -317,6 +320,186 @@ TEST_F(DownloaderTest, TotalBytesAccumulate) {
   sim_.run();
   EXPECT_EQ(dl.total_bytes_fetched(), 300u);
   EXPECT_EQ(dl.inflight(), 0u);
+}
+
+
+// ------------------------------------------------- downloader fault model
+
+/// Deterministic fate script: attempt n gets fates[n] (kOk past the end).
+class ScriptedFaultHook final : public FetchFaultHook {
+ public:
+  ScriptedFaultHook(std::vector<FetchFate> fates,
+                    sim::SimTime fail_delay = sim::SimTime::millis(100))
+      : fates_(std::move(fates)), fail_delay_(fail_delay) {}
+
+  FetchFate fetch_attempt_fate(sim::SimTime, sim::SimTime* fail_delay) override {
+    const FetchFate fate = next_ < fates_.size() ? fates_[next_++] : FetchFate::kOk;
+    if (fate == FetchFate::kFail && fail_delay != nullptr) *fail_delay = fail_delay_;
+    return fate;
+  }
+
+  std::size_t attempts_seen() const { return next_; }
+
+ private:
+  std::vector<FetchFate> fates_;
+  sim::SimTime fail_delay_;
+  std::size_t next_ = 0;
+};
+
+TEST_F(DownloaderTest, InjectedFailureRetriesAndSucceeds) {
+  ScriptedFaultHook hook({FetchFate::kFail, FetchFate::kOk});
+  DownloaderParams params;
+  params.backoff_base = sim::SimTime::millis(200);
+  params.backoff_jitter = 0.0;  // deterministic timing for the assertions
+  Downloader dl(sim_, radio_, bw_, nullptr, params, &hook);
+  FetchResult result;
+  dl.fetch(1'000'000, [&](const FetchResult& r) { result = r; });
+  sim_.run();
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.attempts, 2u);
+  EXPECT_EQ(dl.total_retries(), 1u);
+  EXPECT_EQ(dl.failed_fetches(), 0u);
+  // Attempt 1: promotion 260 + RTT 70 = 330 ms, injected failure fires
+  // 100 ms later (430 ms), backoff 200 ms -> attempt 2 at 630 ms. The
+  // radio is still in its tail, so only the RTT precedes the first byte.
+  EXPECT_EQ(result.first_byte, sim::SimTime::millis(700));
+  EXPECT_EQ(result.completed, sim::SimTime::millis(1700));
+  EXPECT_EQ(radio_.state(), RadioState::kIdle);  // every hold released
+}
+
+TEST_F(DownloaderTest, ExhaustedAttemptsCompleteWithError) {
+  ScriptedFaultHook hook({FetchFate::kFail, FetchFate::kFail, FetchFate::kFail});
+  DownloaderParams params;
+  params.max_attempts = 3;
+  params.backoff_jitter = 0.0;
+  Downloader dl(sim_, radio_, bw_, nullptr, params, &hook);
+  FetchResult result;
+  bool done = false;
+  dl.fetch(1'000'000, [&](const FetchResult& r) {
+    result = r;
+    done = true;
+  });
+  sim_.run();
+  ASSERT_TRUE(done);  // the fetch completes (with an error) instead of wedging
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(result.error, FetchError::kInjected);
+  EXPECT_EQ(result.attempts, 3u);
+  EXPECT_EQ(dl.total_retries(), 2u);
+  EXPECT_EQ(dl.failed_fetches(), 1u);
+  EXPECT_EQ(dl.inflight(), 0u);
+  EXPECT_EQ(radio_.active_transfers(), 0u);
+  EXPECT_EQ(radio_.state(), RadioState::kIdle);
+}
+
+TEST_F(DownloaderTest, TimeoutRescuesHungAttempt) {
+  ScriptedFaultHook hook({FetchFate::kHang, FetchFate::kOk});
+  DownloaderParams params;
+  params.attempt_timeout = sim::SimTime::millis(500);
+  params.backoff_base = sim::SimTime::millis(200);
+  params.backoff_jitter = 0.0;
+  Downloader dl(sim_, radio_, bw_, nullptr, params, &hook);
+  FetchResult result;
+  // 250 KB = 250 ms at 8 Mbps: a healthy attempt fits inside the 500 ms
+  // watchdog with room to spare.
+  dl.fetch(250'000, [&](const FetchResult& r) { result = r; });
+  sim_.run();
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.attempts, 2u);
+  EXPECT_EQ(dl.total_timeouts(), 1u);
+  EXPECT_EQ(dl.total_retries(), 1u);
+  // Hang: nothing arrives until the 500 ms watchdog, then 200 ms backoff;
+  // retry at 700 ms sees the radio mid-tail (RTT only).
+  EXPECT_EQ(result.first_byte, sim::SimTime::millis(770));
+  EXPECT_EQ(result.completed, sim::SimTime::millis(1020));
+  EXPECT_EQ(radio_.state(), RadioState::kIdle);
+}
+
+TEST_F(DownloaderTest, BackoffGrowsExponentially) {
+  ScriptedFaultHook hook({FetchFate::kFail, FetchFate::kFail, FetchFate::kOk},
+                         sim::SimTime::zero());
+  DownloaderParams params;
+  params.max_attempts = 3;
+  params.backoff_base = sim::SimTime::millis(100);
+  params.backoff_factor = 2.0;
+  params.backoff_jitter = 0.0;
+  Downloader dl(sim_, radio_, bw_, nullptr, params, &hook);
+  FetchResult result;
+  dl.fetch(1'000'000, [&](const FetchResult& r) { result = r; });
+  sim_.run();
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.attempts, 3u);
+  // Fail at 330 ms (zero fail delay), +100 ms backoff -> attempt 2 begins
+  // receive at 500 ms and fails, +200 ms backoff -> attempt 3 first byte
+  // at 770 ms.
+  EXPECT_EQ(result.first_byte, sim::SimTime::millis(770));
+}
+
+TEST_F(DownloaderTest, BackoffJitterStaysWithinBounds) {
+  DownloaderParams params;
+  params.backoff_base = sim::SimTime::millis(200);
+  params.backoff_factor = 1.0;
+  params.backoff_jitter = 0.25;
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull, 4ull, 5ull}) {
+    sim::Simulator sim;
+    RadioModel radio(sim, RadioParams::lte());
+    ConstantBandwidth bw(8.0);
+    ScriptedFaultHook hook({FetchFate::kFail}, sim::SimTime::zero());
+    Downloader dl(sim, radio, bw, nullptr, params, &hook, seed);
+    FetchResult result;
+    dl.fetch(100'000, [&](const FetchResult& r) { result = r; });
+    sim.run();
+    ASSERT_TRUE(result.ok);
+    EXPECT_EQ(result.attempts, 2u);
+    // first_byte = 330 ms fail point + backoff + RTT; backoff within
+    // [150, 250] ms of the 200 ms base.
+    const auto backoff = result.first_byte - sim::SimTime::millis(400);
+    EXPECT_GE(backoff, sim::SimTime::millis(150));
+    EXPECT_LE(backoff, sim::SimTime::millis(250));
+  }
+}
+
+TEST_F(DownloaderTest, ConcurrentFetchSurvivesPeerRetry) {
+  // One fetch fails and retries while another is mid-flight: the survivor
+  // must finish with exact byte accounting despite the pump sharing.
+  ScriptedFaultHook hook({FetchFate::kOk, FetchFate::kFail, FetchFate::kOk});
+  DownloaderParams params;
+  params.backoff_jitter = 0.0;
+  Downloader dl(sim_, radio_, bw_, nullptr, params, &hook);
+  FetchResult a, b;
+  dl.fetch(500'000, [&](const FetchResult& r) { a = r; });
+  dl.fetch(500'000, [&](const FetchResult& r) { b = r; });
+  sim_.run();
+  EXPECT_TRUE(a.ok);
+  EXPECT_TRUE(b.ok);
+  EXPECT_EQ(a.attempts, 1u);
+  EXPECT_EQ(b.attempts, 2u);
+  EXPECT_EQ(dl.total_bytes_fetched(), 1'000'000u);
+  EXPECT_EQ(dl.inflight(), 0u);
+  EXPECT_EQ(radio_.active_transfers(), 0u);
+}
+
+TEST_F(DownloaderTest, DisabledTimeoutArmsNoTimer) {
+  // Default params: no fault hook, timeout disabled. The event count of a
+  // fetch must match the pre-retry downloader exactly (no watchdog timer
+  // in the schedule).
+  Downloader dl(sim_, radio_, bw_, nullptr);
+  bool done = false;
+  dl.fetch(1'000'000, [&](const FetchResult& r) {
+    done = true;
+    EXPECT_TRUE(r.ok);
+    EXPECT_EQ(r.attempts, 1u);
+    EXPECT_EQ(r.error, FetchError::kNone);
+  });
+  sim_.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(dl.total_retries(), 0u);
+  EXPECT_EQ(dl.total_timeouts(), 0u);
+}
+
+TEST(FetchErrorNames, Stable) {
+  EXPECT_STREQ(fetch_error_name(FetchError::kNone), "none");
+  EXPECT_STREQ(fetch_error_name(FetchError::kTimeout), "timeout");
+  EXPECT_STREQ(fetch_error_name(FetchError::kInjected), "injected");
 }
 
 }  // namespace
