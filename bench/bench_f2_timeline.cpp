@@ -1,18 +1,22 @@
 // F2 — session timeline: frequency, CPU power and buffer level over time,
 // ondemand vs VAFS, one 60-second 720p session on a fair LTE draw.
 //
-// Prints a downsampled CSV series (500 ms) for plotting plus side-by-side
-// summary statistics. Expected shape: ondemand's frequency thrashes
-// between min and max on every download burst and decode group; VAFS sits
-// flat at the minimal feasible OPP with occasional one-step excursions.
+// Each run carries a full-ring obs::Tracer; the first seed of each
+// governor is exported as a timeline CSV (tools/plot_timeline.py) and a
+// Chrome trace JSON (load in Perfetto / chrome://tracing). Expected shape:
+// ondemand's frequency thrashes between min and max on every download
+// burst and decode group; VAFS sits flat at the minimal feasible OPP with
+// occasional one-step excursions.
 #include <cstdio>
-#include <iostream>
+#include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "exp/bench_app.h"
-#include "trace/csv.h"
-#include "trace/recorder.h"
+#include "obs/export.h"
+#include "obs/timeline.h"
+#include "obs/trace.h"
 
 int main(int argc, char** argv) {
   using namespace vafs;
@@ -26,16 +30,20 @@ int main(int argc, char** argv) {
   base.media_duration = app.session_seconds(60);
   base.net = core::NetProfile::kFair;
 
-  // One recorder per (scenario, seed) task; the printed series uses each
-  // governor's first seed.
+  // One full-ring tracer per (scenario, seed) task; the exported files use
+  // each governor's first seed. Hooks that provide a tracer suppress the
+  // engine's own digest tracer, so digests in the artifacts come from
+  // these rings.
   const std::size_t nseeds = app.seeds().size();
-  std::vector<trace::TimelineRecorder> recorders(governors.size() * nseeds,
-                                                 trace::TimelineRecorder(sim::SimTime::millis(100)));
-  const auto hooks = [&recorders, nseeds](const exp::ScenarioSpec&, std::size_t scenario_index,
-                                          std::size_t seed_index) {
-    trace::TimelineRecorder* recorder = &recorders[scenario_index * nseeds + seed_index];
+  std::vector<std::unique_ptr<obs::Tracer>> tracers;
+  tracers.reserve(governors.size() * nseeds);
+  for (std::size_t i = 0; i < governors.size() * nseeds; ++i) {
+    tracers.push_back(std::make_unique<obs::Tracer>());
+  }
+  const auto hooks = [&tracers, nseeds](const exp::ScenarioSpec&, std::size_t scenario_index,
+                                        std::size_t seed_index) {
     core::SessionHooks h;
-    h.on_ready = [recorder](core::SessionLive& live) { recorder->attach(live); };
+    h.tracer = tracers[scenario_index * nseeds + seed_index].get();
     return h;
   };
 
@@ -45,40 +53,46 @@ int main(int argc, char** argv) {
   for (std::size_t g = 0; g < governors.size(); ++g) {
     const std::string& governor = governors[g];
     const auto& sr = results.at({{"governor", governor}});
-    const trace::TimelineRecorder& recorder = recorders[g * nseeds];
+    const obs::Tracer& tracer = *tracers[g * nseeds];
 
-    std::printf("\n### %s — CSV series (500 ms samples, seed %llu) ###\n", governor.c_str(),
-                static_cast<unsigned long long>(app.seeds().front()));
+    const std::string csv_path = "BENCH_f2." + governor + ".timeline.csv";
     {
-      trace::CsvWriter csv(std::cout, {"t_s", "freq_mhz", "cpu_mw", "buffer_s", "radio_state",
-                                       "player_state"});
-      const auto& samples = recorder.samples();
-      for (std::size_t i = 0; i < samples.size(); i += 5) {  // downsample 100ms -> 500ms
-        const auto& s = samples[i];
-        csv.row()
-            .cell(s.at.as_seconds_f())
-            .cell(static_cast<double>(s.freq_khz) / 1000.0)
-            .cell(s.cpu_power_mw)
-            .cell(s.buffer_seconds)
-            .cell(static_cast<std::int64_t>(s.radio_state))
-            .cell(static_cast<std::int64_t>(s.player_state));
+      std::ofstream out(csv_path, std::ios::trunc);
+      if (!out) {
+        std::fprintf(stderr, "[f2] cannot write %s\n", csv_path.c_str());
+        return 1;
       }
+      obs::write_timeline_csv(out, tracer.timeline());
     }
+    const std::string trace_path = "BENCH_f2." + governor + ".trace.json";
+    {
+      std::ofstream out(trace_path, std::ios::trunc);
+      if (!out) {
+        std::fprintf(stderr, "[f2] cannot write %s\n", trace_path.c_str());
+        return 1;
+      }
+      obs::write_chrome_trace(out, tracer, "vafs f2 " + governor);
+    }
+    std::printf("wrote %s + %s (%llu events, digest %s)\n", csv_path.c_str(), trace_path.c_str(),
+                static_cast<unsigned long long>(tracer.recorded()),
+                obs::digest_hex(tracer.digest()).c_str());
 
-    // Frequency flip count from the 100 ms series — the thrash signature.
-    std::uint32_t last = 0;
-    int flips = 0;
-    double mw_sum = 0;
-    for (const auto& s : recorder.samples()) {
-      if (last != 0 && s.freq_khz != last) ++flips;
-      last = s.freq_khz;
-      mw_sum += s.cpu_power_mw;
+    // Summary from the event-driven series: every frequency transition is a
+    // sample, so the flip count is exact instead of a 100 ms-grid estimate.
+    const obs::Series& freq = tracer.timeline().at(obs::SeriesId::kFreqKhz);
+    std::uint64_t flips = 0;
+    double last = 0.0;
+    for (const auto& s : freq.samples()) {
+      if (last != 0.0 && s.value != last) ++flips;
+      last = s.value;
     }
     const auto& r = sr.run0();
-    std::printf("summary[%s]: cpu=%.2f J, mean_cpu=%.0f mW, freq-changes(100ms grid)=%d, "
+    const double wall_s = r.wall.as_seconds_f();
+    std::printf("summary[%s]: cpu=%.2f J, mean_cpu=%.0f mW, freq-changes=%llu, "
                 "transitions=%llu, drops=%.2f%%\n",
                 governor.c_str(), r.energy.cpu_mj / 1000.0,
-                mw_sum / static_cast<double>(recorder.samples().size()), flips,
+                wall_s > 0.0 ? r.energy.cpu_mj / wall_s : 0.0,
+                static_cast<unsigned long long>(flips),
                 static_cast<unsigned long long>(r.freq_transitions),
                 r.qoe.drop_ratio() * 100.0);
   }

@@ -89,8 +89,12 @@ void report(const char* tag, const GridTiming& t, int reps, exp::Json& extra) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // default_trace=false: this bench *is* the perf baseline, so its sessions
+  // run with tracing fully detached (the observer-effect-0 configuration).
+  // --trace re-enables digests for a tracing-overhead A/B measurement.
   exp::BenchApp app(argc, argv, "throughput",
-                    "Simulator throughput: sessions/sec and events/sec (T1 grid + governor x net grid)");
+                    "Simulator throughput: sessions/sec and events/sec (T1 grid + governor x net grid)",
+                    /*default_trace=*/false);
 
   // ---- Grid 1: the default T1 grid (bench_t1_energy_by_governor) ----------
   const std::vector<std::string> t1_governors = {"performance", "ondemand", "interactive",
@@ -131,6 +135,7 @@ int main(int argc, char** argv) {
   exp::RunOptions timed_opts;
   timed_opts.jobs = app.jobs();
   timed_opts.seeds = app.seeds();
+  timed_opts.trace = app.tracing();  // off by default; --trace A/Bs the digest cost
 
   std::printf("t1 grid:  %zu scenarios x %zu seeds = %zu sessions\n", t1_grid.scenarios().size(),
               app.seeds().size(), t1_grid.scenarios().size() * app.seeds().size());

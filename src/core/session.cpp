@@ -8,6 +8,7 @@
 #include "fault/injector.h"
 #include "governors/registry.h"
 #include "net/bandwidth.h"
+#include "obs/trace.h"
 #include "stream/abr.h"
 #include "video/content.h"
 #include "video/manifest.h"
@@ -111,6 +112,7 @@ SessionResult run_session(const SessionConfig& config, const SessionHooks& hooks
   // hold EventHandles into its queue) is destroyed before it.
   sim::Simulator simulator(arena != nullptr ? &arena->events : nullptr);
   sim::Rng master(config.seed);
+  obs::Tracer* tracer = hooks.tracer;
 
   cpu::CpuModel cpu_model(simulator, cpu::OppTable::mobile_big_core(),
                           cpu::CpuPowerModel(config.power), config.cpu_transition_latency);
@@ -134,6 +136,48 @@ SessionResult run_session(const SessionConfig& config, const SessionHooks& hooks
   // as a userspace daemon on a device would.
   cpu::CpufreqPolicy policy(simulator, cpu_model, registry,
                             use_vafs ? "ondemand" : config.governor);
+  policy.set_tracer(tracer);
+
+  // Frequency series + change events, and mean CPU power per constant-
+  // frequency stretch. The listener fires after the model has settled
+  // accounting at `now` (advance() precedes it in set_frequency), so the
+  // energy probe reads committed state and perturbs nothing.
+  struct PowerProbe {
+    sim::Simulator* sim;
+    cpu::CpuModel* cpu;
+    obs::Tracer* tracer;
+    sim::SimTime last_t;
+    double last_mj;
+
+    /// Closes the constant-power segment open since last_t.
+    void flush() {
+      const sim::SimTime now = sim->now();
+      const double mj = cpu->energy_mj();
+      const double dt_s = (now - last_t).as_seconds_f();
+      if (dt_s > 0) {
+        tracer->timeline().push(obs::SeriesId::kCpuPowerMw, last_t, (mj - last_mj) / dt_s);
+        last_t = now;
+        last_mj = mj;
+      }
+    }
+  };
+  std::shared_ptr<PowerProbe> power_probe;
+  if (tracer != nullptr) {
+    tracer->record(simulator.now(), obs::EventKind::kSessionBegin, config.seed,
+                   static_cast<std::uint64_t>(config.media_duration.as_micros()));
+    power_probe = std::make_shared<PowerProbe>(
+        PowerProbe{&simulator, &cpu_model, tracer, simulator.now(), cpu_model.energy_mj()});
+    tracer->timeline().push(obs::SeriesId::kFreqKhz, simulator.now(),
+                            static_cast<double>(cpu_model.cur_freq_khz()));
+    cpu_model.add_freq_listener([probe = power_probe](std::uint32_t old_khz,
+                                                      std::uint32_t new_khz) {
+      const sim::SimTime now = probe->sim->now();
+      probe->tracer->record(now, obs::EventKind::kFreqChange, old_khz, new_khz, 0);
+      probe->tracer->timeline().push(obs::SeriesId::kFreqKhz, now,
+                                     static_cast<double>(new_khz));
+      probe->flush();
+    });
+  }
 
   sysfs::Tree tree;
   cpu::CpufreqSysfs binder(tree, policy, 0);
@@ -155,6 +199,14 @@ SessionResult run_session(const SessionConfig& config, const SessionHooks& hooks
     }
     little_policy = std::make_unique<cpu::CpufreqPolicy>(simulator, *little_model, registry,
                                                          use_vafs ? "ondemand" : config.governor);
+    little_policy->set_tracer(tracer);
+    if (tracer != nullptr) {
+      sim::Simulator* sim = &simulator;
+      little_model->add_freq_listener([sim, tracer](std::uint32_t old_khz,
+                                                    std::uint32_t new_khz) {
+        tracer->record(sim->now(), obs::EventKind::kFreqChange, old_khz, new_khz, 1);
+      });
+    }
     little_binder = std::make_unique<cpu::CpufreqSysfs>(tree, *little_policy, 1);
     router = std::make_unique<sched::ClusterRouter>(cpu_model, *little_model,
                                                     config.little_cycle_penalty);
@@ -196,9 +248,22 @@ SessionResult run_session(const SessionConfig& config, const SessionHooks& hooks
   if (config.fault.any()) {
     fault::FaultPlan plan(config.fault, master.fork(3), config.sim_cap);
     injector = std::make_unique<fault::FaultInjector>(std::move(plan), master.fork(4));
+    injector->set_tracer(tracer);
     faulty_bandwidth = std::make_unique<fault::FaultyBandwidth>(*bandwidth, *injector);
     link = faulty_bandwidth.get();
     fetch_faults = injector.get();
+    if (tracer != nullptr) {
+      // Planned fault windows, announced up front as complete spans (the
+      // runtime injections they cause are traced as they happen).
+      for (int k = 0; k < static_cast<int>(fault::kFaultKindCount); ++k) {
+        const auto kind = static_cast<fault::FaultKind>(k);
+        for (const auto& w : injector->plan().windows(kind)) {
+          tracer->record(w.start, obs::EventKind::kFaultWindow, static_cast<std::uint64_t>(k),
+                         static_cast<std::uint64_t>((w.end - w.start).as_micros()),
+                         static_cast<std::uint64_t>(w.magnitude * 1e6));
+        }
+      }
+    }
   }
 
   // The jitter stream is consumed only on actual retries, so deriving it
@@ -206,9 +271,11 @@ SessionResult run_session(const SessionConfig& config, const SessionHooks& hooks
   // byte-identical while giving each seed distinct backoff timing.
   net::Downloader downloader(simulator, radio, *link, sink, config.downloader, fetch_faults,
                              config.seed ^ 0x9E3779B97F4A7C15ULL);
+  downloader.set_tracer(tracer);
 
   stream::Player player(simulator, *sink, downloader, content, make_abr(config),
                         config.player);
+  player.set_tracer(tracer);
 
   if (injector != nullptr) {
     if (!injector->plan().windows(fault::FaultKind::kDecodeSpike).empty()) {
@@ -253,6 +320,7 @@ SessionResult run_session(const SessionConfig& config, const SessionHooks& hooks
     }
     vafs_controller = std::make_unique<VafsController>(simulator, tree, binder.dir(), player,
                                                        vafs_config);
+    vafs_controller->set_tracer(tracer);  // before attach: traces boot-time fallback
     if (router) vafs_controller->enable_big_little(little_binder->dir(), router.get());
     if (!vafs_controller->attach()) {
       throw SessionError("VAFS failed to attach through sysfs (userspace governor rejected)");
@@ -295,6 +363,17 @@ SessionResult run_session(const SessionConfig& config, const SessionHooks& hooks
   // player's completion (or the safety cap).
   while (!done && simulator.now() < config.sim_cap) {
     if (!simulator.step()) break;
+  }
+
+  if (tracer != nullptr) {
+    // Close the stream: flush the last constant-frequency power segment
+    // (never flushed by the listener — no further transition occurs), end
+    // any open watchdog fallback span, then end the session span.
+    power_probe->flush();
+    if (vafs_controller != nullptr && vafs_controller->in_fallback()) {
+      tracer->record(simulator.now(), obs::EventKind::kFallbackEnd);
+    }
+    tracer->record(simulator.now(), obs::EventKind::kSessionEnd);
   }
 
   SessionResult result;
@@ -348,6 +427,10 @@ SessionResult run_session(const SessionConfig& config, const SessionHooks& hooks
     result.decode_frames_big = router->decode_tasks_on_big();
     result.decode_frames_little = router->decode_tasks_on_little();
     result.decode_migrations = router->migrations();
+  }
+  if (tracer != nullptr) {
+    result.trace_digest = tracer->digest();
+    result.trace_events = tracer->recorded();
   }
   return result;
 }

@@ -31,6 +31,10 @@ namespace vafs::fault {
 class FaultInjector;
 }
 
+namespace vafs::obs {
+class Tracer;
+}
+
 namespace vafs::core {
 
 enum class NetProfile { kPoor, kFair, kGood, kExcellent, kConstant, kTrace };
@@ -151,6 +155,12 @@ struct SessionResult {
   std::uint64_t decode_frames_big = 0;
   std::uint64_t decode_frames_little = 0;
   std::uint64_t decode_migrations = 0;
+
+  // Observability (zeroed unless a tracer was attached via SessionHooks).
+  // The digest is a canonical fingerprint of the session's full event
+  // stream — identical digests mean identical behaviour, event for event.
+  std::uint64_t trace_digest = 0;
+  std::uint64_t trace_events = 0;
 };
 
 /// Live objects handed to `on_ready` so callers can attach probes before
@@ -171,6 +181,11 @@ struct SessionLive {
 
 struct SessionHooks {
   std::function<void(SessionLive&)> on_ready;
+
+  /// Optional tracer (not owned, may be null). When set, every instrumented
+  /// component records through it, the timeline series fill, and the
+  /// result carries trace_digest / trace_events. Must outlive run_session.
+  obs::Tracer* tracer = nullptr;
 };
 
 /// Reusable storage for back-to-back sessions: holds the event queue's

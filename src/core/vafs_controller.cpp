@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "obs/trace.h"
+
 namespace vafs::core {
 namespace {
 
@@ -67,7 +69,7 @@ bool VafsController::attach() {
       attached_ = true;
       last_written_khz_ = 0;
       last_written_little_khz_ = 0;
-      enter_fallback();
+      enter_fallback(2);
       return true;
     }
     return false;
@@ -86,6 +88,7 @@ void VafsController::detach(std::string_view restore_governor) {
   if (fallback_) {
     fallback_accum_ += sim_.now() - fallback_since_;
     fallback_ = false;
+    if (tracer_ != nullptr) tracer_->record(sim_.now(), obs::EventKind::kFallbackEnd);
   }
   tree_.write(dir_ + "/scaling_governor", restore_governor);
   if (router_ != nullptr) tree_.write(little_dir_ + "/scaling_governor", restore_governor);
@@ -198,6 +201,11 @@ void VafsController::plan_now() {
                              player_.decoded_frames() < player_.total_frames();
   const bool boosted = sim_.now() < boost_until_ || thin_pipeline;
 
+  if (tracer_ != nullptr) {
+    tracer_->record(sim_.now(), obs::EventKind::kVafsPlan, static_cast<std::uint64_t>(state),
+                    boosted ? 1 : 0, latency_critical ? 1 : 0);
+  }
+
   if (router_ != nullptr) {
     plan_big_little(margin, boosted);
   } else {
@@ -269,6 +277,10 @@ void VafsController::plan_big_little(double margin, bool boosted) {
 void VafsController::write_setspeed(std::uint32_t khz) {
   if (khz == last_written_khz_) return;
   const auto status = tree_.write(dir_ + "/scaling_setspeed", std::to_string(khz));
+  if (tracer_ != nullptr) {
+    tracer_->record(sim_.now(), obs::EventKind::kSetspeedWrite, khz,
+                    static_cast<std::uint64_t>(status.error()), 0);
+  }
   if (!status.ok()) {
     // Keep last_written_khz_ unchanged so the next plan retries the write
     // (the dedup short-circuit would otherwise swallow it).
@@ -283,6 +295,10 @@ void VafsController::write_setspeed(std::uint32_t khz) {
 void VafsController::write_little_setspeed(std::uint32_t khz) {
   if (khz == last_written_little_khz_) return;
   const auto status = tree_.write(little_dir_ + "/scaling_setspeed", std::to_string(khz));
+  if (tracer_ != nullptr) {
+    tracer_->record(sim_.now(), obs::EventKind::kSetspeedWrite, khz,
+                    static_cast<std::uint64_t>(status.error()), 1);
+  }
   if (!status.ok()) {
     note_write_failure();
     return;
@@ -298,7 +314,7 @@ void VafsController::note_write_failure() {
   const auto& wd = config_.watchdog;
   if (!wd.enabled || !attached_) return;
   last_incident_ = sim_.now();
-  if (!fallback_ && consecutive_write_errors_ >= wd.write_error_threshold) enter_fallback();
+  if (!fallback_ && consecutive_write_errors_ >= wd.write_error_threshold) enter_fallback(0);
 }
 
 void VafsController::note_deadline_miss() {
@@ -310,10 +326,10 @@ void VafsController::note_deadline_miss() {
     miss_window_start_ = sim_.now();
     miss_count_ = 0;
   }
-  if (++miss_count_ >= wd.miss_threshold) enter_fallback();
+  if (++miss_count_ >= wd.miss_threshold) enter_fallback(1);
 }
 
-void VafsController::enter_fallback() {
+void VafsController::enter_fallback(std::uint64_t cause) {
   if (fallback_) return;
   fallback_ = true;
   ++fallback_entries_;
@@ -322,6 +338,10 @@ void VafsController::enter_fallback() {
   consecutive_write_errors_ = 0;
   miss_count_ = 0;
   const auto& wd = config_.watchdog;
+  if (tracer_ != nullptr) {
+    tracer_->record(sim_.now(), obs::EventKind::kFallbackBegin,
+                    static_cast<std::uint64_t>(wd.mode), cause);
+  }
   if (wd.mode == VafsWatchdogConfig::Mode::kRestoreGovernor) {
     tree_.write(dir_ + "/scaling_governor", wd.fallback_governor);
     if (router_ != nullptr) tree_.write(little_dir_ + "/scaling_governor", wd.fallback_governor);
@@ -362,6 +382,7 @@ void VafsController::try_reengage() {
   }
   fallback_accum_ += sim_.now() - fallback_since_;
   fallback_ = false;
+  if (tracer_ != nullptr) tracer_->record(sim_.now(), obs::EventKind::kFallbackEnd);
   consecutive_write_errors_ = 0;
   miss_count_ = 0;
   miss_window_start_ = sim_.now();

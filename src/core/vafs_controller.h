@@ -35,6 +35,10 @@
 #include "stream/player.h"
 #include "sysfs/tree.h"
 
+namespace vafs::obs {
+class Tracer;
+}
+
 namespace vafs::core {
 
 /// Deadline-miss / actuation watchdog. When enabled, repeated deadline
@@ -146,6 +150,11 @@ class VafsController final : public stream::PlayerObserver {
   /// Public so the overhead benchmark (F9) can time a single decision.
   void plan_now();
 
+  /// Optional tracer (not owned, may be null): plans, setspeed writes and
+  /// watchdog transitions are recorded through it. Set before attach() so
+  /// the attach-time fallback (if any) lands in the trace.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
   // ---- Introspection ----
 
   std::uint64_t plan_count() const { return plans_; }
@@ -197,7 +206,9 @@ class VafsController final : public stream::PlayerObserver {
   void plan_big_little(double margin, bool boosted);
   void note_write_failure();
   void note_deadline_miss();
-  void enter_fallback();
+  /// `cause`: 0 = consecutive write errors, 1 = deadline misses, 2 = the
+  /// attach-time governor write was rejected (trace payload only).
+  void enter_fallback(std::uint64_t cause);
   void try_reengage();
 
   sim::Simulator& sim_;
@@ -205,6 +216,7 @@ class VafsController final : public stream::PlayerObserver {
   std::string dir_;
   stream::Player& player_;
   VafsConfig config_;
+  obs::Tracer* tracer_ = nullptr;
 
   // big.LITTLE mode (null/empty when single-cluster).
   std::string little_dir_;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/trace.h"
+
 namespace vafs::cpu {
 
 CpufreqPolicy::CpufreqPolicy(sim::Simulator& simulator, CpuModel& cpu,
@@ -57,12 +59,17 @@ sysfs::Status CpufreqPolicy::set_max(std::uint32_t khz) {
 }
 
 void CpufreqPolicy::set_target(std::uint32_t target_khz, Relation rel) {
+  const std::uint32_t requested_khz = target_khz;
   target_khz = std::clamp(target_khz, min_khz_, max_khz_);
   cpu_.set_frequency(target_khz, rel);
   // The OPP snap may have landed outside [min,max] when the bounds fall
   // between grid points; bias back inside if so.
   if (cpu_.cur_freq_khz() > max_khz_) cpu_.set_frequency(max_khz_, Relation::kAtMost);
   if (cpu_.cur_freq_khz() < min_khz_) cpu_.set_frequency(min_khz_, Relation::kAtLeast);
+  if (tracer_ != nullptr) {
+    tracer_->record(sim_.now(), obs::EventKind::kGovernorDecision, requested_khz,
+                    static_cast<std::uint64_t>(rel), cur_khz());
+  }
 }
 
 void CpufreqPolicy::add_governor_listener(

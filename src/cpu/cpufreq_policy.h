@@ -15,6 +15,10 @@
 #include "simcore/simulator.h"
 #include "sysfs/result.h"
 
+namespace vafs::obs {
+class Tracer;
+}
+
 namespace vafs::cpu {
 
 class CpufreqPolicy {
@@ -65,6 +69,11 @@ class CpufreqPolicy {
   /// sysfs binder uses this to swap tunable directories.
   void add_governor_listener(std::function<void(std::string_view, std::string_view)> fn);
 
+  /// Optional tracer; governors and the policy core record their decisions
+  /// through it. May be null (the default) — never owned.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  obs::Tracer* tracer() const { return tracer_; }
+
  private:
   sim::Simulator& sim_;
   CpuModel& cpu_;
@@ -73,6 +82,7 @@ class CpufreqPolicy {
   std::uint32_t min_khz_;
   std::uint32_t max_khz_;
   std::vector<std::function<void(std::string_view, std::string_view)>> governor_listeners_;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace vafs::cpu

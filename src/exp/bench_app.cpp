@@ -5,10 +5,13 @@
 #include <cstdlib>
 #include <fstream>
 
+#include "obs/export.h"
+
 namespace vafs::exp {
 
-BenchApp::BenchApp(int argc, char** argv, std::string bench_id, std::string title)
-    : bench_id_(std::move(bench_id)), title_(std::move(title)) {
+BenchApp::BenchApp(int argc, char** argv, std::string bench_id, std::string title,
+                   bool default_trace)
+    : bench_id_(std::move(bench_id)), title_(std::move(title)), default_trace_(default_trace) {
   std::string error;
   if (!parse_bench_args(argc, argv, &options_, &error)) {
     std::fprintf(stderr, "%s\n%s", error.c_str(), bench_usage(bench_id_).c_str());
@@ -33,6 +36,13 @@ const ResultSet& BenchApp::run(const ExperimentGrid& grid, std::string section,
   run_options.jobs = jobs();
   run_options.seeds = seeds_;
   run_options.hooks = std::move(hooks);
+  run_options.trace = tracing();
+  // The first grid's (scenario 0, seed 0) session is the representative one
+  // --trace-out exports; later run() calls leave the captured ring alone.
+  if (options_.trace_out != "none" && capture_ == nullptr) {
+    capture_ = std::make_unique<obs::Tracer>();
+    run_options.capture = capture_.get();
+  }
   sections_.push_back(Section{std::move(section), run_grid(grid, run_options)});
   return sections_.back().results;
 }
@@ -64,6 +74,21 @@ int BenchApp::finish() {
     }
     write_bench_csv(out, sections);
     std::printf("[exp] wrote %s\n", csv_path.c_str());
+  }
+
+  if (capture_ != nullptr && capture_->recorded() > 0) {
+    const std::string trace_path = options_.trace_out.empty()
+                                       ? "BENCH_" + bench_id_ + ".trace.json"
+                                       : options_.trace_out;
+    std::ofstream out(trace_path, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "[exp] cannot write %s\n", trace_path.c_str());
+      return 1;
+    }
+    obs::write_chrome_trace(out, *capture_, "vafs " + bench_id_);
+    std::printf("[exp] wrote %s (%llu events, digest %s)\n", trace_path.c_str(),
+                static_cast<unsigned long long>(capture_->recorded()),
+                obs::digest_hex(capture_->digest()).c_str());
   }
   return 0;
 }

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <deque>
+#include <memory>
 #include <string>
 
 #include "exp/grid.h"
@@ -13,6 +14,7 @@
 #include "exp/runner.h"
 #include "exp/sinks.h"
 #include "exp/table.h"
+#include "obs/trace.h"
 #include "simcore/time.h"
 
 namespace vafs::exp {
@@ -21,13 +23,22 @@ class BenchApp {
  public:
   /// Parses argv; on --help or a flag error, prints usage and exits the
   /// process (benches have no other CLI to fall back to).
-  BenchApp(int argc, char** argv, std::string bench_id, std::string title);
+  /// `default_trace` is what --trace/--no-trace default to when neither is
+  /// given: digest tracers cost a few instructions per event, so perf
+  /// benches (bench_throughput) opt out to keep their baseline honest.
+  BenchApp(int argc, char** argv, std::string bench_id, std::string title,
+           bool default_trace = true);
 
   BenchApp(const BenchApp&) = delete;
   BenchApp& operator=(const BenchApp&) = delete;
 
   const BenchOptions& options() const { return options_; }
   bool quick() const { return options_.quick; }
+  /// Whether runs get digest tracers attached (--trace / --no-trace /
+  /// the bench's default, in that order of precedence).
+  bool tracing() const {
+    return options_.trace_flag < 0 ? default_trace_ : options_.trace_flag != 0;
+  }
   const std::vector<std::uint64_t>& seeds() const { return seeds_; }
   int jobs() const { return options_.effective_jobs(); }
 
@@ -53,9 +64,13 @@ class BenchApp {
   std::string bench_id_;
   std::string title_;
   BenchOptions options_;
+  bool default_trace_ = true;
   std::vector<std::uint64_t> seeds_;
   std::deque<Section> sections_;  // deque: stable references across run() calls
   Json extra_ = Json::object();
+  /// Full-ring tracer attached to task (0, 0) of the first run() when
+  /// --trace-out asks for a Chrome trace; exported by finish().
+  std::unique_ptr<obs::Tracer> capture_;
 };
 
 }  // namespace vafs::exp

@@ -92,6 +92,13 @@ bool parse_bench_args(int argc, char** argv, BenchOptions* options, std::string*
     } else if (arg == "--out-csv") {
       if (!next_value(i, arg, inline_value, has_inline, &value)) return false;
       options->out_csv = value;
+    } else if (arg == "--trace") {
+      options->trace_flag = 1;
+    } else if (arg == "--no-trace") {
+      options->trace_flag = 0;
+    } else if (arg == "--trace-out") {
+      if (!next_value(i, arg, inline_value, has_inline, &value)) return false;
+      options->trace_out = value;
     } else {
       *error = "unknown flag '" + std::string(arg) + "'";
       return false;
@@ -103,14 +110,19 @@ bool parse_bench_args(int argc, char** argv, BenchOptions* options, std::string*
 std::string bench_usage(const std::string& bench_id) {
   return "usage: bench_" + bench_id +
          " [--jobs N] [--seeds a,b,c] [--quick]"
-         " [--out-json PATH|none] [--out-csv PATH|none]\n"
+         " [--out-json PATH|none] [--out-csv PATH|none]"
+         " [--trace|--no-trace] [--trace-out PATH|none]\n"
          "  --jobs N       worker threads for the session grid (default: all cores)\n"
          "  --seeds LIST   comma-separated session seeds (default: 101,202,303)\n"
          "  --quick        first seed only, shortened sessions (smoke mode)\n"
          "  --out-json P   machine-readable results (default: BENCH_" +
          bench_id + ".json; 'none' disables)\n"
          "  --out-csv P    long-format CSV of every metric (default: BENCH_" +
-         bench_id + ".csv; 'none' disables)\n";
+         bench_id + ".csv; 'none' disables)\n"
+         "  --trace        per-run trace digests in artifacts (--no-trace disables)\n"
+         "  --trace-out P  Chrome trace JSON of the first session (default: off;\n"
+         "                 empty/default path is BENCH_" +
+         bench_id + ".trace.json)\n";
 }
 
 }  // namespace vafs::exp

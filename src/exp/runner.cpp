@@ -5,8 +5,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
+#include <optional>
 #include <string>
 #include <thread>
+
+#include "obs/trace.h"
 
 namespace vafs::exp {
 
@@ -70,8 +73,22 @@ ResultSet run_grid(const std::vector<ScenarioSpec>& scenarios, const RunOptions&
     const std::size_t i = t % nseeds;
     core::SessionConfig config = scenarios[s].config;
     config.seed = opts.seeds[i];
+    core::SessionHooks task_hooks = hooks[t];
+    // Digest-only tracer per task (no event storage, no allocation): the
+    // digest and event count land in the SessionResult before the tracer
+    // goes out of scope. The designated capture task gets the bench's
+    // full-ring tracer instead. Hooks that supplied their own tracer win.
+    std::optional<obs::Tracer> digest_tracer;
+    if (task_hooks.tracer == nullptr) {
+      if (opts.capture != nullptr && s == opts.capture_scenario && i == opts.capture_seed) {
+        task_hooks.tracer = opts.capture;
+      } else if (opts.trace) {
+        digest_tracer.emplace(obs::Tracer::Config{0});
+        task_hooks.tracer = &*digest_tracer;
+      }
+    }
     try {
-      results[s].runs[i] = core::run_session(config, hooks[t], &arena);
+      results[s].runs[i] = core::run_session(config, task_hooks, &arena);
     } catch (const std::exception& e) {
       errors[t] = "scenario '" + scenarios[s].id + "' seed " + std::to_string(opts.seeds[i]) +
                   ": " + e.what();

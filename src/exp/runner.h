@@ -34,6 +34,19 @@ struct RunOptions {
   using HookFactory = std::function<core::SessionHooks(
       const ScenarioSpec& spec, std::size_t scenario_index, std::size_t seed_index)>;
   HookFactory hooks;
+
+  /// Attach a digest-only (allocation-free) tracer to every run whose
+  /// hooks did not already provide one, so each SessionResult carries
+  /// trace_digest / trace_events in the artifacts.
+  bool trace = false;
+
+  /// Optional full-ring tracer (not owned) attached to the single task
+  /// (capture_scenario, capture_seed) — the cheap way for a bench to get
+  /// one exportable trace out of a grid without buffering every session.
+  /// Ignored for tasks whose hooks already provide a tracer.
+  obs::Tracer* capture = nullptr;
+  std::size_t capture_scenario = 0;
+  std::size_t capture_seed = 0;
 };
 
 /// One run that threw instead of returning: which seed, and a message

@@ -1,8 +1,22 @@
 #include "exp/sinks.h"
 
+#include "obs/export.h"
 #include "trace/csv.h"
 
 namespace vafs::exp {
+
+namespace {
+
+/// Whether any run of the scenario carried a tracer (digest-only or full).
+/// Clean no-trace artifacts keep their exact pre-tracing shape.
+bool has_trace_digests(const ScenarioResult& sr) {
+  for (const auto& run : sr.runs) {
+    if (run.trace_events != 0) return true;
+  }
+  return false;
+}
+
+}  // namespace
 
 Json aggregate_metrics_json(const Aggregate& agg) {
   Json metrics = Json::object();
@@ -23,7 +37,10 @@ Json bench_report_json(const std::string& bench_id, const std::string& title,
   Json root = Json::object();
   root.set("bench", bench_id);
   root.set("title", title);
-  root.set("schema_version", 1);
+  // v2: scenarios may carry "trace_digests" (per-seed canonical trace
+  // hashes as hex strings — Json numbers are doubles and would mangle
+  // 64-bit values).
+  root.set("schema_version", 2);
 
   Json opts = Json::object();
   opts.set("jobs", options.effective_jobs());
@@ -60,6 +77,11 @@ Json bench_report_json(const std::string& bench_id, const std::string& title,
         scenario.set("failures", std::move(failures));
       }
       scenario.set("metrics", aggregate_metrics_json(sr.agg));
+      if (has_trace_digests(sr)) {
+        Json digests = Json::array();
+        for (const auto& run : sr.runs) digests.push(obs::digest_hex(run.trace_digest));
+        scenario.set("trace_digests", std::move(digests));
+      }
       scenarios.push(std::move(scenario));
     }
     sec.set("scenarios", std::move(scenarios));
@@ -85,6 +107,21 @@ void write_bench_csv(std::ostream& out, const std::vector<Section>& sections) {
             .cell(s.min())
             .cell(s.max())
             .cell(static_cast<std::int64_t>(sr.agg.runs));
+      }
+      // Per-seed trace digests as pseudo-metric rows; the hex string rides
+      // in the "mean" column (digests are identities, not statistics).
+      if (has_trace_digests(sr)) {
+        for (std::size_t i = 0; i < sr.runs.size(); ++i) {
+          csv.row()
+              .cell(section.name)
+              .cell(sr.spec.id)
+              .cell("trace_digest[" + std::to_string(sr.seeds[i]) + "]")
+              .cell(obs::digest_hex(sr.runs[i].trace_digest))
+              .cell(0.0)
+              .cell(0.0)
+              .cell(0.0)
+              .cell(static_cast<std::int64_t>(1));
+        }
       }
       // Failure count as an extra pseudo-metric row, only when non-zero
       // (clean CSVs keep their exact shape).

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
+
 namespace vafs::fault {
 
 FaultInjector::FaultInjector(FaultPlan plan, sim::Rng rng)
@@ -46,23 +48,31 @@ std::optional<sysfs::Errno> FaultInjector::sysfs_write_error(sim::SimTime now) {
   const FaultWindow* w = active(FaultKind::kSysfsWriteFault, now);
   if (w == nullptr) return std::nullopt;
   ++sysfs_errors_;
-  return w->magnitude > 0.5 ? sysfs::Errno::kInval : sysfs::Errno::kAccess;
+  const sysfs::Errno err = w->magnitude > 0.5 ? sysfs::Errno::kInval : sysfs::Errno::kAccess;
+  if (tracer_ != nullptr) {
+    tracer_->record(now, obs::EventKind::kInjectSysfsError, static_cast<std::uint64_t>(err));
+  }
+  return err;
 }
 
-net::FetchFate FaultInjector::fetch_attempt_fate(sim::SimTime, sim::SimTime* fail_delay) {
+net::FetchFate FaultInjector::fetch_attempt_fate(sim::SimTime now, sim::SimTime* fail_delay) {
   const FaultPlanConfig& c = plan_.config();
   if (c.fetch_failure_prob <= 0 && c.fetch_hang_prob <= 0) return net::FetchFate::kOk;
   const double u = rng_.uniform();
   if (u < c.fetch_failure_prob) {
     ++fetch_failures_;
-    if (fail_delay != nullptr) {
-      *fail_delay =
-          sim::SimTime::seconds_f(rng_.exponential(c.fetch_failure_mean_delay.as_seconds_f()));
+    sim::SimTime delay =
+        sim::SimTime::seconds_f(rng_.exponential(c.fetch_failure_mean_delay.as_seconds_f()));
+    if (fail_delay != nullptr) *fail_delay = delay;
+    if (tracer_ != nullptr) {
+      tracer_->record(now, obs::EventKind::kInjectFetchFail,
+                      static_cast<std::uint64_t>(delay.as_micros()));
     }
     return net::FetchFate::kFail;
   }
   if (u < c.fetch_failure_prob + c.fetch_hang_prob) {
     ++fetch_hangs_;
+    if (tracer_ != nullptr) tracer_->record(now, obs::EventKind::kInjectFetchHang);
     return net::FetchFate::kHang;
   }
   return net::FetchFate::kOk;

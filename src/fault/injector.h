@@ -14,6 +14,10 @@
 #include "simcore/rng.h"
 #include "sysfs/result.h"
 
+namespace vafs::obs {
+class Tracer;
+}
+
 namespace vafs::fault {
 
 class FaultInjector final : public net::FetchFaultHook {
@@ -44,6 +48,10 @@ class FaultInjector final : public net::FetchFaultHook {
   std::uint64_t injected_fetch_hangs() const { return fetch_hangs_; }
   std::uint64_t injected_sysfs_errors() const { return sysfs_errors_; }
 
+  /// Optional tracer (not owned, may be null): runtime injections (fetch
+  /// failures/hangs, sysfs errors) are recorded through it.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
  private:
   /// The window of `kind` covering `now`, or nullptr. Queries may go
   /// backwards in time (the downloader integrates rate over
@@ -52,6 +60,7 @@ class FaultInjector final : public net::FetchFaultHook {
 
   FaultPlan plan_;
   sim::Rng rng_;
+  obs::Tracer* tracer_ = nullptr;
   std::uint64_t fetch_failures_ = 0;
   std::uint64_t fetch_hangs_ = 0;
   std::uint64_t sysfs_errors_ = 0;

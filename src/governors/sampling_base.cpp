@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
+
 namespace vafs::governors {
 
 std::uint64_t parse_u64(std::string_view text) {
@@ -33,7 +35,19 @@ void SamplingGovernorBase::arm_next() {
   // writes that change it go through rearm(), which re-creates the series,
   // and stop() cancels it (detaching mid-sample included).
   timer_.cancel();
-  timer_ = policy_->simulator().every(sampling_period(), [this] { on_sample(); });
+  timer_ = policy_->simulator().every(sampling_period(), [this] { sample(); });
+}
+
+void SamplingGovernorBase::sample() {
+  obs::Tracer* tracer = policy_->tracer();
+  if (tracer == nullptr) {
+    on_sample();
+    return;
+  }
+  const std::uint32_t before_khz = policy_->cur_khz();
+  on_sample();
+  tracer->record(policy_->simulator().now(), obs::EventKind::kGovernorSample, before_khz,
+                 policy_->cur_khz());
 }
 
 void SamplingGovernorBase::rearm() {

@@ -38,6 +38,9 @@ class SamplingGovernorBase : public cpu::Governor {
 
  private:
   void arm_next();
+  /// Timer tick: runs on_sample(), bracketing it with a trace record when a
+  /// tracer is attached to the policy.
+  void sample();
 
   cpu::CpufreqPolicy* policy_ = nullptr;
   sim::EventHandle timer_;

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "obs/trace.h"
+
 namespace vafs::net {
 namespace {
 
@@ -48,6 +50,7 @@ void Downloader::fetch(std::uint64_t bytes, std::function<void(const FetchResult
   job.bytes_remaining = static_cast<double>(bytes);
   job.on_done = std::move(on_done);
   jobs_.push_back(std::move(job));
+  if (tracer_ != nullptr) tracer_->record(sim_.now(), obs::EventKind::kFetchBegin, id, bytes);
   start_attempt(jobs_.back());
 }
 
@@ -58,6 +61,10 @@ void Downloader::start_attempt(Job& job) {
   job.fate = FetchFate::kOk;
   job.fail_delay = sim::SimTime::zero();
   if (faults_ != nullptr) job.fate = faults_->fetch_attempt_fate(sim_.now(), &job.fail_delay);
+  if (tracer_ != nullptr) {
+    tracer_->record(sim_.now(), obs::EventKind::kAttemptBegin, job.id, job.attempts,
+                    static_cast<std::uint64_t>(job.fate));
+  }
 
   const std::uint64_t id = job.id;
   const std::uint64_t epoch = job.attempt_epoch;
@@ -132,6 +139,10 @@ void Downloader::attempt_failed(std::uint64_t id, std::uint64_t epoch, FetchErro
   job->attempt_epoch = ++attempt_seq_;  // stales this attempt's callbacks
 
   if (error == FetchError::kTimeout) ++timeouts_;
+  if (tracer_ != nullptr) {
+    tracer_->record(sim_.now(), obs::EventKind::kAttemptEnd, job->id, job->attempts,
+                    static_cast<std::uint64_t>(error));
+  }
 
   if (job->attempts >= params_.max_attempts) {
     ++failed_fetches_;
@@ -144,6 +155,10 @@ void Downloader::attempt_failed(std::uint64_t id, std::uint64_t epoch, FetchErro
       failed.result.ok = false;
       failed.result.error = error;
       failed.result.attempts = failed.attempts;
+      if (tracer_ != nullptr) {
+        tracer_->record(sim_.now(), obs::EventKind::kFetchEnd, jid,
+                        static_cast<std::uint64_t>(error), failed.attempts);
+      }
       if (failed.on_done) failed.on_done(failed.result);
       return;
     }
@@ -160,6 +175,10 @@ void Downloader::attempt_failed(std::uint64_t id, std::uint64_t epoch, FetchErro
   }
   const auto delay = sim::SimTime::micros(
       std::max<std::int64_t>(1, static_cast<std::int64_t>(std::llround(backoff_us))));
+  if (tracer_ != nullptr) {
+    tracer_->record(sim_.now(), obs::EventKind::kRetryBackoff, id,
+                    static_cast<std::uint64_t>(delay.as_micros()), job->attempts + 1);
+  }
   job->retry_event = sim_.after(delay, [this, id] {
     Job* j = find_job(id);
     if (j != nullptr) start_attempt(*j);
@@ -180,6 +199,11 @@ void Downloader::pump() {
     // Rate was constant over [last_pump_, now]: pump events are armed at
     // every bandwidth change point and at every receiver-set change.
     const double rate = bandwidth_.current_mbps(last_pump_);
+    if (tracer_ != nullptr) {
+      // Passive capture: the rate was read for byte accounting anyway, so
+      // sampling it here perturbs nothing.
+      tracer_->timeline().push(obs::SeriesId::kBandwidthMbps, last_pump_, rate);
+    }
     const double per_job_bytes = mbps_to_bytes_per_us(rate) *
                                  static_cast<double>(elapsed.as_micros()) /
                                  static_cast<double>(receivers);
@@ -256,6 +280,10 @@ void Downloader::finish_job(std::uint64_t id) {
     job.result.attempts = job.attempts;
     total_bytes_ += job.result.bytes;
     radio_.release();
+    if (tracer_ != nullptr) {
+      tracer_->record(sim_.now(), obs::EventKind::kAttemptEnd, id, job.attempts, 0);
+      tracer_->record(sim_.now(), obs::EventKind::kFetchEnd, id, 0, job.attempts);
+    }
     if (job.on_done) job.on_done(job.result);
     return;
   }

@@ -21,6 +21,10 @@
 #include "simcore/rng.h"
 #include "simcore/simulator.h"
 
+namespace vafs::obs {
+class Tracer;
+}
+
 namespace vafs::net {
 
 /// Outcome of one fetch attempt, decided at request time by the fault
@@ -116,6 +120,10 @@ class Downloader {
   /// Fetches that exhausted max_attempts and completed with ok = false.
   std::uint64_t failed_fetches() const { return failed_fetches_; }
 
+  /// Optional tracer (not owned, may be null): fetch/attempt spans, retry
+  /// backoffs and the observed-bandwidth series are recorded through it.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
  private:
   /// Whether (and how) the current attempt holds the radio: kAcquiring
   /// between acquire() and its ready callback, kHeld afterwards. An
@@ -161,6 +169,7 @@ class Downloader {
   DownloaderParams params_;
   FetchFaultHook* faults_;
   sim::Rng retry_rng_;
+  obs::Tracer* tracer_ = nullptr;
 
   std::vector<Job> jobs_;
   std::uint64_t next_id_ = 1;

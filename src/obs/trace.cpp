@@ -1,0 +1,119 @@
+#include "obs/trace.h"
+
+#include <cassert>
+
+namespace vafs::obs {
+namespace {
+
+/// splitmix64 finalizer: avalanche each word before folding it, so events
+/// differing in one low bit flip roughly half the digest.
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+constexpr std::uint64_t kDigestSeed = 0xCBF29CE484222325ULL;  // FNV offset basis
+constexpr std::uint64_t kDigestPrime = 0x100000001B3ULL;      // FNV prime
+
+constexpr std::uint64_t fold(std::uint64_t h, std::uint64_t word) {
+  return (h ^ mix64(word)) * kDigestPrime;
+}
+
+constexpr EventInfo kEventInfos[kEventKindCount] = {
+    // name, track, phase, arg names
+    {"session", Track::kSession, Phase::kBegin, "seed", "media_us", nullptr},
+    {"session", Track::kSession, Phase::kEnd, nullptr, nullptr, nullptr},
+    {"fault_window", Track::kSession, Phase::kComplete, "fault_kind", "duration_us",
+     "magnitude_ppm"},
+    {"player_state", Track::kPlayer, Phase::kInstant, "from", "to", nullptr},
+    {"segment", Track::kPlayer, Phase::kAsyncBegin, "segment", "rep", "bytes"},
+    {"segment", Track::kPlayer, Phase::kAsyncEnd, "segment", "status", "attempts"},
+    {"seek", Track::kPlayer, Phase::kInstant, "target_segment", nullptr, nullptr},
+    {"frame_drop", Track::kPlayer, Phase::kInstant, "frame", nullptr, nullptr},
+    {"decode", Track::kDecode, Phase::kBegin, "frame", nullptr, nullptr},
+    {"decode", Track::kDecode, Phase::kEnd, "frame", "cycles", "class"},
+    {"fetch", Track::kNet, Phase::kAsyncBegin, "job", "bytes", nullptr},
+    {"fetch", Track::kNet, Phase::kAsyncEnd, "job", "error", "attempts"},
+    {"attempt", Track::kNet, Phase::kAsyncBegin, "job", "attempt", "fate"},
+    {"attempt", Track::kNet, Phase::kAsyncEnd, "job", "attempt", "error"},
+    {"retry_backoff", Track::kNet, Phase::kInstant, "job", "backoff_us", "next_attempt"},
+    {"governor_sample", Track::kGovernor, Phase::kInstant, "khz_before", "khz_after", nullptr},
+    {"governor_decision", Track::kGovernor, Phase::kInstant, "requested_khz", "relation",
+     "resolved_khz"},
+    {"freq_change", Track::kCpu, Phase::kInstant, "old_khz", "new_khz", "cluster"},
+    {"vafs_plan", Track::kVafs, Phase::kInstant, "player_state", "boosted", "latency_critical"},
+    {"setspeed_write", Track::kVafs, Phase::kInstant, "khz", "errno", "cluster"},
+    {"fallback", Track::kWatchdog, Phase::kBegin, "mode", "cause", nullptr},
+    {"fallback", Track::kWatchdog, Phase::kEnd, nullptr, nullptr, nullptr},
+    {"throttle_step", Track::kThermal, Phase::kInstant, "step", "capped_khz", nullptr},
+    {"inject_fetch_fail", Track::kFault, Phase::kInstant, "delay_us", nullptr, nullptr},
+    {"inject_fetch_hang", Track::kFault, Phase::kInstant, nullptr, nullptr, nullptr},
+    {"inject_sysfs_error", Track::kFault, Phase::kInstant, "errno", nullptr, nullptr},
+};
+
+}  // namespace
+
+const char* track_name(Track track) {
+  switch (track) {
+    case Track::kSession: return "session";
+    case Track::kPlayer: return "player";
+    case Track::kDecode: return "decode";
+    case Track::kNet: return "net";
+    case Track::kGovernor: return "governor";
+    case Track::kCpu: return "cpu";
+    case Track::kVafs: return "vafs";
+    case Track::kWatchdog: return "watchdog";
+    case Track::kThermal: return "thermal";
+    case Track::kFault: return "fault";
+  }
+  return "?";
+}
+
+const EventInfo& event_info(EventKind kind) {
+  const auto i = static_cast<std::size_t>(kind);
+  assert(i < kEventKindCount);
+  return kEventInfos[i];
+}
+
+Tracer::Tracer(Config config) : capacity_(config.ring_capacity), digest_(kDigestSeed) {}
+
+void Tracer::record(sim::SimTime at, EventKind kind, std::uint64_t a, std::uint64_t b,
+                    std::uint64_t c) {
+  std::uint64_t h = digest_;
+  h = fold(h, static_cast<std::uint64_t>(kind));
+  h = fold(h, static_cast<std::uint64_t>(at.as_micros()));
+  h = fold(h, a);
+  h = fold(h, b);
+  h = fold(h, c);
+  digest_ = h;
+
+  ++recorded_;
+  if (recorded_ % kCheckpointInterval == 0) checkpoints_.push_back(digest_);
+
+  if (capacity_ == 0) {
+    ++dropped_;
+    return;
+  }
+  TraceEvent ev;
+  ev.t_us = at.as_micros();
+  ev.kind = kind;
+  ev.a = a;
+  ev.b = b;
+  ev.c = c;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(ev);
+  } else {
+    ring_[head_] = ev;
+    head_ = (head_ + 1) % capacity_;
+    ++dropped_;
+  }
+}
+
+const TraceEvent& Tracer::event(std::size_t i) const {
+  assert(i < ring_.size());
+  return ring_.size() < capacity_ ? ring_[i] : ring_[(head_ + i) % capacity_];
+}
+
+}  // namespace vafs::obs

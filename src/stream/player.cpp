@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "obs/trace.h"
+
 namespace vafs::stream {
 
 const char* player_state_name(PlayerState s) {
@@ -46,7 +48,17 @@ void Player::set_state(PlayerState next) {
   if (state_ == next) return;
   const PlayerState prev = state_;
   state_ = next;
+  if (tracer_ != nullptr) {
+    tracer_->record(sim_.now(), obs::EventKind::kPlayerState,
+                    static_cast<std::uint64_t>(prev), static_cast<std::uint64_t>(next));
+  }
   for (auto* o : observers_) o->on_state_change(prev, next);
+}
+
+void Player::trace_buffer_level() {
+  if (tracer_ == nullptr) return;
+  tracer_->timeline().push(obs::SeriesId::kBufferSeconds, sim_.now(),
+                           buffer_.level().as_seconds_f());
 }
 
 void Player::start(std::function<void()> on_finished) {
@@ -104,6 +116,10 @@ void Player::maybe_fetch() {
 
   const std::uint64_t bytes = content_.segment_bytes(rep, next);
   fetch_inflight_ = true;
+  fetch_segment_ = next;
+  if (tracer_ != nullptr) {
+    tracer_->record(sim_.now(), obs::EventKind::kSegmentBegin, next, rep, bytes);
+  }
   for (auto* o : observers_) o->on_segment_request(next, rep, bytes);
   downloader_.fetch(bytes,
                     [this, next, rep, epoch = pipeline_epoch_](const net::FetchResult& result) {
@@ -123,6 +139,9 @@ void Player::on_segment_done(std::size_t segment, std::size_t rep, std::uint64_t
     // and re-request the same segment after a short pause — the session
     // degrades to a longer stall instead of wedging on a dead fetch.
     ++qoe_.fetch_failures;
+    if (tracer_ != nullptr) {
+      tracer_->record(sim_.now(), obs::EventKind::kSegmentEnd, segment, 1, result.attempts);
+    }
     for (auto* o : observers_) o->on_segment_failed(segment, rep, result);
     refetch_event_.cancel();
     refetch_event_ = sim_.after(config_.fetch_retry_delay, [this, epoch] {
@@ -150,6 +169,10 @@ void Player::on_segment_done(std::size_t segment, std::size_t rep, std::uint64_t
   frames_downloaded_ += frames;
   buffer_.push(video::BufferedSegment{segment, rep, manifest.segment_duration(segment),
                                       result.bytes});
+  if (tracer_ != nullptr) {
+    tracer_->record(sim_.now(), obs::EventKind::kSegmentEnd, segment, 0, result.attempts);
+    trace_buffer_level();
+  }
   for (auto* o : observers_) o->on_segment_complete(segment, rep, result);
 
   maybe_decode();
@@ -208,6 +231,7 @@ void Player::maybe_decode() {
 
   decode_inflight_ = true;
   const sim::SimTime started = sim_.now();
+  if (tracer_ != nullptr) tracer_->record(sim_.now(), obs::EventKind::kDecodeBegin, frame);
   for (auto* o : observers_) o->on_decode_start(frame);
   decode_task_id_ = cpu_.submit(
       "decode", decode_cycles,
@@ -225,6 +249,10 @@ void Player::on_frame_decoded(std::uint64_t frame, double cycles, sim::SimTime s
   assert(frame == decode_cursor_);
   ++decode_cursor_;
   decoded_count_ = decode_cursor_;
+  if (tracer_ != nullptr) {
+    tracer_->record(sim_.now(), obs::EventKind::kDecodeEnd, frame,
+                    static_cast<std::uint64_t>(std::llround(cycles)), idr ? 1 : 0);
+  }
   for (auto* o : observers_) o->on_decode_complete(frame, cycles, sim_.now() - started, idr);
   maybe_decode();
   maybe_start_playback();
@@ -254,6 +282,16 @@ bool Player::seek(sim::SimTime target) {
   vsync_event_.cancel();
   live_wait_event_.cancel();
   refetch_event_.cancel();
+  if (tracer_ != nullptr) {
+    // Close the spans the seek abandons, so the trace stays well-formed.
+    if (fetch_inflight_) {
+      tracer_->record(sim_.now(), obs::EventKind::kSegmentEnd, fetch_segment_, 2, 0);
+    }
+    if (decode_inflight_) {
+      tracer_->record(sim_.now(), obs::EventKind::kDecodeEnd, decode_cursor_, 0, 2);
+    }
+    tracer_->record(sim_.now(), obs::EventKind::kSeek, seg);
+  }
   if (decode_inflight_) {
     cpu_.cancel(decode_task_id_);
     decode_inflight_ = false;
@@ -298,6 +336,7 @@ void Player::on_vsync() {
     for (auto* o : observers_) o->on_frame_presented(playhead_);
     ++playhead_;
     buffer_.drain(frame_period_);
+    trace_buffer_level();
     maybe_decode();  // the ahead-window moved
     maybe_fetch();   // the buffer drained
     if (playhead_ >= total_frames_) finish();
@@ -308,9 +347,11 @@ void Player::on_vsync() {
     // Data arrived but decoding is late: drop the frame and move on.
     ++qoe_.deadline_misses;
     ++qoe_.frames_dropped;
+    if (tracer_ != nullptr) tracer_->record(sim_.now(), obs::EventKind::kFrameDrop, playhead_);
     for (auto* o : observers_) o->on_frame_dropped(playhead_);
     ++playhead_;
     buffer_.drain(frame_period_);
+    trace_buffer_level();
     maybe_decode();
     maybe_fetch();
     if (playhead_ >= total_frames_) finish();

@@ -31,6 +31,10 @@
 #include "video/content.h"
 #include "video/qoe.h"
 
+namespace vafs::obs {
+class Tracer;
+}
+
 namespace vafs::stream {
 
 enum class PlayerState { kIdle, kStartup, kPlaying, kRebuffering, kSeeking, kFinished };
@@ -144,6 +148,10 @@ class Player {
   /// Registers an observer (not owned; must outlive the player).
   void add_observer(PlayerObserver* observer);
 
+  /// Optional tracer (not owned, may be null): segment/decode spans, state
+  /// changes, drops and the buffer-level series are recorded through it.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
   /// Installs a decode-cost multiplier sampled at decode-submit time
   /// (fault injection: decode-cost spikes). Call before start().
   void set_decode_scale(std::function<double(sim::SimTime)> scale) {
@@ -191,8 +199,15 @@ class Player {
   sim::SimTime frame_period_;
   std::uint64_t total_frames_ = 0;
 
+  /// Pushes the current buffer level onto the tracer's timeline (no-op
+  /// when detached).
+  void trace_buffer_level();
+
+  obs::Tracer* tracer_ = nullptr;
+
   // Download state.
   bool fetch_inflight_ = false;
+  std::size_t fetch_segment_ = 0;  // segment of the in-flight fetch (trace span id)
   std::size_t last_rep_ = 0;
   double throughput_mbps_ = 0.0;
   sim::EventHandle refetch_event_;  // delayed re-request after a failed fetch

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
+
 namespace vafs::thermal {
 
 ThermalThrottle::ThermalThrottle(ThermalModel& model, cpu::CpufreqPolicy& policy,
@@ -41,6 +43,9 @@ void ThermalThrottle::apply_step(unsigned step) {
   const auto& opps = policy_.opps();
   const std::size_t top = opps.size() - 1;
   const std::size_t capped = top >= step ? top - step : 0;
+  if (obs::Tracer* tracer = policy_.tracer()) {
+    tracer->record(sim_.now(), obs::EventKind::kThrottleStep, step, opps.at(capped).freq_khz);
+  }
   policy_.set_max(opps.at(capped).freq_khz);
 }
 

@@ -1,0 +1,456 @@
+// Golden-digest suite: a corpus of canonical sessions whose trace digests
+// are pinned in tests/golden/digests.json. Any change to simulated
+// behaviour — an event added, reordered, or re-timed — flips a digest and
+// fails here with a pointed diff: the checkpoint chain localizes the first
+// divergent 64-event window and the events inside it are printed with
+// their decoded names and arguments.
+//
+// After an *intentional* behaviour change, regenerate the corpus:
+//
+//   ./golden_test --update-golden
+//
+// and commit the updated digests.json alongside the change. The file is
+// written into the source tree (VAFS_GOLDEN_DIR), so a rebuild is not
+// needed between regenerating and re-running.
+//
+// This binary carries its own main(): --update-golden must be consumed
+// before InitGoogleTest sees it.
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/session.h"
+#include "obs/export.h"
+#include "obs/trace.h"
+
+namespace {
+
+using namespace vafs;
+
+// ---------------------------------------------------------------------------
+// The canonical corpus: governor × {steady, lossy, faulted}, one fixed
+// seed, 20 s of media. Small enough to run in seconds, rich enough that
+// every instrumented subsystem (player, downloader, governors, VAFS
+// controller, fault injector) contributes events.
+
+constexpr std::uint64_t kGoldenSeed = 9001;
+
+struct GoldenCase {
+  std::string name;
+  core::SessionConfig config;
+};
+
+std::vector<GoldenCase> golden_cases() {
+  const std::vector<std::string> governors = {"ondemand", "conservative", "schedutil", "vafs"};
+  std::vector<GoldenCase> cases;
+  for (const auto& governor : governors) {
+    core::SessionConfig base;
+    base.governor = governor;
+    base.seed = kGoldenSeed;
+    base.media_duration = sim::SimTime::seconds(20);
+    base.fixed_rep = 2;
+
+    {
+      core::SessionConfig steady = base;
+      steady.net = core::NetProfile::kFair;
+      cases.push_back({governor + ".steady", steady});
+    }
+    {
+      // Poor network + rate ABR: rebuffers, retries and rep switches.
+      core::SessionConfig lossy = base;
+      lossy.net = core::NetProfile::kPoor;
+      lossy.abr = core::AbrKind::kRate;
+      cases.push_back({governor + ".lossy", lossy});
+    }
+    {
+      // The mild chaos preset: every fault kind enabled, compiled into a
+      // deterministic per-seed schedule.
+      core::SessionConfig faulted = base;
+      faulted.net = core::NetProfile::kFair;
+      faulted.fault = fault::FaultPlanConfig::mild();
+      cases.push_back({governor + ".faulted", faulted});
+    }
+  }
+  return cases;
+}
+
+// ---------------------------------------------------------------------------
+// Golden file I/O. The format is deliberately minimal JSON; the parser
+// below reads exactly what write_golden emits (plus arbitrary whitespace).
+
+struct GoldenEntry {
+  std::uint64_t digest = 0;
+  std::uint64_t events = 0;
+  std::vector<std::uint64_t> checkpoints;
+};
+
+std::string golden_path() { return std::string(VAFS_GOLDEN_DIR) + "/digests.json"; }
+
+void write_golden(std::ostream& out, const std::map<std::string, GoldenEntry>& entries) {
+  out << "{\n  \"schema\": 1,\n  \"sessions\": {";
+  bool first_entry = true;
+  for (const auto& [name, e] : entries) {
+    out << (first_entry ? "\n" : ",\n");
+    first_entry = false;
+    out << "    \"" << name << "\": {\n";
+    out << "      \"digest\": \"" << obs::digest_hex(e.digest) << "\",\n";
+    out << "      \"events\": " << e.events << ",\n";
+    out << "      \"checkpoints\": [";
+    for (std::size_t i = 0; i < e.checkpoints.size(); ++i) {
+      if (i % 4 == 0) out << "\n        ";
+      out << "\"" << obs::digest_hex(e.checkpoints[i]) << "\"";
+      if (i + 1 < e.checkpoints.size()) out << ", ";
+    }
+    out << "\n      ]\n    }";
+  }
+  out << "\n  }\n}\n";
+}
+
+// Tiny recursive-descent parser for the golden file. Returns false (with
+// a position hint) on anything it does not recognize — the fix is always
+// "regenerate with --update-golden".
+class GoldenParser {
+ public:
+  explicit GoldenParser(std::string text) : text_(std::move(text)) {}
+
+  bool parse(std::map<std::string, GoldenEntry>* out) {
+    skip_ws();
+    if (!expect('{')) return false;
+    // "schema": 1
+    std::string key;
+    if (!parse_string(&key) || key != "schema" || !expect(':')) return false;
+    std::uint64_t schema = 0;
+    if (!parse_u64(&schema) || schema != 1) return false;
+    if (!expect(',')) return false;
+    if (!parse_string(&key) || key != "sessions" || !expect(':')) return false;
+    if (!expect('{')) return false;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return finish();
+    }
+    for (;;) {
+      std::string name;
+      if (!parse_string(&name) || !expect(':')) return false;
+      GoldenEntry entry;
+      if (!parse_entry(&entry)) return false;
+      (*out)[name] = std::move(entry);
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    if (!expect('}')) return false;
+    return finish();
+  }
+
+  std::size_t pos() const { return pos_; }
+
+ private:
+  bool finish() {
+    if (!expect('}')) return false;
+    skip_ws();
+    return pos_ == text_.size();
+  }
+
+  bool parse_entry(GoldenEntry* entry) {
+    if (!expect('{')) return false;
+    std::string key;
+    if (!parse_string(&key) || key != "digest" || !expect(':')) return false;
+    if (!parse_hex(&entry->digest)) return false;
+    if (!expect(',')) return false;
+    if (!parse_string(&key) || key != "events" || !expect(':')) return false;
+    if (!parse_u64(&entry->events)) return false;
+    if (!expect(',')) return false;
+    if (!parse_string(&key) || key != "checkpoints" || !expect(':')) return false;
+    if (!expect('[')) return false;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return expect('}');
+    }
+    for (;;) {
+      std::uint64_t cp = 0;
+      if (!parse_hex(&cp)) return false;
+      entry->checkpoints.push_back(cp);
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    if (!expect(']')) return false;
+    return expect('}');
+  }
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\n' || text_[pos_] == '\t' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool expect(char c) {
+    skip_ws();
+    if (peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool parse_string(std::string* out) {
+    if (!expect('"')) return false;
+    out->clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') out->push_back(text_[pos_++]);
+    if (pos_ >= text_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool parse_u64(std::uint64_t* out) {
+    skip_ws();
+    if (peek() < '0' || peek() > '9') return false;
+    *out = 0;
+    while (peek() >= '0' && peek() <= '9') {
+      *out = *out * 10 + static_cast<std::uint64_t>(text_[pos_++] - '0');
+    }
+    return true;
+  }
+
+  bool parse_hex(std::uint64_t* out) {
+    std::string s;
+    if (!parse_string(&s)) return false;
+    return obs::parse_digest_hex(s, out);
+  }
+
+  std::string text_;
+  std::size_t pos_ = 0;
+};
+
+bool load_golden(std::map<std::string, GoldenEntry>* out, std::string* error) {
+  std::ifstream in(golden_path());
+  if (!in) {
+    *error = "cannot open " + golden_path() + " (run ./golden_test --update-golden)";
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  GoldenParser parser(buf.str());
+  if (!parser.parse(out)) {
+    *error = golden_path() + " is malformed near byte " + std::to_string(parser.pos()) +
+             " (regenerate with ./golden_test --update-golden)";
+    return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Running a case and diffing a mismatch.
+
+struct CaseRun {
+  obs::Tracer tracer;  // full ring: the corpus must fit for event diffing
+  core::SessionResult result;
+};
+
+void run_case(const GoldenCase& c, CaseRun* out,
+              const core::SessionHooks& extra_hooks = {}) {
+  core::SessionHooks hooks = extra_hooks;
+  hooks.tracer = &out->tracer;
+  out->result = core::run_session(c.config, hooks);
+}
+
+std::string format_event(const obs::Tracer& tracer, std::size_t abs_index) {
+  const std::size_t oldest = static_cast<std::size_t>(tracer.recorded()) - tracer.size();
+  const obs::TraceEvent& ev = tracer.event(abs_index - oldest);
+  const obs::EventInfo& info = obs::event_info(ev.kind);
+  char buf[256];
+  int n = std::snprintf(buf, sizeof buf, "  #%zu  t=%" PRId64 "us  %-16s", abs_index, ev.t_us,
+                        info.name);
+  std::string line(buf, n > 0 ? static_cast<std::size_t>(n) : 0);
+  const std::pair<const char*, std::uint64_t> args[] = {
+      {info.arg_a, ev.a}, {info.arg_b, ev.b}, {info.arg_c, ev.c}};
+  for (const auto& [arg_name, value] : args) {
+    if (arg_name == nullptr) continue;
+    line += " ";
+    line += arg_name;
+    line += "=";
+    line += std::to_string(value);
+  }
+  return line;
+}
+
+/// Locates the first divergent checkpoint window and renders the actual
+/// events inside it — the "pointed diff" a digest mismatch fails with.
+std::string describe_divergence(const obs::Tracer& tracer, const GoldenEntry& golden) {
+  constexpr std::uint64_t kInterval = obs::Tracer::kCheckpointInterval;
+  const auto& actual = tracer.checkpoints();
+  const std::size_t common = std::min(actual.size(), golden.checkpoints.size());
+  std::size_t div = common;  // first divergent checkpoint block
+  for (std::size_t i = 0; i < common; ++i) {
+    if (actual[i] != golden.checkpoints[i]) {
+      div = i;
+      break;
+    }
+  }
+  const std::uint64_t lo = static_cast<std::uint64_t>(div) * kInterval;
+  const std::uint64_t hi = std::min<std::uint64_t>(lo + kInterval, tracer.recorded());
+
+  std::string msg = "trace digest mismatch: got " + obs::digest_hex(tracer.digest()) +
+                    ", golden " + obs::digest_hex(golden.digest) + "\n";
+  msg += "events: got " + std::to_string(tracer.recorded()) + ", golden " +
+         std::to_string(golden.events) + "\n";
+  msg += "first divergence in events [" + std::to_string(lo) + ", " +
+         std::to_string(lo + kInterval) + ") — actual events in that window:\n";
+  if (tracer.dropped() > 0 && lo < tracer.recorded() - tracer.size()) {
+    msg += "  (window evicted from the ring; raise ring_capacity to inspect)\n";
+  } else {
+    for (std::uint64_t i = lo; i < hi; ++i) {
+      msg += format_event(tracer, static_cast<std::size_t>(i)) + "\n";
+    }
+  }
+  msg += "if this change is intentional: ./golden_test --update-golden";
+  return msg;
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(GoldenDigests, CorpusMatchesGoldenFile) {
+  std::map<std::string, GoldenEntry> golden;
+  std::string error;
+  ASSERT_TRUE(load_golden(&golden, &error)) << error;
+
+  const auto cases = golden_cases();
+  ASSERT_EQ(golden.size(), cases.size())
+      << "golden file has " << golden.size() << " sessions, corpus defines " << cases.size()
+      << " (regenerate with ./golden_test --update-golden)";
+
+  for (const auto& c : cases) {
+    SCOPED_TRACE(c.name);
+    const auto it = golden.find(c.name);
+    ASSERT_NE(it, golden.end()) << "no golden entry for '" << c.name
+                                << "' (regenerate with ./golden_test --update-golden)";
+    CaseRun run;
+    run_case(c, &run);
+    EXPECT_TRUE(run.result.finished);
+    EXPECT_GT(run.tracer.recorded(), 0u);
+    if (run.tracer.digest() != it->second.digest ||
+        run.tracer.recorded() != it->second.events) {
+      ADD_FAILURE() << describe_divergence(run.tracer, it->second);
+    }
+  }
+}
+
+// A behaviour change as small as one governor tunable must flip the
+// digest — and the checkpoint chain must localize it. The tweak happens
+// through sysfs (on_ready), exactly how a stray code change would surface.
+TEST(GoldenDigests, OneLineGovernorTweakIsCaught) {
+  GoldenCase c;
+  c.name = "ondemand.tweaked";
+  c.config.governor = "ondemand";
+  c.config.seed = kGoldenSeed;
+  c.config.media_duration = sim::SimTime::seconds(20);
+  c.config.net = core::NetProfile::kFair;
+
+  CaseRun baseline;
+  run_case(c, &baseline);
+
+  core::SessionHooks tweak;
+  tweak.on_ready = [](core::SessionLive& live) {
+    const auto status =
+        live.tree->write("devices/system/cpu/cpufreq/policy0/ondemand/up_threshold", "95");
+    ASSERT_TRUE(status.ok());
+  };
+  CaseRun tweaked;
+  run_case(c, &tweaked, tweak);
+
+  ASSERT_NE(baseline.tracer.digest(), tweaked.tracer.digest())
+      << "a 95% up_threshold must change the frequency trajectory";
+
+  // The pointed diff must localize the divergence and decode real events.
+  GoldenEntry as_golden;
+  as_golden.digest = baseline.tracer.digest();
+  as_golden.events = baseline.tracer.recorded();
+  as_golden.checkpoints = baseline.tracer.checkpoints();
+  const std::string diff = describe_divergence(tweaked.tracer, as_golden);
+  EXPECT_NE(diff.find("first divergence in events ["), std::string::npos) << diff;
+  EXPECT_NE(diff.find("t="), std::string::npos) << diff;
+  // The tweak applies from t=0, so divergence may land in the very first
+  // checkpoint block — the diff must still name a concrete 64-event window
+  // and decode the events inside it (asserted above).
+}
+
+// Exporting a corpus session must yield a loadable Chrome trace: valid
+// JSON shape, a traceEvents array, metadata + at least one of each used
+// phase. (Perfetto-loadability is exercised for real by the CI artifact.)
+TEST(GoldenDigests, ChromeTraceExportIsWellFormed) {
+  const auto cases = golden_cases();
+  CaseRun run;
+  run_case(cases.front(), &run);
+
+  std::ostringstream out;
+  obs::write_chrome_trace(out, run.tracer, "golden");
+  const std::string json = out.str();
+  EXPECT_EQ(json.rfind("{\"traceEvents\":", 0), 0u);
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"B\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"E\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_EQ(json.substr(json.size() - 3), "]}\n");
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+
+namespace {
+
+int update_golden() {
+  std::map<std::string, GoldenEntry> entries;
+  for (const auto& c : golden_cases()) {
+    CaseRun run;
+    run_case(c, &run);
+    if (!run.result.finished) {
+      std::fprintf(stderr, "golden case '%s' did not finish — refusing to pin it\n",
+                   c.name.c_str());
+      return 1;
+    }
+    GoldenEntry e;
+    e.digest = run.tracer.digest();
+    e.events = run.tracer.recorded();
+    e.checkpoints = run.tracer.checkpoints();
+    std::printf("  %-24s %s  (%" PRIu64 " events)\n", c.name.c_str(),
+                vafs::obs::digest_hex(e.digest).c_str(), e.events);
+    entries[c.name] = std::move(e);
+  }
+  std::ofstream out(golden_path(), std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", golden_path().c_str());
+    return 1;
+  }
+  write_golden(out, entries);
+  std::printf("wrote %s (%zu sessions)\n", golden_path().c_str(), entries.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--update-golden") == 0) return update_golden();
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

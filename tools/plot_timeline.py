@@ -1,49 +1,114 @@
 #!/usr/bin/env python3
-"""Plot the F2 timeline CSV emitted by bench_f2_timeline.
+"""Plot VAFS timeline CSVs (and optionally Chrome trace JSON) from the
+observability layer.
 
 Usage:
-    ./build/bench/bench_f2_timeline > f2.txt
-    tools/plot_timeline.py f2.txt timeline.png
+    ./build/bench/bench_f2_timeline
+    tools/plot_timeline.py BENCH_f2.ondemand.timeline.csv \\
+                           BENCH_f2.vafs.timeline.csv -o timeline.png
 
-The bench prints two CSV blocks (ondemand, vafs) surrounded by narration;
-this script extracts both and renders frequency, CPU power and buffer level
-over time. Requires matplotlib; without it, prints a summary instead.
+    # Counter series straight out of a Chrome trace export:
+    tools/plot_timeline.py --trace-json BENCH_f2.vafs.trace.json -o t.png
+
+Input CSVs use the long-format schema written by obs::write_timeline_csv:
+
+    series,t_us,value
+    freq_khz,12000,1800000
+    buffer_s,4000000,3.98
+    ...
+
+Every sample is plotted — the series are event-driven (a point per
+frequency transition / segment arrival / pump), so nothing is downsampled
+and the final sample is included. Requires matplotlib for plots; without
+it, prints per-series summaries instead.
 """
+import argparse
+import csv
+import json
+import os
 import sys
 
+# CSV series name -> (axis row, display label, value scale)
+PANELS = {
+    "freq_khz": (0, "frequency (MHz)", 1e-3),
+    "cpu_power_mw": (1, "CPU power (mW)", 1.0),
+    "buffer_s": (2, "buffer (s)", 1.0),
+    "bandwidth_mbps": (3, "bandwidth (Mbps)", 1.0),
+}
 
-def extract_blocks(path):
-    """Returns {label: list-of-row-dicts} for each '### label —' CSV block."""
-    blocks = {}
-    label = None
-    header = None
+
+def read_timeline_csv(path):
+    """Returns {series: [(t_s, value), ...]} keeping every sample."""
+    series = {}
+    with open(path, newline="") as f:
+        reader = csv.DictReader(f)
+        if reader.fieldnames != ["series", "t_us", "value"]:
+            raise SystemExit(
+                f"{path}: expected header 'series,t_us,value', got "
+                f"{','.join(reader.fieldnames or [])}")
+        for row in reader:
+            series.setdefault(row["series"], []).append(
+                (float(row["t_us"]) / 1e6, float(row["value"])))
+    return series
+
+
+def read_trace_json(path):
+    """Extracts counter ('ph':'C') series from a Chrome trace export."""
     with open(path) as f:
-        for line in f:
-            line = line.strip()
-            if line.startswith("###"):
-                label = line.split("###")[1].split("—")[0].strip()
-                header = None
-                blocks[label] = []
-            elif label is not None and line.startswith("t_s,"):
-                header = line.split(",")
-            elif label is not None and header and "," in line:
-                parts = line.split(",")
-                if len(parts) == len(header):
-                    try:
-                        blocks[label].append(
-                            {k: float(v) for k, v in zip(header, parts)})
-                    except ValueError:
-                        pass  # narration line
-    return {k: v for k, v in blocks.items() if v}
+        doc = json.load(f)
+    series = {}
+    for ev in doc.get("traceEvents", []):
+        if ev.get("ph") != "C":
+            continue
+        args = ev.get("args", {})
+        if not args:
+            continue
+        value = next(iter(args.values()))
+        series.setdefault(ev["name"], []).append(
+            (float(ev["ts"]) / 1e6, float(value)))
+    for samples in series.values():
+        samples.sort(key=lambda s: s[0])
+    return series
+
+
+def label_for(path):
+    name = os.path.basename(path)
+    for suffix in (".timeline.csv", ".trace.json", ".csv", ".json"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def summarize(label, series):
+    for name in sorted(series):
+        samples = series[name]
+        values = [v for _, v in samples]
+        print(f"{label}/{name}: {len(samples)} samples, "
+              f"min {min(values):g}, mean {sum(values) / len(values):g}, "
+              f"max {max(values):g}, last t={samples[-1][0]:.3f}s")
 
 
 def main():
-    if len(sys.argv) < 2:
-        print(__doc__)
-        return 1
-    blocks = extract_blocks(sys.argv[1])
-    if not blocks:
-        print("no CSV blocks found — is this bench_f2_timeline output?")
+    parser = argparse.ArgumentParser(
+        description="Plot obs timeline CSVs / Chrome trace counters.")
+    parser.add_argument("inputs", nargs="+",
+                        help="timeline CSV files (one curve set per file)")
+    parser.add_argument("--trace-json", action="store_true",
+                        help="inputs are Chrome trace JSON exports; plot "
+                             "their counter tracks")
+    parser.add_argument("-o", "--out", default="timeline.png",
+                        help="output image (default: timeline.png)")
+    args = parser.parse_args()
+
+    loaded = []  # (label, {series: samples})
+    for path in args.inputs:
+        series = read_trace_json(path) if args.trace_json else read_timeline_csv(path)
+        if not series:
+            print(f"{path}: no samples found", file=sys.stderr)
+            continue
+        loaded.append((label_for(path), series))
+    if not loaded:
+        print("nothing to plot", file=sys.stderr)
         return 1
 
     try:
@@ -51,31 +116,34 @@ def main():
         matplotlib.use("Agg")
         import matplotlib.pyplot as plt
     except ImportError:
-        for label, rows in blocks.items():
-            mean_mw = sum(r["cpu_mw"] for r in rows) / len(rows)
-            mean_mhz = sum(r["freq_mhz"] for r in rows) / len(rows)
-            print(f"{label}: {len(rows)} samples, mean {mean_mw:.0f} mW, "
-                  f"mean {mean_mhz:.0f} MHz")
+        for label, series in loaded:
+            summarize(label, series)
         print("(install matplotlib for plots)")
         return 0
 
-    fig, axes = plt.subplots(3, 1, figsize=(10, 8), sharex=True)
-    for label, rows in blocks.items():
-        t = [r["t_s"] for r in rows]
-        axes[0].step(t, [r["freq_mhz"] for r in rows], where="post", label=label)
-        axes[1].plot(t, [r["cpu_mw"] for r in rows], label=label)
-        axes[2].plot(t, [r["buffer_s"] for r in rows], label=label)
-    axes[0].set_ylabel("frequency (MHz)")
-    axes[1].set_ylabel("CPU power (mW)")
-    axes[2].set_ylabel("buffer (s)")
-    axes[2].set_xlabel("time (s)")
-    for ax in axes:
-        ax.legend()
-        ax.grid(alpha=0.3)
-    out = sys.argv[2] if len(sys.argv) > 2 else "timeline.png"
+    rows = len(PANELS)
+    fig, axes = plt.subplots(rows, 1, figsize=(10, 2.2 * rows), sharex=True)
+    for label, series in loaded:
+        for name, samples in series.items():
+            panel = PANELS.get(name)
+            if panel is None:
+                continue
+            row, _, scale = panel
+            t = [s[0] for s in samples]
+            v = [s[1] * scale for s in samples]
+            if name == "freq_khz":
+                axes[row].step(t, v, where="post", label=label)
+            else:
+                axes[row].plot(t, v, label=label)
+    for name, (row, ylabel, _) in PANELS.items():
+        axes[row].set_ylabel(ylabel)
+        axes[row].grid(alpha=0.3)
+        if axes[row].lines:
+            axes[row].legend()
+    axes[-1].set_xlabel("time (s)")
     fig.tight_layout()
-    fig.savefig(out, dpi=130)
-    print(f"wrote {out}")
+    fig.savefig(args.out, dpi=130)
+    print(f"wrote {args.out}")
     return 0
 
 
