@@ -1,0 +1,180 @@
+// Fleet-scale smoke bench: a governor × network × fault grid scaled to an
+// arbitrary session count by --seed-count, executed through the sharded
+// fleet runner (src/fleet) instead of exp::run_grid.
+//
+// This is the binary the nightly million-session job drives:
+//
+//   bench_fleet --quick --seed-count 62500 --jobs 8
+//       --checkpoint-dir ckpt --spool none --rss-limit-mb 256
+//
+// is 16 scenarios × 62500 seeds = 1,000,000 sessions at bounded memory.
+// SIGTERM/SIGINT stop the run at the next shard boundary, write a final
+// checkpoint and exit 75 (EX_TEMPFAIL); re-running with --resume picks up
+// at the frontier and finishes with aggregates and a digest chain that are
+// bit-identical to an uninterrupted run.
+#include <sys/resource.h>
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "exp/grid.h"
+#include "exp/json.h"
+#include "exp/options.h"
+#include "exp/table.h"
+#include "fault/plan.h"
+#include "fleet/fleet_runner.h"
+#include "obs/export.h"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void handle_stop_signal(int) { g_stop.store(true, std::memory_order_relaxed); }
+
+/// Peak RSS of this process in MiB (Linux ru_maxrss is KiB).
+double peak_rss_mib() {
+  rusage ru{};
+  getrusage(RUSAGE_SELF, &ru);
+  return static_cast<double>(ru.ru_maxrss) / 1024.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace vafs;
+
+  exp::BenchOptions options;
+  std::string error;
+  if (!exp::parse_bench_args(argc, argv, &options, &error)) {
+    std::fprintf(stderr, "bench_fleet: %s\n%s%s", error.c_str(),
+                 exp::bench_usage("fleet").c_str(), exp::fleet_usage().c_str());
+    return 2;
+  }
+  if (options.help) {
+    std::printf("%s%s", exp::bench_usage("fleet").c_str(), exp::fleet_usage().c_str());
+    return 0;
+  }
+
+  std::signal(SIGTERM, handle_stop_signal);
+  std::signal(SIGINT, handle_stop_signal);
+
+  // The grid: 4 governors × 2 networks × {clean, mild faults} = 16
+  // scenarios. Sessions are short — fleet scale comes from the seed axis,
+  // and the point is the shard/checkpoint machinery, not session length.
+  core::SessionConfig base;
+  base.fixed_rep = 2;  // 720p
+  base.media_duration = sim::SimTime::seconds(options.quick ? 20 : 120);
+  base.downloader.attempt_timeout = sim::SimTime::seconds(6);
+  base.downloader.max_attempts = 4;
+
+  exp::ExperimentGrid grid(base);
+  grid.governors({"performance", "ondemand", "schedutil", "vafs"})
+      .axis("net", {{"fair", [](core::SessionConfig& c) { c.net = core::NetProfile::kFair; }},
+                    {"poor", [](core::SessionConfig& c) { c.net = core::NetProfile::kPoor; }}})
+      .axis("fault",
+            {{"clean", [](core::SessionConfig&) {}},
+             {"mild", [](core::SessionConfig& c) { c.fault = fault::FaultPlanConfig::mild(); }}});
+
+  const std::vector<exp::ScenarioSpec> scenarios = grid.scenarios();
+
+  fleet::FleetOptions fopts;
+  fopts.jobs = options.effective_jobs();
+  fopts.seeds = options.fleet_seeds();
+  const std::uint64_t tasks =
+      static_cast<std::uint64_t>(scenarios.size()) * fopts.seeds.size();
+  if (options.shards > 0) {
+    fopts.shard_size = static_cast<std::size_t>((tasks + options.shards - 1) / options.shards);
+  }
+  fopts.checkpoint_dir = options.checkpoint_dir;
+  fopts.resume = options.resume;
+  fopts.trace = options.trace_flag != 0;  // default on: the digest chain IS the result
+  if (options.spool == "csv") fopts.spool.format = fleet::SpoolFormat::kCsv;
+  if (options.spool == "jsonl") fopts.spool.format = fleet::SpoolFormat::kJsonl;
+  fopts.on_progress = [](std::uint64_t, std::uint64_t) {
+    return !g_stop.load(std::memory_order_relaxed);
+  };
+
+  std::printf("fleet: %zu scenarios x %zu seeds = %llu sessions, shard size %zu, %d jobs\n",
+              scenarios.size(), fopts.seeds.size(), static_cast<unsigned long long>(tasks),
+              fopts.shard_size, fopts.jobs);
+
+  const fleet::FleetResult result = run_fleet(scenarios, fopts);
+  const double rss_mib = peak_rss_mib();
+
+  if (!result.ok()) {
+    std::fprintf(stderr, "bench_fleet: %s\n", result.error.c_str());
+    return 1;
+  }
+
+  if (result.complete()) {
+    std::printf("%-34s %10s %10s %10s %8s\n", "scenario", "total_J", "rebuf_s", "kbps", "runs");
+    exp::print_rule(78);
+    for (const auto& fs : result.scenarios) {
+      const auto& a = fs.agg;
+      std::printf("%-34s %10.1f %10.2f %10.0f %8d\n", fs.spec.id.c_str(),
+                  a.total_mj.mean() / 1000.0, a.rebuffer_s.mean(), a.mean_bitrate_kbps.mean(),
+                  a.runs);
+    }
+  }
+
+  std::printf("fleet: %llu/%llu shards folded (%llu sessions run, %llu resumed, %zu failed), "
+              "digest chain %s, peak RSS %.1f MiB\n",
+              static_cast<unsigned long long>(result.shards_done),
+              static_cast<unsigned long long>(result.shard_count),
+              static_cast<unsigned long long>(result.sessions_run),
+              static_cast<unsigned long long>(result.sessions_resumed), result.failures.size(),
+              obs::digest_hex(result.digest_chain).c_str(), rss_mib);
+
+  // Artifact (skipped when stopped mid-run: partial aggregates are the
+  // checkpoint's job, not the artifact's).
+  if (result.complete() && options.out_json != "none") {
+    const std::string path = options.out_json.empty() ? "BENCH_fleet.json" : options.out_json;
+    exp::Json root = exp::Json::object();
+    root.set("bench", "fleet");
+    root.set("sessions", static_cast<std::uint64_t>(tasks));
+    root.set("shard_size", static_cast<std::uint64_t>(fopts.shard_size));
+    root.set("shards", result.shard_count);
+    root.set("jobs", fopts.jobs);
+    root.set("digest_chain", obs::digest_hex(result.digest_chain));
+    root.set("fingerprint", obs::digest_hex(result.fingerprint));
+    root.set("failures", static_cast<std::uint64_t>(result.failures.size()));
+    root.set("peak_rss_mib", rss_mib);
+    exp::Json scen = exp::Json::object();
+    for (const auto& fs : result.scenarios) {
+      exp::Json cell = exp::Json::object();
+      cell.set("runs", fs.agg.runs);
+      cell.set("total_mj_mean", fs.agg.total_mj.mean());
+      cell.set("rebuffer_s_mean", fs.agg.rebuffer_s.mean());
+      cell.set("mean_bitrate_kbps_mean", fs.agg.mean_bitrate_kbps.mean());
+      scen.set(fs.spec.id, std::move(cell));
+    }
+    root.set("scenarios", std::move(scen));
+    std::ofstream out(path, std::ios::trunc);
+    out << root.dump() << '\n';
+    if (!out) {
+      std::fprintf(stderr, "bench_fleet: cannot write %s\n", path.c_str());
+      return 1;
+    }
+    std::printf("fleet: wrote %s\n", path.c_str());
+  }
+
+  if (options.rss_limit_mb > 0 && rss_mib > static_cast<double>(options.rss_limit_mb)) {
+    std::fprintf(stderr, "bench_fleet: peak RSS %.1f MiB exceeds the %llu MiB budget\n", rss_mib,
+                 static_cast<unsigned long long>(options.rss_limit_mb));
+    return 1;
+  }
+
+  if (result.stopped) {
+    std::fprintf(stderr, "bench_fleet: stopped by signal after %llu/%llu shards; "
+                 "checkpoint written, rerun with --resume\n",
+                 static_cast<unsigned long long>(result.shards_done),
+                 static_cast<unsigned long long>(result.shard_count));
+    return 75;  // EX_TEMPFAIL: incomplete but resumable
+  }
+  return 0;
+}

@@ -100,9 +100,13 @@ std::unique_ptr<stream::AbrAlgorithm> make_abr(const SessionConfig& config) {
 }  // namespace
 
 video::ContentStore& SessionArena::content_store(const ContentKey& key) {
-  for (auto& entry : content_) {
-    if (entry.key == key) return entry.store;
+  for (auto it = content_.begin(); it != content_.end(); ++it) {
+    if (it->key == key) {
+      content_.splice(content_.end(), content_, it);  // most-recent last
+      return content_.back().store;
+    }
   }
+  if (content_.size() >= kContentCapacity) content_.pop_front();
   return content_.emplace_back(ContentEntry{key, {}}).store;
 }
 

@@ -5,8 +5,8 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
+#include <list>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -215,16 +215,24 @@ struct SessionArena {
     }
   };
 
-  /// The store for `key`, created empty on first sight. References stay
-  /// valid across later insertions (grids see a handful of keys).
+  /// The store for `key`, created empty on first sight. The cache is a
+  /// small LRU: the returned reference stays valid until kContentCapacity
+  /// distinct *other* keys have been requested after it, so holding it for
+  /// the duration of one session is always safe. Classic bench grids see a
+  /// handful of keys and never evict; fleet-scale sweeps see one key per
+  /// session and must not accumulate O(sessions) synthesized frames.
+  /// Eviction is invisible in results: every value a store yields is a
+  /// pure function of the key, so a recompute is bit-identical.
   video::ContentStore& content_store(const ContentKey& key);
+
+  static constexpr std::size_t kContentCapacity = 64;
 
  private:
   struct ContentEntry {
     ContentKey key;
     video::ContentStore store;
   };
-  std::deque<ContentEntry> content_;  // deque: stable references on growth
+  std::list<ContentEntry> content_;  // list: stable references + O(1) LRU splice
 };
 
 SessionResult run_session(const SessionConfig& config, const SessionHooks& hooks = {},

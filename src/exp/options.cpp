@@ -17,6 +17,15 @@ std::vector<std::uint64_t> BenchOptions::effective_seeds() const {
   return seeds;
 }
 
+std::vector<std::uint64_t> BenchOptions::fleet_seeds() const {
+  if (seed_count == 0) return effective_seeds();
+  const std::uint64_t base = seeds.empty() ? 101 : seeds.front();
+  std::vector<std::uint64_t> out;
+  out.reserve(seed_count);
+  for (std::uint64_t i = 0; i < seed_count; ++i) out.push_back(base + i);
+  return out;
+}
+
 namespace {
 
 bool parse_u64(std::string_view s, std::uint64_t* out) {
@@ -99,6 +108,36 @@ bool parse_bench_args(int argc, char** argv, BenchOptions* options, std::string*
     } else if (arg == "--trace-out") {
       if (!next_value(i, arg, inline_value, has_inline, &value)) return false;
       options->trace_out = value;
+    } else if (arg == "--seed-count") {
+      if (!next_value(i, arg, inline_value, has_inline, &value)) return false;
+      if (!parse_u64(value, &options->seed_count) || options->seed_count == 0) {
+        *error = "--seed-count wants a positive integer, got '" + value + "'";
+        return false;
+      }
+    } else if (arg == "--shards") {
+      if (!next_value(i, arg, inline_value, has_inline, &value)) return false;
+      if (!parse_u64(value, &options->shards) || options->shards == 0) {
+        *error = "--shards wants a positive integer, got '" + value + "'";
+        return false;
+      }
+    } else if (arg == "--checkpoint-dir") {
+      if (!next_value(i, arg, inline_value, has_inline, &value)) return false;
+      options->checkpoint_dir = value;
+    } else if (arg == "--resume") {
+      options->resume = true;
+    } else if (arg == "--spool") {
+      if (!next_value(i, arg, inline_value, has_inline, &value)) return false;
+      if (value != "none" && value != "csv" && value != "jsonl") {
+        *error = "--spool wants none|csv|jsonl, got '" + value + "'";
+        return false;
+      }
+      options->spool = value;
+    } else if (arg == "--rss-limit-mb") {
+      if (!next_value(i, arg, inline_value, has_inline, &value)) return false;
+      if (!parse_u64(value, &options->rss_limit_mb)) {
+        *error = "--rss-limit-mb wants an integer, got '" + value + "'";
+        return false;
+      }
     } else {
       *error = "unknown flag '" + std::string(arg) + "'";
       return false;
@@ -123,6 +162,17 @@ std::string bench_usage(const std::string& bench_id) {
          "  --trace-out P  Chrome trace JSON of the first session (default: off;\n"
          "                 empty/default path is BENCH_" +
          bench_id + ".trace.json)\n";
+}
+
+std::string fleet_usage() {
+  return "fleet flags:\n"
+         "  --seed-count N     run N sequential seeds from the first --seeds entry\n"
+         "                     (the grid's session count = scenarios x N)\n"
+         "  --shards N         cut the grid into N shards (default: 64-session shards)\n"
+         "  --checkpoint-dir D write/refresh a resume manifest (and the spool) in D\n"
+         "  --resume           resume from D's manifest; fresh start when none exists\n"
+         "  --spool F          per-session rows: none (default), csv or jsonl\n"
+         "  --rss-limit-mb N   fail if peak RSS exceeds N MiB (0 = report only)\n";
 }
 
 }  // namespace vafs::exp

@@ -28,10 +28,32 @@ struct BenchOptions {
   std::string trace_out = "none";
   bool help = false;
 
+  // --- Fleet flags (bench_fleet; the figure benches accept and ignore
+  // them so the CLI surface stays uniform) ---
+  /// Expand the seed axis to this many sequential seeds starting at the
+  /// first --seeds entry (0 = use the --seeds list as given). This is how
+  /// a grid reaches millions of sessions without a million-entry flag.
+  std::uint64_t seed_count = 0;
+  /// Cut the grid into this many shards; 0 = default 64-session shards.
+  std::uint64_t shards = 0;
+  /// Checkpoint-manifest directory; empty disables checkpointing.
+  std::string checkpoint_dir;
+  /// Resume from checkpoint_dir's manifest if one exists.
+  bool resume = false;
+  /// Per-session row spool format: "none", "csv" or "jsonl".
+  std::string spool = "none";
+  /// Peak-RSS budget for the whole run; bench_fleet fails when exceeded
+  /// (0 = report only).
+  std::uint64_t rss_limit_mb = 0;
+
   /// Jobs with `auto` resolved against this machine.
   int effective_jobs() const;
   /// Seed list after --quick truncation.
   std::vector<std::uint64_t> effective_seeds() const;
+  /// Seed list after --seed-count expansion (sequential from the first
+  /// seed; not truncated by --quick — fleet smoke runs shorten sessions,
+  /// not the grid).
+  std::vector<std::uint64_t> fleet_seeds() const;
 };
 
 /// Parses the shared flags. Unknown flags are an error. Returns false and
@@ -41,5 +63,9 @@ bool parse_bench_args(int argc, char** argv, BenchOptions* options, std::string*
 
 /// Usage text for `--help` / parse errors.
 std::string bench_usage(const std::string& bench_id);
+
+/// Extra usage lines for the fleet flags; bench_fleet appends this to
+/// bench_usage("fleet").
+std::string fleet_usage();
 
 }  // namespace vafs::exp

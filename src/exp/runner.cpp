@@ -40,6 +40,29 @@ const ScenarioResult& ResultSet::at(
   return *found;
 }
 
+TaskOutcome run_one_task(const ScenarioSpec& spec, std::uint64_t seed,
+                         core::SessionHooks hooks, bool trace, core::SessionArena* arena) {
+  TaskOutcome out;
+  core::SessionConfig config = spec.config;
+  config.seed = seed;
+  // Digest-only tracer per task (no event storage, no allocation): the
+  // digest and event count land in the SessionResult before the tracer
+  // goes out of scope. Hooks that supplied their own tracer win.
+  std::optional<obs::Tracer> digest_tracer;
+  if (hooks.tracer == nullptr && trace) {
+    digest_tracer.emplace(obs::Tracer::Config{0});
+    hooks.tracer = &*digest_tracer;
+  }
+  try {
+    out.result = core::run_session(config, hooks, arena);
+  } catch (const std::exception& e) {
+    out.error = "scenario '" + spec.id + "' seed " + std::to_string(seed) + ": " + e.what();
+  } catch (...) {
+    out.error = "scenario '" + spec.id + "' seed " + std::to_string(seed) + ": unknown exception";
+  }
+  return out;
+}
+
 ResultSet run_grid(const std::vector<ScenarioSpec>& scenarios, const RunOptions& opts) {
   std::vector<ScenarioResult> results(scenarios.size());
   for (std::size_t s = 0; s < scenarios.size(); ++s) {
@@ -71,31 +94,18 @@ ResultSet run_grid(const std::vector<ScenarioSpec>& scenarios, const RunOptions&
   const auto run_task = [&](std::size_t t, core::SessionArena& arena) {
     const std::size_t s = t / nseeds;
     const std::size_t i = t % nseeds;
-    core::SessionConfig config = scenarios[s].config;
-    config.seed = opts.seeds[i];
     core::SessionHooks task_hooks = hooks[t];
-    // Digest-only tracer per task (no event storage, no allocation): the
-    // digest and event count land in the SessionResult before the tracer
-    // goes out of scope. The designated capture task gets the bench's
-    // full-ring tracer instead. Hooks that supplied their own tracer win.
-    std::optional<obs::Tracer> digest_tracer;
-    if (task_hooks.tracer == nullptr) {
-      if (opts.capture != nullptr && s == opts.capture_scenario && i == opts.capture_seed) {
-        task_hooks.tracer = opts.capture;
-      } else if (opts.trace) {
-        digest_tracer.emplace(obs::Tracer::Config{0});
-        task_hooks.tracer = &*digest_tracer;
-      }
+    // The designated capture task gets the bench's full-ring tracer; every
+    // other task gets run_one_task's digest-only tracer when opts.trace.
+    // Hooks that supplied their own tracer win either way.
+    if (task_hooks.tracer == nullptr && opts.capture != nullptr && s == opts.capture_scenario &&
+        i == opts.capture_seed) {
+      task_hooks.tracer = opts.capture;
     }
-    try {
-      results[s].runs[i] = core::run_session(config, task_hooks, &arena);
-    } catch (const std::exception& e) {
-      errors[t] = "scenario '" + scenarios[s].id + "' seed " + std::to_string(opts.seeds[i]) +
-                  ": " + e.what();
-    } catch (...) {
-      errors[t] = "scenario '" + scenarios[s].id + "' seed " + std::to_string(opts.seeds[i]) +
-                  ": unknown exception";
-    }
+    TaskOutcome out =
+        run_one_task(scenarios[s], opts.seeds[i], std::move(task_hooks), opts.trace, &arena);
+    results[s].runs[i] = std::move(out.result);
+    errors[t] = std::move(out.error);
   };
 
   const int jobs = opts.jobs;

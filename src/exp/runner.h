@@ -99,6 +99,25 @@ class ResultSet {
   std::vector<ScenarioResult> scenarios_;
 };
 
+/// One executed (scenario, seed) cell. `error` is empty on success and
+/// carries the scenario + seed context otherwise; a failed task leaves
+/// `result` default-constructed.
+struct TaskOutcome {
+  core::SessionResult result;
+  std::string error;
+
+  bool ok() const { return error.empty(); }
+};
+
+/// Runs one (scenario, seed) cell exactly as run_grid does: the scenario
+/// config stamped with `seed`, a digest-only tracer attached when `trace`
+/// is set and the hooks brought none, exceptions captured instead of
+/// propagated. This is the shard-safe entry point the fleet runner builds
+/// on — any partition of a grid into run_one_task calls produces the same
+/// per-cell results as one run_grid call, because cells share nothing.
+TaskOutcome run_one_task(const ScenarioSpec& spec, std::uint64_t seed,
+                         core::SessionHooks hooks, bool trace, core::SessionArena* arena);
+
 /// Runs scenarios × seeds on a pool of `opts.jobs` threads.
 ResultSet run_grid(const std::vector<ScenarioSpec>& scenarios, const RunOptions& opts);
 ResultSet run_grid(const ExperimentGrid& grid, const RunOptions& opts);

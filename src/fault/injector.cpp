@@ -7,7 +7,7 @@
 namespace vafs::fault {
 
 FaultInjector::FaultInjector(FaultPlan plan, sim::Rng rng)
-    : plan_(std::move(plan)), rng_(rng) {}
+    : plan_(std::move(plan)), fate_seed_(rng.next_u64()) {}
 
 const FaultWindow* FaultInjector::active(FaultKind kind, sim::SimTime now) const {
   const auto& ws = plan_.windows(kind);
@@ -55,14 +55,19 @@ std::optional<sysfs::Errno> FaultInjector::sysfs_write_error(sim::SimTime now) {
   return err;
 }
 
-net::FetchFate FaultInjector::fetch_attempt_fate(sim::SimTime now, sim::SimTime* fail_delay) {
+net::FetchFate FaultInjector::fetch_attempt_fate(sim::SimTime now, std::uint64_t fetch_id,
+                                                 unsigned attempt, sim::SimTime* fail_delay) {
   const FaultPlanConfig& c = plan_.config();
   if (c.fetch_failure_prob <= 0 && c.fetch_hang_prob <= 0) return net::FetchFate::kOk;
-  const double u = rng_.uniform();
+  // Keyed stream: the fate (and its delay) of attempt n of fetch k is the
+  // same no matter what other fetches did — required for shard-boundary
+  // invariance of the whole session.
+  sim::Rng draw(sim::mix_stream(fate_seed_, fetch_id, attempt));
+  const double u = draw.uniform();
   if (u < c.fetch_failure_prob) {
     ++fetch_failures_;
     sim::SimTime delay =
-        sim::SimTime::seconds_f(rng_.exponential(c.fetch_failure_mean_delay.as_seconds_f()));
+        sim::SimTime::seconds_f(draw.exponential(c.fetch_failure_mean_delay.as_seconds_f()));
     if (fail_delay != nullptr) *fail_delay = delay;
     if (tracer_ != nullptr) {
       tracer_->record(now, obs::EventKind::kInjectFetchFail,

@@ -1,8 +1,10 @@
 // Runtime side of fault injection: answers "is a fault active at time t"
 // against a compiled FaultPlan (binary search over the per-kind windows),
-// draws per-fetch fates from its own seeded stream, and decorates a
-// BandwidthProcess with the outage/collapse overlay. One injector per
-// session; stateless apart from its RNG and counters.
+// draws per-fetch fates keyed by (fetch id, attempt) from a fixed seed,
+// and decorates a BandwidthProcess with the outage/collapse overlay. One
+// injector per session; stateless apart from its counters — every draw is
+// a pure function of its identifiers, so fate sequences survive any
+// reordering of the surrounding work (shard boundaries included).
 #pragma once
 
 #include <cstdint>
@@ -41,7 +43,8 @@ class FaultInjector final : public net::FetchFaultHook {
   std::optional<sysfs::Errno> sysfs_write_error(sim::SimTime now);
 
   // ---- net::FetchFaultHook ----
-  net::FetchFate fetch_attempt_fate(sim::SimTime now, sim::SimTime* fail_delay) override;
+  net::FetchFate fetch_attempt_fate(sim::SimTime now, std::uint64_t fetch_id, unsigned attempt,
+                                    sim::SimTime* fail_delay) override;
 
   // ---- Counters (for result plumbing and tests) ----
   std::uint64_t injected_fetch_failures() const { return fetch_failures_; }
@@ -59,7 +62,9 @@ class FaultInjector final : public net::FetchFaultHook {
   const FaultWindow* active(FaultKind kind, sim::SimTime now) const;
 
   FaultPlan plan_;
-  sim::Rng rng_;
+  /// Root of the per-(fetch, attempt) fate streams; drawn once from the
+  /// session's fork so different seeds get unrelated fate tables.
+  std::uint64_t fate_seed_;
   obs::Tracer* tracer_ = nullptr;
   std::uint64_t fetch_failures_ = 0;
   std::uint64_t fetch_hangs_ = 0;

@@ -1,0 +1,57 @@
+// Checkpoint manifests for resumable fleet runs.
+//
+// A manifest captures the fold state at a shard boundary: how many shards
+// (and tasks) have been folded, every scenario's partial Aggregate, the
+// running trace-digest chain, the failure list and the spool offset. The
+// format is line-oriented text (schema v1); doubles are serialized as
+// IEEE-754 hex bit patterns so a write → read round trip is bit-exact —
+// an aggregate restored from a manifest continues folding exactly as the
+// uninterrupted run would have.
+//
+// Integrity: the last line carries an FNV-1a digest of every byte above
+// it. A truncated, padded or bit-flipped manifest fails that check and is
+// rejected with a pointed error instead of resuming from garbage. Writes
+// go to a sibling .tmp and rename into place, so a kill mid-write leaves
+// the previous manifest intact.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exp/aggregate.h"
+
+namespace vafs::fleet {
+
+inline constexpr int kCheckpointSchema = 1;
+
+/// One failed task, in canonical task order (mirrors exp::RunFailure but
+/// keyed by absolute task index so it survives resharding of the report).
+struct CheckpointFailure {
+  std::uint64_t task_index = 0;
+  std::uint64_t seed = 0;
+  std::string message;
+};
+
+struct CheckpointState {
+  std::uint64_t fingerprint = 0;
+  std::uint64_t shards_done = 0;
+  std::uint64_t tasks_done = 0;
+  std::uint64_t digest_chain = 0;
+  /// Bytes of finalized spool rows at the cut; a resume truncates the
+  /// spool file back to this offset before appending.
+  std::uint64_t spool_offset = 0;
+  /// One partial aggregate per scenario, grid order.
+  std::vector<exp::Aggregate> aggregates;
+  std::vector<CheckpointFailure> failures;
+};
+
+/// Serializes `state` to `path` atomically (tmp + rename). Returns false
+/// and fills `error` on I/O failure.
+bool write_checkpoint(const std::string& path, const CheckpointState& state, std::string* error);
+
+/// Parses `path` into `state`. Returns false with a descriptive `error`
+/// for I/O failures, schema mismatches, truncation or corruption.
+bool read_checkpoint(const std::string& path, CheckpointState* state, std::string* error);
+
+}  // namespace vafs::fleet

@@ -1,0 +1,64 @@
+// Deterministic sharding of a scenario × seed grid.
+//
+// A shard is a contiguous run of the canonical task order — scenario-major
+// with the seed varying fastest, exactly the order run_grid flattens to —
+// so the concatenation of all shards replays a serial run task for task.
+// Shard boundaries are a pure function of (task count, shard size): any
+// two processes given the same grid and shard size agree on every shard,
+// which is what makes checkpoints portable across job counts, kill points
+// and resumed runs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "exp/grid.h"
+
+namespace vafs::fleet {
+
+/// Canonical coordinates of task t: scenario t / nseeds, seed t % nseeds.
+struct TaskRef {
+  std::size_t scenario = 0;
+  std::size_t seed_index = 0;
+};
+
+/// One contiguous chunk of the canonical task order.
+struct Shard {
+  std::size_t id = 0;
+  std::size_t first_task = 0;
+  std::size_t task_count = 0;
+};
+
+class ShardPlan {
+ public:
+  ShardPlan() = default;
+  ShardPlan(std::size_t scenario_count, std::size_t seed_count, std::size_t shard_size);
+
+  std::size_t scenario_count() const { return scenarios_; }
+  std::size_t seed_count() const { return seeds_; }
+  std::size_t task_count() const { return tasks_; }
+  std::size_t shard_size() const { return shard_size_; }
+  /// ceil(task_count / shard_size); the last shard may be short.
+  std::size_t shard_count() const;
+
+  Shard shard(std::size_t id) const;
+  TaskRef task(std::size_t index) const;
+
+ private:
+  std::size_t scenarios_ = 0;
+  std::size_t seeds_ = 0;
+  std::size_t tasks_ = 0;
+  std::size_t shard_size_ = 1;
+};
+
+/// Order-sensitive fingerprint of everything that determines what a fleet
+/// run means: scenario ids (and their order), the seed list, the shard
+/// size and the metric schema. A checkpoint written under one fingerprint
+/// refuses to resume under another — resuming a different grid, a
+/// reordered grid or a different shard layout would silently corrupt the
+/// fold otherwise.
+std::uint64_t grid_fingerprint(const std::vector<exp::ScenarioSpec>& scenarios,
+                               const std::vector<std::uint64_t>& seeds, std::size_t shard_size);
+
+}  // namespace vafs::fleet

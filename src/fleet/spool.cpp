@@ -1,0 +1,174 @@
+#include "fleet/spool.h"
+
+#include <filesystem>
+#include <string_view>
+
+#include "exp/aggregate.h"
+#include "exp/json.h"
+
+namespace vafs::fleet {
+namespace {
+
+/// CSV field, always quoted (scenario ids carry spaces and axis labels).
+std::string csv_quote(const std::string& text) {
+  std::string out = "\"";
+  for (const char c : text) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+/// Minimal JSON string escaping — scenario ids and metric names are ASCII
+/// identifiers/labels; escape the two structural characters anyway.
+std::string json_quote(const std::string& text) {
+  std::string out = "\"";
+  for (const char c : text) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+/// Session value of a named metric, via the Aggregate metric table: a
+/// one-session aggregate's mean IS the session's value (bit-exact), so the
+/// spool reuses the exact metric definitions add() encodes instead of
+/// duplicating the SessionResult → metric mapping.
+double metric_value(const exp::Aggregate& one, const char* name) {
+  for (const auto& m : exp::Aggregate::metrics()) {
+    if (std::string_view(m.name) == name) return (one.*m.member).mean();
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+Spool::~Spool() {
+  std::string error;
+  close(&error);  // best effort; run_fleet close()s explicitly to see errors
+}
+
+bool Spool::open(const SpoolOptions& options, std::uint64_t resume_offset, std::string* error) {
+  options_ = options;
+  if (options_.format == SpoolFormat::kNone) return true;
+  if (options_.path.empty()) {
+    *error = "spool: format set but no path given";
+    return false;
+  }
+
+  if (resume_offset > 0) {
+    // Resume: roll the file back to the checkpointed frontier. Rows past
+    // the offset belong to shards after the checkpoint cut; the resumed
+    // fold rewrites them identically.
+    std::error_code ec;
+    const auto size = std::filesystem::file_size(options_.path, ec);
+    if (ec) {
+      *error = "spool: cannot stat '" + options_.path + "' for resume: " + ec.message();
+      return false;
+    }
+    if (size < resume_offset) {
+      *error = "spool: '" + options_.path + "' is shorter (" + std::to_string(size) +
+               " B) than the checkpointed offset (" + std::to_string(resume_offset) + " B)";
+      return false;
+    }
+    std::filesystem::resize_file(options_.path, resume_offset, ec);
+    if (ec) {
+      *error = "spool: cannot truncate '" + options_.path + "': " + ec.message();
+      return false;
+    }
+  }
+
+  file_ = std::fopen(options_.path.c_str(), resume_offset > 0 ? "ab" : "wb");
+  if (file_ == nullptr) {
+    *error = "spool: cannot open '" + options_.path + "' for writing";
+    return false;
+  }
+  offset_ = resume_offset;
+  buffer_.clear();
+  buffer_.reserve(options_.buffer_bytes + 1024);
+  write_failed_ = false;
+  if (resume_offset == 0 && options_.format == SpoolFormat::kCsv) {
+    append_row("scenario,seed,metric,value\n");
+  }
+  return true;
+}
+
+void Spool::append_row(std::string row) {
+  offset_ += row.size();
+  buffer_ += row;
+  if (buffer_.size() >= options_.buffer_bytes) {
+    std::string error;
+    if (!flush(&error)) write_failed_ = true;
+  }
+}
+
+void Spool::append(const exp::ScenarioSpec& spec, std::uint64_t seed,
+                   const core::SessionResult& result) {
+  if (!enabled()) return;
+  exp::Aggregate one;
+  one.add(result);
+  if (options_.format == SpoolFormat::kCsv) {
+    const std::string prefix = csv_quote(spec.id) + ',' + std::to_string(seed) + ',';
+    std::string rows;
+    for (const auto& name : options_.metrics) {
+      rows += prefix + name + ',' + exp::json_number(metric_value(one, name.c_str())) + '\n';
+    }
+    append_row(std::move(rows));
+    return;
+  }
+  std::string row = "{\"scenario\":" + json_quote(spec.id) + ",\"seed\":" + std::to_string(seed) +
+                    ",\"metrics\":{";
+  bool first = true;
+  for (const auto& name : options_.metrics) {
+    if (!first) row += ',';
+    first = false;
+    row += json_quote(name) + ':' + exp::json_number(metric_value(one, name.c_str()));
+  }
+  row += "}}\n";
+  append_row(std::move(row));
+}
+
+void Spool::append_failure(const exp::ScenarioSpec& spec, std::uint64_t seed) {
+  if (!enabled()) return;
+  if (options_.format == SpoolFormat::kCsv) {
+    append_row(csv_quote(spec.id) + ',' + std::to_string(seed) + ",failed,1\n");
+    return;
+  }
+  append_row("{\"scenario\":" + json_quote(spec.id) + ",\"seed\":" + std::to_string(seed) +
+             ",\"failed\":true}\n");
+}
+
+bool Spool::flush(std::string* error) {
+  if (!enabled()) return true;
+  if (!buffer_.empty()) {
+    const std::size_t wrote = std::fwrite(buffer_.data(), 1, buffer_.size(), file_);
+    if (wrote != buffer_.size()) {
+      *error = "spool: short write to '" + options_.path + "'";
+      write_failed_ = true;
+      return false;
+    }
+    buffer_.clear();
+  }
+  if (std::fflush(file_) != 0) {
+    *error = "spool: flush of '" + options_.path + "' failed";
+    write_failed_ = true;
+    return false;
+  }
+  if (write_failed_) {
+    *error = "spool: an earlier buffered write to '" + options_.path + "' failed";
+    return false;
+  }
+  return true;
+}
+
+bool Spool::close(std::string* error) {
+  if (!enabled()) return true;
+  const bool ok = flush(error);
+  std::fclose(file_);
+  file_ = nullptr;
+  return ok;
+}
+
+}  // namespace vafs::fleet

@@ -32,7 +32,7 @@ Downloader::Downloader(sim::Simulator& simulator, RadioModel& radio,
       cpu_(cpu_model),
       params_(params),
       faults_(faults),
-      retry_rng_(retry_seed) {}
+      retry_seed_(retry_seed) {}
 
 Downloader::Job* Downloader::find_job(std::uint64_t id) {
   for (auto& j : jobs_) {
@@ -60,7 +60,9 @@ void Downloader::start_attempt(Job& job) {
   job.bytes_remaining = static_cast<double>(job.result.bytes);
   job.fate = FetchFate::kOk;
   job.fail_delay = sim::SimTime::zero();
-  if (faults_ != nullptr) job.fate = faults_->fetch_attempt_fate(sim_.now(), &job.fail_delay);
+  if (faults_ != nullptr) {
+    job.fate = faults_->fetch_attempt_fate(sim_.now(), job.id, job.attempts, &job.fail_delay);
+  }
   if (tracer_ != nullptr) {
     tracer_->record(sim_.now(), obs::EventKind::kAttemptBegin, job.id, job.attempts,
                     static_cast<std::uint64_t>(job.fate));
@@ -171,7 +173,10 @@ void Downloader::attempt_failed(std::uint64_t id, std::uint64_t epoch, FetchErro
   double backoff_us =
       static_cast<double>(params_.backoff_base.as_micros()) * std::max(1.0, expo);
   if (params_.backoff_jitter > 0) {
-    backoff_us *= 1.0 + params_.backoff_jitter * (retry_rng_.uniform() * 2.0 - 1.0);
+    // Keyed draw: this retry's jitter depends only on (seed, fetch,
+    // attempt), so any other fetch's retry history leaves it untouched.
+    sim::Rng jitter(sim::mix_stream(retry_seed_, job->id, job->attempts));
+    backoff_us *= 1.0 + params_.backoff_jitter * (jitter.uniform() * 2.0 - 1.0);
   }
   const auto delay = sim::SimTime::micros(
       std::max<std::int64_t>(1, static_cast<std::int64_t>(std::llround(backoff_us))));

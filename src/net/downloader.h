@@ -37,9 +37,15 @@ enum class FetchFate : std::uint8_t { kOk, kFail, kHang };
 class FetchFaultHook {
  public:
   virtual ~FetchFaultHook() = default;
-  /// Fate of one attempt. For kFail, `fail_delay` (if non-null) receives
-  /// the delay from first-byte eligibility to the injected failure.
-  virtual FetchFate fetch_attempt_fate(sim::SimTime now, sim::SimTime* fail_delay) = 0;
+  /// Fate of one attempt. `fetch_id` and `attempt` (1-based) identify the
+  /// attempt so implementations can key their draws per (fetch, attempt)
+  /// rather than consuming a sequential stream — the draw must be a pure
+  /// function of the identifiers, or moving a shard boundary across a
+  /// faulted segment would shift every later fate in the session. For
+  /// kFail, `fail_delay` (if non-null) receives the delay from first-byte
+  /// eligibility to the injected failure.
+  virtual FetchFate fetch_attempt_fate(sim::SimTime now, std::uint64_t fetch_id,
+                                       unsigned attempt, sim::SimTime* fail_delay) = 0;
 };
 
 struct DownloaderParams {
@@ -64,8 +70,10 @@ struct DownloaderParams {
   unsigned max_attempts = 3;
 
   /// Backoff before attempt n+1: base * factor^(n-1), scaled by a uniform
-  /// jitter in [1-jitter, 1+jitter]. Jitter draws happen only on actual
-  /// retries, so fault-free sessions never touch the retry RNG stream.
+  /// jitter in [1-jitter, 1+jitter]. Each jitter draw is keyed by
+  /// (retry_seed, fetch id, attempt) — a pure function of which retry it
+  /// is, not of how many retries happened before — so one fetch's retries
+  /// never perturb another's timing.
   sim::SimTime backoff_base = sim::SimTime::millis(200);
   double backoff_factor = 2.0;
   double backoff_jitter = 0.25;
@@ -168,7 +176,7 @@ class Downloader {
   cpu::CpuSink* cpu_;
   DownloaderParams params_;
   FetchFaultHook* faults_;
-  sim::Rng retry_rng_;
+  std::uint64_t retry_seed_;
   obs::Tracer* tracer_ = nullptr;
 
   std::vector<Job> jobs_;

@@ -77,6 +77,10 @@ const EventInfo& event_info(EventKind kind) {
   return kEventInfos[i];
 }
 
+std::uint64_t chain_digest(std::uint64_t chain, std::uint64_t session_digest) {
+  return fold(chain, session_digest);
+}
+
 Tracer::Tracer(Config config) : capacity_(config.ring_capacity), digest_(kDigestSeed) {}
 
 void Tracer::record(sim::SimTime at, EventKind kind, std::uint64_t a, std::uint64_t b,

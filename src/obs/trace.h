@@ -119,6 +119,14 @@ struct EventInfo {
 
 const EventInfo& event_info(EventKind kind);
 
+/// Folds one session digest into a running chain with the same
+/// avalanche-and-multiply step the per-event digest uses. Chaining the
+/// per-session digests of a grid in canonical (scenario, seed) order gives
+/// a single order-sensitive fingerprint of the whole run — the quantity
+/// fleet checkpoints carry and the nightly kill/resume job compares.
+/// chain_digest(0, ...) starts a fresh chain.
+std::uint64_t chain_digest(std::uint64_t chain, std::uint64_t session_digest);
+
 struct TraceEvent {
   std::int64_t t_us = 0;
   EventKind kind = EventKind::kSessionBegin;

@@ -72,6 +72,18 @@ double Rng::exponential(double mean) {
   return -mean * std::log(u);
 }
 
+std::uint64_t mix_stream(std::uint64_t seed, std::uint64_t k1, std::uint64_t k2) {
+  // Chain the keys through splitmix64 with distinct additive offsets so
+  // (a, b) and (b, a) land in unrelated streams.
+  std::uint64_t x = seed;
+  std::uint64_t h = splitmix64(x);
+  x ^= k1 + 0xA0761D6478BD642FULL;
+  h ^= splitmix64(x);
+  x ^= k2 + 0xE7037ED1A0B428DBULL;
+  h ^= splitmix64(x);
+  return h;
+}
+
 bool Rng::bernoulli(double p) {
   if (p <= 0) return false;
   if (p >= 1) return true;

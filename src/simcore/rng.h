@@ -49,4 +49,11 @@ class Rng {
   std::uint64_t s_[4];
 };
 
+/// Collapses (seed, k1, k2) into one avalanche-mixed 64-bit stream seed.
+/// A draw keyed this way — `Rng(mix_stream(seed, id, attempt))` — is a pure
+/// function of the identifiers, independent of how many draws happened
+/// before it. The retry/fault substreams use it so that reordering or
+/// resharding the surrounding work cannot shift any session's stream.
+std::uint64_t mix_stream(std::uint64_t seed, std::uint64_t k1, std::uint64_t k2 = 0);
+
 }  // namespace vafs::sim

@@ -48,6 +48,20 @@ void OnlineStats::merge(const OnlineStats& other) {
   max_ = std::max(max_, other.max_);
 }
 
+OnlineStats::State OnlineStats::state() const {
+  return State{static_cast<std::uint64_t>(n_), mean_, m2_, min_, max_};
+}
+
+OnlineStats OnlineStats::from_state(const State& s) {
+  OnlineStats stats;
+  stats.n_ = static_cast<std::size_t>(s.n);
+  stats.mean_ = s.mean;
+  stats.m2_ = s.m2;
+  stats.min_ = s.min;
+  stats.max_ = s.max;
+  return stats;
+}
+
 double SampleSet::mean() const {
   if (samples_.empty()) return 0.0;
   double s = 0;

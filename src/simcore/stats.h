@@ -30,6 +30,20 @@ class OnlineStats {
   /// Merges another accumulator into this one (parallel Welford).
   void merge(const OnlineStats& other);
 
+  /// The full internal state, exposed for bit-exact serialization (fleet
+  /// checkpoints store the raw double bit patterns). A state()/from_state()
+  /// round trip reproduces the accumulator exactly — subsequent add() and
+  /// merge() calls are bit-identical to the original's.
+  struct State {
+    std::uint64_t n = 0;
+    double mean = 0.0;
+    double m2 = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+  State state() const;
+  static OnlineStats from_state(const State& s);
+
  private:
   std::size_t n_ = 0;
   double mean_ = 0.0;

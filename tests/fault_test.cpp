@@ -4,6 +4,8 @@
 // under every fault kind.
 #include <gtest/gtest.h>
 
+#include <map>
+#include <utility>
 #include <vector>
 
 #include "core/session.h"
@@ -231,7 +233,8 @@ TEST(FaultInjector, FetchFatesFollowProbabilities) {
   const int n = 4000;
   for (int i = 0; i < n; ++i) {
     sim::SimTime delay;
-    const auto fate = injector.fetch_attempt_fate(sim::SimTime::zero(), &delay);
+    const auto fate = injector.fetch_attempt_fate(sim::SimTime::zero(),
+                                                  static_cast<std::uint64_t>(i + 1), 1, &delay);
     if (fate == net::FetchFate::kFail) {
       ++fails;
       EXPECT_GT(delay, sim::SimTime::zero());
@@ -243,6 +246,46 @@ TEST(FaultInjector, FetchFatesFollowProbabilities) {
   EXPECT_NEAR(static_cast<double>(hangs) / n, 0.25, 0.05);
   EXPECT_EQ(injector.injected_fetch_failures(), static_cast<std::uint64_t>(fails));
   EXPECT_EQ(injector.injected_fetch_hangs(), static_cast<std::uint64_t>(hangs));
+}
+
+TEST(FaultInjector, FetchFatesAreOrderInvariant) {
+  // The fate of (fetch, attempt) must be a pure function of the ids: an
+  // injector queried in a completely different order — which is what a
+  // moved shard boundary amounts to — reports identical fates and delays.
+  FaultPlanConfig config;
+  config.fetch_failure_prob = 0.3;
+  config.fetch_hang_prob = 0.2;
+  const FaultPlan plan(config, sim::Rng(71), sim::SimTime::seconds(300));
+  FaultInjector forward(plan, sim::Rng(72));
+  FaultInjector backward(plan, sim::Rng(72));
+
+  using Key = std::pair<std::uint64_t, unsigned>;
+  std::map<Key, std::pair<net::FetchFate, sim::SimTime>> expected;
+  int fails = 0;
+  int hangs = 0;
+  for (std::uint64_t id = 1; id <= 40; ++id) {
+    for (unsigned attempt = 1; attempt <= 3; ++attempt) {
+      sim::SimTime delay;
+      const auto fate = forward.fetch_attempt_fate(sim::SimTime::zero(), id, attempt, &delay);
+      expected[{id, attempt}] = {fate, delay};
+      fails += fate == net::FetchFate::kFail;
+      hangs += fate == net::FetchFate::kHang;
+    }
+  }
+  ASSERT_GT(fails, 0);  // the invariance claim must cover nontrivial fates
+  ASSERT_GT(hangs, 0);
+
+  for (std::uint64_t id = 40; id >= 1; --id) {
+    for (unsigned attempt = 3; attempt >= 1; --attempt) {
+      sim::SimTime delay;
+      const auto fate = backward.fetch_attempt_fate(sim::SimTime::zero(), id, attempt, &delay);
+      const auto& [want_fate, want_delay] = expected[{id, attempt}];
+      EXPECT_EQ(fate, want_fate) << "fetch " << id << " attempt " << attempt;
+      EXPECT_EQ(delay, want_delay) << "fetch " << id << " attempt " << attempt;
+    }
+  }
+  EXPECT_EQ(backward.injected_fetch_failures(), forward.injected_fetch_failures());
+  EXPECT_EQ(backward.injected_fetch_hangs(), forward.injected_fetch_hangs());
 }
 
 TEST(FaultyBandwidth, AppliesOverlayWithoutTouchingBase) {

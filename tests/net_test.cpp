@@ -200,6 +200,75 @@ TEST_F(RadioTest, ResidencyAccounting) {
   EXPECT_GT(radio_.time_in(RadioState::kIdle), sim::SimTime::seconds(19));
 }
 
+TEST_F(RadioTest, ReacquireDuringTailCrNeverEntersDrx) {
+  // A fetch that lands inside the continuous-reception tail resumes from
+  // TAIL_CR: the DRX stage must never be entered, and the CR dwell is
+  // exactly the time spent waiting, not the full t_cr.
+  radio_.acquire(nullptr);
+  sim_.run();
+  radio_.release();
+  sim_.run_until(sim_.now() + sim::SimTime::millis(120));  // inside t_cr = 200 ms
+  ASSERT_EQ(radio_.state(), RadioState::kTailCr);
+  radio_.acquire(nullptr);
+  EXPECT_EQ(radio_.state(), RadioState::kActive);
+  sim_.run_until(sim_.now() + sim::SimTime::seconds(30));
+  EXPECT_EQ(radio_.time_in(RadioState::kTailCr), sim::SimTime::millis(120));
+  EXPECT_EQ(radio_.time_in(RadioState::kTailDrx), sim::SimTime::zero());
+  EXPECT_EQ(radio_.state(), RadioState::kActive);  // still held
+}
+
+TEST_F(RadioTest, ReacquireDuringDrxCutsTheDwellShort) {
+  radio_.acquire(nullptr);
+  sim_.run();
+  radio_.release();
+  sim_.run_until(sim_.now() + sim::SimTime::millis(200) + sim::SimTime::seconds(3));
+  ASSERT_EQ(radio_.state(), RadioState::kTailDrx);
+  radio_.acquire(nullptr);
+  radio_.release();
+  sim_.run();  // walk the restarted tail back to idle
+  ASSERT_EQ(radio_.state(), RadioState::kIdle);
+  // The interrupted DRX dwell (3 s) plus one full restarted dwell.
+  EXPECT_EQ(radio_.time_in(RadioState::kTailDrx),
+            sim::SimTime::seconds(3) + sim::SimTime::seconds_f(9.8));
+  // The tail restarts from the top: two full CR dwells.
+  EXPECT_EQ(radio_.time_in(RadioState::kTailCr), sim::SimTime::millis(200) * 2);
+  EXPECT_EQ(radio_.promotion_count(), 1u);  // never went through IDLE
+}
+
+TEST(RadioDwellTimes, FullCycleMatchesEveryProfileExactly) {
+  // One acquire/hold/release cycle per profile: each state's dwell must
+  // equal that profile's timer, exactly — these dwells are what make
+  // radio energy depend on fetch *timing*, so they are load-bearing for
+  // every energy number in the evaluation.
+  const std::pair<const char*, RadioParams> profiles[] = {
+      {"lte", RadioParams::lte()},
+      {"wifi", RadioParams::wifi()},
+      {"umts", RadioParams::umts_3g()},
+  };
+  for (const auto& [name, params] : profiles) {
+    SCOPED_TRACE(name);
+    sim::Simulator sim;
+    RadioModel radio(sim, params);
+    radio.acquire(nullptr);
+    sim.run();  // promotion completes
+    const sim::SimTime hold = sim::SimTime::seconds(1);
+    sim.run_until(sim.now() + hold);
+    radio.release();
+    sim.run();  // tail walks to idle
+    ASSERT_EQ(radio.state(), RadioState::kIdle);
+    EXPECT_EQ(radio.time_in(RadioState::kPromotion), params.promotion_delay);
+    EXPECT_EQ(radio.time_in(RadioState::kActive), hold);
+    EXPECT_EQ(radio.time_in(RadioState::kTailCr), params.tail_cr);
+    EXPECT_EQ(radio.time_in(RadioState::kTailDrx), params.tail_drx);
+    // And the residency-weighted energy follows from exactly those dwells.
+    const double expected_mj = params.promotion_delay.as_seconds_f() * params.promotion_mw +
+                               hold.as_seconds_f() * params.active_mw +
+                               params.tail_cr.as_seconds_f() * params.tail_cr_mw +
+                               params.tail_drx.as_seconds_f() * params.tail_drx_mw;
+    EXPECT_NEAR(radio.energy_mj(), expected_mj, 1e-6);
+  }
+}
+
 TEST(RadioParamsTest, WifiProfileIsCheaper) {
   const RadioParams lte = RadioParams::lte();
   const RadioParams wifi = RadioParams::wifi();
@@ -332,7 +401,8 @@ class ScriptedFaultHook final : public FetchFaultHook {
                     sim::SimTime fail_delay = sim::SimTime::millis(100))
       : fates_(std::move(fates)), fail_delay_(fail_delay) {}
 
-  FetchFate fetch_attempt_fate(sim::SimTime, sim::SimTime* fail_delay) override {
+  FetchFate fetch_attempt_fate(sim::SimTime, std::uint64_t, unsigned,
+                               sim::SimTime* fail_delay) override {
     const FetchFate fate = next_ < fates_.size() ? fates_[next_++] : FetchFate::kOk;
     if (fate == FetchFate::kFail && fail_delay != nullptr) *fail_delay = fail_delay_;
     return fate;
@@ -456,6 +526,37 @@ TEST_F(DownloaderTest, BackoffJitterStaysWithinBounds) {
     EXPECT_GE(backoff, sim::SimTime::millis(150));
     EXPECT_LE(backoff, sim::SimTime::millis(250));
   }
+}
+
+TEST_F(DownloaderTest, BackoffJitterIsKeyedPerFetchAttempt) {
+  // Regression for the fleet RNG-keying contract: a retry's backoff jitter
+  // is a pure function of (retry seed, fetch id, attempt). With the old
+  // sequential jitter stream, fetch 1's retry consumed a draw and shifted
+  // fetch 2's backoff; the two timelines below must now agree exactly.
+  DownloaderParams params;
+  params.backoff_base = sim::SimTime::millis(200);
+  params.backoff_jitter = 0.25;
+  const auto fetch2_duration = [&](std::vector<FetchFate> fates) {
+    sim::Simulator sim;
+    RadioModel radio(sim, RadioParams::lte());
+    ConstantBandwidth bw(8.0);
+    ScriptedFaultHook hook(std::move(fates), sim::SimTime::millis(100));
+    Downloader dl(sim, radio, bw, nullptr, params, &hook, /*retry_seed=*/77);
+    FetchResult second;
+    dl.fetch(500'000, [&](const FetchResult&) {
+      dl.fetch(500'000, [&](const FetchResult& r) { second = r; });
+    });
+    sim.run();
+    EXPECT_TRUE(second.ok);
+    EXPECT_EQ(second.attempts, 2u);
+    return second.completed - second.started;
+  };
+  // Run A: fetch 1 clean; fetch 2 fails once then succeeds.
+  const sim::SimTime a = fetch2_duration({FetchFate::kOk, FetchFate::kFail, FetchFate::kOk});
+  // Run B: fetch 1 retries once first; fetch 2's script is unchanged.
+  const sim::SimTime b =
+      fetch2_duration({FetchFate::kFail, FetchFate::kOk, FetchFate::kFail, FetchFate::kOk});
+  EXPECT_EQ(a, b);
 }
 
 TEST_F(DownloaderTest, ConcurrentFetchSurvivesPeerRetry) {

@@ -84,6 +84,77 @@ TEST_F(AbrTest, BolaIgnoresThroughputEstimate) {
   EXPECT_EQ(abr.choose(ctx(0.01, 8)), abr.choose(ctx(100.0, 8)));
 }
 
+// ---------------------------------------------- ladder-switch behaviour
+
+TEST_F(AbrTest, RateBasedSwitchesExactlyAtLadderBoundaries) {
+  // The up-switch point for rung i is bitrate_i / safety. Pinning both
+  // sides of every boundary pins the entire ladder-switch schedule — a
+  // change to rep_index_for_bitrate's tie handling or the safety margin
+  // shows up here, not as a silent QoE shift in the benches.
+  const double safety = 0.8;
+  RateBasedAbr abr(safety);
+  for (std::size_t i = 1; i < manifest_.representation_count(); ++i) {
+    const double boundary_mbps =
+        static_cast<double>(manifest_.representation(i).bitrate_kbps) / 1000.0 / safety;
+    EXPECT_EQ(abr.choose(ctx(boundary_mbps * 0.999, 10)), i - 1) << "rung " << i;
+    EXPECT_EQ(abr.choose(ctx(boundary_mbps * 1.001, 10)), i) << "rung " << i;
+  }
+}
+
+TEST_F(AbrTest, RateBasedHoldsItsRungAcrossInBandNoise) {
+  // Throughput noise that stays inside one rung's budget band must cause
+  // no ladder switch at all — the stability the smoothed estimate is
+  // supposed to buy. The 720p band is budget ∈ [2500, 5000) kbps, i.e.
+  // throughput ∈ [3.125, 6.25) Mbps at safety 0.8.
+  RateBasedAbr abr(0.8);
+  const std::size_t rung = abr.choose(ctx(4.0, 10));
+  ASSERT_EQ(rung, 2u);
+  for (double mbps = 3.2; mbps < 6.2; mbps += 0.05) {
+    EXPECT_EQ(abr.choose(ctx(mbps, 10)), rung) << mbps << " Mbps";
+  }
+}
+
+TEST_F(AbrTest, BufferBasedIsMonotoneAndStepsOneRungAtATime) {
+  BufferBasedAbr abr(sim::SimTime::seconds(5), sim::SimTime::seconds(15));
+  std::size_t prev = 0;
+  for (double level = 0.0; level <= 20.0; level += 0.05) {
+    const std::size_t rep = abr.choose(ctx(99, level));
+    EXPECT_GE(rep, prev) << "level " << level;
+    EXPECT_LE(rep - prev, 1u) << "level " << level;
+    prev = rep;
+  }
+  EXPECT_EQ(prev, 3u);
+}
+
+TEST_F(AbrTest, BufferBasedSwitchPointsAreTheBandMidpoints) {
+  // Linear map + nearest-rung rounding: the i-1 → i switch sits at
+  // reservoir + (i - 0.5) / (reps - 1) · (cushion - reservoir).
+  BufferBasedAbr abr(sim::SimTime::seconds(5), sim::SimTime::seconds(15));
+  const double reservoir = 5.0;
+  const double span = 10.0;
+  const auto reps = static_cast<double>(manifest_.representation_count());
+  for (std::size_t i = 1; i < manifest_.representation_count(); ++i) {
+    const double sw = reservoir + (static_cast<double>(i) - 0.5) / (reps - 1.0) * span;
+    EXPECT_EQ(abr.choose(ctx(99, sw - 0.01)), i - 1) << "switch " << i;
+    EXPECT_EQ(abr.choose(ctx(99, sw + 0.01)), i) << "switch " << i;
+  }
+}
+
+TEST_F(AbrTest, BolaHigherGammaIsMoreConservative) {
+  // γp weights the rebuffer-avoidance term: at every buffer level a
+  // larger γp must pick the same or a lower rung, never a higher one.
+  BolaAbr eager(sim::SimTime::seconds(12), /*gamma_p=*/0.5);
+  BolaAbr cautious(sim::SimTime::seconds(12), /*gamma_p=*/20.0);
+  bool strict_somewhere = false;
+  for (double level = 0.0; level <= 12.0; level += 0.25) {
+    const std::size_t hi = eager.choose(ctx(99, level));
+    const std::size_t lo = cautious.choose(ctx(99, level));
+    EXPECT_LE(lo, hi) << "level " << level;
+    strict_somewhere |= lo < hi;
+  }
+  EXPECT_TRUE(strict_somewhere);  // the knob actually does something
+}
+
 // ----------------------------------------------------------------- Player
 
 struct ObserverLog : PlayerObserver {
