@@ -79,6 +79,19 @@ int main(int argc, char** argv) {
       .axis("fault",
             {{"clean", [](core::SessionConfig&) {}},
              {"mild", [](core::SessionConfig& c) { c.fault = fault::FaultPlanConfig::mild(); }}});
+  // Device-population sweeps: every session draws its device from the mix
+  // by a pure hash of its seed, so the draw is identical across shard
+  // sizes, job counts and resumes. The mix id joins the scenario labels
+  // (and thereby the checkpoint fingerprint): a checkpoint from one mix
+  // cannot silently resume a run of another.
+  if (options.mix != "none") {
+    try {
+      grid.population(device::PopulationMix::named(options.mix));
+    } catch (const std::out_of_range& e) {
+      std::fprintf(stderr, "bench_fleet: %s\n", e.what());
+      return 2;
+    }
+  }
 
   const std::vector<exp::ScenarioSpec> scenarios = grid.scenarios();
 

@@ -118,15 +118,65 @@ SessionResult run_session(const SessionConfig& config, const SessionHooks& hooks
   sim::Rng master(config.seed);
   obs::Tracer* tracer = hooks.tracer;
 
-  cpu::CpuModel cpu_model(simulator, cpu::OppTable::mobile_big_core(),
-                          cpu::CpuPowerModel(config.power), config.cpu_transition_latency);
+  // Resolve the device. A population draw (pure hash of the seed) wins,
+  // then an explicit named profile; a legacy() profile means the scalar
+  // SessionConfig device fields are authoritative, and the cluster list
+  // below reproduces the pre-profile device from them byte-for-byte.
+  const device::DeviceProfile* prof = nullptr;
+  if (!config.population.empty()) {
+    prof = &config.population.pick(config.seed);
+  } else if (!config.profile.legacy()) {
+    prof = &config.profile;
+  }
+
+  std::vector<device::ClusterSpec> specs;
+  double display_mw = config.display_mw;
+  net::RadioParams radio_params = config.radio;
+  thermal::ThermalParams thermal_params = config.thermal;
+  cpu::CpuidleStrategy cpuidle_strategy = config.cpuidle;
+  cpu::CpuidleParams cpuidle_params = config.cpuidle_params;
+  std::string device_name;
+  if (prof != nullptr) {
+    device_name = prof->name;
+    specs = prof->clusters;
+    if (specs.empty()) {
+      throw SessionError("device profile '" + prof->name + "' has no clusters");
+    }
+    display_mw = prof->display_mw;
+    radio_params = prof->radio;
+    thermal_params = prof->thermal;
+    cpuidle_strategy = prof->cpuidle;
+    cpuidle_params = prof->cpuidle_params;
+  } else {
+    specs.push_back(device::ClusterSpec{"big", cpu::OppTable::mobile_big_core(), config.power,
+                                        1.0, config.cpu_transition_latency});
+    if (config.big_little) {
+      specs.push_back(device::ClusterSpec{"little", cpu::OppTable::mobile_little_core(),
+                                          cpu::PowerModelParams::little_core(),
+                                          config.little_cycle_penalty,
+                                          config.cpu_transition_latency});
+    }
+  }
+
+  // One CpuModel (+ optional cpuidle) per cluster. The primary cluster is
+  // fully brought up (model, policy, power probe, sysfs binder) before any
+  // secondary cluster is touched — the governor-timer event order in the
+  // queue depends on it, and the single-/two-cluster legacy paths must
+  // replay the pre-profile construction sequence exactly.
+  std::vector<std::unique_ptr<cpu::CpuModel>> cpus;
+  std::vector<std::unique_ptr<cpu::CpuidleModel>> cpuidles;
+  std::vector<std::unique_ptr<cpu::CpufreqPolicy>> policies;
+
+  cpus.push_back(std::make_unique<cpu::CpuModel>(simulator, specs[0].opps,
+                                                 cpu::CpuPowerModel(specs[0].power),
+                                                 specs[0].transition_latency));
+  cpu::CpuModel& cpu_model = *cpus[0];
 
   // kShallowOnly with the default WFI power is exactly the base model's
   // flat idle pricing; attach a cpuidle model only for deeper strategies.
-  std::unique_ptr<cpu::CpuidleModel> cpuidle;
-  if (config.cpuidle != cpu::CpuidleStrategy::kShallowOnly) {
-    cpuidle = std::make_unique<cpu::CpuidleModel>(config.cpuidle_params, config.cpuidle);
-    cpu_model.set_cpuidle(cpuidle.get());
+  if (cpuidle_strategy != cpu::CpuidleStrategy::kShallowOnly) {
+    cpuidles.push_back(std::make_unique<cpu::CpuidleModel>(cpuidle_params, cpuidle_strategy));
+    cpu_model.set_cpuidle(cpuidles.back().get());
   }
 
   cpu::GovernorRegistry registry;
@@ -138,8 +188,9 @@ SessionResult run_session(const SessionConfig& config, const SessionHooks& hooks
   const bool use_vafs = config.governor == "vafs" || use_oracle;
   // VAFS boots on a stock governor and takes over through sysfs, exactly
   // as a userspace daemon on a device would.
-  cpu::CpufreqPolicy policy(simulator, cpu_model, registry,
-                            use_vafs ? "ondemand" : config.governor);
+  policies.push_back(std::make_unique<cpu::CpufreqPolicy>(
+      simulator, cpu_model, registry, use_vafs ? "ondemand" : config.governor));
+  cpu::CpufreqPolicy& policy = *policies[0];
   policy.set_tracer(tracer);
 
   // Frequency series + change events, and mean CPU power per constant-
@@ -184,40 +235,45 @@ SessionResult run_session(const SessionConfig& config, const SessionHooks& hooks
   }
 
   sysfs::Tree tree;
-  cpu::CpufreqSysfs binder(tree, policy, 0);
+  std::vector<std::unique_ptr<cpu::CpufreqSysfs>> binders;
+  binders.push_back(std::make_unique<cpu::CpufreqSysfs>(tree, policy, 0));
+  cpu::CpufreqSysfs& binder = *binders[0];
 
-  // Optional LITTLE cluster (policy1) and the task router.
-  std::unique_ptr<cpu::CpuModel> little_model;
-  std::unique_ptr<cpu::CpuidleModel> little_cpuidle;
-  std::unique_ptr<cpu::CpufreqPolicy> little_policy;
-  std::unique_ptr<cpu::CpufreqSysfs> little_binder;
+  // Secondary clusters (policy1..policyN-1) and the task router.
   std::unique_ptr<sched::ClusterRouter> router;
   cpu::CpuSink* sink = &cpu_model;
-  if (config.big_little) {
-    little_model = std::make_unique<cpu::CpuModel>(
-        simulator, cpu::OppTable::mobile_little_core(),
-        cpu::CpuPowerModel(cpu::PowerModelParams::little_core()), config.cpu_transition_latency);
-    if (config.cpuidle != cpu::CpuidleStrategy::kShallowOnly) {
-      little_cpuidle = std::make_unique<cpu::CpuidleModel>(config.cpuidle_params, config.cpuidle);
-      little_model->set_cpuidle(little_cpuidle.get());
+  for (std::size_t i = 1; i < specs.size(); ++i) {
+    cpus.push_back(std::make_unique<cpu::CpuModel>(simulator, specs[i].opps,
+                                                   cpu::CpuPowerModel(specs[i].power),
+                                                   specs[i].transition_latency));
+    cpu::CpuModel& model = *cpus[i];
+    if (cpuidle_strategy != cpu::CpuidleStrategy::kShallowOnly) {
+      cpuidles.push_back(std::make_unique<cpu::CpuidleModel>(cpuidle_params, cpuidle_strategy));
+      model.set_cpuidle(cpuidles.back().get());
     }
-    little_policy = std::make_unique<cpu::CpufreqPolicy>(simulator, *little_model, registry,
-                                                         use_vafs ? "ondemand" : config.governor);
-    little_policy->set_tracer(tracer);
+    policies.push_back(std::make_unique<cpu::CpufreqPolicy>(
+        simulator, model, registry, use_vafs ? "ondemand" : config.governor));
+    policies[i]->set_tracer(tracer);
     if (tracer != nullptr) {
       sim::Simulator* sim = &simulator;
-      little_model->add_freq_listener([sim, tracer](std::uint32_t old_khz,
-                                                    std::uint32_t new_khz) {
-        tracer->record(sim->now(), obs::EventKind::kFreqChange, old_khz, new_khz, 1);
+      model.add_freq_listener([sim, tracer, i](std::uint32_t old_khz, std::uint32_t new_khz) {
+        tracer->record(sim->now(), obs::EventKind::kFreqChange, old_khz, new_khz, i);
       });
     }
-    little_binder = std::make_unique<cpu::CpufreqSysfs>(tree, *little_policy, 1);
-    router = std::make_unique<sched::ClusterRouter>(cpu_model, *little_model,
-                                                    config.little_cycle_penalty);
+    binders.push_back(std::make_unique<cpu::CpufreqSysfs>(tree, *policies[i],
+                                                          static_cast<int>(i)));
+  }
+  if (specs.size() > 1) {
+    std::vector<sched::ClusterRouter::ClusterRef> refs;
+    refs.reserve(specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      refs.push_back(sched::ClusterRouter::ClusterRef{cpus[i].get(), specs[i].cycle_penalty});
+    }
+    router = std::make_unique<sched::ClusterRouter>(std::move(refs));
     sink = router.get();
   }
 
-  net::RadioModel radio(simulator, config.radio);
+  net::RadioModel radio(simulator, radio_params);
   auto bandwidth = make_bandwidth(config, master.fork(1));
 
   video::Manifest manifest =
@@ -325,7 +381,11 @@ SessionResult run_session(const SessionConfig& config, const SessionHooks& hooks
     vafs_controller = std::make_unique<VafsController>(simulator, tree, binder.dir(), player,
                                                        vafs_config);
     vafs_controller->set_tracer(tracer);  // before attach: traces boot-time fallback
-    if (router) vafs_controller->enable_big_little(little_binder->dir(), router.get());
+    if (router) {
+      std::vector<std::string> extra_dirs;
+      for (std::size_t i = 1; i < binders.size(); ++i) extra_dirs.push_back(binders[i]->dir());
+      vafs_controller->enable_clusters(std::move(extra_dirs), router.get());
+    }
     if (!vafs_controller->attach()) {
       throw SessionError("VAFS failed to attach through sysfs (userspace governor rejected)");
     }
@@ -334,14 +394,16 @@ SessionResult run_session(const SessionConfig& config, const SessionHooks& hooks
   std::unique_ptr<thermal::ThermalModel> thermal_model;
   std::unique_ptr<thermal::ThermalThrottle> throttle;
   if (config.thermal_enabled) {
-    thermal_model = std::make_unique<thermal::ThermalModel>(simulator, cpu_model, config.thermal);
+    // The sensor sits on the primary cluster — the hottest die area — and
+    // the throttle acts on its policy, as vendor thermal drivers do.
+    thermal_model = std::make_unique<thermal::ThermalModel>(simulator, cpu_model, thermal_params);
     throttle = std::make_unique<thermal::ThermalThrottle>(*thermal_model, policy,
                                                           config.throttle);
   }
 
-  std::vector<cpu::CpuModel*> metered_cpus{&cpu_model};
-  if (little_model) metered_cpus.push_back(little_model.get());
-  energy::DeviceEnergyMeter meter(simulator, metered_cpus, radio, config.display_mw);
+  std::vector<cpu::CpuModel*> metered_cpus;
+  for (const auto& c : cpus) metered_cpus.push_back(c.get());
+  energy::DeviceEnergyMeter meter(simulator, metered_cpus, radio, display_mw);
 
   if (hooks.on_ready) {
     SessionLive live;
@@ -354,8 +416,10 @@ SessionResult run_session(const SessionConfig& config, const SessionHooks& hooks
     live.vafs = vafs_controller.get();
     live.faults = injector.get();
     live.thermal = thermal_model.get();
-    live.cpu_little = little_model.get();
+    live.cpu_little = cpus.size() > 1 ? cpus[1].get() : nullptr;
     live.router = router.get();
+    for (const auto& c : cpus) live.cpus.push_back(c.get());
+    for (const auto& p : policies) live.policies.push_back(p.get());
     hooks.on_ready(live);
   }
 
@@ -426,11 +490,34 @@ SessionResult run_session(const SessionConfig& config, const SessionHooks& hooks
     result.throttle_events = throttle->throttle_events();
   }
   if (router) {
-    result.cpu_little_mj = little_model->energy_mj();
-    result.freq_transitions_little = little_model->transition_count();
+    for (std::size_t i = 1; i < cpus.size(); ++i) {
+      result.cpu_little_mj += cpus[i]->energy_mj();
+      result.freq_transitions_little += cpus[i]->transition_count();
+    }
     result.decode_frames_big = router->decode_tasks_on_big();
     result.decode_frames_little = router->decode_tasks_on_little();
     result.decode_migrations = router->migrations();
+  }
+  result.device = device_name;
+  for (std::size_t i = 0; i < cpus.size(); ++i) {
+    SessionResult::ClusterReport report;
+    report.name = specs[i].name;
+    report.cpu_mj = cpus[i]->energy_mj();
+    report.freq_transitions = cpus[i]->transition_count();
+    report.busy_fraction =
+        result.wall > sim::SimTime::zero()
+            ? cpus[i]->total_busy_time().as_seconds_f() / result.wall.as_seconds_f()
+            : 0.0;
+    const auto& cluster_opps = cpus[i]->opps();
+    for (std::size_t j = 0; j < cluster_opps.size(); ++j) {
+      const double frac = result.wall > sim::SimTime::zero()
+                              ? cpus[i]->time_in_state(j).as_seconds_f() /
+                                    result.wall.as_seconds_f()
+                              : 0.0;
+      report.residency.emplace_back(cluster_opps.at(j).freq_khz, frac);
+    }
+    if (router) report.decode_frames = router->decode_tasks_on(i);
+    result.clusters.push_back(std::move(report));
   }
   if (tracer != nullptr) {
     result.trace_digest = tracer->digest();

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/vafs_controller.h"
+#include "device/profile.h"
 #include "fault/plan.h"
 #include "cpu/cpu_model.h"
 #include "cpu/cpufreq_policy.h"
@@ -80,7 +81,20 @@ struct SessionConfig {
   // it). The plan is compiled once, per-seed, before the session starts.
   fault::FaultPlanConfig fault;
 
-  // Device.
+  // Device. A named profile (device::profile("flagship"), ...) is the
+  // authoritative device description: cluster topology AND the
+  // device-level fields (display, radio, thermal params, cpuidle). The
+  // default-constructed profile (legacy(), no clusters) keeps the scalar
+  // fields below authoritative — byte-identical to the pre-profile
+  // bring-up, so every existing knob still works.
+  device::DeviceProfile profile;
+  // Weighted device population: when non-empty it overrides `profile`
+  // with a per-seed draw (a pure hash of `seed`, so fleet shard
+  // boundaries, job counts and resume points cannot move a session onto
+  // a different device).
+  device::PopulationMix population;
+
+  // Legacy scalar device fields (used when profile.legacy()).
   cpu::PowerModelParams power;
   double display_mw = 450.0;
   sim::SimTime cpu_transition_latency = sim::SimTime::micros(150);
@@ -94,9 +108,11 @@ struct SessionConfig {
   cpu::CpuidleStrategy cpuidle = cpu::CpuidleStrategy::kShallowOnly;
   cpu::CpuidleParams cpuidle_params = cpu::CpuidleParams::mobile();
 
-  // big.LITTLE (F13): adds a LITTLE cluster with its own policy (policy1);
-  // network work runs there, decode is placed by the router (statically on
-  // big for kernel governors, dynamically by VAFS).
+  // big.LITTLE (F13) compat shim over the profile layer: adds a LITTLE
+  // cluster with its own policy (policy1); network work runs there, decode
+  // is placed by the router (statically on big for kernel governors,
+  // dynamically by VAFS). Ignored when a named profile / population is
+  // set — the profile's cluster list is the topology then.
   bool big_little = false;
   double little_cycle_penalty = 1.7;
 
@@ -148,13 +164,35 @@ struct SessionResult {
   sim::SimTime throttled_time;
   std::uint64_t throttle_events = 0;
 
-  // big.LITTLE (zeroed unless enabled). cpu_mj in `energy` covers both
-  // clusters; this is the LITTLE share. `residency` stays big-cluster.
+  // Flattened multi-cluster view (zeroed for single-cluster sessions).
+  // cpu_mj in `energy` covers every cluster; cpu_little_mj is the share of
+  // all non-primary clusters, the *_little/_big pair splits decode frames
+  // primary vs rest. `residency`/`freq_transitions` above stay primary-
+  // cluster, exactly as in the big.LITTLE era; `clusters` below has the
+  // full per-cluster story.
   double cpu_little_mj = 0.0;
   std::uint64_t freq_transitions_little = 0;
   std::uint64_t decode_frames_big = 0;
   std::uint64_t decode_frames_little = 0;
   std::uint64_t decode_migrations = 0;
+
+  /// Resolved device profile name ("" when the legacy scalar fields built
+  /// the device) — fleet/population sweeps report per-class splits by it.
+  std::string device;
+
+  /// Per-cluster report, in cluster (policy) order. Single-cluster legacy
+  /// sessions get one entry named "big".
+  struct ClusterReport {
+    std::string name;
+    double cpu_mj = 0.0;
+    std::uint64_t freq_transitions = 0;
+    /// (freq_khz, fraction of wall time programmed at it), ascending.
+    std::vector<std::pair<std::uint32_t, double>> residency;
+    double busy_fraction = 0.0;
+    /// Decode tasks run here (0 everywhere for router-less sessions).
+    std::uint64_t decode_frames = 0;
+  };
+  std::vector<ClusterReport> clusters;
 
   // Observability (zeroed unless a tracer was attached via SessionHooks).
   // The digest is a canonical fingerprint of the session's full event
@@ -167,16 +205,18 @@ struct SessionResult {
 /// the session starts (used by the timeline bench and the examples).
 struct SessionLive {
   sim::Simulator* sim = nullptr;
-  cpu::CpuModel* cpu = nullptr;
-  cpu::CpufreqPolicy* policy = nullptr;
+  cpu::CpuModel* cpu = nullptr;              // primary cluster (== cpus[0])
+  cpu::CpufreqPolicy* policy = nullptr;      // primary policy (== policies[0])
   sysfs::Tree* tree = nullptr;
   net::RadioModel* radio = nullptr;
   stream::Player* player = nullptr;
   VafsController* vafs = nullptr;            // null unless governor == "vafs"
   fault::FaultInjector* faults = nullptr;    // null unless config.fault.any()
   thermal::ThermalModel* thermal = nullptr;  // null unless thermal_enabled
-  cpu::CpuModel* cpu_little = nullptr;       // null unless big_little
-  sched::ClusterRouter* router = nullptr;    // null unless big_little
+  cpu::CpuModel* cpu_little = nullptr;       // cpus[1] on >=2 clusters, else null
+  sched::ClusterRouter* router = nullptr;    // null on single-cluster devices
+  std::vector<cpu::CpuModel*> cpus;          // all clusters, policy order
+  std::vector<cpu::CpufreqPolicy*> policies;
 };
 
 struct SessionHooks {

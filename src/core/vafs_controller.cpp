@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <numeric>
 
 #include "obs/trace.h"
 
@@ -40,12 +41,24 @@ VafsController::VafsController(sim::Simulator& simulator, sysfs::Tree& tree,
   player_.add_observer(this);
 }
 
+void VafsController::enable_clusters(std::vector<std::string> extra_policy_dirs,
+                                     sched::ClusterRouter* router) {
+  assert(!attached_ && "enable_clusters must precede attach()");
+  assert(router != nullptr);
+  assert(extra_policy_dirs.size() + 1 == router->cluster_count() &&
+         "one policy dir per non-primary router cluster, in router order");
+  router_ = router;
+  extra_.clear();
+  for (auto& dir : extra_policy_dirs) {
+    ExtraCluster c;
+    c.dir = std::move(dir);
+    extra_.push_back(std::move(c));
+  }
+}
+
 void VafsController::enable_big_little(std::string little_policy_dir,
                                        sched::ClusterRouter* router) {
-  assert(!attached_ && "enable_big_little must precede attach()");
-  assert(router != nullptr);
-  little_dir_ = std::move(little_policy_dir);
-  router_ = router;
+  enable_clusters({std::move(little_policy_dir)}, router);
 }
 
 bool VafsController::attach() {
@@ -54,12 +67,12 @@ bool VafsController::attach() {
   available_khz_ = parse_freq_list(avail.value());
   if (available_khz_.empty()) return false;
 
-  if (router_ != nullptr) {
-    const auto little_avail = tree_.read(little_dir_ + "/scaling_available_frequencies");
-    if (!little_avail.ok()) return false;
-    little_available_khz_ = parse_freq_list(little_avail.value());
-    if (little_available_khz_.empty()) return false;
-    if (!tree_.write(little_dir_ + "/scaling_governor", "userspace").ok()) return false;
+  for (ExtraCluster& c : extra_) {
+    const auto extra_avail = tree_.read(c.dir + "/scaling_available_frequencies");
+    if (!extra_avail.ok()) return false;
+    c.available_khz = parse_freq_list(extra_avail.value());
+    if (c.available_khz.empty()) return false;
+    if (!tree_.write(c.dir + "/scaling_governor", "userspace").ok()) return false;
   }
 
   if (!tree_.write(dir_ + "/scaling_governor", "userspace").ok()) {
@@ -68,7 +81,7 @@ bool VafsController::attach() {
       // takeover once the actuation channel recovers.
       attached_ = true;
       last_written_khz_ = 0;
-      last_written_little_khz_ = 0;
+      for (ExtraCluster& c : extra_) c.last_written_khz = 0;
       enter_fallback(2);
       return true;
     }
@@ -76,7 +89,7 @@ bool VafsController::attach() {
   }
   attached_ = true;
   last_written_khz_ = 0;
-  last_written_little_khz_ = 0;
+  for (ExtraCluster& c : extra_) c.last_written_khz = 0;
   plan_now();
   return true;
 }
@@ -91,7 +104,7 @@ void VafsController::detach(std::string_view restore_governor) {
     if (tracer_ != nullptr) tracer_->record(sim_.now(), obs::EventKind::kFallbackEnd);
   }
   tree_.write(dir_ + "/scaling_governor", restore_governor);
-  if (router_ != nullptr) tree_.write(little_dir_ + "/scaling_governor", restore_governor);
+  for (const ExtraCluster& c : extra_) tree_.write(c.dir + "/scaling_governor", restore_governor);
 }
 
 double VafsController::decode_demand_hz() const {
@@ -207,7 +220,7 @@ void VafsController::plan_now() {
   }
 
   if (router_ != nullptr) {
-    plan_big_little(margin, boosted);
+    plan_clusters(margin, boosted);
   } else {
     plan_single_cluster(margin, boosted);
   }
@@ -234,77 +247,99 @@ void VafsController::plan_single_cluster(double margin, bool boosted) {
   write_setspeed(snap_to_available(required_khz, boosted));
 }
 
-void VafsController::plan_big_little(double margin, bool boosted) {
+void VafsController::plan_clusters(double margin, bool boosted) {
   const auto state = player_.state();
-  const double penalty = router_->little_cycle_penalty();
   const double decode_hz = decode_demand_hz();
-  // Network and audio work always run on LITTLE (demand in LITTLE cycles).
-  const double download_little_khz =
-      (download_demand_hz() + audio_demand_hz()) * penalty * (1.0 + margin) / 1000.0;
+  const std::size_t n = router_->cluster_count();
+  const std::size_t primary = router_->primary_cluster();
+  const std::size_t net_c = router_->network_cluster();
+
+  // Network and audio work always run on the network cluster (demand in
+  // that cluster's own cycles).
+  const double net_khz = (download_demand_hz() + audio_demand_hz()) *
+                         router_->cycle_penalty(net_c) * (1.0 + margin) / 1000.0;
 
   if (decode_hz < 0 && state != stream::PlayerState::kFinished) {
-    // Cold start: keep decode on big at the conservative floor.
-    router_->set_decode_cluster(sched::Cluster::kBig);
-    write_setspeed(snap_to_available(
-        config_.cold_start_fraction * static_cast<double>(available_khz_.back()), boosted));
-    write_little_setspeed(snap(little_available_khz_, download_little_khz, false));
+    // Cold start: keep decode on the primary cluster at the conservative
+    // floor; everything else parks (the network cluster at its demand).
+    router_->set_decode_cluster(primary);
+    for (std::size_t c = 0; c < n; ++c) {
+      const auto& table = available(c);
+      if (c == primary) {
+        write_cluster_setspeed(
+            c, snap(table, config_.cold_start_fraction * static_cast<double>(table.back()),
+                    boosted));
+      } else if (c == net_c) {
+        write_cluster_setspeed(c, snap(table, net_khz, false));
+      } else {
+        write_cluster_setspeed(c, table.front());
+      }
+    }
     return;
   }
 
-  const double decode_big_khz = std::max(0.0, decode_hz) * (1.0 + margin) / 1000.0;
-  const double decode_little_khz = std::max(0.0, decode_hz) * penalty * (1.0 + margin) / 1000.0;
+  // Decode goes to the least capable cluster that fits it: walk the
+  // non-primary clusters in ascending capacity order and take the first
+  // whose IPC-inflated decode demand — plus the network stack's, when
+  // they share the cluster — sits under its top OPP (one step of headroom
+  // when boosted). The primary cluster is the fallback.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [this](std::size_t a, std::size_t b) {
+    return router_->capacity_khz(a) < router_->capacity_khz(b);
+  });
 
-  // Decode fits on LITTLE if its IPC-inflated demand plus the network
-  // stack still sits under the top LITTLE OPP (one step of headroom when
-  // boosted).
-  const double little_total = decode_little_khz + download_little_khz;
-  const double little_cap = static_cast<double>(
-      boosted && little_available_khz_.size() >= 2
-          ? little_available_khz_[little_available_khz_.size() - 2]
-          : little_available_khz_.back());
+  std::size_t chosen = primary;
+  for (const std::size_t c : order) {
+    if (c == primary) continue;
+    const double decode_khz =
+        std::max(0.0, decode_hz) * router_->cycle_penalty(c) * (1.0 + margin) / 1000.0;
+    const double total = decode_khz + (c == net_c ? net_khz : 0.0);
+    const auto& table = available(c);
+    const double cap = static_cast<double>(
+        boosted && table.size() >= 2 ? table[table.size() - 2] : table.back());
+    if (total <= cap) {
+      chosen = c;
+      break;
+    }
+  }
 
-  if (little_total <= little_cap) {
-    router_->set_decode_cluster(sched::Cluster::kLittle);
-    write_setspeed(available_khz_.front());  // big cluster parks at min
-    write_little_setspeed(snap(little_available_khz_, little_total, boosted));
-  } else {
-    router_->set_decode_cluster(sched::Cluster::kBig);
-    write_setspeed(snap_to_available(decode_big_khz, boosted));
-    write_little_setspeed(snap(little_available_khz_, download_little_khz, false));
+  router_->set_decode_cluster(chosen);
+  for (std::size_t c = 0; c < n; ++c) {
+    const auto& table = available(c);
+    std::uint32_t khz;
+    if (c == chosen) {
+      double demand_khz =
+          std::max(0.0, decode_hz) * router_->cycle_penalty(c) * (1.0 + margin) / 1000.0;
+      if (c == net_c) demand_khz += net_khz;
+      khz = snap(table, demand_khz, boosted);
+    } else if (c == net_c) {
+      khz = snap(table, net_khz, false);
+    } else {
+      khz = table.front();  // idle clusters park at min
+    }
+    write_cluster_setspeed(c, khz);
   }
 }
 
-void VafsController::write_setspeed(std::uint32_t khz) {
-  if (khz == last_written_khz_) return;
-  const auto status = tree_.write(dir_ + "/scaling_setspeed", std::to_string(khz));
+void VafsController::write_cluster_setspeed(std::size_t cluster, std::uint32_t khz) {
+  std::uint32_t& last =
+      cluster == 0 ? last_written_khz_ : extra_[cluster - 1].last_written_khz;
+  const std::string& dir = cluster == 0 ? dir_ : extra_[cluster - 1].dir;
+  if (khz == last) return;
+  const auto status = tree_.write(dir + "/scaling_setspeed", std::to_string(khz));
   if (tracer_ != nullptr) {
     tracer_->record(sim_.now(), obs::EventKind::kSetspeedWrite, khz,
-                    static_cast<std::uint64_t>(status.error()), 0);
+                    static_cast<std::uint64_t>(status.error()), cluster);
   }
   if (!status.ok()) {
-    // Keep last_written_khz_ unchanged so the next plan retries the write
-    // (the dedup short-circuit would otherwise swallow it).
+    // Keep the last-written record unchanged so the next plan retries the
+    // write (the dedup short-circuit would otherwise swallow it).
     note_write_failure();
     return;
   }
   consecutive_write_errors_ = 0;
-  last_written_khz_ = khz;
-  ++writes_;
-}
-
-void VafsController::write_little_setspeed(std::uint32_t khz) {
-  if (khz == last_written_little_khz_) return;
-  const auto status = tree_.write(little_dir_ + "/scaling_setspeed", std::to_string(khz));
-  if (tracer_ != nullptr) {
-    tracer_->record(sim_.now(), obs::EventKind::kSetspeedWrite, khz,
-                    static_cast<std::uint64_t>(status.error()), 1);
-  }
-  if (!status.ok()) {
-    note_write_failure();
-    return;
-  }
-  consecutive_write_errors_ = 0;
-  last_written_little_khz_ = khz;
+  last = khz;
   ++writes_;
 }
 
@@ -344,7 +379,9 @@ void VafsController::enter_fallback(std::uint64_t cause) {
   }
   if (wd.mode == VafsWatchdogConfig::Mode::kRestoreGovernor) {
     tree_.write(dir_ + "/scaling_governor", wd.fallback_governor);
-    if (router_ != nullptr) tree_.write(little_dir_ + "/scaling_governor", wd.fallback_governor);
+    for (const ExtraCluster& c : extra_) {
+      tree_.write(c.dir + "/scaling_governor", wd.fallback_governor);
+    }
   } else if (!available_khz_.empty()) {
     // Pin fmax; best-effort — the actuation channel may be the very thing
     // that is broken, in which case the CPU rides at its last frequency
@@ -352,11 +389,12 @@ void VafsController::enter_fallback(std::uint64_t cause) {
     if (tree_.write(dir_ + "/scaling_setspeed", std::to_string(available_khz_.back())).ok()) {
       last_written_khz_ = available_khz_.back();
     }
-    if (router_ != nullptr && !little_available_khz_.empty() &&
-        tree_.write(little_dir_ + "/scaling_setspeed",
-                    std::to_string(little_available_khz_.back()))
-            .ok()) {
-      last_written_little_khz_ = little_available_khz_.back();
+    for (ExtraCluster& c : extra_) {
+      if (!c.available_khz.empty() &&
+          tree_.write(c.dir + "/scaling_setspeed", std::to_string(c.available_khz.back()))
+              .ok()) {
+        c.last_written_khz = c.available_khz.back();
+      }
     }
   }
   reengage_event_.cancel();
@@ -372,10 +410,11 @@ void VafsController::try_reengage() {
     return;
   }
   if (wd.mode == VafsWatchdogConfig::Mode::kRestoreGovernor) {
-    const bool big_ok = tree_.write(dir_ + "/scaling_governor", "userspace").ok();
-    const bool little_ok =
-        router_ == nullptr || tree_.write(little_dir_ + "/scaling_governor", "userspace").ok();
-    if (!big_ok || !little_ok) {
+    bool all_ok = tree_.write(dir_ + "/scaling_governor", "userspace").ok();
+    for (const ExtraCluster& c : extra_) {
+      all_ok = tree_.write(c.dir + "/scaling_governor", "userspace").ok() && all_ok;
+    }
+    if (!all_ok) {
       reengage_event_ = sim_.after(wd.hysteresis, [this] { try_reengage(); });
       return;
     }
@@ -389,7 +428,7 @@ void VafsController::try_reengage() {
   // The governor switch reset the frequency out from under us: force the
   // next plan to rewrite whatever it targets.
   last_written_khz_ = 0;
-  last_written_little_khz_ = 0;
+  for (ExtraCluster& c : extra_) c.last_written_khz = 0;
   plan_now();
 }
 

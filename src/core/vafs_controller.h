@@ -132,11 +132,16 @@ class VafsController final : public stream::PlayerObserver {
   VafsController(const VafsController&) = delete;
   VafsController& operator=(const VafsController&) = delete;
 
-  /// big.LITTLE mode: also control the LITTLE cluster's policy (at
-  /// `little_policy_dir`) and place decode via `router`. Call before
-  /// attach(). Planning then chooses the decode cluster each re-plan:
-  /// LITTLE when predicted demand (inflated by the router's IPC penalty)
-  /// fits under its top OPP with margin, big otherwise.
+  /// Multi-cluster mode: also control the policies of clusters 1..N-1 (at
+  /// `extra_policy_dirs`, one per non-primary router cluster, in router
+  /// index order) and place decode via `router`. Call before attach().
+  /// Planning then chooses the decode cluster each re-plan: the least
+  /// capable cluster whose IPC-inflated demand (plus the network stack's,
+  /// when they share a cluster) fits under its top OPP with margin, the
+  /// primary cluster otherwise.
+  void enable_clusters(std::vector<std::string> extra_policy_dirs, sched::ClusterRouter* router);
+
+  /// Two-cluster convenience, preserved from the big.LITTLE-only era.
   void enable_big_little(std::string little_policy_dir, sched::ClusterRouter* router);
 
   /// Switches the policy to the userspace governor (via sysfs) and writes
@@ -179,7 +184,15 @@ class VafsController final : public stream::PlayerObserver {
   double decode_mape() const;
   const VafsConfig& config() const { return config_; }
   bool big_little() const { return router_ != nullptr; }
-  std::uint32_t last_planned_little_khz() const { return last_written_little_khz_; }
+  /// Clusters under control: 1 single-cluster, router cluster count otherwise.
+  std::size_t cluster_count() const { return extra_.size() + 1; }
+  /// Last frequency written to cluster `c`'s policy (0 before any write).
+  std::uint32_t last_planned_khz(std::size_t c) const {
+    return c == 0 ? last_written_khz_ : extra_[c - 1].last_written_khz;
+  }
+  std::uint32_t last_planned_little_khz() const {
+    return extra_.empty() ? 0 : extra_[0].last_written_khz;
+  }
 
   // ---- PlayerObserver ----
 
@@ -200,10 +213,13 @@ class VafsController final : public stream::PlayerObserver {
   static std::uint32_t snap(const std::vector<std::uint32_t>& table, double required_khz,
                             bool boosted);
   std::uint32_t snap_to_available(double required_khz, bool boosted) const;
-  void write_setspeed(std::uint32_t khz);
-  void write_little_setspeed(std::uint32_t khz);
+  const std::vector<std::uint32_t>& available(std::size_t cluster) const {
+    return cluster == 0 ? available_khz_ : extra_[cluster - 1].available_khz;
+  }
+  void write_setspeed(std::uint32_t khz) { write_cluster_setspeed(0, khz); }
+  void write_cluster_setspeed(std::size_t cluster, std::uint32_t khz);
   void plan_single_cluster(double margin, bool boosted);
-  void plan_big_little(double margin, bool boosted);
+  void plan_clusters(double margin, bool boosted);
   void note_write_failure();
   void note_deadline_miss();
   /// `cause`: 0 = consecutive write errors, 1 = deadline misses, 2 = the
@@ -218,11 +234,15 @@ class VafsController final : public stream::PlayerObserver {
   VafsConfig config_;
   obs::Tracer* tracer_ = nullptr;
 
-  // big.LITTLE mode (null/empty when single-cluster).
-  std::string little_dir_;
+  // Multi-cluster mode (null/empty when single-cluster). extra_[i] is
+  // router cluster i+1; cluster 0 is the controller's own policy_dir.
+  struct ExtraCluster {
+    std::string dir;
+    std::vector<std::uint32_t> available_khz;  // parsed from sysfs, ascending
+    std::uint32_t last_written_khz = 0;
+  };
   sched::ClusterRouter* router_ = nullptr;
-  std::vector<std::uint32_t> little_available_khz_;
-  std::uint32_t last_written_little_khz_ = 0;
+  std::vector<ExtraCluster> extra_;
 
   bool attached_ = false;
   bool downloading_ = false;

@@ -27,6 +27,23 @@ ExperimentGrid& ExperimentGrid::governors(const std::vector<std::string>& names)
   return axis("governor", std::move(values));
 }
 
+ExperimentGrid& ExperimentGrid::devices(const std::vector<std::string>& names) {
+  std::vector<std::pair<std::string, Mutator>> values;
+  values.reserve(names.size());
+  for (const auto& name : names) {
+    const device::DeviceProfile& p = device::profile(name);  // validate up front
+    values.emplace_back(name, [&p](core::SessionConfig& c) { c.profile = p; });
+  }
+  return axis("device", std::move(values));
+}
+
+ExperimentGrid& ExperimentGrid::population(const device::PopulationMix& mix) {
+  std::vector<std::pair<std::string, Mutator>> values;
+  values.emplace_back(mix.id.empty() ? "custom" : mix.id,
+                      [mix](core::SessionConfig& c) { c.population = mix; });
+  return axis("mix", std::move(values));
+}
+
 ExperimentGrid& ExperimentGrid::reps(
     const std::vector<std::pair<std::size_t, std::string>>& rungs) {
   std::vector<std::pair<std::string, Mutator>> values;

@@ -40,6 +40,14 @@ class ExperimentGrid {
   ExperimentGrid& governors(const std::vector<std::string>& names);
   /// Common axis: representation ladder rungs into SessionConfig::fixed_rep.
   ExperimentGrid& reps(const std::vector<std::pair<std::size_t, std::string>>& rungs);
+  /// Common axis: registry device-profile names into SessionConfig::profile
+  /// (throws std::out_of_range up front for an unknown name).
+  ExperimentGrid& devices(const std::vector<std::string>& names);
+  /// Single-value axis recording a weighted device population: every
+  /// scenario carries the mix (sessions draw their device per seed) and
+  /// the mix id lands in the scenario labels, so artifacts — and the fleet
+  /// checkpoint fingerprint — distinguish sweeps over different mixes.
+  ExperimentGrid& population(const device::PopulationMix& mix);
 
   /// Cartesian product of every axis over the base config.
   std::vector<ScenarioSpec> scenarios() const;

@@ -138,6 +138,9 @@ bool parse_bench_args(int argc, char** argv, BenchOptions* options, std::string*
         *error = "--rss-limit-mb wants an integer, got '" + value + "'";
         return false;
       }
+    } else if (arg == "--mix") {
+      if (!next_value(i, arg, inline_value, has_inline, &value)) return false;
+      options->mix = value;
     } else {
       *error = "unknown flag '" + std::string(arg) + "'";
       return false;
@@ -172,7 +175,9 @@ std::string fleet_usage() {
          "  --checkpoint-dir D write/refresh a resume manifest (and the spool) in D\n"
          "  --resume           resume from D's manifest; fresh start when none exists\n"
          "  --spool F          per-session rows: none (default), csv or jsonl\n"
-         "  --rss-limit-mb N   fail if peak RSS exceeds N MiB (0 = report only)\n";
+         "  --rss-limit-mb N   fail if peak RSS exceeds N MiB (0 = report only)\n"
+         "  --mix NAME         device-population mix (none, global, premium, budget):\n"
+         "                     each session draws its device profile per seed\n";
 }
 
 }  // namespace vafs::exp

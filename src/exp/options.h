@@ -45,6 +45,11 @@ struct BenchOptions {
   /// Peak-RSS budget for the whole run; bench_fleet fails when exceeded
   /// (0 = report only).
   std::uint64_t rss_limit_mb = 0;
+  /// Device-population mix for the sweep: "none" (the legacy fixed
+  /// device) or a registered device::PopulationMix name ("global",
+  /// "premium", "budget"). Each session then draws its device profile
+  /// from the mix by a pure hash of its seed.
+  std::string mix = "none";
 
   /// Jobs with `auto` resolved against this machine.
   int effective_jobs() const;

@@ -1,63 +1,86 @@
-// big.LITTLE task routing: a CpuSink that places pipeline tasks on one of
-// two clusters.
+// Heterogeneous-cluster task routing: a CpuSink that places pipeline tasks
+// on one of N clusters.
 //
 // Placement policy mirrors what Android affinity / EAS achieves for a
 // video pipeline: network-stack work (latency-insensitive, light) always
-// runs on the LITTLE cluster; decode runs on whichever cluster the current
-// policy selects — statically the big cluster, or moved by the VAFS
-// controller when the predicted demand fits the LITTLE cluster's capacity.
-// Tasks already submitted stay where they are; routing affects future
-// submissions only (cheap "migration", no state to move in this model).
+// runs on the most efficient cluster (lowest capacity); decode runs on
+// whichever cluster the current policy selects — statically the primary
+// (highest-capacity) cluster, or moved by the VAFS controller when the
+// predicted demand fits a smaller cluster's capacity. Tasks already
+// submitted stay where they are; routing affects future submissions only
+// (cheap "migration", no state to move in this model).
+//
+// Task ids are namespaced per cluster (the owning cluster's index rides in
+// the id's top byte), so cancel() dispatches to exactly the submitting
+// cluster. The pre-namespace design forwarded raw CpuModel ids — unique
+// per model, not across them — and broke ties big-first on cancel, which
+// could cancel a same-id task on the wrong cluster.
 #pragma once
 
 #include <cstdint>
 #include <string_view>
+#include <vector>
 
 #include "cpu/cpu_model.h"
 #include "cpu/cpu_sink.h"
 
 namespace vafs::sched {
 
-enum class Cluster { kBig, kLittle };
-
-const char* cluster_name(Cluster c);
-
 class ClusterRouter final : public cpu::CpuSink {
  public:
-  /// Both clusters must outlive the router. Decode starts on big.
-  /// `little_cycle_penalty` models the LITTLE cluster's lower IPC: a task
-  /// of N big-core cycles needs penalty·N little-core cycles (in-order
-  /// LITTLE cores retire ~60 % of a big core's work per cycle).
+  /// One routable cluster: the model plus its reference-cycle inflation
+  /// (a task of N reference cycles needs cycle_penalty·N cycles there).
+  struct ClusterRef {
+    cpu::CpuModel* cpu = nullptr;
+    double cycle_penalty = 1.0;
+  };
+
+  /// All clusters must outlive the router; at least one is required.
+  /// Decode starts on the highest-capacity cluster; network work always
+  /// goes to the lowest-capacity one (ties: the earliest such cluster).
+  explicit ClusterRouter(std::vector<ClusterRef> clusters);
+
+  /// Two-cluster convenience (the big.LITTLE shape): big has penalty 1.
   ClusterRouter(cpu::CpuModel& big, cpu::CpuModel& little, double little_cycle_penalty = 1.7);
 
   /// Routes by task class: "decode" tasks to the decode cluster, all
-  /// network/other tasks to LITTLE.
+  /// network/other tasks to the network cluster; cycles are inflated by
+  /// the target cluster's penalty. The returned id is cluster-namespaced.
   std::uint64_t submit(std::string_view name, double cycles,
                        sim::EventFn on_complete) override;
 
-  /// Tries both clusters (task ids are unique per CpuModel instance but
-  /// not across them; ties are broken big-first, which is harmless for
-  /// the pipeline's usage where ids are only cancelled once).
+  /// Cancels on the cluster encoded in the id.
   bool cancel(std::uint64_t id) override;
 
-  void set_decode_cluster(Cluster c);
-  Cluster decode_cluster() const { return decode_cluster_; }
+  std::size_t cluster_count() const { return clusters_.size(); }
+  cpu::CpuModel& cluster(std::size_t i) { return *clusters_[i].cpu; }
+  double cycle_penalty(std::size_t i) const { return clusters_[i].cycle_penalty; }
+  /// Reference-cycle retire rate at f_max (kHz-equivalents): f_max/penalty.
+  double capacity_khz(std::size_t i) const;
 
-  cpu::CpuModel& big() { return big_; }
-  cpu::CpuModel& little() { return little_; }
-  double little_cycle_penalty() const { return little_penalty_; }
+  void set_decode_cluster(std::size_t i);
+  std::size_t decode_cluster() const { return decode_cluster_; }
+  /// Where non-decode (network, audio) work runs: lowest capacity.
+  std::size_t network_cluster() const { return network_cluster_; }
+  /// Decode's static home: highest capacity (the router's initial choice).
+  std::size_t primary_cluster() const { return primary_cluster_; }
 
-  std::uint64_t decode_tasks_on_big() const { return decode_big_; }
-  std::uint64_t decode_tasks_on_little() const { return decode_little_; }
+  std::uint64_t decode_tasks_on(std::size_t i) const { return decode_counts_[i]; }
   std::uint64_t migrations() const { return migrations_; }
 
+  // Flattened big.LITTLE-era views (primary vs everything else), kept so
+  // the existing result plumbing and bench tables stay source-compatible.
+  std::uint64_t decode_tasks_on_big() const { return decode_counts_[primary_cluster_]; }
+  std::uint64_t decode_tasks_on_little() const;
+
  private:
-  cpu::CpuModel& big_;
-  cpu::CpuModel& little_;
-  double little_penalty_;
-  Cluster decode_cluster_ = Cluster::kBig;
-  std::uint64_t decode_big_ = 0;
-  std::uint64_t decode_little_ = 0;
+  static constexpr std::uint64_t kClusterShift = 56;
+
+  std::vector<ClusterRef> clusters_;
+  std::vector<std::uint64_t> decode_counts_;
+  std::size_t primary_cluster_ = 0;
+  std::size_t network_cluster_ = 0;
+  std::size_t decode_cluster_ = 0;
   std::uint64_t migrations_ = 0;
 };
 

@@ -139,6 +139,17 @@ void expect_matches_reference(const FleetResult& result, const Reference& ref) {
   }
 }
 
+FleetOptions checkpointed_opts(const fs::path& dir, std::size_t shard_size) {
+  FleetOptions opts;
+  opts.jobs = 4;
+  opts.seeds = kSeeds;
+  opts.shard_size = shard_size;
+  opts.checkpoint_dir = dir.string();
+  opts.checkpoint_every_shards = 1;
+  opts.spool.format = SpoolFormat::kCsv;
+  return opts;
+}
+
 // ------------------------------------------------------------ shard plan
 
 TEST(ShardPlan, ShardsPartitionTheTaskOrderExactly) {
@@ -229,6 +240,77 @@ TEST(FleetDifferential, ShardBoundaryAcrossFaultedSegmentsIsInvariant) {
   }
 }
 
+TEST(FleetDifferential, PopulationMixSweepIsInvariantAcrossJobsShardsAndResume) {
+  // A >=4-profile weighted device population on the seed axis: each
+  // session's device is a pure hash of its seed, so no shard boundary,
+  // job count or kill/resume point may move a session onto a different
+  // device. Any misdraw changes that session's whole event stream and
+  // breaks the digest chain.
+  exp::ExperimentGrid grid(small_config());
+  grid.governors({"ondemand", "vafs"})
+      .population(device::PopulationMix::named("global"));
+  const auto scenarios = grid.scenarios();
+  ASSERT_NE(scenarios[0].label("mix"), nullptr);
+  EXPECT_EQ(*scenarios[0].label("mix"), "global");
+
+  const Reference ref = serial_reference(scenarios, kSeeds);
+  ASSERT_NE(ref.chain, 0u);
+
+  // The mix actually scatters devices: multi-cluster draws show up as
+  // little-cluster energy on some sessions but not all.
+  {
+    exp::RunOptions opts;
+    opts.jobs = 1;
+    opts.seeds = kSeeds;
+    const exp::ResultSet rs = exp::run_grid(scenarios, opts);
+    std::size_t multi = 0, single = 0, named = 0;
+    for (const auto& sr : rs.all()) {
+      for (const auto& run : sr.runs) {
+        (run.clusters.size() > 1 ? multi : single) += 1;
+        named += run.device.empty() ? 0 : 1;
+      }
+    }
+    EXPECT_GT(multi, 0u);
+    EXPECT_GT(single, 0u);
+    EXPECT_EQ(named, scenarios.size() * kSeeds.size());
+  }
+
+  for (const int jobs : {1, 4}) {
+    for (const std::size_t shard_size : {std::size_t{1}, std::size_t{3}, std::size_t{64}}) {
+      FleetOptions opts;
+      opts.jobs = jobs;
+      opts.seeds = kSeeds;
+      opts.shard_size = shard_size;
+      SCOPED_TRACE("jobs=" + std::to_string(jobs) +
+                   " shard_size=" + std::to_string(shard_size));
+      expect_matches_reference(run_fleet(scenarios, opts), ref);
+    }
+  }
+
+  // Kill mid-grid and resume: the finished run is still chain-identical.
+  const fs::path dir = fresh_dir("mix_resume");
+  FleetOptions opts = checkpointed_opts(dir, 2);
+  opts.on_progress = [](std::uint64_t done, std::uint64_t) { return done < 2; };
+  const FleetResult killed = run_fleet(scenarios, opts);
+  ASSERT_TRUE(killed.ok()) << killed.error;
+  ASSERT_TRUE(killed.stopped);
+  FleetOptions resume = checkpointed_opts(dir, 2);
+  resume.resume = true;
+  expect_matches_reference(run_fleet(scenarios, resume), ref);
+}
+
+TEST(FleetDifferential, MixIdentityChangesTheCheckpointFingerprint) {
+  // A checkpoint written under one mix must not resume a run of another:
+  // the mix id rides in every scenario id, which the shard-plan
+  // fingerprint covers.
+  exp::ExperimentGrid global_grid(small_config());
+  global_grid.governors({"ondemand"}).population(device::PopulationMix::named("global"));
+  exp::ExperimentGrid premium_grid(small_config());
+  premium_grid.governors({"ondemand"}).population(device::PopulationMix::named("premium"));
+  EXPECT_NE(grid_fingerprint(global_grid.scenarios(), kSeeds, 2),
+            grid_fingerprint(premium_grid.scenarios(), kSeeds, 2));
+}
+
 TEST(FleetDifferential, EmptyGridCompletesTrivially) {
   const FleetResult result = run_fleet(std::vector<exp::ScenarioSpec>{}, FleetOptions{});
   EXPECT_TRUE(result.ok());
@@ -238,17 +320,6 @@ TEST(FleetDifferential, EmptyGridCompletesTrivially) {
 }
 
 // ----------------------------------------------------------- kill/resume
-
-FleetOptions checkpointed_opts(const fs::path& dir, std::size_t shard_size) {
-  FleetOptions opts;
-  opts.jobs = 4;
-  opts.seeds = kSeeds;
-  opts.shard_size = shard_size;
-  opts.checkpoint_dir = dir.string();
-  opts.checkpoint_every_shards = 1;
-  opts.spool.format = SpoolFormat::kCsv;
-  return opts;
-}
 
 TEST(FleetResume, KilledAtEveryShardBoundaryResumesBitIdentically) {
   const auto scenarios = small_grid();

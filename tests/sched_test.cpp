@@ -1,5 +1,6 @@
-// Tests for the big.LITTLE substrate: router placement/penalty semantics
-// and end-to-end big.LITTLE sessions including VAFS's cluster choice.
+// Tests for the cluster-routing substrate: N-cluster placement/penalty
+// semantics, the namespaced task-id cancel dispatch, and end-to-end
+// big.LITTLE sessions including VAFS's cluster choice.
 #include <gtest/gtest.h>
 
 #include "core/session.h"
@@ -34,7 +35,7 @@ TEST_F(RouterTest, DecodeFollowsDecodeCluster) {
   router_.submit("decode", 1e6, nullptr);
   EXPECT_TRUE(big_.busy());
 
-  router_.set_decode_cluster(Cluster::kLittle);
+  router_.set_decode_cluster(router_.network_cluster());
   router_.submit("decode", 1e6, nullptr);
   EXPECT_TRUE(little_.busy());
   EXPECT_EQ(router_.decode_tasks_on_big(), 1u);
@@ -43,7 +44,7 @@ TEST_F(RouterTest, DecodeFollowsDecodeCluster) {
 }
 
 TEST_F(RouterTest, RedundantClusterSetIsNotAMigration) {
-  router_.set_decode_cluster(Cluster::kBig);
+  router_.set_decode_cluster(router_.primary_cluster());
   EXPECT_EQ(router_.migrations(), 0u);
 }
 
@@ -51,7 +52,7 @@ TEST_F(RouterTest, LittlePenaltyInflatesCycles) {
   // 3e6 big-cycles at penalty 2.0 -> 6e6 little-cycles. At the LITTLE
   // cluster's 300 MHz boot frequency that is 20 ms.
   sim::SimTime done;
-  router_.set_decode_cluster(Cluster::kLittle);
+  router_.set_decode_cluster(router_.network_cluster());
   router_.submit("decode", 3e6, [&] { done = sim_.now(); });
   sim_.run();
   EXPECT_EQ(done.as_micros(), 20'000);
@@ -64,9 +65,69 @@ TEST_F(RouterTest, BigClusterRunsRawCycles) {
   EXPECT_EQ(done.as_micros(), 10'000);  // 3e6 at 300 MHz
 }
 
-TEST(ClusterName, Names) {
-  EXPECT_STREQ(cluster_name(Cluster::kBig), "big");
-  EXPECT_STREQ(cluster_name(Cluster::kLittle), "little");
+TEST_F(RouterTest, ClusterSelectionByCapacity) {
+  // big: 2.1 GHz / 1.0, little: 1.5 GHz / 2.0.
+  EXPECT_EQ(router_.cluster_count(), 2u);
+  EXPECT_EQ(router_.primary_cluster(), 0u);
+  EXPECT_EQ(router_.network_cluster(), 1u);
+  EXPECT_DOUBLE_EQ(router_.capacity_khz(0), 2'100'000.0);
+  EXPECT_DOUBLE_EQ(router_.capacity_khz(1), 750'000.0);
+}
+
+// Regression for the pre-namespace cancel bug: both clusters hand out raw
+// CpuModel ids counting up from 1, so a decode task on big and a network
+// task on little used to collide on the same raw id — and cancel() broke
+// the tie big-first, killing the wrong task. With cluster-namespaced ids
+// each cancel must land on exactly the submitting cluster.
+TEST_F(RouterTest, CancelDispatchesToSubmittingCluster) {
+  bool big_done = false;
+  bool little_done = false;
+  const std::uint64_t decode_id =
+      router_.submit("decode", 3e6, [&] { big_done = true; });  // big raw id 1
+  const std::uint64_t net_id =
+      router_.submit("http-recv", 3e6, [&] { little_done = true; });  // little raw id 1
+  ASSERT_NE(decode_id, net_id);  // the namespace byte keeps them distinct
+
+  // Cancelling the little-cluster task must not touch big's raw-id-1 task
+  // (the former big-first tie-break did exactly that).
+  EXPECT_TRUE(router_.cancel(net_id));
+  sim_.run();
+  EXPECT_TRUE(big_done);
+  EXPECT_FALSE(little_done);
+}
+
+TEST_F(RouterTest, CancelledIdsDoNotResolveTwice) {
+  const std::uint64_t id = router_.submit("decode", 3e6, nullptr);
+  EXPECT_TRUE(router_.cancel(id));
+  EXPECT_FALSE(router_.cancel(id));
+  // An id carrying an out-of-range cluster byte is rejected, not mis-routed.
+  EXPECT_FALSE(router_.cancel(id | (0x7fULL << 56)));
+}
+
+TEST(TriClusterRouter, CapacityOrderingPicksPrimaryAndNetwork) {
+  sim::Simulator sim;
+  const auto& prof = device::profile("flagship");
+  ASSERT_EQ(prof.cluster_count(), 3u);
+  std::vector<std::unique_ptr<cpu::CpuModel>> models;
+  std::vector<ClusterRouter::ClusterRef> refs;
+  for (const auto& c : prof.clusters) {
+    models.push_back(std::make_unique<cpu::CpuModel>(sim, c.opps,
+                                                     cpu::CpuPowerModel(c.power)));
+    refs.push_back(ClusterRouter::ClusterRef{models.back().get(), c.cycle_penalty});
+  }
+  ClusterRouter router(std::move(refs));
+  EXPECT_EQ(router.primary_cluster(), 0u);    // prime: 2.85 GHz / 0.9
+  EXPECT_EQ(router.network_cluster(), 2u);    // little: 1.8 GHz / 1.5
+  EXPECT_EQ(router.decode_cluster(), 0u);
+
+  router.submit("http-recv", 1e6, nullptr);
+  EXPECT_TRUE(models[2]->busy());
+  router.set_decode_cluster(1);
+  router.submit("decode", 1e6, nullptr);
+  EXPECT_TRUE(models[1]->busy());
+  EXPECT_EQ(router.decode_tasks_on(1), 1u);
+  EXPECT_EQ(router.decode_tasks_on_big(), 0u);
+  EXPECT_EQ(router.decode_tasks_on_little(), 1u);  // non-primary flattened view
 }
 
 // ---- end-to-end big.LITTLE sessions ----
@@ -125,6 +186,29 @@ TEST(BigLittleSession, EnergySplitsAcrossClusters) {
   EXPECT_GT(r.cpu_little_mj, 0.0);
   EXPECT_LT(r.cpu_little_mj, r.energy.cpu_mj);
   EXPECT_GT(r.freq_transitions_little, 0u);
+}
+
+TEST(BigLittleSession, PerClusterReportsMatchFlattenedView) {
+  const auto r = core::run_session(bl_config("vafs", 2));
+  ASSERT_TRUE(r.finished);
+  ASSERT_EQ(r.clusters.size(), 2u);
+  EXPECT_EQ(r.clusters[0].name, "big");
+  EXPECT_EQ(r.clusters[1].name, "little");
+  EXPECT_DOUBLE_EQ(r.clusters[1].cpu_mj, r.cpu_little_mj);
+  // Cluster counters run from model construction, the meter from its
+  // session-start reset — the difference is the sub-mJ bring-up energy.
+  EXPECT_GE(r.clusters[0].cpu_mj + r.clusters[1].cpu_mj, r.energy.cpu_mj);
+  EXPECT_NEAR(r.clusters[0].cpu_mj + r.clusters[1].cpu_mj, r.energy.cpu_mj, 1.0);
+  EXPECT_EQ(r.clusters[0].freq_transitions, r.freq_transitions);
+  EXPECT_EQ(r.clusters[1].freq_transitions, r.freq_transitions_little);
+  EXPECT_EQ(r.clusters[0].decode_frames, r.decode_frames_big);
+  EXPECT_EQ(r.clusters[1].decode_frames, r.decode_frames_little);
+  ASSERT_EQ(r.clusters[0].residency.size(), r.residency.size());
+  for (std::size_t i = 0; i < r.residency.size(); ++i) {
+    EXPECT_EQ(r.clusters[0].residency[i].first, r.residency[i].first);
+    EXPECT_DOUBLE_EQ(r.clusters[0].residency[i].second, r.residency[i].second);
+  }
+  EXPECT_DOUBLE_EQ(r.clusters[0].busy_fraction, r.busy_fraction);
 }
 
 }  // namespace
