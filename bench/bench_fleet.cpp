@@ -103,6 +103,7 @@ int main(int argc, char** argv) {
   if (options.shards > 0) {
     fopts.shard_size = static_cast<std::size_t>((tasks + options.shards - 1) / options.shards);
   }
+  fopts.batch = options.batch;
   fopts.checkpoint_dir = options.checkpoint_dir;
   fopts.resume = options.resume;
   fopts.trace = options.trace_flag != 0;  // default on: the digest chain IS the result
@@ -112,9 +113,10 @@ int main(int argc, char** argv) {
     return !g_stop.load(std::memory_order_relaxed);
   };
 
-  std::printf("fleet: %zu scenarios x %zu seeds = %llu sessions, shard size %zu, %d jobs\n",
+  std::printf("fleet: %zu scenarios x %zu seeds = %llu sessions, shard size %zu, %d jobs, "
+              "batch %d\n",
               scenarios.size(), fopts.seeds.size(), static_cast<unsigned long long>(tasks),
-              fopts.shard_size, fopts.jobs);
+              fopts.shard_size, fopts.jobs, fopts.batch);
 
   const fleet::FleetResult result = run_fleet(scenarios, fopts);
   const double rss_mib = peak_rss_mib();

@@ -1,17 +1,7 @@
 #include "core/session.h"
 
-#include <memory>
-#include <string>
-
-#include "cpu/cpufreq_policy.h"
-#include "cpu/cpufreq_sysfs.h"
-#include "fault/injector.h"
-#include "governors/registry.h"
+#include "core/session_instance.h"
 #include "net/bandwidth.h"
-#include "obs/trace.h"
-#include "stream/abr.h"
-#include "video/content.h"
-#include "video/manifest.h"
 
 namespace vafs::core {
 
@@ -71,35 +61,8 @@ net::MarkovBandwidth::Params net_profile_params(NetProfile p) {
   return params;
 }
 
-namespace {
-
-std::unique_ptr<net::BandwidthProcess> make_bandwidth(const SessionConfig& config, sim::Rng rng) {
-  if (config.net == NetProfile::kConstant) {
-    return std::make_unique<net::ConstantBandwidth>(config.constant_mbps);
-  }
-  if (config.net == NetProfile::kTrace) {
-    if (config.trace.empty()) {
-      throw SessionError("NetProfile::kTrace requires a non-empty SessionConfig::trace");
-    }
-    return std::make_unique<net::TraceBandwidth>(config.trace, config.trace_loop);
-  }
-  return std::make_unique<net::MarkovBandwidth>(net_profile_params(config.net), rng);
-}
-
-std::unique_ptr<stream::AbrAlgorithm> make_abr(const SessionConfig& config) {
-  switch (config.abr) {
-    case AbrKind::kFixed: return std::make_unique<stream::FixedAbr>(config.fixed_rep);
-    case AbrKind::kRate: return std::make_unique<stream::RateBasedAbr>();
-    case AbrKind::kBuffer: return std::make_unique<stream::BufferBasedAbr>();
-    case AbrKind::kBola:
-      return std::make_unique<stream::BolaAbr>(config.player.buffer_target);
-  }
-  return nullptr;
-}
-
-}  // namespace
-
 video::ContentStore& SessionArena::content_store(const ContentKey& key) {
+  if (content_donor != nullptr) return content_donor->content_store(key);
   for (auto it = content_.begin(); it != content_.end(); ++it) {
     if (it->key == key) {
       content_.splice(content_.end(), content_, it);  // most-recent last
@@ -112,418 +75,10 @@ video::ContentStore& SessionArena::content_store(const ContentKey& key) {
 
 SessionResult run_session(const SessionConfig& config, const SessionHooks& hooks,
                           SessionArena* arena) {
-  // The simulator is declared first so every component (all of which may
-  // hold EventHandles into its queue) is destroyed before it.
-  sim::Simulator simulator(arena != nullptr ? &arena->events : nullptr);
-  sim::Rng master(config.seed);
-  obs::Tracer* tracer = hooks.tracer;
-
-  // Resolve the device. A population draw (pure hash of the seed) wins,
-  // then an explicit named profile; a legacy() profile means the scalar
-  // SessionConfig device fields are authoritative, and the cluster list
-  // below reproduces the pre-profile device from them byte-for-byte.
-  const device::DeviceProfile* prof = nullptr;
-  if (!config.population.empty()) {
-    prof = &config.population.pick(config.seed);
-  } else if (!config.profile.legacy()) {
-    prof = &config.profile;
+  SessionInstance instance(config, hooks, arena);
+  while (instance.step_one()) {
   }
-
-  std::vector<device::ClusterSpec> specs;
-  double display_mw = config.display_mw;
-  net::RadioParams radio_params = config.radio;
-  thermal::ThermalParams thermal_params = config.thermal;
-  cpu::CpuidleStrategy cpuidle_strategy = config.cpuidle;
-  cpu::CpuidleParams cpuidle_params = config.cpuidle_params;
-  std::string device_name;
-  if (prof != nullptr) {
-    device_name = prof->name;
-    specs = prof->clusters;
-    if (specs.empty()) {
-      throw SessionError("device profile '" + prof->name + "' has no clusters");
-    }
-    display_mw = prof->display_mw;
-    radio_params = prof->radio;
-    thermal_params = prof->thermal;
-    cpuidle_strategy = prof->cpuidle;
-    cpuidle_params = prof->cpuidle_params;
-  } else {
-    specs.push_back(device::ClusterSpec{"big", cpu::OppTable::mobile_big_core(), config.power,
-                                        1.0, config.cpu_transition_latency});
-    if (config.big_little) {
-      specs.push_back(device::ClusterSpec{"little", cpu::OppTable::mobile_little_core(),
-                                          cpu::PowerModelParams::little_core(),
-                                          config.little_cycle_penalty,
-                                          config.cpu_transition_latency});
-    }
-  }
-
-  // One CpuModel (+ optional cpuidle) per cluster. The primary cluster is
-  // fully brought up (model, policy, power probe, sysfs binder) before any
-  // secondary cluster is touched — the governor-timer event order in the
-  // queue depends on it, and the single-/two-cluster legacy paths must
-  // replay the pre-profile construction sequence exactly.
-  std::vector<std::unique_ptr<cpu::CpuModel>> cpus;
-  std::vector<std::unique_ptr<cpu::CpuidleModel>> cpuidles;
-  std::vector<std::unique_ptr<cpu::CpufreqPolicy>> policies;
-
-  cpus.push_back(std::make_unique<cpu::CpuModel>(simulator, specs[0].opps,
-                                                 cpu::CpuPowerModel(specs[0].power),
-                                                 specs[0].transition_latency));
-  cpu::CpuModel& cpu_model = *cpus[0];
-
-  // kShallowOnly with the default WFI power is exactly the base model's
-  // flat idle pricing; attach a cpuidle model only for deeper strategies.
-  if (cpuidle_strategy != cpu::CpuidleStrategy::kShallowOnly) {
-    cpuidles.push_back(std::make_unique<cpu::CpuidleModel>(cpuidle_params, cpuidle_strategy));
-    cpu_model.set_cpuidle(cpuidles.back().get());
-  }
-
-  cpu::GovernorRegistry registry;
-  governors::register_standard(registry);
-
-  // "vafs-oracle" = the VAFS controller with perfect decode-cost knowledge
-  // and no safety margin: the offline lower bound for the energy tables.
-  const bool use_oracle = config.governor == "vafs-oracle";
-  const bool use_vafs = config.governor == "vafs" || use_oracle;
-  // VAFS boots on a stock governor and takes over through sysfs, exactly
-  // as a userspace daemon on a device would.
-  policies.push_back(std::make_unique<cpu::CpufreqPolicy>(
-      simulator, cpu_model, registry, use_vafs ? "ondemand" : config.governor));
-  cpu::CpufreqPolicy& policy = *policies[0];
-  policy.set_tracer(tracer);
-
-  // Frequency series + change events, and mean CPU power per constant-
-  // frequency stretch. The listener fires after the model has settled
-  // accounting at `now` (advance() precedes it in set_frequency), so the
-  // energy probe reads committed state and perturbs nothing.
-  struct PowerProbe {
-    sim::Simulator* sim;
-    cpu::CpuModel* cpu;
-    obs::Tracer* tracer;
-    sim::SimTime last_t;
-    double last_mj;
-
-    /// Closes the constant-power segment open since last_t.
-    void flush() {
-      const sim::SimTime now = sim->now();
-      const double mj = cpu->energy_mj();
-      const double dt_s = (now - last_t).as_seconds_f();
-      if (dt_s > 0) {
-        tracer->timeline().push(obs::SeriesId::kCpuPowerMw, last_t, (mj - last_mj) / dt_s);
-        last_t = now;
-        last_mj = mj;
-      }
-    }
-  };
-  std::shared_ptr<PowerProbe> power_probe;
-  if (tracer != nullptr) {
-    tracer->record(simulator.now(), obs::EventKind::kSessionBegin, config.seed,
-                   static_cast<std::uint64_t>(config.media_duration.as_micros()));
-    power_probe = std::make_shared<PowerProbe>(
-        PowerProbe{&simulator, &cpu_model, tracer, simulator.now(), cpu_model.energy_mj()});
-    tracer->timeline().push(obs::SeriesId::kFreqKhz, simulator.now(),
-                            static_cast<double>(cpu_model.cur_freq_khz()));
-    cpu_model.add_freq_listener([probe = power_probe](std::uint32_t old_khz,
-                                                      std::uint32_t new_khz) {
-      const sim::SimTime now = probe->sim->now();
-      probe->tracer->record(now, obs::EventKind::kFreqChange, old_khz, new_khz, 0);
-      probe->tracer->timeline().push(obs::SeriesId::kFreqKhz, now,
-                                     static_cast<double>(new_khz));
-      probe->flush();
-    });
-  }
-
-  sysfs::Tree tree;
-  std::vector<std::unique_ptr<cpu::CpufreqSysfs>> binders;
-  binders.push_back(std::make_unique<cpu::CpufreqSysfs>(tree, policy, 0));
-  cpu::CpufreqSysfs& binder = *binders[0];
-
-  // Secondary clusters (policy1..policyN-1) and the task router.
-  std::unique_ptr<sched::ClusterRouter> router;
-  cpu::CpuSink* sink = &cpu_model;
-  for (std::size_t i = 1; i < specs.size(); ++i) {
-    cpus.push_back(std::make_unique<cpu::CpuModel>(simulator, specs[i].opps,
-                                                   cpu::CpuPowerModel(specs[i].power),
-                                                   specs[i].transition_latency));
-    cpu::CpuModel& model = *cpus[i];
-    if (cpuidle_strategy != cpu::CpuidleStrategy::kShallowOnly) {
-      cpuidles.push_back(std::make_unique<cpu::CpuidleModel>(cpuidle_params, cpuidle_strategy));
-      model.set_cpuidle(cpuidles.back().get());
-    }
-    policies.push_back(std::make_unique<cpu::CpufreqPolicy>(
-        simulator, model, registry, use_vafs ? "ondemand" : config.governor));
-    policies[i]->set_tracer(tracer);
-    if (tracer != nullptr) {
-      sim::Simulator* sim = &simulator;
-      model.add_freq_listener([sim, tracer, i](std::uint32_t old_khz, std::uint32_t new_khz) {
-        tracer->record(sim->now(), obs::EventKind::kFreqChange, old_khz, new_khz, i);
-      });
-    }
-    binders.push_back(std::make_unique<cpu::CpufreqSysfs>(tree, *policies[i],
-                                                          static_cast<int>(i)));
-  }
-  if (specs.size() > 1) {
-    std::vector<sched::ClusterRouter::ClusterRef> refs;
-    refs.reserve(specs.size());
-    for (std::size_t i = 0; i < specs.size(); ++i) {
-      refs.push_back(sched::ClusterRouter::ClusterRef{cpus[i].get(), specs[i].cycle_penalty});
-    }
-    router = std::make_unique<sched::ClusterRouter>(std::move(refs));
-    sink = router.get();
-  }
-
-  net::RadioModel radio(simulator, radio_params);
-  auto bandwidth = make_bandwidth(config, master.fork(1));
-
-  video::Manifest manifest =
-      video::Manifest::typical_vod("vod", config.media_duration, config.segment_duration);
-  video::ContentModel content(master.fork(2).next_u64(), config.content, &manifest);
-  if (arena != nullptr) {
-    // Grids replay the same workload under every governor; share the
-    // synthesized frames across those sessions (exact: every value is a
-    // pure function of the key).
-    SessionArena::ContentKey key;
-    key.seed = config.seed;
-    key.media_us = config.media_duration.as_micros();
-    key.segment_us = config.segment_duration.as_micros();
-    key.params = config.content;
-    content.use_store(&arena->content_store(key));
-  }
-
-  if (config.fixed_rep >= manifest.representation_count()) {
-    throw SessionError("fixed_rep " + std::to_string(config.fixed_rep) +
-                       " out of range: manifest has " +
-                       std::to_string(manifest.representation_count()) + " representations");
-  }
-
-  // Fault layer. Built only when a fault source is enabled; the forks here
-  // come *after* the bandwidth (fork 1) and content (fork 2) draws, so the
-  // base workload trajectory is identical with and without faults, and a
-  // fault-free session draws nothing extra (byte-identical schedule).
-  std::unique_ptr<fault::FaultInjector> injector;
-  std::unique_ptr<fault::FaultyBandwidth> faulty_bandwidth;
-  net::BandwidthProcess* link = bandwidth.get();
-  net::FetchFaultHook* fetch_faults = nullptr;
-  if (config.fault.any()) {
-    fault::FaultPlan plan(config.fault, master.fork(3), config.sim_cap);
-    injector = std::make_unique<fault::FaultInjector>(std::move(plan), master.fork(4));
-    injector->set_tracer(tracer);
-    faulty_bandwidth = std::make_unique<fault::FaultyBandwidth>(*bandwidth, *injector);
-    link = faulty_bandwidth.get();
-    fetch_faults = injector.get();
-    if (tracer != nullptr) {
-      // Planned fault windows, announced up front as complete spans (the
-      // runtime injections they cause are traced as they happen).
-      for (int k = 0; k < static_cast<int>(fault::kFaultKindCount); ++k) {
-        const auto kind = static_cast<fault::FaultKind>(k);
-        for (const auto& w : injector->plan().windows(kind)) {
-          tracer->record(w.start, obs::EventKind::kFaultWindow, static_cast<std::uint64_t>(k),
-                         static_cast<std::uint64_t>((w.end - w.start).as_micros()),
-                         static_cast<std::uint64_t>(w.magnitude * 1e6));
-        }
-      }
-    }
-  }
-
-  // The jitter stream is consumed only on actual retries, so deriving it
-  // from the session seed (no master draw) keeps fault-free sessions
-  // byte-identical while giving each seed distinct backoff timing.
-  net::Downloader downloader(simulator, radio, *link, sink, config.downloader, fetch_faults,
-                             config.seed ^ 0x9E3779B97F4A7C15ULL);
-  downloader.set_tracer(tracer);
-
-  stream::Player player(simulator, *sink, downloader, content, make_abr(config),
-                        config.player);
-  player.set_tracer(tracer);
-
-  if (injector != nullptr) {
-    if (!injector->plan().windows(fault::FaultKind::kDecodeSpike).empty()) {
-      fault::FaultInjector* inj = injector.get();
-      player.set_decode_scale([inj](sim::SimTime now) { return inj->decode_scale(now); });
-    }
-    if (!injector->plan().windows(fault::FaultKind::kSysfsWriteFault).empty()) {
-      fault::FaultInjector* inj = injector.get();
-      sim::Simulator* sim = &simulator;
-      tree.set_write_interceptor(
-          [inj, sim](std::string_view path, std::string_view) -> std::optional<sysfs::Errno> {
-            if (!path.ends_with("/scaling_setspeed")) return std::nullopt;
-            return inj->sysfs_write_error(sim->now());
-          });
-    }
-    // Thermal-cap excursions arrive the way a vendor thermal daemon's do:
-    // scaling_max_freq writes on the big policy, restored at window end.
-    const auto& caps = injector->plan().windows(fault::FaultKind::kThermalCap);
-    if (!caps.empty()) {
-      const std::uint32_t fmax = cpu_model.opps().max().freq_khz;
-      const std::string max_path = binder.dir() + "/scaling_max_freq";
-      sysfs::Tree* tree_ptr = &tree;
-      for (const auto& window : caps) {
-        const auto capped =
-            static_cast<std::uint32_t>(window.magnitude * static_cast<double>(fmax));
-        simulator.at(window.start, [tree_ptr, max_path, capped] {
-          (void)tree_ptr->write(max_path, std::to_string(capped));
-        });
-        simulator.at(window.end, [tree_ptr, max_path, fmax] {
-          (void)tree_ptr->write(max_path, std::to_string(fmax));
-        });
-      }
-    }
-  }
-
-  std::unique_ptr<VafsController> vafs_controller;
-  if (use_vafs) {
-    VafsConfig vafs_config = config.vafs;
-    if (use_oracle) {
-      vafs_config.oracle = true;
-      vafs_config.safety_margin = 0.0;
-    }
-    vafs_controller = std::make_unique<VafsController>(simulator, tree, binder.dir(), player,
-                                                       vafs_config);
-    vafs_controller->set_tracer(tracer);  // before attach: traces boot-time fallback
-    if (router) {
-      std::vector<std::string> extra_dirs;
-      for (std::size_t i = 1; i < binders.size(); ++i) extra_dirs.push_back(binders[i]->dir());
-      vafs_controller->enable_clusters(std::move(extra_dirs), router.get());
-    }
-    if (!vafs_controller->attach()) {
-      throw SessionError("VAFS failed to attach through sysfs (userspace governor rejected)");
-    }
-  }
-
-  std::unique_ptr<thermal::ThermalModel> thermal_model;
-  std::unique_ptr<thermal::ThermalThrottle> throttle;
-  if (config.thermal_enabled) {
-    // The sensor sits on the primary cluster — the hottest die area — and
-    // the throttle acts on its policy, as vendor thermal drivers do.
-    thermal_model = std::make_unique<thermal::ThermalModel>(simulator, cpu_model, thermal_params);
-    throttle = std::make_unique<thermal::ThermalThrottle>(*thermal_model, policy,
-                                                          config.throttle);
-  }
-
-  std::vector<cpu::CpuModel*> metered_cpus;
-  for (const auto& c : cpus) metered_cpus.push_back(c.get());
-  energy::DeviceEnergyMeter meter(simulator, metered_cpus, radio, display_mw);
-
-  if (hooks.on_ready) {
-    SessionLive live;
-    live.sim = &simulator;
-    live.cpu = &cpu_model;
-    live.policy = &policy;
-    live.tree = &tree;
-    live.radio = &radio;
-    live.player = &player;
-    live.vafs = vafs_controller.get();
-    live.faults = injector.get();
-    live.thermal = thermal_model.get();
-    live.cpu_little = cpus.size() > 1 ? cpus[1].get() : nullptr;
-    live.router = router.get();
-    for (const auto& c : cpus) live.cpus.push_back(c.get());
-    for (const auto& p : policies) live.policies.push_back(p.get());
-    hooks.on_ready(live);
-  }
-
-  meter.reset();
-  bool done = false;
-  player.start([&done] { done = true; });
-
-  // Governor timers run forever, so the queue never drains; stop on the
-  // player's completion (or the safety cap).
-  while (!done && simulator.now() < config.sim_cap) {
-    if (!simulator.step()) break;
-  }
-
-  if (tracer != nullptr) {
-    // Close the stream: flush the last constant-frequency power segment
-    // (never flushed by the listener — no further transition occurs), end
-    // any open watchdog fallback span, then end the session span.
-    power_probe->flush();
-    if (vafs_controller != nullptr && vafs_controller->in_fallback()) {
-      tracer->record(simulator.now(), obs::EventKind::kFallbackEnd);
-    }
-    tracer->record(simulator.now(), obs::EventKind::kSessionEnd);
-  }
-
-  SessionResult result;
-  result.finished = done;
-  result.sim_events = simulator.events_executed();
-  result.qoe = player.qoe();
-  result.energy = meter.report();
-  result.wall = result.energy.wall;
-  result.played = player.played();
-  result.live_latency = player.live_latency();
-  result.freq_transitions = cpu_model.transition_count();
-  result.busy_fraction =
-      result.wall > sim::SimTime::zero()
-          ? cpu_model.total_busy_time().as_seconds_f() / result.wall.as_seconds_f()
-          : 0.0;
-  result.radio_promotions = radio.promotion_count();
-
-  const auto& opps = cpu_model.opps();
-  for (std::size_t i = 0; i < opps.size(); ++i) {
-    const double frac = result.wall > sim::SimTime::zero()
-                            ? cpu_model.time_in_state(i).as_seconds_f() /
-                                  result.wall.as_seconds_f()
-                            : 0.0;
-    result.residency.emplace_back(opps.at(i).freq_khz, frac);
-  }
-
-  result.fetch_timeouts = downloader.total_timeouts();
-  if (injector) {
-    result.fault_windows = injector->plan().total_windows();
-    result.injected_fetch_failures = injector->injected_fetch_failures();
-    result.injected_fetch_hangs = injector->injected_fetch_hangs();
-    result.injected_sysfs_errors = injector->injected_sysfs_errors();
-  }
-  if (vafs_controller) {
-    result.vafs_decode_mape = vafs_controller->decode_mape();
-    result.vafs_plans = vafs_controller->plan_count();
-    result.vafs_setspeed_writes = vafs_controller->setspeed_writes();
-    result.vafs_fallback_entries = vafs_controller->fallback_entries();
-    result.vafs_fallback_time = vafs_controller->fallback_time();
-    result.vafs_sysfs_write_errors = vafs_controller->sysfs_write_errors();
-  }
-  if (thermal_model) {
-    result.peak_temp_c = thermal_model->peak_temperature_c();
-    result.mean_temp_c = thermal_model->temperature_stats().mean();
-    result.throttled_time = throttle->throttled_time();
-    result.throttle_events = throttle->throttle_events();
-  }
-  if (router) {
-    for (std::size_t i = 1; i < cpus.size(); ++i) {
-      result.cpu_little_mj += cpus[i]->energy_mj();
-      result.freq_transitions_little += cpus[i]->transition_count();
-    }
-    result.decode_frames_big = router->decode_tasks_on_big();
-    result.decode_frames_little = router->decode_tasks_on_little();
-    result.decode_migrations = router->migrations();
-  }
-  result.device = device_name;
-  for (std::size_t i = 0; i < cpus.size(); ++i) {
-    SessionResult::ClusterReport report;
-    report.name = specs[i].name;
-    report.cpu_mj = cpus[i]->energy_mj();
-    report.freq_transitions = cpus[i]->transition_count();
-    report.busy_fraction =
-        result.wall > sim::SimTime::zero()
-            ? cpus[i]->total_busy_time().as_seconds_f() / result.wall.as_seconds_f()
-            : 0.0;
-    const auto& cluster_opps = cpus[i]->opps();
-    for (std::size_t j = 0; j < cluster_opps.size(); ++j) {
-      const double frac = result.wall > sim::SimTime::zero()
-                              ? cpus[i]->time_in_state(j).as_seconds_f() /
-                                    result.wall.as_seconds_f()
-                              : 0.0;
-      report.residency.emplace_back(cluster_opps.at(j).freq_khz, frac);
-    }
-    if (router) report.decode_frames = router->decode_tasks_on(i);
-    result.clusters.push_back(std::move(report));
-  }
-  if (tracer != nullptr) {
-    result.trace_digest = tracer->digest();
-    result.trace_events = tracer->recorded();
-  }
-  return result;
+  return instance.finish();
 }
 
 }  // namespace vafs::core

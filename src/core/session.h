@@ -237,6 +237,15 @@ struct SessionHooks {
 struct SessionArena {
   sim::EventQueue::Arena events;
 
+  /// When set, content_store() delegates to this arena instead of the
+  /// local cache. Batch lanes use it to pool synthesized content across a
+  /// worker's lanes (an EventQueue::Arena serves exactly one live queue,
+  /// so lanes need separate *event* arenas — but content is read-only
+  /// per-session and a pure function of its key, so one worker-wide store
+  /// is both safe and the same dedup a serial worker's single arena gets).
+  /// Same-thread only; never point it at another worker's arena.
+  SessionArena* content_donor = nullptr;
+
   /// Everything frame values are a pure function of. Durations are in
   /// micros; the manifest itself is derived from them inside run_session,
   /// so two equal keys describe byte-identical content.

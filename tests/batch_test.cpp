@@ -1,0 +1,462 @@
+// Tests for the lockstep batch path (core::SessionBatch and its plumbing
+// through exp::run_grid / fleet::run_fleet), organized around its one
+// correctness claim: batch == serial, bitwise, per session. Lanes share
+// nothing — each owns its Simulator / Rng / sysfs tree — so any lane
+// interleaving, any batch width, any lockstep quantum must produce the
+// exact SessionResult (and trace digest) the one-session-at-a-time path
+// produces. The differential tests pin that across batch sizes, job
+// counts, ragged chunks, staggered session lengths, fault plans firing
+// mid-batch, and kill/resume cycles; the API tests cover the SessionBatch
+// surface directly (admit/run/finish lifecycle, quantum invariance,
+// failure isolation and serial-exact error messages).
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <deque>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/session.h"
+#include "core/session_batch.h"
+#include "exp/aggregate.h"
+#include "exp/grid.h"
+#include "exp/runner.h"
+#include "fault/plan.h"
+#include "fleet/fleet_runner.h"
+#include "obs/trace.h"
+
+namespace vafs {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path fresh_dir(const std::string& name) {
+  const fs::path dir = fs::temp_directory_path() / ("vafs_batch_test_" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+std::string slurp(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+core::SessionConfig small_config() {
+  core::SessionConfig config;
+  config.media_duration = sim::SimTime::seconds(20);
+  config.net = core::NetProfile::kFair;
+  config.fixed_rep = 2;
+  return config;
+}
+
+/// Bitwise equality across every scalar field the aggregates and tables
+/// consume, plus the digest fields — catches any nondeterminism, not just
+/// "close enough" drift.
+void expect_identical(const core::SessionResult& a, const core::SessionResult& b) {
+  EXPECT_EQ(a.finished, b.finished);
+  EXPECT_EQ(a.energy.cpu_mj, b.energy.cpu_mj);
+  EXPECT_EQ(a.energy.radio_mj, b.energy.radio_mj);
+  EXPECT_EQ(a.energy.display_mj, b.energy.display_mj);
+  EXPECT_EQ(a.qoe.startup_delay, b.qoe.startup_delay);
+  EXPECT_EQ(a.qoe.rebuffer_events, b.qoe.rebuffer_events);
+  EXPECT_EQ(a.qoe.rebuffer_time, b.qoe.rebuffer_time);
+  EXPECT_EQ(a.qoe.frames_presented, b.qoe.frames_presented);
+  EXPECT_EQ(a.qoe.frames_dropped, b.qoe.frames_dropped);
+  EXPECT_EQ(a.qoe.deadline_misses, b.qoe.deadline_misses);
+  EXPECT_EQ(a.qoe.quality_switches, b.qoe.quality_switches);
+  EXPECT_EQ(a.qoe.mean_bitrate_kbps, b.qoe.mean_bitrate_kbps);
+  EXPECT_EQ(a.qoe.fetch_retries, b.qoe.fetch_retries);
+  EXPECT_EQ(a.wall, b.wall);
+  EXPECT_EQ(a.played, b.played);
+  EXPECT_EQ(a.live_latency, b.live_latency);
+  EXPECT_EQ(a.freq_transitions, b.freq_transitions);
+  EXPECT_EQ(a.busy_fraction, b.busy_fraction);
+  EXPECT_EQ(a.radio_promotions, b.radio_promotions);
+  EXPECT_EQ(a.vafs_decode_mape, b.vafs_decode_mape);
+  EXPECT_EQ(a.vafs_plans, b.vafs_plans);
+  EXPECT_EQ(a.vafs_setspeed_writes, b.vafs_setspeed_writes);
+  EXPECT_EQ(a.fault_windows, b.fault_windows);
+  EXPECT_EQ(a.vafs_fallback_time, b.vafs_fallback_time);
+  EXPECT_EQ(a.sim_events, b.sim_events);
+  EXPECT_EQ(a.trace_digest, b.trace_digest);
+  EXPECT_EQ(a.trace_events, b.trace_events);
+  ASSERT_EQ(a.residency.size(), b.residency.size());
+  for (std::size_t i = 0; i < a.residency.size(); ++i) {
+    EXPECT_EQ(a.residency[i].first, b.residency[i].first);
+    EXPECT_EQ(a.residency[i].second, b.residency[i].second);
+  }
+}
+
+/// Full-grid bitwise comparison: per-run results (digests included),
+/// failure lists (message-exact) and Welford aggregate state bits.
+void expect_grids_identical(const exp::ResultSet& a, const exp::ResultSet& b) {
+  ASSERT_EQ(a.all().size(), b.all().size());
+  for (std::size_t s = 0; s < a.all().size(); ++s) {
+    const exp::ScenarioResult& sa = a.all()[s];
+    const exp::ScenarioResult& sb = b.all()[s];
+    EXPECT_EQ(sa.spec.id, sb.spec.id);
+    ASSERT_EQ(sa.runs.size(), sb.runs.size());
+    for (std::size_t r = 0; r < sa.runs.size(); ++r) expect_identical(sa.runs[r], sb.runs[r]);
+    ASSERT_EQ(sa.failures.size(), sb.failures.size());
+    for (std::size_t f = 0; f < sa.failures.size(); ++f) {
+      EXPECT_EQ(sa.failures[f].seed_index, sb.failures[f].seed_index);
+      EXPECT_EQ(sa.failures[f].seed, sb.failures[f].seed);
+      EXPECT_EQ(sa.failures[f].message, sb.failures[f].message);
+    }
+    EXPECT_EQ(sa.agg.runs, sb.agg.runs);
+    EXPECT_EQ(sa.agg.all_finished, sb.agg.all_finished);
+    for (const auto& m : exp::Aggregate::metrics()) {
+      const sim::OnlineStats::State ma = (sa.agg.*m.member).state();
+      const sim::OnlineStats::State mb = (sb.agg.*m.member).state();
+      EXPECT_EQ(ma.n, mb.n) << m.name;
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(ma.mean), std::bit_cast<std::uint64_t>(mb.mean))
+          << m.name;
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(ma.m2), std::bit_cast<std::uint64_t>(mb.m2))
+          << m.name;
+    }
+  }
+}
+
+exp::ResultSet run_with(const std::vector<exp::ScenarioSpec>& scenarios,
+                        const std::vector<std::uint64_t>& seeds, int jobs, int batch) {
+  exp::RunOptions opts;
+  opts.jobs = jobs;
+  opts.batch = batch;
+  opts.seeds = seeds;
+  opts.trace = true;  // digests in every result: one reordered RNG draw shows up
+  return exp::run_grid(scenarios, opts);
+}
+
+// ---------------------------------------------------------- differential
+
+TEST(BatchDifferential, MatchesSerialAcrossBatchSizesAndJobs) {
+  exp::ExperimentGrid grid(small_config());
+  grid.governors({"ondemand", "schedutil", "vafs"}).reps({{0, "360p"}, {2, "720p"}});
+  const auto scenarios = grid.scenarios();
+  const std::vector<std::uint64_t> seeds = {101, 202};
+
+  const exp::ResultSet serial = run_with(scenarios, seeds, 1, 1);
+  ASSERT_GT(serial.all().front().run0().trace_events, 0u);
+
+  for (const int batch : {1, 4, 32}) {
+    for (const int jobs : {1, 4}) {
+      SCOPED_TRACE("batch=" + std::to_string(batch) + " jobs=" + std::to_string(jobs));
+      expect_grids_identical(serial, run_with(scenarios, seeds, jobs, batch));
+    }
+  }
+}
+
+TEST(BatchDifferential, RaggedChunksCoverEveryTask) {
+  // 2 scenarios x 5 seeds = 10 tasks: batch 4 gives chunks of 4, 4, 2 and
+  // batch 7 gives 7, 3 — the last pack is ragged either way, and a batch
+  // wider than the whole grid degenerates to one pack. Every cell must
+  // land in its slot regardless.
+  exp::ExperimentGrid grid(small_config());
+  grid.governors({"ondemand", "vafs"});
+  const auto scenarios = grid.scenarios();
+  const std::vector<std::uint64_t> seeds = {1, 2, 3, 4, 5};
+
+  const exp::ResultSet serial = run_with(scenarios, seeds, 1, 1);
+  for (const int batch : {3, 4, 7, 16}) {
+    SCOPED_TRACE("batch=" + std::to_string(batch));
+    expect_grids_identical(serial, run_with(scenarios, seeds, 1, batch));
+  }
+}
+
+TEST(BatchDifferential, StaggeredSessionEndsRetireLanesIndependently) {
+  // Lanes in one pack end at very different sim times (8 s through 40 s
+  // of media): short lanes retire and leave the wheel while long ones run
+  // on. One pack covers the whole grid, so every retirement happens
+  // mid-batch.
+  std::vector<std::pair<std::string, exp::ExperimentGrid::Mutator>> durations;
+  for (const int secs : {8, 20, 40}) {
+    durations.emplace_back(std::to_string(secs) + "s", [secs](core::SessionConfig& c) {
+      c.media_duration = sim::SimTime::seconds(secs);
+    });
+  }
+  exp::ExperimentGrid grid(small_config());
+  grid.governors({"ondemand", "vafs"}).axis("dur", std::move(durations));
+  const auto scenarios = grid.scenarios();
+  const std::vector<std::uint64_t> seeds = {101, 202};
+
+  const exp::ResultSet serial = run_with(scenarios, seeds, 1, 1);
+  // Durations really differ (wall time tracks media length).
+  const sim::SimTime w_short = serial.at({{"governor", "ondemand"}, {"dur", "8s"}}).run0().wall;
+  const sim::SimTime w_long = serial.at({{"governor", "ondemand"}, {"dur", "40s"}}).run0().wall;
+  ASSERT_LT(w_short, w_long);
+
+  expect_grids_identical(serial, run_with(scenarios, seeds, 1, 64));
+  expect_grids_identical(serial, run_with(scenarios, seeds, 4, 4));
+}
+
+TEST(BatchDifferential, FaultWindowsMidBatchMatchSerial) {
+  // The harsh fault plan (bandwidth collapses, thermal caps, fetch
+  // failures and hangs) fires while other lanes are interleaved on the
+  // same wheel; retries and backoff jitter draws must be untouched.
+  core::SessionConfig base = small_config();
+  base.media_duration = sim::SimTime::seconds(30);
+  base.fault = fault::FaultPlanConfig::harsh();
+  base.downloader.attempt_timeout = sim::SimTime::seconds(6);
+  base.downloader.max_attempts = 4;
+  base.vafs.watchdog.enabled = true;
+  exp::ExperimentGrid grid(base);
+  grid.governors({"ondemand", "vafs"});
+  const auto scenarios = grid.scenarios();
+  const std::vector<std::uint64_t> seeds = {101, 202, 303};
+
+  const exp::ResultSet serial = run_with(scenarios, seeds, 1, 1);
+  // The plan actually fired somewhere.
+  double windows = 0.0;
+  for (const auto& sr : serial.all()) {
+    for (const auto& run : sr.runs) windows += static_cast<double>(run.fault_windows);
+  }
+  ASSERT_GT(windows, 0.0);
+
+  for (const int batch : {2, 6}) {
+    for (const int jobs : {1, 4}) {
+      SCOPED_TRACE("batch=" + std::to_string(batch) + " jobs=" + std::to_string(jobs));
+      expect_grids_identical(serial, run_with(scenarios, seeds, jobs, batch));
+    }
+  }
+}
+
+TEST(BatchDifferential, RngKeyingUnchangedByBatchBoundaries) {
+  // Fetch fates and retry backoff jitter are keyed per (fetch, attempt),
+  // not drawn from any shared stream — so sliding the pack boundary
+  // across a retrying session (every batch width cuts the 8-task grid
+  // differently) must not move a single draw. The digests would show it.
+  core::SessionConfig base = small_config();
+  base.fault.fetch_failure_prob = 0.15;
+  base.fault.fetch_hang_prob = 0.05;
+  base.downloader.attempt_timeout = sim::SimTime::seconds(6);
+  base.downloader.max_attempts = 4;
+  exp::ExperimentGrid grid(base);
+  grid.governors({"ondemand", "vafs"});
+  const auto scenarios = grid.scenarios();
+  const std::vector<std::uint64_t> seeds = {11, 22, 33, 44};
+
+  const exp::ResultSet serial = run_with(scenarios, seeds, 1, 1);
+  double retries = 0.0;
+  for (const auto& sr : serial.all()) retries += sr.agg.fetch_retries.sum();
+  ASSERT_GT(retries, 0.0);
+
+  for (const int batch : {2, 3, 5, 8}) {
+    SCOPED_TRACE("batch=" + std::to_string(batch));
+    expect_grids_identical(serial, run_with(scenarios, seeds, 1, batch));
+  }
+}
+
+TEST(BatchDifferential, FailureMessagesMatchSerialExactly) {
+  // One scenario that throws at bring-up (kTrace with no trace) packed
+  // between two good ones: the bad cell's error string must be
+  // byte-identical to the serial path's, and the batchmates must come out
+  // bitwise untouched.
+  std::vector<exp::ScenarioSpec> scenarios(3);
+  scenarios[0].id = "good-a";
+  scenarios[0].config = small_config();
+  scenarios[1].id = "bad";
+  scenarios[1].config = small_config();
+  scenarios[1].config.net = core::NetProfile::kTrace;
+  scenarios[2].id = "good-b";
+  scenarios[2].config = small_config();
+  scenarios[2].config.governor = "vafs";
+  const std::vector<std::uint64_t> seeds = {101, 202};
+
+  const exp::ResultSet serial = run_with(scenarios, seeds, 1, 1);
+  ASSERT_EQ(serial.all()[1].failures.size(), 2u);
+  EXPECT_NE(serial.all()[1].failures[0].message.find("scenario 'bad' seed 101"),
+            std::string::npos);
+
+  for (const int batch : {2, 6}) {
+    for (const int jobs : {1, 4}) {
+      SCOPED_TRACE("batch=" + std::to_string(batch) + " jobs=" + std::to_string(jobs));
+      expect_grids_identical(serial, run_with(scenarios, seeds, jobs, batch));
+    }
+  }
+}
+
+// ------------------------------------------------------ SessionBatch API
+
+TEST(SessionBatchApi, AdmitRunFinishMatchesRunSession) {
+  const char* governors[] = {"ondemand", "schedutil", "vafs"};
+
+  std::vector<core::SessionResult> serial;
+  for (const char* governor : governors) {
+    core::SessionConfig config = small_config();
+    config.governor = governor;
+    obs::Tracer tracer{obs::Tracer::Config{0}};
+    core::SessionHooks hooks;
+    hooks.tracer = &tracer;
+    serial.push_back(core::run_session(config, hooks));
+  }
+
+  std::vector<core::SessionConfig> configs;
+  std::deque<obs::Tracer> tracers;  // Tracer is pinned: deque, not vector
+  for (const char* governor : governors) {
+    configs.push_back(small_config());
+    configs.back().governor = governor;
+    tracers.emplace_back(obs::Tracer::Config{0});
+  }
+  core::SessionBatch batch(configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    core::SessionHooks hooks;
+    hooks.tracer = &tracers[i];
+    EXPECT_EQ(batch.admit(configs[i], hooks, nullptr), i);
+  }
+  EXPECT_EQ(batch.size(), 3u);
+  batch.run();
+  batch.run();  // idempotent: all lanes already retired
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    expect_identical(serial[i], batch.finish(i));
+  }
+}
+
+TEST(SessionBatchApi, QuantumDoesNotChangeResults) {
+  // Strict per-event lockstep (quantum 0), the default, and a quantum so
+  // large each lane runs to retirement in one burst: identical bits. The
+  // interleaving is unobservable because lanes share nothing.
+  const std::vector<sim::SimTime> quanta = {sim::SimTime{}, sim::SimTime::millis(250),
+                                            sim::SimTime::seconds(1000000)};
+  std::vector<std::vector<core::SessionResult>> per_quantum;
+  for (const sim::SimTime quantum : quanta) {
+    std::vector<core::SessionConfig> configs;
+    for (const char* governor : {"ondemand", "vafs"}) {
+      configs.push_back(small_config());
+      configs.back().governor = governor;
+    }
+    std::deque<obs::Tracer> tracers;
+    tracers.emplace_back(obs::Tracer::Config{0});
+    tracers.emplace_back(obs::Tracer::Config{0});
+    core::SessionBatch batch(configs.size(), quantum);
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+      core::SessionHooks hooks;
+      hooks.tracer = &tracers[i];
+      batch.admit(configs[i], hooks, nullptr);
+    }
+    batch.run();
+    std::vector<core::SessionResult> results;
+    for (std::size_t i = 0; i < configs.size(); ++i) results.push_back(batch.finish(i));
+    per_quantum.push_back(std::move(results));
+  }
+  for (std::size_t q = 1; q < per_quantum.size(); ++q) {
+    for (std::size_t i = 0; i < per_quantum[0].size(); ++i) {
+      SCOPED_TRACE("quantum index " + std::to_string(q));
+      expect_identical(per_quantum[0][i], per_quantum[q][i]);
+    }
+  }
+}
+
+TEST(SessionBatchApi, AdmitThrowLeavesBatchmatesUntouched) {
+  core::SessionConfig good = small_config();
+  const core::SessionResult solo = core::run_session(good);
+
+  core::SessionBatch batch;
+  EXPECT_EQ(batch.admit(good, {}, nullptr), 0u);
+
+  core::SessionConfig bad = small_config();
+  bad.net = core::NetProfile::kTrace;  // trace left empty -> SessionError
+  EXPECT_THROW(batch.admit(bad, {}, nullptr), core::SessionError);
+
+  // The failed admit consumed no lane; a later admit still works and both
+  // survivors run to the exact serial result.
+  EXPECT_EQ(batch.admit(good, {}, nullptr), 1u);
+  EXPECT_EQ(batch.size(), 2u);
+  batch.run();
+  expect_identical(solo, batch.finish(0));
+  expect_identical(solo, batch.finish(1));
+}
+
+// ----------------------------------------------------------- fleet batch
+
+fleet::FleetOptions fleet_opts(const std::vector<std::uint64_t>& seeds, int jobs, int batch) {
+  fleet::FleetOptions opts;
+  opts.jobs = jobs;
+  opts.batch = batch;
+  opts.seeds = seeds;
+  opts.shard_size = 3;
+  return opts;
+}
+
+TEST(FleetBatch, DigestChainInvariantAcrossBatchAndJobs) {
+  exp::ExperimentGrid grid(small_config());
+  grid.governors({"ondemand", "vafs"});
+  const auto scenarios = grid.scenarios();
+  const std::vector<std::uint64_t> seeds = {101, 202, 303, 404, 505};
+
+  const fleet::FleetResult serial = fleet::run_fleet(scenarios, fleet_opts(seeds, 1, 1));
+  ASSERT_TRUE(serial.ok()) << serial.error;
+  ASSERT_NE(serial.digest_chain, 0u);
+
+  for (const int batch : {2, 7, 32}) {
+    for (const int jobs : {1, 4}) {
+      SCOPED_TRACE("batch=" + std::to_string(batch) + " jobs=" + std::to_string(jobs));
+      const fleet::FleetResult result = fleet::run_fleet(scenarios, fleet_opts(seeds, jobs, batch));
+      ASSERT_TRUE(result.ok()) << result.error;
+      EXPECT_TRUE(result.complete());
+      EXPECT_EQ(result.digest_chain, serial.digest_chain);
+      ASSERT_EQ(result.scenarios.size(), serial.scenarios.size());
+      for (std::size_t s = 0; s < serial.scenarios.size(); ++s) {
+        for (const auto& m : exp::Aggregate::metrics()) {
+          const sim::OnlineStats::State ma = (serial.scenarios[s].agg.*m.member).state();
+          const sim::OnlineStats::State mb = (result.scenarios[s].agg.*m.member).state();
+          EXPECT_EQ(std::bit_cast<std::uint64_t>(ma.mean), std::bit_cast<std::uint64_t>(mb.mean))
+              << m.name;
+          EXPECT_EQ(std::bit_cast<std::uint64_t>(ma.m2), std::bit_cast<std::uint64_t>(mb.m2))
+              << m.name;
+        }
+      }
+    }
+  }
+}
+
+TEST(FleetBatch, KillAndResumeInBatchModeMatchesSerialSpool) {
+  // Serial uninterrupted run is the byte-level reference; a batch-mode run
+  // killed mid-grid and resumed at a *different* batch width must converge
+  // to the same digest chain and the same spool bytes. Batch width is a
+  // per-worker execution detail — nothing about it may leak into the
+  // checkpoint or the row stream.
+  exp::ExperimentGrid grid(small_config());
+  grid.governors({"ondemand", "vafs"});
+  const auto scenarios = grid.scenarios();
+  const std::vector<std::uint64_t> seeds = {101, 202, 303, 404, 505};
+
+  const auto checkpointed = [&](const fs::path& dir, int batch) {
+    fleet::FleetOptions opts = fleet_opts(seeds, 4, batch);
+    opts.shard_size = 2;
+    opts.checkpoint_dir = dir.string();
+    opts.checkpoint_every_shards = 1;
+    opts.spool.format = fleet::SpoolFormat::kCsv;
+    return opts;
+  };
+
+  const fs::path ref_dir = fresh_dir("batch_resume_ref");
+  const fleet::FleetResult whole = fleet::run_fleet(scenarios, checkpointed(ref_dir, 1));
+  ASSERT_TRUE(whole.complete()) << whole.error;
+  const std::string ref_spool = slurp(ref_dir / "spool.csv");
+  ASSERT_FALSE(ref_spool.empty());
+
+  const fs::path dir = fresh_dir("batch_resume_kill");
+  fleet::FleetOptions killed_opts = checkpointed(dir, 7);
+  killed_opts.on_progress = [](std::uint64_t done, std::uint64_t) { return done < 2; };
+  const fleet::FleetResult killed = fleet::run_fleet(scenarios, killed_opts);
+  ASSERT_TRUE(killed.ok()) << killed.error;
+  ASSERT_TRUE(killed.stopped);
+
+  fleet::FleetOptions resume_opts = checkpointed(dir, 32);
+  resume_opts.resume = true;
+  const fleet::FleetResult resumed = fleet::run_fleet(scenarios, resume_opts);
+  ASSERT_TRUE(resumed.complete()) << resumed.error;
+  EXPECT_EQ(resumed.digest_chain, whole.digest_chain);
+  EXPECT_GT(resumed.sessions_resumed, 0u);
+  EXPECT_EQ(slurp(dir / "spool.csv"), ref_spool);
+}
+
+}  // namespace
+}  // namespace vafs

@@ -38,9 +38,21 @@ BASELINE_METRICS = {
     "throughput:t1_events_per_sec": "higher",
     "throughput:net_sessions_per_sec": "higher",
     "throughput:net_events_per_sec": "higher",
+    "throughput:t1_batch4_sessions_per_sec": "higher",
+    "throughput:t1_batch8_sessions_per_sec": "higher",
+    "throughput:t1_batch32_sessions_per_sec": "higher",
     "f9:BM_EventScheduleAndFire": "lower",
     "f9:BM_VafsPlanDecision": "lower",
     "f9:BM_FullSessionSimulation": "lower",
+}
+
+# The serial reference each batch metric is compared against in the
+# serial-vs-batch delta table (informational; the regression gate above is
+# what fails the build).
+BATCH_METRIC_SERIAL_REF = {
+    "throughput:t1_batch4_sessions_per_sec": "throughput:t1_sessions_per_sec",
+    "throughput:t1_batch8_sessions_per_sec": "throughput:t1_sessions_per_sec",
+    "throughput:t1_batch32_sessions_per_sec": "throughput:t1_sessions_per_sec",
 }
 
 
@@ -102,11 +114,62 @@ def fmt(value: float) -> str:
     return f"{value:.3g}"
 
 
+def batch_delta_table(current: dict[str, float]) -> str:
+    """Markdown table of batch-mode throughput vs its serial reference.
+
+    Informational (the regression gate handles pass/fail): shows what the
+    lockstep batch path delivers relative to one-session-at-a-time on the
+    same run, for the job summary.
+    """
+    rows = []
+    for name, ref in BATCH_METRIC_SERIAL_REF.items():
+        if name in current and ref in current and current[ref] > 0:
+            rows.append((name, current[ref], current[name], current[name] / current[ref]))
+    if not rows:
+        return ""
+    lines = [
+        "### Serial vs batch throughput",
+        "",
+        "| metric | serial | batch | speedup |",
+        "|---|---:|---:|---:|",
+    ]
+    for name, serial, batch, ratio in rows:
+        lines.append(f"| `{name}` | {fmt(serial)} | {fmt(batch)} | {ratio:.2f}x |")
+    return "\n".join(lines)
+
+
 def check(baseline_path: str, current: dict[str, float], threshold: float) -> int:
     baseline = load_json(baseline_path)
+    baseline_metrics = baseline.get("metrics", {})
+
+    # A metric the gate tracks (BASELINE_METRICS) that the current run
+    # produced but the checked-in baseline has no entry for means the
+    # baseline predates the bench grid — say so instead of silently
+    # skipping the new metric (or KeyError-ing below on a malformed entry).
+    stale = [
+        name
+        for name in BASELINE_METRICS
+        if name in current and name not in baseline_metrics
+    ]
+    if stale:
+        sys.exit(
+            f"error: baseline {baseline_path} has no entry for: "
+            + ", ".join(sorted(stale))
+            + "\nthe baseline predates these bench metrics — refresh it with "
+            "--update-baseline after verifying the numbers"
+        )
+
     rows = []
     failures = []
-    for name, spec in baseline.get("metrics", {}).items():
+    for name, spec in baseline_metrics.items():
+        if not isinstance(spec, dict) or not isinstance(
+            spec.get("value"), (int, float)
+        ):
+            sys.exit(
+                f"error: baseline {baseline_path} entry {name!r} is malformed "
+                f"(expected an object with a numeric 'value', got {spec!r}); "
+                "refresh it with --update-baseline"
+            )
         base = float(spec["value"])
         direction = spec.get("direction", "higher")
         cur = current.get(name)
@@ -139,10 +202,17 @@ def check(baseline_path: str, current: dict[str, float], threshold: float) -> in
     table = "\n".join(lines)
     print(table)
 
+    batch_table = batch_delta_table(current)
+    if batch_table:
+        print()
+        print(batch_table)
+
     summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
     if summary_path:
         with open(summary_path, "a", encoding="utf-8") as fh:
             fh.write(table + "\n")
+            if batch_table:
+                fh.write("\n" + batch_table + "\n")
 
     if failures:
         print("\nperf gate FAILED:", file=sys.stderr)
