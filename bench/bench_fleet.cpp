@@ -15,6 +15,7 @@
 #include <sys/resource.h>
 
 #include <atomic>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <fstream>
@@ -29,6 +30,7 @@
 #include "fault/plan.h"
 #include "fleet/fleet_runner.h"
 #include "obs/export.h"
+#include "supervise/supervisor.h"
 
 namespace {
 
@@ -107,18 +109,61 @@ int main(int argc, char** argv) {
   fopts.checkpoint_dir = options.checkpoint_dir;
   fopts.resume = options.resume;
   fopts.trace = options.trace_flag != 0;  // default on: the digest chain IS the result
+  fopts.task_timeout_ms = options.task_timeout_ms;
   if (options.spool == "csv") fopts.spool.format = fleet::SpoolFormat::kCsv;
   if (options.spool == "jsonl") fopts.spool.format = fleet::SpoolFormat::kJsonl;
   fopts.on_progress = [](std::uint64_t, std::uint64_t) {
     return !g_stop.load(std::memory_order_relaxed);
   };
 
-  std::printf("fleet: %zu scenarios x %zu seeds = %llu sessions, shard size %zu, %d jobs, "
+  const bool supervised = options.supervise > 0;
+  if (supervised && options.batch > 1) {
+    std::fprintf(stderr, "bench_fleet: --supervise and --batch are mutually exclusive "
+                 "(supervised workers run the serial per-task path)\n");
+    return 2;
+  }
+  if (options.chaos_stall > 0 && options.task_deadline_ms == 0) {
+    std::fprintf(stderr, "bench_fleet: --chaos-stall needs --task-deadline-ms: a stalled "
+                 "worker keeps heartbeating, so only the task deadline can reap it\n");
+    return 2;
+  }
+  if (!supervised && (options.chaos_enabled() || options.task_deadline_ms > 0 ||
+                      options.worker_as_limit_mb > 0 || options.worker_rss_limit_mb > 0)) {
+    std::fprintf(stderr, "bench_fleet: chaos/deadline/worker-budget flags need --supervise N\n");
+    return 2;
+  }
+
+  std::printf("fleet: %zu scenarios x %zu seeds = %llu sessions, shard size %zu, %d %s, "
               "batch %d\n",
               scenarios.size(), fopts.seeds.size(), static_cast<unsigned long long>(tasks),
-              fopts.shard_size, fopts.jobs, fopts.batch);
+              fopts.shard_size, supervised ? options.supervise : fopts.jobs,
+              supervised ? "supervised workers" : "jobs", fopts.batch);
 
-  const fleet::FleetResult result = run_fleet(scenarios, fopts);
+  supervise::SupervisedResult sup;
+  const auto t0 = std::chrono::steady_clock::now();
+  if (supervised) {
+    supervise::SuperviseOptions sopts;
+    sopts.workers = options.supervise;
+    sopts.task_deadline_ms = options.task_deadline_ms;
+    sopts.heartbeat_interval_ms = options.heartbeat_ms;
+    sopts.heartbeat_timeout_ms = options.heartbeat_timeout_ms;
+    sopts.max_task_attempts = options.task_retries;
+    sopts.worker_as_limit_mb = options.worker_as_limit_mb;
+    sopts.worker_rss_limit_mb = options.worker_rss_limit_mb;
+    sopts.chaos.seed = options.chaos_seed;
+    sopts.chaos.crash = options.chaos_crash;
+    sopts.chaos.abort_rate = options.chaos_abort;
+    sopts.chaos.exit_rate = options.chaos_exit;
+    sopts.chaos.hang_silent = options.chaos_hang;
+    sopts.chaos.stall = options.chaos_stall;
+    sopts.chaos.leak = options.chaos_leak;
+    sup = run_supervised(scenarios, fopts, sopts);
+  } else {
+    sup.fleet = run_fleet(scenarios, fopts);
+  }
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  const fleet::FleetResult& result = sup.fleet;
   const double rss_mib = peak_rss_mib();
 
   if (!result.ok()) {
@@ -138,12 +183,36 @@ int main(int argc, char** argv) {
   }
 
   std::printf("fleet: %llu/%llu shards folded (%llu sessions run, %llu resumed, %zu failed), "
-              "digest chain %s, peak RSS %.1f MiB\n",
+              "digest chain %s, peak RSS %.1f MiB, %.2f s (%.0f sessions/s)\n",
               static_cast<unsigned long long>(result.shards_done),
               static_cast<unsigned long long>(result.shard_count),
               static_cast<unsigned long long>(result.sessions_run),
               static_cast<unsigned long long>(result.sessions_resumed), result.failures.size(),
-              obs::digest_hex(result.digest_chain).c_str(), rss_mib);
+              obs::digest_hex(result.digest_chain).c_str(), rss_mib, elapsed_s,
+              elapsed_s > 0 ? static_cast<double>(result.sessions_run) / elapsed_s : 0.0);
+
+  if (supervised) {
+    std::printf("supervise: %llu spawns, %llu deaths (%llu heartbeat, %llu deadline, %llu rss "
+                "kills), %llu retries, %zu quarantined (%llu resumed)\n",
+                static_cast<unsigned long long>(sup.worker_spawns),
+                static_cast<unsigned long long>(sup.worker_deaths),
+                static_cast<unsigned long long>(sup.heartbeat_kills),
+                static_cast<unsigned long long>(sup.deadline_kills),
+                static_cast<unsigned long long>(sup.rss_kills),
+                static_cast<unsigned long long>(sup.task_retries), sup.quarantine.size(),
+                static_cast<unsigned long long>(sup.quarantined_resumed));
+    for (const auto& q : sup.quarantine) {
+      std::string fates;
+      for (std::size_t i = 0; i < q.fates.size(); ++i) {
+        if (i > 0) fates += ',';
+        fates += q.fates[i];
+      }
+      std::fprintf(stderr, "quarantined: task %llu scenario %s seed %llu after %d attempts "
+                   "[%s]\n",
+                   static_cast<unsigned long long>(q.task_index), q.scenario.c_str(),
+                   static_cast<unsigned long long>(q.seed), q.attempts, fates.c_str());
+    }
+  }
 
   // Artifact (skipped when stopped mid-run: partial aggregates are the
   // checkpoint's job, not the artifact's).
@@ -159,6 +228,23 @@ int main(int argc, char** argv) {
     root.set("fingerprint", obs::digest_hex(result.fingerprint));
     root.set("failures", static_cast<std::uint64_t>(result.failures.size()));
     root.set("peak_rss_mib", rss_mib);
+    root.set("elapsed_s", elapsed_s);
+    root.set("sessions_per_sec",
+             elapsed_s > 0 ? static_cast<double>(result.sessions_run) / elapsed_s : 0.0);
+    root.set("supervised", supervised ? static_cast<std::uint64_t>(options.supervise)
+                                      : static_cast<std::uint64_t>(0));
+    if (supervised) {
+      exp::Json sv = exp::Json::object();
+      sv.set("worker_spawns", sup.worker_spawns);
+      sv.set("worker_deaths", sup.worker_deaths);
+      sv.set("heartbeat_kills", sup.heartbeat_kills);
+      sv.set("deadline_kills", sup.deadline_kills);
+      sv.set("rss_kills", sup.rss_kills);
+      sv.set("task_retries", sup.task_retries);
+      sv.set("quarantined", static_cast<std::uint64_t>(sup.quarantine.size()));
+      sv.set("quarantined_resumed", sup.quarantined_resumed);
+      root.set("supervise", std::move(sv));
+    }
     exp::Json scen = exp::Json::object();
     for (const auto& fs : result.scenarios) {
       exp::Json cell = exp::Json::object();

@@ -121,6 +121,12 @@ struct SessionConfig {
   std::uint64_t seed = 42;
   /// Hard simulation cap — a safety net for pathological configurations.
   sim::SimTime sim_cap = sim::SimTime::seconds(1800);
+  /// Wall-clock budget for the whole session, 0 = unlimited. A harness
+  /// knob, not a model parameter: the deadline is checked between events
+  /// (every few thousand steps), and an over-budget session throws
+  /// SessionError with a deterministic message, so it surfaces as a
+  /// captured task failure rather than an indefinite hang.
+  std::int64_t task_timeout_ms = 0;
 };
 
 struct SessionResult {

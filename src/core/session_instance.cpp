@@ -349,6 +349,12 @@ SessionInstance::SessionInstance(const SessionConfig& config, const SessionHooks
 
   meter_->reset();
   player_->start([this] { done_ = true; });
+
+  if (config.task_timeout_ms > 0) {
+    deadline_armed_ = true;
+    wall_deadline_ =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(config.task_timeout_ms);
+  }
 }
 
 SessionInstance::~SessionInstance() = default;
@@ -357,6 +363,13 @@ bool SessionInstance::step_one() {
   // Governor timers run forever, so the queue never drains on its own;
   // the session retires on the player's completion (or the safety cap).
   if (done_ || simulator_.now() >= config_->sim_cap) return false;
+  if (deadline_armed_ && (++deadline_ticks_ & 0xFFF) == 0 &&
+      std::chrono::steady_clock::now() >= wall_deadline_) {
+    // Deterministic message (no tick or time counts): the same timed-out
+    // task produces the same captured failure text on every run.
+    throw SessionError("wall-clock task timeout: task_timeout_ms=" +
+                       std::to_string(config_->task_timeout_ms) + " exceeded");
+  }
   return simulator_.step();
 }
 

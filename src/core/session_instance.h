@@ -9,6 +9,8 @@
 // source of truth, which is what makes batch == serial bitwise.
 #pragma once
 
+#include <chrono>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -96,6 +98,13 @@ class SessionInstance {
   std::unique_ptr<energy::DeviceEnergyMeter> meter_;
 
   bool done_ = false;
+
+  // Cooperative wall-clock deadline (config.task_timeout_ms > 0). The
+  // clock is sampled every 4096 steps so on-time sessions pay ~nothing and
+  // execute the identical event sequence with or without a timeout.
+  bool deadline_armed_ = false;
+  std::uint64_t deadline_ticks_ = 0;
+  std::chrono::steady_clock::time_point wall_deadline_{};
 };
 
 }  // namespace vafs::core

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
+#include <string>
 
 #include "obs/trace.h"
 
@@ -15,7 +17,10 @@ CpufreqPolicy::CpufreqPolicy(sim::Simulator& simulator, CpuModel& cpu,
       min_khz_(cpu.opps().min().freq_khz),
       max_khz_(cpu.opps().max().freq_khz) {
   governor_ = registry_.create(default_governor);
-  assert(governor_ && "default governor not registered");
+  if (!governor_) {
+    throw std::runtime_error("cpufreq: unknown governor '" + std::string(default_governor) +
+                             "'");
+  }
   governor_->start(*this);
 }
 

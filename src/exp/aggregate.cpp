@@ -3,42 +3,55 @@
 namespace vafs::exp {
 
 void Aggregate::add(const core::SessionResult& r) {
-  all_finished = all_finished && r.finished;
-  cpu_mj.add(r.energy.cpu_mj);
-  radio_mj.add(r.energy.radio_mj);
-  display_mj.add(r.energy.display_mj);
-  total_mj.add(r.energy.total_mj());
-  cpu_mean_mw.add(r.energy.cpu_mean_mw());
-  startup_s.add(r.qoe.startup_delay.as_seconds_f());
-  rebuffer_events.add(static_cast<double>(r.qoe.rebuffer_events));
-  rebuffer_s.add(r.qoe.rebuffer_time.as_seconds_f());
-  drop_pct.add(r.qoe.drop_ratio() * 100.0);
-  deadline_misses.add(static_cast<double>(r.qoe.deadline_misses));
-  quality_switches.add(static_cast<double>(r.qoe.quality_switches));
-  mean_bitrate_kbps.add(r.qoe.mean_bitrate_kbps);
-  transitions.add(static_cast<double>(r.freq_transitions));
-  busy_fraction.add(r.busy_fraction);
-  wall_s.add(r.wall.as_seconds_f());
-  live_latency_s.add(r.live_latency.as_seconds_f());
-  radio_promotions.add(static_cast<double>(r.radio_promotions));
-  vafs_mape.add(r.vafs_decode_mape);
-  vafs_plans.add(static_cast<double>(r.vafs_plans));
-  vafs_setspeed_writes.add(static_cast<double>(r.vafs_setspeed_writes));
-  peak_temp_c.add(r.peak_temp_c);
-  mean_temp_c.add(r.mean_temp_c);
-  throttled_s.add(r.throttled_time.as_seconds_f());
-  throttle_events.add(static_cast<double>(r.throttle_events));
-  cpu_little_mj.add(r.cpu_little_mj);
-  transitions_little.add(static_cast<double>(r.freq_transitions_little));
-  decode_frames_big.add(static_cast<double>(r.decode_frames_big));
-  decode_frames_little.add(static_cast<double>(r.decode_frames_little));
-  decode_migrations.add(static_cast<double>(r.decode_migrations));
-  fetch_retries.add(static_cast<double>(r.qoe.fetch_retries));
-  fetch_failures.add(static_cast<double>(r.qoe.fetch_failures));
-  fetch_timeouts.add(static_cast<double>(r.fetch_timeouts));
-  vafs_fallback_entries.add(static_cast<double>(r.vafs_fallback_entries));
-  vafs_fallback_s.add(r.vafs_fallback_time.as_seconds_f());
-  vafs_sysfs_write_errors.add(static_cast<double>(r.vafs_sysfs_write_errors));
+  double values[kMetricCount];
+  session_values(r, values);
+  add_values(values, r.finished);
+}
+
+void Aggregate::session_values(const core::SessionResult& r, double* out) {
+  std::size_t i = 0;
+  out[i++] = r.energy.cpu_mj;
+  out[i++] = r.energy.radio_mj;
+  out[i++] = r.energy.display_mj;
+  out[i++] = r.energy.total_mj();
+  out[i++] = r.energy.cpu_mean_mw();
+  out[i++] = r.qoe.startup_delay.as_seconds_f();
+  out[i++] = static_cast<double>(r.qoe.rebuffer_events);
+  out[i++] = r.qoe.rebuffer_time.as_seconds_f();
+  out[i++] = r.qoe.drop_ratio() * 100.0;
+  out[i++] = static_cast<double>(r.qoe.deadline_misses);
+  out[i++] = static_cast<double>(r.qoe.quality_switches);
+  out[i++] = r.qoe.mean_bitrate_kbps;
+  out[i++] = static_cast<double>(r.freq_transitions);
+  out[i++] = r.busy_fraction;
+  out[i++] = r.wall.as_seconds_f();
+  out[i++] = r.live_latency.as_seconds_f();
+  out[i++] = static_cast<double>(r.radio_promotions);
+  out[i++] = r.vafs_decode_mape;
+  out[i++] = static_cast<double>(r.vafs_plans);
+  out[i++] = static_cast<double>(r.vafs_setspeed_writes);
+  out[i++] = r.peak_temp_c;
+  out[i++] = r.mean_temp_c;
+  out[i++] = r.throttled_time.as_seconds_f();
+  out[i++] = static_cast<double>(r.throttle_events);
+  out[i++] = r.cpu_little_mj;
+  out[i++] = static_cast<double>(r.freq_transitions_little);
+  out[i++] = static_cast<double>(r.decode_frames_big);
+  out[i++] = static_cast<double>(r.decode_frames_little);
+  out[i++] = static_cast<double>(r.decode_migrations);
+  out[i++] = static_cast<double>(r.qoe.fetch_retries);
+  out[i++] = static_cast<double>(r.qoe.fetch_failures);
+  out[i++] = static_cast<double>(r.fetch_timeouts);
+  out[i++] = static_cast<double>(r.vafs_fallback_entries);
+  out[i++] = r.vafs_fallback_time.as_seconds_f();
+  out[i++] = static_cast<double>(r.vafs_sysfs_write_errors);
+  static_assert(kMetricCount == 35, "session_values must cover every VAFS_EXP_METRICS entry");
+}
+
+void Aggregate::add_values(const double* values, bool finished) {
+  all_finished = all_finished && finished;
+  const auto& table = metrics();
+  for (std::size_t i = 0; i < table.size(); ++i) (this->*(table[i].member)).add(values[i]);
   ++runs;
 }
 

@@ -52,6 +52,12 @@ namespace vafs::exp {
   X(vafs_fallback_s)        \
   X(vafs_sysfs_write_errors)
 
+/// Number of metrics in VAFS_EXP_METRICS — the width of a session's value
+/// vector as it crosses the supervisor wire and lands in the spool.
+#define VAFS_EXP_COUNT(name) +1
+inline constexpr std::size_t kMetricCount = 0 VAFS_EXP_METRICS(VAFS_EXP_COUNT);
+#undef VAFS_EXP_COUNT
+
 struct Aggregate {
 #define VAFS_EXP_DECLARE(name) sim::OnlineStats name;
   VAFS_EXP_METRICS(VAFS_EXP_DECLARE)
@@ -60,8 +66,16 @@ struct Aggregate {
   int runs = 0;
   bool all_finished = true;
 
-  /// Folds one session's scalar outputs into every metric.
+  /// Folds one session's scalar outputs into every metric. Implemented as
+  /// session_values + add_values so a value vector that crossed a process
+  /// boundary folds bit-identically to an in-process SessionResult.
   void add(const core::SessionResult& r);
+  /// Extracts the per-metric scalars of one session into out[kMetricCount],
+  /// declaration order — the canonical flattening used by add(), the
+  /// supervisor wire protocol and the spool.
+  static void session_values(const core::SessionResult& r, double* out);
+  /// Folds a pre-extracted value vector (from session_values).
+  void add_values(const double* values, bool finished);
   /// Exact parallel combine (Chan et al. merge under the hood).
   void merge(const Aggregate& other);
 

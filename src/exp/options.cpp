@@ -1,6 +1,7 @@
 #include "exp/options.h"
 
 #include <charconv>
+#include <cstdlib>
 #include <cstring>
 #include <thread>
 
@@ -32,6 +33,15 @@ bool parse_u64(std::string_view s, std::uint64_t* out) {
   if (s.empty()) return false;
   const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), *out);
   return ec == std::errc() && ptr == s.data() + s.size();
+}
+
+bool parse_rate(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end != s.c_str() + s.size() || !(v >= 0.0) || v > 1.0) return false;
+  *out = v;
+  return true;
 }
 
 bool parse_seed_list(std::string_view s, std::vector<std::uint64_t>* out) {
@@ -149,6 +159,86 @@ bool parse_bench_args(int argc, char** argv, BenchOptions* options, std::string*
     } else if (arg == "--mix") {
       if (!next_value(i, arg, inline_value, has_inline, &value)) return false;
       options->mix = value;
+    } else if (arg == "--supervise") {
+      if (!next_value(i, arg, inline_value, has_inline, &value)) return false;
+      std::uint64_t n = 0;
+      if (!parse_u64(value, &n) || n == 0 || n > 1024) {
+        *error = "--supervise wants a worker count in [1, 1024], got '" + value + "'";
+        return false;
+      }
+      options->supervise = static_cast<int>(n);
+    } else if (arg == "--task-timeout-ms") {
+      if (!next_value(i, arg, inline_value, has_inline, &value)) return false;
+      std::uint64_t ms = 0;
+      if (!parse_u64(value, &ms)) {
+        *error = "--task-timeout-ms wants an integer, got '" + value + "'";
+        return false;
+      }
+      options->task_timeout_ms = static_cast<std::int64_t>(ms);
+    } else if (arg == "--task-deadline-ms") {
+      if (!next_value(i, arg, inline_value, has_inline, &value)) return false;
+      std::uint64_t ms = 0;
+      if (!parse_u64(value, &ms)) {
+        *error = "--task-deadline-ms wants an integer, got '" + value + "'";
+        return false;
+      }
+      options->task_deadline_ms = static_cast<std::int64_t>(ms);
+    } else if (arg == "--task-retries") {
+      if (!next_value(i, arg, inline_value, has_inline, &value)) return false;
+      std::uint64_t n = 0;
+      if (!parse_u64(value, &n) || n == 0 || n > 100) {
+        *error = "--task-retries wants an integer in [1, 100], got '" + value + "'";
+        return false;
+      }
+      options->task_retries = static_cast<int>(n);
+    } else if (arg == "--heartbeat-ms") {
+      if (!next_value(i, arg, inline_value, has_inline, &value)) return false;
+      std::uint64_t ms = 0;
+      if (!parse_u64(value, &ms) || ms == 0) {
+        *error = "--heartbeat-ms wants a positive integer, got '" + value + "'";
+        return false;
+      }
+      options->heartbeat_ms = static_cast<std::int64_t>(ms);
+    } else if (arg == "--heartbeat-timeout-ms") {
+      if (!next_value(i, arg, inline_value, has_inline, &value)) return false;
+      std::uint64_t ms = 0;
+      if (!parse_u64(value, &ms)) {
+        *error = "--heartbeat-timeout-ms wants an integer, got '" + value + "'";
+        return false;
+      }
+      options->heartbeat_timeout_ms = static_cast<std::int64_t>(ms);
+    } else if (arg == "--worker-as-limit-mb") {
+      if (!next_value(i, arg, inline_value, has_inline, &value)) return false;
+      if (!parse_u64(value, &options->worker_as_limit_mb)) {
+        *error = "--worker-as-limit-mb wants an integer, got '" + value + "'";
+        return false;
+      }
+    } else if (arg == "--worker-rss-limit-mb") {
+      if (!next_value(i, arg, inline_value, has_inline, &value)) return false;
+      if (!parse_u64(value, &options->worker_rss_limit_mb)) {
+        *error = "--worker-rss-limit-mb wants an integer, got '" + value + "'";
+        return false;
+      }
+    } else if (arg == "--chaos-seed") {
+      if (!next_value(i, arg, inline_value, has_inline, &value)) return false;
+      if (!parse_u64(value, &options->chaos_seed)) {
+        *error = "--chaos-seed wants an integer, got '" + value + "'";
+        return false;
+      }
+    } else if (arg == "--chaos-crash" || arg == "--chaos-abort" || arg == "--chaos-exit" ||
+               arg == "--chaos-hang" || arg == "--chaos-stall" || arg == "--chaos-leak") {
+      if (!next_value(i, arg, inline_value, has_inline, &value)) return false;
+      double rate = 0.0;
+      if (!parse_rate(value, &rate)) {
+        *error = std::string(arg) + " wants a rate in [0, 1], got '" + value + "'";
+        return false;
+      }
+      if (arg == "--chaos-crash") options->chaos_crash = rate;
+      else if (arg == "--chaos-abort") options->chaos_abort = rate;
+      else if (arg == "--chaos-exit") options->chaos_exit = rate;
+      else if (arg == "--chaos-hang") options->chaos_hang = rate;
+      else if (arg == "--chaos-stall") options->chaos_stall = rate;
+      else options->chaos_leak = rate;
     } else {
       *error = "unknown flag '" + std::string(arg) + "'";
       return false;
@@ -187,7 +277,28 @@ std::string fleet_usage() {
          "  --spool F          per-session rows: none (default), csv or jsonl\n"
          "  --rss-limit-mb N   fail if peak RSS exceeds N MiB (0 = report only)\n"
          "  --mix NAME         device-population mix (none, global, premium, budget):\n"
-         "                     each session draws its device profile per seed\n";
+         "                     each session draws its device profile per seed\n"
+         "supervision flags:\n"
+         "  --supervise N      run sessions in N crash/hang/OOM-tolerant worker\n"
+         "                     subprocesses (default: in-process threads)\n"
+         "  --task-timeout-ms N    cooperative per-task deadline: an over-budget\n"
+         "                     session becomes a captured failure (0 = off)\n"
+         "  --task-deadline-ms N   hard external per-task deadline: SIGKILL the\n"
+         "                     worker, retry, quarantine (supervised only; 0 = off)\n"
+         "  --task-retries N   total attempts per task before quarantine (default 3)\n"
+         "  --heartbeat-ms N   worker heartbeat interval (default 250)\n"
+         "  --heartbeat-timeout-ms N  silence before a worker is declared hung\n"
+         "                     and SIGKILLed (default 5000; 0 = off)\n"
+         "  --worker-as-limit-mb N    RLIMIT_AS per worker, MiB (0 = unlimited)\n"
+         "  --worker-rss-limit-mb N   SIGKILL workers whose RSS exceeds N MiB (0 = off)\n"
+         "chaos flags (HarnessChaos fault injection, test mode; rates in [0, 1]):\n"
+         "  --chaos-seed N     fate-hash seed (fates are pure in seed/task/attempt)\n"
+         "  --chaos-crash R    raise(SIGSEGV) before the task runs\n"
+         "  --chaos-abort R    abort() — the assert/std::terminate shape\n"
+         "  --chaos-exit R     _exit(41) — silent early death\n"
+         "  --chaos-hang R     stop heartbeating and sleep forever\n"
+         "  --chaos-stall R    keep heartbeating, never finish (needs a deadline)\n"
+         "  --chaos-leak R     allocate until a budget kills the worker\n";
 }
 
 }  // namespace vafs::exp

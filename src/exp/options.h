@@ -55,6 +55,35 @@ struct BenchOptions {
   /// from the mix by a pure hash of its seed.
   std::string mix = "none";
 
+  // --- Supervision flags (bench_fleet --supervise; src/supervise) ---
+  /// Worker subprocesses; 0 = in-process fleet (the default).
+  int supervise = 0;
+  /// Cooperative per-task wall-clock deadline (captured failure), ms.
+  std::int64_t task_timeout_ms = 0;
+  /// Hard external per-task deadline (SIGKILL + retry/quarantine), ms.
+  std::int64_t task_deadline_ms = 0;
+  /// Total attempts per task before quarantine.
+  int task_retries = 3;
+  std::int64_t heartbeat_ms = 250;
+  std::int64_t heartbeat_timeout_ms = 5000;
+  /// RLIMIT_AS per worker, MiB (0 = unlimited).
+  std::uint64_t worker_as_limit_mb = 0;
+  /// Supervisor-enforced RSS budget per worker, MiB (0 = off).
+  std::uint64_t worker_rss_limit_mb = 0;
+  /// HarnessChaos fault injection (test mode): seed + per-fate rates.
+  std::uint64_t chaos_seed = 0;
+  double chaos_crash = 0.0;
+  double chaos_abort = 0.0;
+  double chaos_exit = 0.0;
+  double chaos_hang = 0.0;
+  double chaos_stall = 0.0;
+  double chaos_leak = 0.0;
+
+  bool chaos_enabled() const {
+    return chaos_crash > 0 || chaos_abort > 0 || chaos_exit > 0 || chaos_hang > 0 ||
+           chaos_stall > 0 || chaos_leak > 0;
+  }
+
   /// Jobs with `auto` resolved against this machine.
   int effective_jobs() const;
   /// Seed list after --quick truncation.

@@ -43,10 +43,12 @@ const ScenarioResult& ResultSet::at(
 }
 
 TaskOutcome run_one_task(const ScenarioSpec& spec, std::uint64_t seed,
-                         core::SessionHooks hooks, bool trace, core::SessionArena* arena) {
+                         core::SessionHooks hooks, bool trace, core::SessionArena* arena,
+                         std::int64_t task_timeout_ms) {
   TaskOutcome out;
   core::SessionConfig config = spec.config;
   config.seed = seed;
+  if (task_timeout_ms > 0) config.task_timeout_ms = task_timeout_ms;
   // Digest-only tracer per task (no event storage, no allocation): the
   // digest and event count land in the SessionResult before the tracer
   // goes out of scope. Hooks that supplied their own tracer win.
@@ -66,7 +68,8 @@ TaskOutcome run_one_task(const ScenarioSpec& spec, std::uint64_t seed,
 }
 
 std::vector<TaskOutcome> run_task_batch(const std::vector<BatchTask>& tasks, bool trace,
-                                        std::deque<core::SessionArena>& arenas) {
+                                        std::deque<core::SessionArena>& arenas,
+                                        std::int64_t task_timeout_ms) {
   const std::size_t n = tasks.size();
   std::vector<TaskOutcome> out(n);
   if (arenas.size() < n) arenas.resize(n);
@@ -96,6 +99,7 @@ std::vector<TaskOutcome> run_task_batch(const std::vector<BatchTask>& tasks, boo
   for (std::size_t i = 0; i < n; ++i) {
     core::SessionConfig& config = configs.emplace_back(tasks[i].spec->config);
     config.seed = tasks[i].seed;
+    if (task_timeout_ms > 0) config.task_timeout_ms = task_timeout_ms;
     core::SessionHooks hooks = tasks[i].hooks;
     if (hooks.tracer == nullptr && trace) {
       digest_tracers.emplace_back(obs::Tracer::Config{0});
@@ -164,8 +168,8 @@ ResultSet run_grid(const std::vector<ScenarioSpec>& scenarios, const RunOptions&
         i == opts.capture_seed) {
       task_hooks.tracer = opts.capture;
     }
-    TaskOutcome out =
-        run_one_task(scenarios[s], opts.seeds[i], std::move(task_hooks), opts.trace, &arena);
+    TaskOutcome out = run_one_task(scenarios[s], opts.seeds[i], std::move(task_hooks), opts.trace,
+                                   &arena, opts.task_timeout_ms);
     results[s].runs[i] = std::move(out.result);
     errors[t] = std::move(out.error);
   };
@@ -192,7 +196,7 @@ ResultSet run_grid(const std::vector<ScenarioSpec>& scenarios, const RunOptions&
       }
       pack.push_back(std::move(bt));
     }
-    std::vector<TaskOutcome> outs = run_task_batch(pack, opts.trace, arenas);
+    std::vector<TaskOutcome> outs = run_task_batch(pack, opts.trace, arenas, opts.task_timeout_ms);
     for (std::size_t t = lo; t < hi; ++t) {
       results[t / nseeds].runs[t % nseeds] = std::move(outs[t - lo].result);
       errors[t] = std::move(outs[t - lo].error);

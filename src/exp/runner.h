@@ -53,6 +53,12 @@ struct RunOptions {
   obs::Tracer* capture = nullptr;
   std::size_t capture_scenario = 0;
   std::size_t capture_seed = 0;
+
+  /// Per-task wall-clock deadline, 0 = unlimited (SessionConfig::
+  /// task_timeout_ms). A deadline-exceeded task becomes a captured
+  /// failure — "wall-clock task timeout: ... exceeded" — in the scenario's
+  /// failure list and the JSON/CSV artifacts, like any other task error.
+  std::int64_t task_timeout_ms = 0;
 };
 
 /// One run that threw instead of returning: which seed, and a message
@@ -122,7 +128,8 @@ struct TaskOutcome {
 /// on — any partition of a grid into run_one_task calls produces the same
 /// per-cell results as one run_grid call, because cells share nothing.
 TaskOutcome run_one_task(const ScenarioSpec& spec, std::uint64_t seed,
-                         core::SessionHooks hooks, bool trace, core::SessionArena* arena);
+                         core::SessionHooks hooks, bool trace, core::SessionArena* arena,
+                         std::int64_t task_timeout_ms = 0);
 
 /// One cell of a batch pack: the scenario (borrowed — must outlive the
 /// call), the seed to stamp, and the cell's hooks.
@@ -142,7 +149,8 @@ struct BatchTask {
 /// an EventQueue::Arena serves one live queue and never moves); reuse it
 /// across packs on the same worker to stay allocation-free.
 std::vector<TaskOutcome> run_task_batch(const std::vector<BatchTask>& tasks, bool trace,
-                                        std::deque<core::SessionArena>& arenas);
+                                        std::deque<core::SessionArena>& arenas,
+                                        std::int64_t task_timeout_ms = 0);
 
 /// Runs scenarios × seeds on a pool of `opts.jobs` threads.
 ResultSet run_grid(const std::vector<ScenarioSpec>& scenarios, const RunOptions& opts);

@@ -1,12 +1,14 @@
 #include "fleet/checkpoint.h"
 
 #include <bit>
-#include <cinttypes>
-#include <cstdio>
-#include <filesystem>
 #include <fstream>
 #include <sstream>
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "fleet/io.h"
+#include "fleet/textio.h"
 #include "simcore/stats.h"
 
 namespace vafs::fleet {
@@ -24,90 +26,11 @@ std::uint64_t checksum(const char* data, std::size_t n) {
   return h;
 }
 
-void append_hex64(std::string& out, std::uint64_t v) {
-  char buf[17];
-  std::snprintf(buf, sizeof(buf), "%016" PRIx64, v);
-  out += buf;
-}
-
-bool parse_hex64(const std::string& s, std::uint64_t* out) {
-  if (s.size() != 16) return false;
-  std::uint64_t v = 0;
-  for (const char c : s) {
-    v <<= 4;
-    if (c >= '0' && c <= '9') {
-      v |= static_cast<std::uint64_t>(c - '0');
-    } else if (c >= 'a' && c <= 'f') {
-      v |= static_cast<std::uint64_t>(c - 'a' + 10);
-    } else {
-      return false;
-    }
-  }
-  *out = v;
-  return true;
-}
-
-/// Message bytes as lowercase hex — failure messages carry arbitrary text
-/// (spaces, quotes, newlines from what()), and hex keeps the manifest
-/// strictly line-oriented.
-std::string hex_encode(const std::string& text) {
-  static const char* digits = "0123456789abcdef";
-  std::string out;
-  out.reserve(text.size() * 2);
-  for (const char c : text) {
-    const auto b = static_cast<unsigned char>(c);
-    out += digits[b >> 4];
-    out += digits[b & 0xF];
-  }
-  return out.empty() ? "-" : out;  // "-" marks an empty message
-}
-
-bool hex_decode(const std::string& hex, std::string* out) {
-  out->clear();
-  if (hex == "-") return true;
-  if (hex.size() % 2 != 0) return false;
-  const auto nibble = [](char c, unsigned* v) {
-    if (c >= '0' && c <= '9') {
-      *v = static_cast<unsigned>(c - '0');
-    } else if (c >= 'a' && c <= 'f') {
-      *v = static_cast<unsigned>(c - 'a' + 10);
-    } else {
-      return false;
-    }
-    return true;
-  };
-  for (std::size_t i = 0; i < hex.size(); i += 2) {
-    unsigned hi = 0;
-    unsigned lo = 0;
-    if (!nibble(hex[i], &hi) || !nibble(hex[i + 1], &lo)) return false;
-    out->push_back(static_cast<char>((hi << 4) | lo));
-  }
-  return true;
-}
-
 /// Reads one line and tokenizes on single spaces. Returns false at EOF.
 bool next_line(std::istringstream& in, std::vector<std::string>* tokens) {
   std::string line;
   if (!std::getline(in, line)) return false;
-  tokens->clear();
-  std::size_t start = 0;
-  while (start <= line.size()) {
-    const std::size_t space = line.find(' ', start);
-    tokens->push_back(line.substr(start, space - start));
-    if (space == std::string::npos) break;
-    start = space + 1;
-  }
-  return true;
-}
-
-bool parse_u64(const std::string& s, std::uint64_t* out) {
-  if (s.empty()) return false;
-  std::uint64_t v = 0;
-  for (const char c : s) {
-    if (c < '0' || c > '9') return false;
-    v = v * 10 + static_cast<std::uint64_t>(c - '0');
-  }
-  *out = v;
+  split_fields(line, tokens);
   return true;
 }
 
@@ -130,6 +53,7 @@ std::string serialize(const CheckpointState& state) {
   field("tasks_done", state.tasks_done, false);
   field("digest_chain", state.digest_chain, true);
   field("spool_offset", state.spool_offset, false);
+  field("quarantine_offset", state.quarantine_offset, false);
   field("scenarios", state.aggregates.size(), false);
   for (std::size_t s = 0; s < state.aggregates.size(); ++s) {
     const exp::Aggregate& agg = state.aggregates[s];
@@ -153,6 +77,14 @@ std::string serialize(const CheckpointState& state) {
     out += "failure " + std::to_string(f.task_index) + ' ' + std::to_string(f.seed) + ' ' +
            hex_encode(f.message) + "\n";
   }
+  field("quarantined", state.quarantined.size(), false);
+  for (const CheckpointQuarantine& q : state.quarantined) {
+    out += "quarantine " + std::to_string(q.task_index) + ' ' + std::to_string(q.seed) + ' ' +
+           std::to_string(q.attempts) + ' ' + hex_encode(q.fates) + ' ' +
+           hex_encode(q.stderr_tail) + ' ' + std::to_string(q.last_trace_events) + ' ';
+    append_hex64(out, q.last_trace_digest);
+    out += '\n';
+  }
   out += "end ";
   append_hex64(out, checksum(out.data(), out.size()));
   out += '\n';
@@ -164,23 +96,38 @@ std::string serialize(const CheckpointState& state) {
 bool write_checkpoint(const std::string& path, const CheckpointState& state, std::string* error) {
   const std::string body = serialize(state);
   const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) {
-      *error = "checkpoint: cannot open '" + tmp + "' for writing";
-      return false;
-    }
-    out.write(body.data(), static_cast<std::streamsize>(body.size()));
-    out.flush();
-    if (!out) {
-      *error = "checkpoint: short write to '" + tmp + "'";
-      return false;
-    }
+  const auto refuse = [&](const std::string& why) {
+    ::unlink(tmp.c_str());
+    *error = "checkpoint: " + why + "; manifest left untouched at '" + path + "'";
+    return false;
+  };
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    *error = "checkpoint: cannot open '" + tmp + "' for writing; manifest left untouched at '" +
+             path + "'";
+    return false;
   }
-  std::error_code ec;
-  std::filesystem::rename(tmp, path, ec);
-  if (ec) {
-    *error = "checkpoint: rename '" + tmp + "' -> '" + path + "': " + ec.message();
+  std::string io_error;
+  if (!write_all(fd, body.data(), body.size(), &io_error)) {
+    ::close(fd);
+    return refuse("write to '" + tmp + "' failed: " + io_error);
+  }
+  // Data must be on disk *before* the rename publishes it, otherwise a
+  // crash can leave a durable rename pointing at non-durable bytes.
+  if (!fsync_fd(fd, &io_error)) {
+    ::close(fd);
+    return refuse("fsync of '" + tmp + "' failed: " + io_error);
+  }
+  if (::close(fd) != 0) {
+    return refuse("close of '" + tmp + "' failed");
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    return refuse("rename '" + tmp + "' -> '" + path + "' failed");
+  }
+  if (!fsync_parent_dir(path, &io_error)) {
+    // The rename itself landed; the new manifest is valid but its
+    // directory entry may not survive a power loss. Report it.
+    *error = "checkpoint: " + io_error;
     return false;
   }
   return true;
@@ -243,6 +190,9 @@ bool read_checkpoint(const std::string& path, CheckpointState* state, std::strin
   if (!expect_field("tasks_done", &cs.tasks_done, false)) return fail("bad tasks_done line");
   if (!expect_field("digest_chain", &cs.digest_chain, true)) return fail("bad digest_chain line");
   if (!expect_field("spool_offset", &cs.spool_offset, false)) return fail("bad spool_offset line");
+  if (!expect_field("quarantine_offset", &cs.quarantine_offset, false)) {
+    return fail("bad quarantine_offset line");
+  }
   if (!expect_field("scenarios", &scenario_count, false)) return fail("bad scenarios line");
 
   const auto& metrics = exp::Aggregate::metrics();
@@ -291,7 +241,21 @@ bool read_checkpoint(const std::string& path, CheckpointState* state, std::strin
       return fail("bad failure line " + std::to_string(f));
     }
   }
-  if (next_line(lines, &t)) return fail("trailing content after failure list");
+
+  std::uint64_t quarantine_count = 0;
+  if (!expect_field("quarantined", &quarantine_count, false)) return fail("bad quarantined line");
+  cs.quarantined.resize(quarantine_count);
+  for (std::uint64_t q = 0; q < quarantine_count; ++q) {
+    CheckpointQuarantine& cq = cs.quarantined[q];
+    if (!next_line(lines, &t) || t.size() != 8 || t[0] != "quarantine" ||
+        !parse_u64(t[1], &cq.task_index) || !parse_u64(t[2], &cq.seed) ||
+        !parse_u64(t[3], &cq.attempts) || !hex_decode(t[4], &cq.fates) ||
+        !hex_decode(t[5], &cq.stderr_tail) || !parse_u64(t[6], &cq.last_trace_events) ||
+        !parse_hex64(t[7], &cq.last_trace_digest)) {
+      return fail("bad quarantine line " + std::to_string(q));
+    }
+  }
+  if (next_line(lines, &t)) return fail("trailing content after quarantine list");
 
   *state = std::move(cs);
   return true;

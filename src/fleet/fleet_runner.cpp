@@ -86,6 +86,7 @@ FleetResult run_fleet(const std::vector<exp::ScenarioSpec>& scenarios, const Fle
   // ---- Resume: restore the fold state from the manifest, if any.
   std::uint64_t frontier = 0;  // shards folded so far
   std::uint64_t spool_resume_offset = 0;
+  std::uint64_t quarantine_offset = 0;  // carried through for supervised manifests
   if (opts.resume && checkpointing &&
       std::filesystem::exists(manifest_path(opts.checkpoint_dir))) {
     CheckpointState cs;
@@ -108,10 +109,12 @@ FleetResult run_fleet(const std::vector<exp::ScenarioSpec>& scenarios, const Fle
       result.scenarios[s].agg = cs.aggregates[s];
     }
     result.failures = std::move(cs.failures);
+    result.quarantined = std::move(cs.quarantined);
     result.digest_chain = cs.digest_chain;
     result.sessions_resumed = cs.tasks_done;
     frontier = cs.shards_done;
     spool_resume_offset = cs.spool_offset;
+    quarantine_offset = cs.quarantine_offset;
   }
 
   // ---- Spool.
@@ -133,16 +136,20 @@ FleetResult run_fleet(const std::vector<exp::ScenarioSpec>& scenarios, const Fle
   result.shards_done = frontier;
 
   const auto write_manifest = [&](std::string* error) {
-    if (!spool.flush(error)) return false;
+    // sync, not flush: the manifest's spool_offset must never point past
+    // bytes a power loss could still lose.
+    if (!spool.sync(error)) return false;
     CheckpointState cs;
     cs.fingerprint = result.fingerprint;
     cs.shards_done = result.shards_done;
     cs.tasks_done = tasks_done;
     cs.digest_chain = result.digest_chain;
     cs.spool_offset = spool.offset();
+    cs.quarantine_offset = quarantine_offset;
     cs.aggregates.reserve(result.scenarios.size());
     for (const auto& fs : result.scenarios) cs.aggregates.push_back(fs.agg);
     cs.failures = result.failures;
+    cs.quarantined = result.quarantined;
     return write_checkpoint(manifest_path(opts.checkpoint_dir), cs, error);
   };
 
@@ -196,7 +203,8 @@ FleetResult run_fleet(const std::vector<exp::ScenarioSpec>& scenarios, const Fle
             pack.push_back(exp::BatchTask{&scenarios[ref.scenario],
                                           opts.seeds[ref.seed_index], core::SessionHooks{}});
           }
-          for (auto& o : exp::run_task_batch(pack, opts.trace, lane_arenas)) {
+          for (auto& o :
+               exp::run_task_batch(pack, opts.trace, lane_arenas, opts.task_timeout_ms)) {
             outcomes.push_back(std::move(o));
           }
         }
@@ -205,7 +213,7 @@ FleetResult run_fleet(const std::vector<exp::ScenarioSpec>& scenarios, const Fle
           const TaskRef ref = plan.task(shard.first_task + i);
           outcomes.push_back(exp::run_one_task(scenarios[ref.scenario],
                                                opts.seeds[ref.seed_index], core::SessionHooks{},
-                                               opts.trace, &arena));
+                                               opts.trace, &arena, opts.task_timeout_ms));
         }
       }
       {

@@ -61,6 +61,11 @@ struct FleetOptions {
   /// digests in fold order (the fingerprint kill/resume runs compare).
   bool trace = true;
 
+  /// Per-task cooperative wall-clock deadline, 0 = unlimited
+  /// (SessionConfig::task_timeout_ms): an over-budget session becomes a
+  /// captured task failure instead of wedging its worker.
+  std::int64_t task_timeout_ms = 0;
+
   /// Optional per-session row spool. With an empty path and a checkpoint
   /// directory set, the spool lands next to the manifest.
   SpoolOptions spool;
@@ -85,6 +90,10 @@ struct FleetResult {
   std::vector<FleetScenario> scenarios;
   /// Failed tasks in canonical task order (resumed + fresh).
   std::vector<CheckpointFailure> failures;
+  /// Quarantined tasks carried through from a supervised run's manifest
+  /// (run_fleet itself never quarantines; a resume preserves the list so
+  /// the manifest round-trips losslessly between the two runners).
+  std::vector<CheckpointQuarantine> quarantined;
   /// chain_digest fold of every task's trace digest, canonical order.
   std::uint64_t digest_chain = 0;
   std::uint64_t fingerprint = 0;

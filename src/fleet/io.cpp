@@ -1,0 +1,75 @@
+#include "fleet/io.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace vafs::fleet {
+
+std::function<std::size_t(std::size_t)> IoHooks::write_gate;
+std::function<bool()> IoHooks::fsync_gate;
+
+void IoHooks::reset() {
+  write_gate = nullptr;
+  fsync_gate = nullptr;
+}
+
+bool write_all(int fd, const char* data, std::size_t n, std::string* error) {
+  while (n > 0) {
+    std::size_t allow = n;
+    if (IoHooks::write_gate) {
+      allow = IoHooks::write_gate(n);
+      if (allow > n) allow = n;
+    }
+    const bool gated_short = allow < n;
+    ssize_t wrote = 0;
+    if (allow > 0) {
+      wrote = ::write(fd, data, allow);
+      if (wrote < 0) {
+        if (errno == EINTR) continue;
+        *error = std::strerror(errno);
+        return false;
+      }
+    }
+    if (gated_short) {
+      // The injected "disk" accepted a prefix and then filled up.
+      *error = std::strerror(ENOSPC);
+      return false;
+    }
+    data += wrote;
+    n -= static_cast<std::size_t>(wrote);
+  }
+  return true;
+}
+
+bool fsync_fd(int fd, std::string* error) {
+  if (IoHooks::fsync_gate && !IoHooks::fsync_gate()) {
+    *error = std::strerror(EIO);
+    return false;
+  }
+  while (::fsync(fd) != 0) {
+    if (errno == EINTR) continue;
+    *error = std::strerror(errno);
+    return false;
+  }
+  return true;
+}
+
+bool fsync_parent_dir(const std::string& path, std::string* error) {
+  const std::size_t slash = path.rfind('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash + 1);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return true;  // not fatal: the rename itself already landed
+  std::string sync_error;
+  const bool ok = fsync_fd(fd, &sync_error);
+  ::close(fd);
+  if (!ok) {
+    *error = "fsync of directory '" + dir + "': " + sync_error;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace vafs::fleet

@@ -1,0 +1,48 @@
+// Durable POSIX write helpers for the fleet persistence layer (checkpoint
+// manifests, spools, quarantine logs), plus test-only failure injection.
+//
+// Every byte that a resume depends on goes through write_all/fsync_fd:
+// short writes are retried, EINTR is handled, and errors surface as a
+// descriptive message instead of a silently truncated file. Callers follow
+// the write-fsync-rename-fsync(dir) discipline so a kill at any boundary
+// leaves either the old or the new file intact, never a torn one.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+
+namespace vafs::fleet {
+
+/// Test-only injection points for the durable-write paths. Production code
+/// consults these before each physical write()/fsync(); tests install
+/// callbacks to simulate a full disk (ENOSPC), a short write at an exact
+/// byte boundary, or a failing fsync. Global and deliberately unguarded:
+/// install only from single-threaded test setup and reset() afterwards.
+struct IoHooks {
+  /// Called with the byte count about to be written; returns how many
+  /// bytes the "disk" accepts. >= n lets the write through untouched;
+  /// anything less writes that many real bytes and then fails the call
+  /// with ENOSPC — the truncated-at-byte-k kill/ENOSPC simulation.
+  static std::function<std::size_t(std::size_t n)> write_gate;
+  /// Return false to fail the next fsync() with EIO.
+  static std::function<bool()> fsync_gate;
+
+  static void reset();
+};
+
+/// Writes all n bytes to fd (retrying short writes and EINTR). On failure
+/// fills `error` with the errno text and returns false; the file may hold
+/// a prefix of the data — callers must treat the destination as torn.
+bool write_all(int fd, const char* data, std::size_t n, std::string* error);
+
+/// fsync with EINTR retry and hook consultation.
+bool fsync_fd(int fd, std::string* error);
+
+/// fsyncs the directory containing `path`, making a completed rename into
+/// that directory durable. Failure to *open* the directory is ignored
+/// (some filesystems refuse O_RDONLY on directories); a failing fsync on
+/// an opened directory is reported.
+bool fsync_parent_dir(const std::string& path, std::string* error);
+
+}  // namespace vafs::fleet

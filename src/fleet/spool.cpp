@@ -3,8 +3,11 @@
 #include <filesystem>
 #include <string_view>
 
+#include <unistd.h>
+
 #include "exp/aggregate.h"
 #include "exp/json.h"
+#include "fleet/io.h"
 
 namespace vafs::fleet {
 namespace {
@@ -32,15 +35,13 @@ std::string json_quote(const std::string& text) {
   return out;
 }
 
-/// Session value of a named metric, via the Aggregate metric table: a
-/// one-session aggregate's mean IS the session's value (bit-exact), so the
-/// spool reuses the exact metric definitions add() encodes instead of
-/// duplicating the SessionResult → metric mapping.
-double metric_value(const exp::Aggregate& one, const char* name) {
-  for (const auto& m : exp::Aggregate::metrics()) {
-    if (std::string_view(m.name) == name) return (one.*m.member).mean();
+/// Named metric -> Aggregate metric-table index (kMetricCount if unknown).
+std::size_t metric_index(const std::string& name) {
+  const auto& table = exp::Aggregate::metrics();
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    if (std::string_view(table[i].name) == name) return i;
   }
-  return 0.0;
+  return exp::kMetricCount;
 }
 
 }  // namespace
@@ -89,6 +90,8 @@ bool Spool::open(const SpoolOptions& options, std::uint64_t resume_offset, std::
   buffer_.clear();
   buffer_.reserve(options_.buffer_bytes + 1024);
   write_failed_ = false;
+  metric_indices_.clear();
+  for (const auto& name : options_.metrics) metric_indices_.push_back(metric_index(name));
   if (resume_offset == 0 && options_.format == SpoolFormat::kCsv) {
     append_row("scenario,seed,metric,value\n");
   }
@@ -107,13 +110,23 @@ void Spool::append_row(std::string row) {
 void Spool::append(const exp::ScenarioSpec& spec, std::uint64_t seed,
                    const core::SessionResult& result) {
   if (!enabled()) return;
-  exp::Aggregate one;
-  one.add(result);
+  double values[exp::kMetricCount];
+  exp::Aggregate::session_values(result, values);
+  append_values(spec, seed, values);
+}
+
+void Spool::append_values(const exp::ScenarioSpec& spec, std::uint64_t seed,
+                          const double* values) {
+  if (!enabled()) return;
+  const auto value_at = [&](std::size_t slot) {
+    const std::size_t idx = metric_indices_[slot];
+    return idx < exp::kMetricCount ? values[idx] : 0.0;
+  };
   if (options_.format == SpoolFormat::kCsv) {
     const std::string prefix = csv_quote(spec.id) + ',' + std::to_string(seed) + ',';
     std::string rows;
-    for (const auto& name : options_.metrics) {
-      rows += prefix + name + ',' + exp::json_number(metric_value(one, name.c_str())) + '\n';
+    for (std::size_t slot = 0; slot < options_.metrics.size(); ++slot) {
+      rows += prefix + options_.metrics[slot] + ',' + exp::json_number(value_at(slot)) + '\n';
     }
     append_row(std::move(rows));
     return;
@@ -121,10 +134,10 @@ void Spool::append(const exp::ScenarioSpec& spec, std::uint64_t seed,
   std::string row = "{\"scenario\":" + json_quote(spec.id) + ",\"seed\":" + std::to_string(seed) +
                     ",\"metrics\":{";
   bool first = true;
-  for (const auto& name : options_.metrics) {
+  for (std::size_t slot = 0; slot < options_.metrics.size(); ++slot) {
     if (!first) row += ',';
     first = false;
-    row += json_quote(name) + ':' + exp::json_number(metric_value(one, name.c_str()));
+    row += json_quote(options_.metrics[slot]) + ':' + exp::json_number(value_at(slot));
   }
   row += "}}\n";
   append_row(std::move(row));
@@ -143,9 +156,15 @@ void Spool::append_failure(const exp::ScenarioSpec& spec, std::uint64_t seed) {
 bool Spool::flush(std::string* error) {
   if (!enabled()) return true;
   if (!buffer_.empty()) {
-    const std::size_t wrote = std::fwrite(buffer_.data(), 1, buffer_.size(), file_);
+    std::size_t allow = buffer_.size();
+    if (IoHooks::write_gate) {
+      allow = IoHooks::write_gate(buffer_.size());
+      if (allow > buffer_.size()) allow = buffer_.size();
+    }
+    const std::size_t wrote = allow > 0 ? std::fwrite(buffer_.data(), 1, allow, file_) : 0;
     if (wrote != buffer_.size()) {
-      *error = "spool: short write to '" + options_.path + "'";
+      *error = "spool: short write to '" + options_.path + "' (" + std::to_string(wrote) + " of " +
+               std::to_string(buffer_.size()) + " B; disk full?)";
       write_failed_ = true;
       return false;
     }
@@ -158,6 +177,18 @@ bool Spool::flush(std::string* error) {
   }
   if (write_failed_) {
     *error = "spool: an earlier buffered write to '" + options_.path + "' failed";
+    return false;
+  }
+  return true;
+}
+
+bool Spool::sync(std::string* error) {
+  if (!enabled()) return true;
+  if (!flush(error)) return false;
+  std::string sync_error;
+  if (!fsync_fd(::fileno(file_), &sync_error)) {
+    *error = "spool: fsync of '" + options_.path + "' failed: " + sync_error;
+    write_failed_ = true;
     return false;
   }
   return true;

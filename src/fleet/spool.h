@@ -55,6 +55,10 @@ class Spool {
   /// Appends one session's rows (buffered; deterministic content).
   void append(const exp::ScenarioSpec& spec, std::uint64_t seed,
               const core::SessionResult& result);
+  /// Same rows from a pre-extracted exp::kMetricCount value vector (the
+  /// supervisor wire format) — byte-identical to append() for the same
+  /// session, since both draw from Aggregate::session_values.
+  void append_values(const exp::ScenarioSpec& spec, std::uint64_t seed, const double* values);
   /// Appends a failure marker row for a task that threw.
   void append_failure(const exp::ScenarioSpec& spec, std::uint64_t seed);
 
@@ -63,6 +67,10 @@ class Spool {
   /// is at least this long on disk.
   std::uint64_t offset() const { return offset_; }
   bool flush(std::string* error);
+  /// flush + fsync: everything appended so far is durable. Called before
+  /// each checkpoint manifest write so the recorded offset never points
+  /// past what a power loss could preserve.
+  bool sync(std::string* error);
   /// Flushes and closes; returns false on a write error.
   bool close(std::string* error);
 
@@ -74,6 +82,9 @@ class Spool {
   std::string buffer_;
   std::uint64_t offset_ = 0;
   bool write_failed_ = false;
+  /// options_.metrics resolved to Aggregate metric-table indices at open()
+  /// (npos-equivalent kMetricCount for unknown names → 0.0 rows).
+  std::vector<std::size_t> metric_indices_;
 };
 
 }  // namespace vafs::fleet

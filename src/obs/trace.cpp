@@ -51,6 +51,14 @@ constexpr EventInfo kEventInfos[kEventKindCount] = {
     {"inject_fetch_fail", Track::kFault, Phase::kInstant, "delay_us", nullptr, nullptr},
     {"inject_fetch_hang", Track::kFault, Phase::kInstant, nullptr, nullptr, nullptr},
     {"inject_sysfs_error", Track::kFault, Phase::kInstant, "errno", nullptr, nullptr},
+    {"worker_spawn", Track::kHarness, Phase::kInstant, "worker", "pid", nullptr},
+    {"worker_exit", Track::kHarness, Phase::kInstant, "worker", "fate", "status"},
+    {"task_dispatch", Track::kHarness, Phase::kInstant, "task", "worker", "attempt"},
+    {"task_retry", Track::kHarness, Phase::kInstant, "task", "attempt", "fate"},
+    {"task_quarantine", Track::kHarness, Phase::kInstant, "task", "attempts", nullptr},
+    {"heartbeat_miss", Track::kHarness, Phase::kInstant, "worker", "silent_ms", nullptr},
+    {"task_deadline", Track::kHarness, Phase::kInstant, "task", "worker", "deadline_ms"},
+    {"worker_over_budget", Track::kHarness, Phase::kInstant, "worker", "rss_mib", "limit_mib"},
 };
 
 }  // namespace
@@ -67,6 +75,7 @@ const char* track_name(Track track) {
     case Track::kWatchdog: return "watchdog";
     case Track::kThermal: return "thermal";
     case Track::kFault: return "fault";
+    case Track::kHarness: return "harness";
   }
   return "?";
 }
@@ -94,7 +103,14 @@ void Tracer::record(sim::SimTime at, EventKind kind, std::uint64_t a, std::uint6
   digest_ = h;
 
   ++recorded_;
-  if (recorded_ % kCheckpointInterval == 0) checkpoints_.push_back(digest_);
+  if (recorded_ % kCheckpointInterval == 0) {
+    checkpoints_.push_back(digest_);
+    // Mirror order matters for readers: publish the digest before the
+    // event count so a count of N always pairs with a digest at least as
+    // new as checkpoint N (the heartbeat reader tolerates newer).
+    if (mirror_digest_ != nullptr) mirror_digest_->store(digest_, std::memory_order_relaxed);
+    if (mirror_events_ != nullptr) mirror_events_->store(recorded_, std::memory_order_release);
+  }
 
   if (capacity_ == 0) {
     ++dropped_;

@@ -22,6 +22,7 @@
 // (verified by the observer-effect property tests and the perf gate).
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -44,8 +45,12 @@ enum class Track : std::uint8_t {
   kWatchdog,
   kThermal,
   kFault,
+  // Appended in PR 8 (after every sim-facing track, so sim-event digests
+  // are unchanged): supervisor-side worker lifecycle, stamped with wall
+  // milliseconds since run start rather than sim time.
+  kHarness,
 };
-inline constexpr std::size_t kTrackCount = 10;
+inline constexpr std::size_t kTrackCount = 11;
 
 const char* track_name(Track track);
 
@@ -102,8 +107,18 @@ enum class EventKind : std::uint8_t {
   kInjectFetchFail,  // a=injected delay_us
   kInjectFetchHang,
   kInjectSysfsError, // a=errno code
+  // Harness track (appended in PR 8; supervisor-recorded, wall-time
+  // stamped — never part of a session's own digest).
+  kWorkerSpawn,       // a=worker slot, b=pid
+  kWorkerExit,        // a=worker slot, b=WorkerFate code, c=status/signal
+  kTaskDispatch,      // a=task index, b=worker slot, c=attempt
+  kTaskRetry,         // a=task index, b=attempt, c=WorkerFate code
+  kTaskQuarantine,    // a=task index, b=attempts
+  kHeartbeatMiss,     // a=worker slot, b=silent_ms
+  kTaskDeadline,      // a=task index, b=worker slot, c=deadline_ms
+  kWorkerOverBudget,  // a=worker slot, b=rss_mib, c=limit_mib
 };
-inline constexpr std::size_t kEventKindCount = 26;
+inline constexpr std::size_t kEventKindCount = 34;
 
 /// Static descriptor of an event kind: display name, track, phase and
 /// argument names (nullptr = unused). Drives the Chrome exporter, the
@@ -169,6 +184,16 @@ class Tracer {
   /// Digest after event (i+1)*kCheckpointInterval, for each full block.
   const std::vector<std::uint64_t>& checkpoints() const { return checkpoints_; }
 
+  /// Mirrors each digest checkpoint (event count + digest) into the given
+  /// atomics as it is taken — the supervised worker's heartbeat thread
+  /// reads them to report the in-flight task's "last obs checkpoint
+  /// window" without touching the (single-threaded) tracer itself. The
+  /// atomics must outlive the tracer; pass nullptrs to detach.
+  void mirror_checkpoints(std::atomic<std::uint64_t>* events, std::atomic<std::uint64_t>* digest) {
+    mirror_events_ = events;
+    mirror_digest_ = digest;
+  }
+
   // Retained events, oldest first.
   std::size_t size() const { return ring_.size(); }
   /// i in [0, size()); index 0 is the oldest retained event. The absolute
@@ -188,6 +213,8 @@ class Tracer {
   std::uint64_t dropped_ = 0;
   std::uint64_t digest_;
   std::vector<std::uint64_t> checkpoints_;
+  std::atomic<std::uint64_t>* mirror_events_ = nullptr;
+  std::atomic<std::uint64_t>* mirror_digest_ = nullptr;
   Timeline timeline_;
 };
 

@@ -1,0 +1,51 @@
+#include "supervise/chaos.h"
+
+namespace vafs::supervise {
+namespace {
+
+constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+const char* chaos_fate_name(ChaosFate fate) {
+  switch (fate) {
+    case ChaosFate::kNone: return "none";
+    case ChaosFate::kCrash: return "crash";
+    case ChaosFate::kAbort: return "abort";
+    case ChaosFate::kExit: return "exit";
+    case ChaosFate::kHangSilent: return "hang-silent";
+    case ChaosFate::kStall: return "stall";
+    case ChaosFate::kLeak: return "leak";
+  }
+  return "?";
+}
+
+ChaosFate chaos_fate(const ChaosConfig& config, std::uint64_t task_index, int attempt) {
+  if (!config.any()) return ChaosFate::kNone;
+  std::uint64_t h = splitmix64(config.seed ^ 0xC4A05F47E5ULL);
+  h = splitmix64(h ^ task_index);
+  h = splitmix64(h ^ static_cast<std::uint64_t>(attempt));
+  // Map to [0, 1) with 53 uniform bits, then walk the probability bands in
+  // declaration order.
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  double edge = config.crash;
+  if (u < edge) return ChaosFate::kCrash;
+  edge += config.abort_rate;
+  if (u < edge) return ChaosFate::kAbort;
+  edge += config.exit_rate;
+  if (u < edge) return ChaosFate::kExit;
+  edge += config.hang_silent;
+  if (u < edge) return ChaosFate::kHangSilent;
+  edge += config.stall;
+  if (u < edge) return ChaosFate::kStall;
+  edge += config.leak;
+  if (u < edge) return ChaosFate::kLeak;
+  return ChaosFate::kNone;
+}
+
+}  // namespace vafs::supervise

@@ -1,0 +1,51 @@
+// HarnessChaos: seeded deterministic fault injection *inside supervised
+// workers*, dogfooding the PR 3 philosophy (break things on purpose,
+// verify the system degrades instead of wedging) at the harness layer.
+//
+// A worker about to execute (task, attempt) consults chaos_fate(): a pure
+// hash of (seed, task_index, attempt) — no RNG state, no wall clock — so
+// the injected fate of every attempt is a function of the task alone.
+// That makes the quarantine set itself deterministic: a task is
+// quarantined iff all of its first max_task_attempts fates are lethal,
+// regardless of worker count, scheduling, respawn timing, or where a
+// resume cut the run.
+#pragma once
+
+#include <cstdint>
+
+namespace vafs::supervise {
+
+/// Injection probabilities (each in [0, 1]; evaluated in ChaosFate order
+/// over disjoint probability bands, so their sum should stay <= 1).
+struct ChaosConfig {
+  std::uint64_t seed = 0;
+  double crash = 0.0;        ///< raise(SIGSEGV) before the task runs
+  double abort_rate = 0.0;   ///< abort() — the assert/std::terminate shape
+  double exit_rate = 0.0;    ///< _exit(41) — silent early death, no signal
+  double hang_silent = 0.0;  ///< stop heartbeating and sleep forever
+  double stall = 0.0;        ///< keep heartbeating but never finish
+  double leak = 0.0;         ///< allocate until the budget kills the worker
+
+  bool any() const {
+    return crash > 0 || abort_rate > 0 || exit_rate > 0 || stall > 0 || hang_silent > 0 ||
+           leak > 0;
+  }
+};
+
+enum class ChaosFate : std::uint8_t {
+  kNone,
+  kCrash,
+  kAbort,
+  kExit,
+  kHangSilent,
+  kStall,
+  kLeak,
+};
+
+const char* chaos_fate_name(ChaosFate fate);
+
+/// The injected fate of one (task, attempt) execution under `config` —
+/// pure and platform-stable (splitmix64 over the three keys).
+ChaosFate chaos_fate(const ChaosConfig& config, std::uint64_t task_index, int attempt);
+
+}  // namespace vafs::supervise

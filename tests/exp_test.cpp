@@ -455,5 +455,132 @@ TEST(Runner, ParallelMatchesSerialUnderFaults) {
   }
 }
 
+// ------------------------------------------------- cooperative task timeout
+
+TEST(Runner, TinyTaskTimeoutBecomesACapturedFailure) {
+  // A 1 ms wall-clock budget cannot cover a full session: the deadline
+  // check (every 4096 events) fires and the task lands in the scenario's
+  // failure list as a captured failure, exactly like any other throw —
+  // the grid keeps going, nothing wedges, artifacts record the message.
+  core::SessionConfig config = small_config();
+  config.media_duration = sim::SimTime::seconds(600);  // plenty of events
+  ExperimentGrid grid(config);
+  grid.governors({"ondemand"});
+
+  RunOptions opts;
+  opts.jobs = 1;
+  opts.seeds = {101, 202};
+  opts.task_timeout_ms = 1;
+  const ResultSet rs = run_grid(grid.scenarios(), opts);
+  ASSERT_EQ(rs.all().size(), 1u);
+  const ScenarioResult& sr = rs.all()[0];
+  ASSERT_FALSE(sr.failures.empty());
+  for (const RunFailure& f : sr.failures) {
+    EXPECT_NE(f.message.find("wall-clock task timeout: task_timeout_ms=1 exceeded"),
+              std::string::npos)
+        << f.message;
+  }
+  EXPECT_FALSE(sr.agg.all_finished);
+  // Failed slots stay default-constructed.
+  EXPECT_EQ(sr.runs[sr.failures[0].seed_index].sim_events, 0u);
+}
+
+TEST(Runner, GenerousTaskTimeoutIsBitwiseInvisible) {
+  ExperimentGrid grid(small_config());
+  grid.governors({"ondemand", "vafs"});
+
+  RunOptions plain;
+  plain.jobs = 1;
+  plain.seeds = {101, 202};
+  plain.trace = true;
+  const ResultSet a = run_grid(grid.scenarios(), plain);
+
+  RunOptions timed = plain;
+  timed.task_timeout_ms = 60 * 1000;
+  const ResultSet b = run_grid(grid.scenarios(), timed);
+
+  ASSERT_EQ(a.all().size(), b.all().size());
+  for (std::size_t s = 0; s < a.all().size(); ++s) {
+    ASSERT_TRUE(a.all()[s].ok());
+    ASSERT_TRUE(b.all()[s].ok());
+    for (std::size_t r = 0; r < a.all()[s].runs.size(); ++r) {
+      expect_identical(a.all()[s].runs[r], b.all()[s].runs[r]);
+      // The deadline probe must not touch the event stream.
+      EXPECT_EQ(a.all()[s].runs[r].trace_digest, b.all()[s].runs[r].trace_digest);
+    }
+  }
+}
+
+TEST(Runner, TaskTimeoutAppliesOnTheBatchPathToo) {
+  core::SessionConfig config = small_config();
+  config.media_duration = sim::SimTime::seconds(600);
+  ExperimentGrid grid(config);
+  grid.governors({"ondemand"});
+
+  RunOptions opts;
+  opts.jobs = 1;
+  opts.seeds = {101, 202, 303};
+  opts.batch = 3;
+  opts.task_timeout_ms = 1;
+  const ResultSet rs = run_grid(grid.scenarios(), opts);
+  ASSERT_EQ(rs.all().size(), 1u);
+  EXPECT_FALSE(rs.all()[0].failures.empty());
+  for (const RunFailure& f : rs.all()[0].failures) {
+    EXPECT_NE(f.message.find("wall-clock task timeout"), std::string::npos) << f.message;
+  }
+}
+
+TEST(Options, SuperviseAndChaosFlagsParse) {
+  const char* argv[] = {"bench",
+                        "--supervise",
+                        "4",
+                        "--task-timeout-ms",
+                        "5000",
+                        "--task-deadline-ms=9000",
+                        "--task-retries",
+                        "5",
+                        "--heartbeat-ms",
+                        "100",
+                        "--heartbeat-timeout-ms",
+                        "900",
+                        "--worker-as-limit-mb",
+                        "512",
+                        "--worker-rss-limit-mb=256",
+                        "--chaos-seed",
+                        "42",
+                        "--chaos-crash",
+                        "0.01",
+                        "--chaos-exit=0.5",
+                        "--chaos-stall",
+                        "1.0"};
+  BenchOptions options;
+  std::string error;
+  ASSERT_TRUE(parse_bench_args(static_cast<int>(std::size(argv)), const_cast<char**>(argv),
+                               &options, &error))
+      << error;
+  EXPECT_EQ(options.supervise, 4);
+  EXPECT_EQ(options.task_timeout_ms, 5000);
+  EXPECT_EQ(options.task_deadline_ms, 9000);
+  EXPECT_EQ(options.task_retries, 5);
+  EXPECT_EQ(options.heartbeat_ms, 100);
+  EXPECT_EQ(options.heartbeat_timeout_ms, 900);
+  EXPECT_EQ(options.worker_as_limit_mb, 512u);
+  EXPECT_EQ(options.worker_rss_limit_mb, 256u);
+  EXPECT_EQ(options.chaos_seed, 42u);
+  EXPECT_DOUBLE_EQ(options.chaos_crash, 0.01);
+  EXPECT_DOUBLE_EQ(options.chaos_exit, 0.5);
+  EXPECT_DOUBLE_EQ(options.chaos_stall, 1.0);
+  EXPECT_TRUE(options.chaos_enabled());
+
+  // Out-of-range rates and worker counts are rejected with context.
+  const char* bad_rate[] = {"bench", "--chaos-crash", "1.5"};
+  BenchOptions rejected;
+  EXPECT_FALSE(parse_bench_args(3, const_cast<char**>(bad_rate), &rejected, &error));
+  EXPECT_NE(error.find("chaos-crash"), std::string::npos) << error;
+  const char* bad_workers[] = {"bench", "--supervise", "0"};
+  EXPECT_FALSE(parse_bench_args(3, const_cast<char**>(bad_workers), &rejected, &error));
+  EXPECT_NE(error.find("supervise"), std::string::npos) << error;
+}
+
 }  // namespace
 }  // namespace vafs::exp

@@ -28,6 +28,7 @@
 #include "fault/plan.h"
 #include "fleet/checkpoint.h"
 #include "fleet/fleet_runner.h"
+#include "fleet/io.h"
 #include "fleet/shard_plan.h"
 #include "fleet/spool.h"
 #include "obs/trace.h"
@@ -464,6 +465,17 @@ CheckpointState random_state(sim::Rng& rng) {
       CheckpointFailure{rng.next_u64(), rng.next_u64(),
                         "scenario 'x y' seed 7: \"quoted\"\nmulti line\tand null \0 byte"s});
   cs.failures.push_back(CheckpointFailure{1, 2, ""});  // empty message
+  cs.quarantine_offset = rng.next_u64() % (1ull << 30);
+  CheckpointQuarantine q;
+  q.task_index = rng.next_u64();
+  q.seed = rng.next_u64();
+  q.attempts = 3;
+  q.fates = "crash:SIGSEGV,hang:heartbeat-miss,exit:41";
+  q.stderr_tail = "chaos: task 7 attempt 2 fate exit\nwith \0 and \"quotes\""s;
+  q.last_trace_events = rng.next_u64();
+  q.last_trace_digest = rng.next_u64();
+  cs.quarantined.push_back(q);
+  cs.quarantined.push_back(CheckpointQuarantine{});  // all-empty record
   return cs;
 }
 
@@ -482,6 +494,17 @@ void expect_state_bits(const CheckpointState& a, const CheckpointState& b) {
     EXPECT_EQ(a.failures[i].task_index, b.failures[i].task_index);
     EXPECT_EQ(a.failures[i].seed, b.failures[i].seed);
     EXPECT_EQ(a.failures[i].message, b.failures[i].message);
+  }
+  EXPECT_EQ(a.quarantine_offset, b.quarantine_offset);
+  ASSERT_EQ(a.quarantined.size(), b.quarantined.size());
+  for (std::size_t i = 0; i < a.quarantined.size(); ++i) {
+    EXPECT_EQ(a.quarantined[i].task_index, b.quarantined[i].task_index);
+    EXPECT_EQ(a.quarantined[i].seed, b.quarantined[i].seed);
+    EXPECT_EQ(a.quarantined[i].attempts, b.quarantined[i].attempts);
+    EXPECT_EQ(a.quarantined[i].fates, b.quarantined[i].fates);
+    EXPECT_EQ(a.quarantined[i].stderr_tail, b.quarantined[i].stderr_tail);
+    EXPECT_EQ(a.quarantined[i].last_trace_events, b.quarantined[i].last_trace_events);
+    EXPECT_EQ(a.quarantined[i].last_trace_digest, b.quarantined[i].last_trace_digest);
   }
 }
 
@@ -547,9 +570,10 @@ TEST(Checkpoint, RejectsTruncationCorruptionAndTrailingGarbage) {
 
   // A wrong schema number (with its checksum "fixed" by rewriting the
   // whole file through the writer) still reads back — so corrupt the
-  // schema directly instead: the checksum catches it.
+  // schema digit in place instead: the checksum catches it.
   std::string reschema = good;
-  reschema[reschema.find('1')] = '9';
+  const std::size_t schema_at = reschema.find("checkpoint 2") + std::string("checkpoint ").size();
+  reschema[schema_at] = '9';
   rejects(reschema, "corrupt");
 
   // The pristine bytes still parse after all that.
@@ -669,6 +693,124 @@ TEST(Spool, JsonlRowsCarryTheSchema) {
     ++rows;
   }
   EXPECT_EQ(rows, scenarios.size() * opts.seeds.size());  // one object per session
+}
+
+// ------------------------------------------------- durable-write injection
+
+/// A checkpoint write that dies at *every* possible write boundary — a
+/// short write then ENOSPC after k bytes, for each k — must refuse
+/// cleanly and leave the previously published manifest untouched.
+TEST(Checkpoint, FailedWriteAtEveryBoundaryLeavesTheOldManifestIntact) {
+  const fs::path dir = fresh_dir("enospc");
+  const std::string path = (dir / "manifest.ckpt").string();
+  sim::Rng rng(0x51C);
+  const CheckpointState old_state = random_state(rng);
+  CheckpointState new_state = random_state(rng);
+  new_state.shards_done = old_state.shards_done + 1;
+  std::string error;
+  ASSERT_TRUE(write_checkpoint(path, old_state, &error)) << error;
+  const std::string old_bytes = slurp(dir / "manifest.ckpt");
+
+  // Upper bound on the new manifest's size: a full write against a
+  // throwaway path (the injection below counts bytes against it).
+  ASSERT_TRUE(write_checkpoint((dir / "probe.ckpt").string(), new_state, &error)) << error;
+  const std::size_t body_size = slurp(dir / "probe.ckpt").size();
+  ASSERT_GT(body_size, 0u);
+
+  // Exhaustive up to 64 boundaries, then strided: every offset class
+  // (first byte, mid-line, line boundary, last byte) gets hit.
+  for (std::size_t allowed = 0; allowed < body_size;
+       allowed += (body_size < 64 ? 1 : body_size / 64)) {
+    IoHooks::write_gate = [allowed](std::size_t) { return allowed; };
+    error.clear();
+    EXPECT_FALSE(write_checkpoint(path, new_state, &error));
+    IoHooks::reset();
+    EXPECT_NE(error.find("manifest left untouched"), std::string::npos) << error;
+    EXPECT_EQ(slurp(dir / "manifest.ckpt"), old_bytes) << "allowed=" << allowed;
+    EXPECT_FALSE(fs::exists(dir / "manifest.ckpt.tmp"));  // no litter
+    CheckpointState loaded;
+    ASSERT_TRUE(read_checkpoint(path, &loaded, &error)) << error;
+    expect_state_bits(old_state, loaded);
+  }
+
+  // A failing fsync refuses the same way: durability cannot be assumed.
+  IoHooks::fsync_gate = [] { return false; };
+  error.clear();
+  EXPECT_FALSE(write_checkpoint(path, new_state, &error));
+  IoHooks::reset();
+  EXPECT_NE(error.find("manifest left untouched"), std::string::npos) << error;
+  EXPECT_EQ(slurp(dir / "manifest.ckpt"), old_bytes);
+
+  // With the gates lifted the same write goes through.
+  ASSERT_TRUE(write_checkpoint(path, new_state, &error)) << error;
+  CheckpointState loaded;
+  ASSERT_TRUE(read_checkpoint(path, &loaded, &error)) << error;
+  expect_state_bits(new_state, loaded);
+}
+
+TEST(Spool, ShortWriteSurfacesAsACleanError) {
+  const fs::path dir = fresh_dir("spool_enospc");
+  Spool spool;
+  SpoolOptions options;
+  options.format = SpoolFormat::kCsv;
+  options.path = (dir / "spool.csv").string();
+  std::string error;
+  ASSERT_TRUE(spool.open(options, 0, &error)) << error;
+
+  const auto scenarios = small_grid();
+  core::SessionConfig config = scenarios[0].config;
+  config.seed = 101;
+  core::SessionArena arena;
+  const core::SessionResult result = core::run_session(config, {}, &arena);
+
+  // The header + first rows fit the staging buffer; the gated flush
+  // accepts only 7 bytes and then reports ENOSPC.
+  spool.append(scenarios[0], 101, result);
+  IoHooks::write_gate = [](std::size_t) { return std::size_t{7}; };
+  error.clear();
+  EXPECT_FALSE(spool.flush(&error));
+  IoHooks::reset();
+  EXPECT_NE(error.find("short write"), std::string::npos) << error;
+  EXPECT_NE(error.find("disk full"), std::string::npos) << error;
+
+  // The spool latches the failure: later closes keep reporting it
+  // instead of silently pretending the rows landed.
+  EXPECT_FALSE(spool.close(&error));
+}
+
+TEST(Fleet, ManifestWriteFailureAbortsTheRunWithContext) {
+  const auto scenarios = small_grid();
+  const fs::path dir = fresh_dir("fleet_enospc");
+  FleetOptions opts;
+  opts.seeds = {101, 202};
+  opts.shard_size = 1;
+  opts.checkpoint_dir = dir.string();
+  opts.checkpoint_every_shards = 1;
+
+  IoHooks::write_gate = [](std::size_t) { return std::size_t{16}; };
+  const FleetResult result = run_fleet(scenarios, opts);
+  IoHooks::reset();
+  EXPECT_FALSE(result.ok());
+  EXPECT_NE(result.error.find("manifest left untouched"), std::string::npos) << result.error;
+}
+
+// ------------------------------------------------- cooperative timeout
+
+TEST(Fleet, GenerousTaskTimeoutChangesNothing) {
+  const auto scenarios = small_grid();
+  FleetOptions opts;
+  opts.seeds = {101, 202};
+  opts.shard_size = 2;
+  const FleetResult plain = run_fleet(scenarios, opts);
+  ASSERT_TRUE(plain.complete());
+  ASSERT_TRUE(plain.failures.empty());
+
+  opts.task_timeout_ms = 60 * 1000;
+  const FleetResult timed = run_fleet(scenarios, opts);
+  ASSERT_TRUE(timed.complete());
+  EXPECT_TRUE(timed.failures.empty());
+  // The deadline check must not perturb the simulation: same digests.
+  EXPECT_EQ(timed.digest_chain, plain.digest_chain);
 }
 
 TEST(Spool, CsvIsDeterministicAcrossJobCounts) {

@@ -9,6 +9,12 @@ Two input formats are understood:
   candidate metric named ``throughput:<key>`` (higher is better).
 * ``--gbench FILE`` — Google Benchmark ``--benchmark_out`` JSON; every entry
   becomes ``f9:<name>`` with its ``real_time`` (lower is better).
+* ``--fleet-inproc FILE`` / ``--fleet-supervised FILE`` — ``BENCH_fleet.json``
+  files from the same grid run in-process and under ``--supervise N``
+  (both repeatable: best-of-N is used). This mode is a *relative* gate, not
+  a baseline one: it fails when the supervised clean path is more than
+  ``--max-fleet-overhead`` slower than in-process, or when the two digest
+  chains disagree (the supervised clean path must be bitwise identical).
 
 Only metrics present in the baseline are checked, so the baseline file is
 also the allowlist. Refresh it after an intentional perf change with::
@@ -138,6 +144,83 @@ def batch_delta_table(current: dict[str, float]) -> str:
     return "\n".join(lines)
 
 
+def best_fleet_run(paths: list[str], label: str) -> tuple[float, str]:
+    """Best (highest) sessions_per_sec across repeats + the shared digest chain.
+
+    Repeats of the same deterministic grid must agree on the digest chain;
+    best-of-N throughput is used so a noisy neighbour on one repeat does not
+    fail the overhead gate.
+    """
+    best = 0.0
+    digest = None
+    for path in paths:
+        data = load_json(path)
+        rate = data.get("sessions_per_sec")
+        chain = data.get("digest_chain")
+        if not isinstance(rate, (int, float)) or rate <= 0:
+            sys.exit(f"error: {path}: missing or non-positive sessions_per_sec")
+        if not isinstance(chain, str) or not chain:
+            sys.exit(f"error: {path}: missing digest_chain")
+        if digest is None:
+            digest = chain
+        elif chain != digest:
+            sys.exit(
+                f"error: {label} repeats disagree on digest_chain "
+                f"({digest} vs {chain} in {path}) — the run is not deterministic"
+            )
+        best = max(best, float(rate))
+    return best, digest
+
+
+def check_fleet_overhead(args: argparse.Namespace) -> int:
+    """Gate the supervised clean path: bitwise identical, < max overhead."""
+    inproc_rate, inproc_digest = best_fleet_run(args.fleet_inproc, "in-process")
+    sup_rate, sup_digest = best_fleet_run(args.fleet_supervised, "supervised")
+
+    overhead = inproc_rate / sup_rate - 1.0
+    digests_match = inproc_digest == sup_digest
+    over_budget = overhead > args.max_fleet_overhead
+
+    lines = [
+        f"### Supervised fleet overhead gate (limit: {args.max_fleet_overhead * 100:.0f}%)",
+        "",
+        "| path | best sessions/s | digest chain |",
+        "|---|---:|---|",
+        f"| in-process | {fmt(inproc_rate)} | `{inproc_digest}` |",
+        f"| supervised | {fmt(sup_rate)} | `{sup_digest}` |",
+        "",
+        f"overhead: **{overhead * 100:+.1f}%** — "
+        + ("❌ over budget" if over_budget else "✅ within budget")
+        + " · digest chains "
+        + ("✅ identical" if digests_match else "❌ DIFFER"),
+    ]
+    table = "\n".join(lines)
+    print(table)
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        with open(summary_path, "a", encoding="utf-8") as fh:
+            fh.write(table + "\n")
+
+    failed = False
+    if not digests_match:
+        print(
+            f"\nfleet gate FAILED: supervised digest chain {sup_digest} != "
+            f"in-process {inproc_digest} (clean path must be bitwise identical)",
+            file=sys.stderr,
+        )
+        failed = True
+    if over_budget:
+        print(
+            f"\nfleet gate FAILED: supervised overhead {overhead * 100:+.1f}% exceeds "
+            f"limit {args.max_fleet_overhead * 100:.0f}%",
+            file=sys.stderr,
+        )
+        failed = True
+    if not failed:
+        print("\nfleet overhead gate passed")
+    return 1 if failed else 0
+
+
 def check(baseline_path: str, current: dict[str, float], threshold: float) -> int:
     baseline = load_json(baseline_path)
     baseline_metrics = baseline.get("metrics", {})
@@ -225,19 +308,35 @@ def check(baseline_path: str, current: dict[str, float], threshold: float) -> in
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--baseline", required=True, help="checked-in baseline JSON")
+    parser.add_argument("--baseline", help="checked-in baseline JSON")
     parser.add_argument("--throughput", action="append", metavar="FILE",
                         help="BENCH_throughput.json (repeatable)")
     parser.add_argument("--gbench", action="append", metavar="FILE",
                         help="Google Benchmark JSON (repeatable)")
+    parser.add_argument("--fleet-inproc", action="append", metavar="FILE",
+                        help="BENCH_fleet.json from an in-process run (repeatable)")
+    parser.add_argument("--fleet-supervised", action="append", metavar="FILE",
+                        help="BENCH_fleet.json from a --supervise run (repeatable)")
     parser.add_argument("--threshold", type=float, default=0.25,
                         help="max tolerated fractional regression (default 0.25)")
+    parser.add_argument("--max-fleet-overhead", type=float, default=0.05,
+                        help="max tolerated supervised-vs-inproc slowdown (default 0.05)")
     parser.add_argument("--update-baseline", action="store_true",
                         help="rewrite the baseline from the current results")
     args = parser.parse_args()
 
+    fleet_mode = bool(args.fleet_inproc or args.fleet_supervised)
+    if fleet_mode:
+        if not (args.fleet_inproc and args.fleet_supervised):
+            parser.error("fleet mode needs both --fleet-inproc and --fleet-supervised")
+        if args.throughput or args.gbench or args.update_baseline:
+            parser.error("fleet mode does not combine with baseline-gate inputs")
+        return check_fleet_overhead(args)
+
     if not args.throughput and not args.gbench:
         parser.error("provide at least one of --throughput / --gbench")
+    if not args.baseline:
+        parser.error("--baseline is required for the baseline gate")
 
     current = collect_current(args)
     if args.update_baseline:
