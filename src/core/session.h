@@ -9,6 +9,7 @@
 #include <list>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/vafs_controller.h"
@@ -59,6 +60,15 @@ struct SessionConfig {
   /// controller (which runs on top of the `userspace` governor).
   std::string governor = "ondemand";
   VafsConfig vafs;
+  /// Sampling-governor tunables programmed through sysfs store hooks at
+  /// bring-up, as (policy-relative attribute path, value) pairs — e.g.
+  /// {"ondemand/up_threshold", "90"}. Applied to every cluster's policy
+  /// directory in order; a rejected write (unknown attribute, or a value
+  /// the governor's store hook refuses) throws SessionError so a tuner
+  /// cannot silently evaluate an unapplied candidate. Empty (the default)
+  /// performs no sysfs writes at all, keeping every existing session
+  /// byte-identical.
+  std::vector<std::pair<std::string, std::string>> governor_tunables;
 
   // Content.
   sim::SimTime media_duration = sim::SimTime::seconds(120);

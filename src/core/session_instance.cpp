@@ -188,6 +188,20 @@ SessionInstance::SessionInstance(const SessionConfig& config, const SessionHooks
     binders_.push_back(std::make_unique<cpu::CpufreqSysfs>(tree, *policies_[i],
                                                            static_cast<int>(i)));
   }
+  // Program sampling-governor tunables through the same sysfs store hooks
+  // a userspace tool would use, on every cluster's policy directory. Done
+  // after all binders exist and before VAFS attaches (VAFS boots on
+  // "ondemand", so its pre-attach warmup honours the tuned values too).
+  for (const auto& [rel_path, value] : config.governor_tunables) {
+    for (auto& b : binders_) {
+      const sysfs::Status st = b->store(rel_path, value);
+      if (!st.ok()) {
+        throw SessionError("governor tunable '" + rel_path + "' = '" + value + "' rejected at " +
+                           b->dir() + ": " + std::string(sysfs::errno_name(st.error())));
+      }
+    }
+  }
+
   if (specs_.size() > 1) {
     std::vector<sched::ClusterRouter::ClusterRef> refs;
     refs.reserve(specs_.size());

@@ -127,6 +127,10 @@ CpufreqSysfs::CpufreqSysfs(sysfs::Tree& tree, CpufreqPolicy& policy, unsigned in
 
 CpufreqSysfs::~CpufreqSysfs() { tree_.remove(dir_); }
 
+sysfs::Status CpufreqSysfs::store(std::string_view rel_path, std::string_view value) {
+  return tree_.write(dir_ + "/" + std::string(rel_path), value);
+}
+
 void CpufreqSysfs::publish_tunables(std::string_view governor_name) {
   Governor* gov = policy_.governor();
   if (gov == nullptr) return;

@@ -27,6 +27,13 @@ class CpufreqSysfs {
   /// "devices/system/cpu/cpufreq/policy<N>"
   const std::string& dir() const { return dir_; }
 
+  /// Writes `value` to an attribute relative to this policy's directory,
+  /// e.g. store("ondemand/up_threshold", "90"). This is how session-level
+  /// config (SessionConfig::governor_tunables, the auto-tuner's knob
+  /// plumbing) programs sampling-governor tunables: through the same sysfs
+  /// store hooks a userspace tool would hit, validation included.
+  sysfs::Status store(std::string_view rel_path, std::string_view value);
+
  private:
   void publish_tunables(std::string_view governor_name);
   void retract_tunables(std::string_view governor_name);

@@ -113,6 +113,14 @@ bool parse_bench_args(int argc, char** argv, BenchOptions* options, std::string*
         *error = "--seeds wants a comma-separated integer list, got '" + value + "'";
         return false;
       }
+    } else if (arg == "--seed") {
+      if (!next_value(i, arg, inline_value, has_inline, &value)) return false;
+      std::uint64_t seed = 0;
+      if (!parse_u64(value, &seed)) {
+        *error = "--seed wants an integer, got '" + value + "'";
+        return false;
+      }
+      options->seeds = {seed};
     } else if (arg == "--out-json") {
       if (!next_value(i, arg, inline_value, has_inline, &value)) return false;
       options->out_json = value;
@@ -254,6 +262,8 @@ std::string bench_usage(const std::string& bench_id) {
          " [--trace|--no-trace] [--trace-out PATH|none]\n"
          "  --jobs N       worker threads for the session grid (default: all cores)\n"
          "  --seeds LIST   comma-separated session seeds (default: 101,202,303)\n"
+         "  --seed N       single-seed shorthand for --seeds N (the tuner's search\n"
+         "                 seed in bench_f15)\n"
          "  --batch N      sessions per lockstep batch per worker (default: 1 = serial;\n"
          "                 results are bitwise identical at every batch size)\n"
          "  --quick        first seed only, shortened sessions (smoke mode)\n"

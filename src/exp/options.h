@@ -1,6 +1,7 @@
 // Shared command-line surface of every bench binary:
 //   --jobs N        worker threads (default: hardware concurrency)
 //   --seeds a,b,c   seed list (default: 101,202,303)
+//   --seed N        single-seed shorthand for --seeds N
 //   --quick         first seed only + shortened sessions (smoke mode)
 //   --out-json P    JSON artifact path ("none" disables; default BENCH_<id>.json)
 //   --out-csv P     CSV artifact path ("none" disables; default BENCH_<id>.csv)

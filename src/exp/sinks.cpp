@@ -1,11 +1,26 @@
 #include "exp/sinks.h"
 
+#include <algorithm>
+#include <cmath>
+#include <set>
+
 #include "obs/export.h"
 #include "trace/csv.h"
 
 namespace vafs::exp {
 
 namespace {
+
+/// Exact nearest-rank quantile of a sorted sample (no interpolation: the
+/// returned value is always one of the observed values, so the column is
+/// bit-reproducible).
+double nearest_rank(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  std::size_t rank = static_cast<std::size_t>(std::ceil(p * static_cast<double>(sorted.size())));
+  if (rank == 0) rank = 1;
+  if (rank > sorted.size()) rank = sorted.size();
+  return sorted[rank - 1];
+}
 
 /// Whether any run of the scenario carried a tracer (digest-only or full).
 /// Clean no-trace artifacts keep their exact pre-tracing shape.
@@ -93,11 +108,30 @@ Json bench_report_json(const std::string& bench_id, const std::string& title,
 
 void write_bench_csv(std::ostream& out, const std::vector<Section>& sections) {
   trace::CsvWriter csv(out, {"section", "scenario", "metric", "mean", "stddev", "min", "max",
-                             "runs"});
+                             "q50", "q95", "runs"});
   for (const auto& section : sections) {
     for (const auto& sr : section.results.all()) {
+      // Per-metric quantile guards, computed exactly from the successful
+      // per-seed values (the folded OnlineStats cannot produce quantiles).
+      // Benches that fold aggregate-only (no retained runs) fall back to
+      // mean/max — an unbiased centre and a hard upper bound.
+      std::set<std::size_t> failed_slots;
+      for (const auto& f : sr.failures) failed_slots.insert(f.seed_index);
+      std::vector<std::vector<double>> columns(kMetricCount);
+      double values[kMetricCount];
+      for (std::size_t i = 0; i < sr.runs.size(); ++i) {
+        if (failed_slots.count(i) != 0) continue;
+        Aggregate::session_values(sr.runs[i], values);
+        for (std::size_t k = 0; k < kMetricCount; ++k) columns[k].push_back(values[k]);
+      }
+      for (auto& column : columns) std::sort(column.begin(), column.end());
+
+      std::size_t metric_index = 0;
       for (const auto& m : Aggregate::metrics()) {
         const sim::OnlineStats& s = sr.agg.*(m.member);
+        const std::vector<double>& column = columns[metric_index++];
+        const double q50 = column.empty() ? s.mean() : nearest_rank(column, 0.50);
+        const double q95 = column.empty() ? s.max() : nearest_rank(column, 0.95);
         csv.row()
             .cell(section.name)
             .cell(sr.spec.id)
@@ -106,6 +140,8 @@ void write_bench_csv(std::ostream& out, const std::vector<Section>& sections) {
             .cell(s.stddev())
             .cell(s.min())
             .cell(s.max())
+            .cell(q50)
+            .cell(q95)
             .cell(static_cast<std::int64_t>(sr.agg.runs));
       }
       // Per-seed trace digests as pseudo-metric rows; the hex string rides
@@ -117,6 +153,8 @@ void write_bench_csv(std::ostream& out, const std::vector<Section>& sections) {
               .cell(sr.spec.id)
               .cell("trace_digest[" + std::to_string(sr.seeds[i]) + "]")
               .cell(obs::digest_hex(sr.runs[i].trace_digest))
+              .cell(0.0)
+              .cell(0.0)
               .cell(0.0)
               .cell(0.0)
               .cell(0.0)
@@ -133,6 +171,8 @@ void write_bench_csv(std::ostream& out, const std::vector<Section>& sections) {
             .cell(std::string("failed_runs"))
             .cell(n)
             .cell(0.0)
+            .cell(n)
+            .cell(n)
             .cell(n)
             .cell(n)
             .cell(static_cast<std::int64_t>(sr.agg.runs));

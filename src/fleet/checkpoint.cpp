@@ -4,9 +4,6 @@
 #include <fstream>
 #include <sstream>
 
-#include <fcntl.h>
-#include <unistd.h>
-
 #include "fleet/io.h"
 #include "fleet/textio.h"
 #include "simcore/stats.h"
@@ -94,43 +91,7 @@ std::string serialize(const CheckpointState& state) {
 }  // namespace
 
 bool write_checkpoint(const std::string& path, const CheckpointState& state, std::string* error) {
-  const std::string body = serialize(state);
-  const std::string tmp = path + ".tmp";
-  const auto refuse = [&](const std::string& why) {
-    ::unlink(tmp.c_str());
-    *error = "checkpoint: " + why + "; manifest left untouched at '" + path + "'";
-    return false;
-  };
-  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
-  if (fd < 0) {
-    *error = "checkpoint: cannot open '" + tmp + "' for writing; manifest left untouched at '" +
-             path + "'";
-    return false;
-  }
-  std::string io_error;
-  if (!write_all(fd, body.data(), body.size(), &io_error)) {
-    ::close(fd);
-    return refuse("write to '" + tmp + "' failed: " + io_error);
-  }
-  // Data must be on disk *before* the rename publishes it, otherwise a
-  // crash can leave a durable rename pointing at non-durable bytes.
-  if (!fsync_fd(fd, &io_error)) {
-    ::close(fd);
-    return refuse("fsync of '" + tmp + "' failed: " + io_error);
-  }
-  if (::close(fd) != 0) {
-    return refuse("close of '" + tmp + "' failed");
-  }
-  if (::rename(tmp.c_str(), path.c_str()) != 0) {
-    return refuse("rename '" + tmp + "' -> '" + path + "' failed");
-  }
-  if (!fsync_parent_dir(path, &io_error)) {
-    // The rename itself landed; the new manifest is valid but its
-    // directory entry may not survive a power loss. Report it.
-    *error = "checkpoint: " + io_error;
-    return false;
-  }
-  return true;
+  return write_file_durable(path, serialize(state), "checkpoint", "manifest", error);
 }
 
 bool read_checkpoint(const std::string& path, CheckpointState* state, std::string* error) {

@@ -1,6 +1,7 @@
 #include "fleet/io.h"
 
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 
 #include <fcntl.h>
@@ -67,6 +68,48 @@ bool fsync_parent_dir(const std::string& path, std::string* error) {
   ::close(fd);
   if (!ok) {
     *error = "fsync of directory '" + dir + "': " + sync_error;
+    return false;
+  }
+  return true;
+}
+
+bool write_file_durable(const std::string& path, std::string_view body, std::string_view what,
+                        std::string_view noun, std::string* error) {
+  const std::string tag(what);
+  const std::string kind(noun);
+  const std::string tmp = path + ".tmp";
+  const auto refuse = [&](const std::string& why) {
+    ::unlink(tmp.c_str());
+    *error = tag + ": " + why + "; " + kind + " left untouched at '" + path + "'";
+    return false;
+  };
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    *error = tag + ": cannot open '" + tmp + "' for writing; " + kind +
+             " left untouched at '" + path + "'";
+    return false;
+  }
+  std::string io_error;
+  if (!write_all(fd, body.data(), body.size(), &io_error)) {
+    ::close(fd);
+    return refuse("write to '" + tmp + "' failed: " + io_error);
+  }
+  // Data must be on disk *before* the rename publishes it, otherwise a
+  // crash can leave a durable rename pointing at non-durable bytes.
+  if (!fsync_fd(fd, &io_error)) {
+    ::close(fd);
+    return refuse("fsync of '" + tmp + "' failed: " + io_error);
+  }
+  if (::close(fd) != 0) {
+    return refuse("close of '" + tmp + "' failed");
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    return refuse("rename '" + tmp + "' -> '" + path + "' failed");
+  }
+  if (!fsync_parent_dir(path, &io_error)) {
+    // The rename itself landed; the new file is valid but its directory
+    // entry may not survive a power loss. Report it.
+    *error = tag + ": " + io_error;
     return false;
   }
   return true;

@@ -11,6 +11,7 @@
 #include <cstddef>
 #include <functional>
 #include <string>
+#include <string_view>
 
 namespace vafs::fleet {
 
@@ -44,5 +45,16 @@ bool fsync_fd(int fd, std::string* error);
 /// (some filesystems refuse O_RDONLY on directories); a failing fsync on
 /// an opened directory is reported.
 bool fsync_parent_dir(const std::string& path, std::string* error);
+
+/// Publishes `body` at `path` atomically and durably: sibling .tmp, every
+/// write checked (write_all), fsync, rename into place, directory fsync.
+/// On any failure the previous file at `path` — if any — is left intact,
+/// the .tmp is unlinked and `error` gets a pointed message prefixed with
+/// `what` (e.g. "checkpoint") naming the untouched file as `noun`
+/// (e.g. "manifest"). The checkpoint manifest and the tuner's search-state
+/// file share this path so both survive a kill or ENOSPC at every byte
+/// boundary.
+bool write_file_durable(const std::string& path, std::string_view body, std::string_view what,
+                        std::string_view noun, std::string* error);
 
 }  // namespace vafs::fleet

@@ -1,0 +1,96 @@
+// Tunable-parameter grids for the governor auto-tuner (tuner.h).
+//
+// A ParamSpace is an ordered list of dimensions, each a registered knob
+// name with an inclusive arithmetic grid lo + i*step. Candidates are
+// index vectors (one grid index per dimension), never raw doubles: index
+// arithmetic is exact, so neighbours, bounds checks and the canonical
+// lexicographic tie-break order are all integer operations — the search
+// trajectory cannot drift on floating-point round-off.
+//
+// Knobs cover the VAFS parameter surface (safety margin, predictor
+// window/alpha/quantile, boost, cold start, watchdog thresholds) and the
+// sampling-governor sysfs tunables (ondemand/conservative), applied onto
+// a core::SessionConfig through a fixed registry.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/session.h"
+
+namespace vafs::tune {
+
+/// One grid index per ParamSpace dimension, in dimension order.
+using Candidate = std::vector<std::uint32_t>;
+
+struct ParamDef {
+  std::string name;
+  double lo = 0.0;
+  double hi = 0.0;
+  double step = 0.0;  // > 0 unless lo == hi (single-point dimension)
+
+  /// Grid points in [lo, hi]: 1 + floor((hi - lo) / step), computed
+  /// without dividing when the dimension is a single point (lo == hi).
+  std::uint32_t count() const;
+  /// Value of grid index i (i < count()): lo + i * step.
+  double value(std::uint32_t i) const;
+};
+
+class ParamSpace {
+ public:
+  /// Per-dimension grid-width cap: wide enough for any real sweep, small
+  /// enough that a fuzzer's near-zero step cannot allocate the world.
+  static constexpr std::uint32_t kMaxPointsPerDim = 1u << 20;
+
+  /// Adds a dimension. Throws std::invalid_argument on an unknown knob
+  /// name, a duplicate dimension, non-finite lo/hi/step, an inverted
+  /// range (lo > hi), a non-positive step on a non-degenerate range, or
+  /// a grid wider than kMaxPointsPerDim. A degenerate range (lo == hi)
+  /// is a valid single-point dimension regardless of step.
+  ParamSpace& dim(const std::string& name, double lo, double hi, double step);
+
+  std::size_t dims() const { return defs_.size(); }
+  const ParamDef& def(std::size_t d) const { return defs_.at(d); }
+  const std::vector<ParamDef>& defs() const { return defs_; }
+
+  /// Product of per-dimension counts, saturating at UINT64_MAX.
+  std::uint64_t point_count() const;
+
+  /// Concrete knob values of a candidate. Throws std::out_of_range when
+  /// the candidate's arity or any index is outside the space.
+  std::vector<double> values(const Candidate& c) const;
+
+  /// Applies a candidate onto a session config through the knob registry
+  /// (bounds-checked like values()).
+  void apply(const Candidate& c, core::SessionConfig& cfg) const;
+
+  /// Canonical rendering, e.g. "safety_margin=0.2 predictor_window=16".
+  std::string format(const Candidate& c) const;
+
+  /// FNV-1a over dimension names and the bit patterns of lo/hi/step —
+  /// resume validation for the tuner state file.
+  std::uint64_t fingerprint() const;
+
+  /// Registered knob names, sorted (for diagnostics and the fuzzer).
+  static std::vector<std::string> knob_names();
+
+ private:
+  std::vector<ParamDef> defs_;
+};
+
+/// Deterministic candidate sampler: draw k is a pure function of
+/// (seed, k), so neither checkpoint/resume nor job count can shift the
+/// sample stream — the sampled population is a value, not a process.
+class TunerRng {
+ public:
+  explicit TunerRng(std::uint64_t seed) : seed_(seed) {}
+
+  /// Uniform index in [0, n), n >= 1, for draw counter k.
+  std::uint32_t pick(std::uint64_t k, std::uint32_t n) const;
+
+ private:
+  std::uint64_t seed_;
+};
+
+}  // namespace vafs::tune

@@ -329,7 +329,91 @@ TEST(Sinks, ReportJsonAndCsvCoverEveryScenario) {
   std::size_t lines = 0;
   for (const char c : csv_text) lines += c == '\n';
   EXPECT_EQ(lines, 1u + 2u * Aggregate::metrics().size());
-  EXPECT_EQ(csv_text.rfind("section,scenario,metric,mean,stddev,min,max,runs", 0), 0u);
+  EXPECT_EQ(csv_text.rfind("section,scenario,metric,mean,stddev,min,max,q50,q95,runs", 0), 0u);
+}
+
+// ------------------------------------------- CSV quantile-guard columns
+
+namespace {
+
+/// Parses one CSV line on commas (the bench CSV never quotes: section,
+/// scenario and metric names are comma-free by construction).
+std::vector<std::string> split_csv(const std::string& line) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= line.size()) {
+    const std::size_t comma = line.find(',', start);
+    out.push_back(line.substr(start, comma - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+TEST(Sinks, CsvQuantileGuardsRoundTrip) {
+  // The guard quantiles folded into the CSV must (a) keep the header
+  // ordering aligned with Aggregate::metrics() declaration order, and
+  // (b) equal an independent nearest-rank recomputation from the per-seed
+  // session values — the round trip the plotting tools depend on.
+  ExperimentGrid grid(small_config());
+  grid.governors({"ondemand", "vafs"});
+  RunOptions run_options;
+  run_options.jobs = 2;
+  run_options.seeds = {101, 202, 303, 404, 505};
+  run_options.trace = true;  // digest pseudo-rows must carry the new shape
+  std::vector<Section> sections;
+  sections.push_back(Section{"main", run_grid(grid, run_options)});
+
+  std::ostringstream csv;
+  write_bench_csv(csv, sections);
+  std::istringstream lines(csv.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_EQ(line, "section,scenario,metric,mean,stddev,min,max,q50,q95,runs");
+
+  const auto quantile = [](std::vector<double> v, double p) {
+    std::sort(v.begin(), v.end());
+    std::size_t rank = static_cast<std::size_t>(std::ceil(p * static_cast<double>(v.size())));
+    if (rank == 0) rank = 1;
+    return v[std::min(rank, v.size()) - 1];
+  };
+
+  const auto& metrics = Aggregate::metrics();
+  for (const auto& sr : sections[0].results.all()) {
+    // One row per metric, in declaration order, before any pseudo-rows.
+    for (std::size_t k = 0; k < metrics.size(); ++k) {
+      ASSERT_TRUE(std::getline(lines, line));
+      const std::vector<std::string> cells = split_csv(line);
+      ASSERT_EQ(cells.size(), 10u) << line;
+      EXPECT_EQ(cells[1], sr.spec.id);
+      EXPECT_EQ(cells[2], metrics[k].name);
+
+      std::vector<double> column;
+      double values[kMetricCount];
+      for (const auto& run : sr.runs) {
+        Aggregate::session_values(run, values);
+        column.push_back(values[k]);
+      }
+      // The CSV renders doubles as %.6g (trace::CsvWriter); recompute and
+      // render the same way so the comparison is exact, not approximate.
+      const auto g6 = [](double v) {
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.6g", v);
+        return std::string(buf);
+      };
+      EXPECT_EQ(cells[7], g6(quantile(column, 0.50))) << line;
+      EXPECT_EQ(cells[8], g6(quantile(column, 0.95))) << line;
+    }
+    // Skip this scenario's trace-digest pseudo-rows (one per seed); they
+    // must carry the widened 10-cell shape too.
+    for (std::size_t i = 0; i < sr.runs.size(); ++i) {
+      ASSERT_TRUE(std::getline(lines, line));
+      EXPECT_EQ(split_csv(line).size(), 10u) << line;
+      EXPECT_EQ(split_csv(line)[2].rfind("trace_digest[", 0), 0u) << line;
+    }
+  }
 }
 
 

@@ -5,6 +5,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "core/session.h"
@@ -12,6 +15,8 @@
 #include "fault/plan.h"
 #include "net/downloader.h"
 #include "simcore/rng.h"
+#include "tune/param_space.h"
+#include "tune/tuner.h"
 
 namespace vafs {
 namespace {
@@ -308,6 +313,97 @@ TEST_P(SeekFuzz, RandomSeeksNeverWedgeTheSession) {
 INSTANTIATE_TEST_SUITE_P(Seeds, SeekFuzz,
                          ::testing::Values(11u, 222u, 3333u, 44444u, 555555u, 6666666u, 777u,
                                            88u));
+
+// ----------------------------------------------------- ParamSpace fuzzing
+
+class ParamSpaceFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ParamSpaceFuzz, RandomSpacesValidateAndSearchInBounds) {
+  sim::Rng rng(GetParam());
+  const std::vector<std::string> knobs = tune::ParamSpace::knob_names();
+
+  // Malformed dimensions must be rejected up front — inverted ranges,
+  // non-finite bounds, non-positive steps on non-degenerate ranges.
+  {
+    tune::ParamSpace bad;
+    const std::string& knob = knobs[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(knobs.size()) - 1))];
+    EXPECT_THROW(bad.dim(knob, 1.0, 0.0, 0.1), std::invalid_argument);
+    EXPECT_THROW(bad.dim(knob, 0.0, 1.0, -rng.uniform(0.01, 1.0)), std::invalid_argument);
+    EXPECT_THROW(bad.dim(knob, 0.0, std::numeric_limits<double>::quiet_NaN(), 0.1),
+                 std::invalid_argument);
+    EXPECT_EQ(bad.dims(), 0u);  // nothing leaked into the space
+  }
+
+  // A random well-formed space: 1-4 distinct knobs, each either a
+  // degenerate single point (lo == hi, zero width) or a small grid.
+  tune::ParamSpace space;
+  const int dims = static_cast<int>(rng.uniform_int(1, 4));
+  std::size_t next_knob = static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(knobs.size()) - 1));
+  for (int d = 0; d < dims; ++d) {
+    const std::string& knob = knobs[next_knob];
+    next_knob = (next_knob + 1) % knobs.size();  // distinct by construction
+    const double lo = rng.uniform(0.0, 10.0);
+    if (rng.bernoulli(0.25)) {
+      space.dim(knob, lo, lo, rng.bernoulli(0.5) ? 0.0 : rng.uniform(0.1, 1.0));
+    } else {
+      const double step = rng.uniform(0.05, 2.0);
+      space.dim(knob, lo, lo + step * rng.uniform_int(1, 6), step);
+    }
+  }
+
+  // Every candidate the tuner asks any evaluator to score stays inside
+  // the grid: right arity, every index < count. values() re-checks the
+  // same bounds and must never throw on tuner-generated candidates —
+  // including on zero-width (single-point) dimensions.
+  class BoundsAssertingEvaluator : public tune::Evaluator {
+   public:
+    explicit BoundsAssertingEvaluator(const tune::ParamSpace& space) : space_(space) {}
+    tune::RoundResult evaluate(const tune::RoundRequest& req) override {
+      tune::RoundResult out;
+      EXPECT_FALSE(req.candidates.empty());
+      EXPECT_FALSE(req.seeds.empty());
+      for (const tune::Candidate& c : req.candidates) {
+        EXPECT_EQ(c.size(), space_.dims());
+        for (std::size_t d = 0; d < c.size(); ++d) EXPECT_LT(c[d], space_.def(d).count());
+        const std::vector<double> vals = space_.values(c);  // throws if out of bounds
+        tune::Score s;
+        s.evaluated = true;
+        s.feasible = true;
+        for (const double v : vals) s.energy_mj += v;
+        s.runs = static_cast<std::int64_t>(req.seeds.size());
+        out.scores.push_back(s);
+      }
+      return out;
+    }
+    const tune::ParamSpace& space_;
+  };
+
+  BoundsAssertingEvaluator eval(space);
+  tune::TuneContext ctx;
+  ctx.name = "fuzz/cell";
+  tune::TunerOptions opts;
+  opts.search_seed = rng.next_u64();
+  opts.initial_candidates = static_cast<int>(rng.uniform_int(1, 12));
+  opts.eta = static_cast<int>(rng.uniform_int(2, 5));
+  opts.seed_schedule = {1};
+  while (opts.seed_schedule.size() < static_cast<std::size_t>(rng.uniform_int(1, 3))) {
+    opts.seed_schedule.push_back(opts.seed_schedule.back() + static_cast<int>(rng.uniform_int(1, 3)));
+  }
+  opts.refine_passes = static_cast<int>(rng.uniform_int(0, 3));
+  opts.sensitivity = rng.bernoulli(0.5);
+  const tune::TuneReport report = run_tuner(space, {ctx}, opts, &eval);
+  ASSERT_TRUE(report.complete()) << report.error;
+  ASSERT_EQ(report.cells.size(), 1u);
+  ASSERT_EQ(report.cells[0].best.size(), space.dims());
+  for (std::size_t d = 0; d < space.dims(); ++d) {
+    EXPECT_LT(report.cells[0].best[d], space.def(d).count());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParamSpaceFuzz,
+                         ::testing::Range<std::uint64_t>(4000, 4024));  // 24 random spaces
 
 }  // namespace
 }  // namespace vafs

@@ -42,10 +42,17 @@ def read_timeline_csv(path):
     series = {}
     with open(path, newline="") as f:
         reader = csv.DictReader(f)
-        if reader.fieldnames != ["series", "t_us", "value"]:
+        # Require the columns we read by name, in their canonical order,
+        # but tolerate schema-compatible extensions (extra trailing
+        # columns) — the bench CSV grew guard-quantile columns the same
+        # way, and a strict equality check here would reject any future
+        # widening of the timeline schema too.
+        required = ["series", "t_us", "value"]
+        fields = reader.fieldnames or []
+        if fields[: len(required)] != required:
             raise SystemExit(
-                f"{path}: expected header 'series,t_us,value', got "
-                f"{','.join(reader.fieldnames or [])}")
+                f"{path}: expected header to start with 'series,t_us,value', got "
+                f"{','.join(fields)}")
         for row in reader:
             series.setdefault(row["series"], []).append(
                 (float(row["t_us"]) / 1e6, float(row["value"])))
