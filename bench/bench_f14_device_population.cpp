@@ -14,12 +14,19 @@
 // devices (it parks decode on an efficient cluster), smallest on the
 // single-cluster handheld; mix means interpolate their member classes by
 // weight, so "premium" sits closest to flagship.
+//
+// Sweep 1 also carries a "tuned" governor row: VAFS with the per-cell
+// winners of the closed-loop search (bench_f15's tuned_configs.json,
+// checked in under baselines/; --tuned overrides, --tuned none disables).
+// A device class without a tuned cell runs stock VAFS, so the row is
+// always comparable column-for-column.
 #include <cstdio>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "exp/bench_app.h"
+#include "tune/tuned_configs.h"
 
 int main(int argc, char** argv) {
   using namespace vafs;
@@ -36,9 +43,39 @@ int main(int argc, char** argv) {
   base.media_duration = app.session_seconds(120);
   base.net = core::NetProfile::kFair;
 
-  // Sweep 1: every registered device profile.
+  // The tuned-config artifact for the "tuned" variant.
+  tune::TunedConfigs tuned;
+  const bool want_tuned = app.options().tuned != "none";
+  if (want_tuned) {
+    const std::string path =
+        app.options().tuned.empty() ? VAFS_TUNED_CONFIGS_PATH : app.options().tuned;
+    std::string error;
+    if (!tune::TunedConfigs::load_file(path, &tuned, &error)) {
+      std::fprintf(stderr, "bench_f14: %s (pass --tuned none to skip the tuned variant)\n",
+                   error.c_str());
+      return 2;
+    }
+  }
+  const char* net_label = core::net_profile_name(base.net);
+
+  // Sweep 1: every registered device profile. Devices form the outer axis
+  // so the "tuned" governor mutator runs after the device mutator and can
+  // look up its (profile, net) cell.
   exp::ExperimentGrid device_grid(base);
-  device_grid.governors(governors).devices(devices);
+  device_grid.devices(devices);
+  std::vector<std::string> gov_rows = governors;
+  std::vector<std::pair<std::string, exp::ExperimentGrid::Mutator>> gov_values;
+  for (const auto& name : governors) {
+    gov_values.emplace_back(name, [name](core::SessionConfig& c) { c.governor = name; });
+  }
+  if (want_tuned) {
+    gov_rows.push_back("tuned");
+    gov_values.emplace_back("tuned", [&tuned, net_label](core::SessionConfig& c) {
+      c.governor = "vafs";
+      if (const tune::TunedCell* cell = tuned.find(c.profile.name, net_label)) cell->apply(c);
+    });
+  }
+  device_grid.axis("governor", std::move(gov_values));
   const exp::ResultSet& by_device = app.run(device_grid, "devices");
 
   std::printf("CPU energy (J) by device class:\n");
@@ -46,7 +83,7 @@ int main(int argc, char** argv) {
   for (const auto& d : devices) std::printf(" %10s", d.c_str());
   std::printf("\n");
   exp::print_rule(13 + 11 * devices.size());
-  for (const auto& governor : governors) {
+  for (const auto& governor : gov_rows) {
     std::printf("%-13s", governor.c_str());
     for (const auto& d : devices) {
       const auto& a = by_device.agg({{"governor", governor}, {"device", d}});
@@ -60,13 +97,43 @@ int main(int argc, char** argv) {
   for (const auto& d : devices) std::printf(" %10s", d.c_str());
   std::printf("\n");
   exp::print_rule(13 + 11 * devices.size());
-  for (const auto& governor : governors) {
+  for (const auto& governor : gov_rows) {
     std::printf("%-13s", governor.c_str());
     for (const auto& d : devices) {
       const auto& a = by_device.agg({{"governor", governor}, {"device", d}});
       std::printf(" %5.2f/%4.1f", a.drop_pct.mean(), a.rebuffer_s.mean());
     }
     std::printf("\n");
+  }
+
+  if (want_tuned) {
+    std::printf("\nTuned vs stock VAFS (total device energy, same QoE floors as F15):\n");
+    exp::Json tuned_json = exp::Json::array();
+    for (const auto& d : devices) {
+      const tune::TunedCell* cell = tuned.find(d, net_label);
+      if (cell == nullptr) continue;
+      const auto& stock = by_device.agg({{"governor", "vafs"}, {"device", d}});
+      const auto& opt = by_device.agg({{"governor", "tuned"}, {"device", d}});
+      const double stock_j = stock.total_mj.mean() / 1000.0;
+      const double opt_j = opt.total_mj.mean() / 1000.0;
+      const double saving = stock_j > 0.0 ? 100.0 * (stock_j - opt_j) / stock_j : 0.0;
+      std::printf("  %-10s %7.2f J -> %7.2f J  (%+.1f%%)  drop %4.2f%% -> %4.2f%%%s\n",
+                  d.c_str(), stock_j, opt_j, -saving, stock.drop_pct.mean(),
+                  opt.drop_pct.mean(), cell->feasible ? "" : "  [cell infeasible in search]");
+      exp::Json row = exp::Json::object();
+      row.set("device", d);
+      row.set("net", net_label);
+      row.set("feasible", cell->feasible);
+      row.set("stock_total_mj", stock.total_mj.mean());
+      row.set("tuned_total_mj", opt.total_mj.mean());
+      row.set("stock_drop_pct", stock.drop_pct.mean());
+      row.set("tuned_drop_pct", opt.drop_pct.mean());
+      exp::Json params = exp::Json::object();
+      for (const auto& [name, value] : cell->params) params.set(name, value);
+      row.set("params", std::move(params));
+      tuned_json.push(std::move(row));
+    }
+    app.extra().set("tuned_cells", std::move(tuned_json));
   }
 
   // Sweep 2: weighted population mixes; each (scenario, seed) cell draws

@@ -14,11 +14,14 @@
 // bit-identical to an uninterrupted run.
 #include <sys/resource.h>
 
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -30,6 +33,8 @@
 #include "fault/plan.h"
 #include "fleet/fleet_runner.h"
 #include "obs/export.h"
+#include "serve/client.h"
+#include "serve/server.h"
 #include "supervise/supervisor.h"
 
 namespace {
@@ -132,6 +137,46 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "bench_fleet: chaos/deadline/worker-budget flags need --supervise N\n");
     return 2;
   }
+  if (!options.serve.empty() && supervised) {
+    std::fprintf(stderr, "bench_fleet: --serve and --supervise are mutually exclusive "
+                 "(supervised workers are subprocesses; run vafsd and point each worker's "
+                 "parent at it instead)\n");
+    return 2;
+  }
+
+  // Serving mode: route every session's VAFS decisions through the daemon
+  // protocol. "auto" hosts the server in-process on a private socket; any
+  // other value is the socket of an already-running vafsd. Either way the
+  // digest chain must match an in-process run bit-for-bit.
+  std::unique_ptr<serve::Server> serve_server;
+  std::unique_ptr<serve::SocketBackend> serve_backend;
+  if (!options.serve.empty()) {
+    std::string socket = options.serve;
+    if (socket == "auto") {
+      socket = "/tmp/vafs-fleet-" + std::to_string(getpid()) + ".sock";
+      serve::ServerOptions sopts;
+      sopts.socket_path = socket;
+      serve_server = std::make_unique<serve::Server>(sopts);
+      if (!serve_server->start()) {
+        std::fprintf(stderr, "bench_fleet: cannot start decision server on %s\n",
+                     socket.c_str());
+        return 1;
+      }
+    }
+    try {
+      serve::ServeConnection probe(socket);
+      if (!probe.ping()) {
+        std::fprintf(stderr, "bench_fleet: daemon at %s did not answer a ping\n",
+                     socket.c_str());
+        return 1;
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "bench_fleet: --serve: %s\n", e.what());
+      return 1;
+    }
+    serve_backend = std::make_unique<serve::SocketBackend>(socket);
+    fopts.decision_backend = serve_backend.get();
+  }
 
   std::printf("fleet: %zu scenarios x %zu seeds = %llu sessions, shard size %zu, %d %s, "
               "batch %d\n",
@@ -191,6 +236,23 @@ int main(int argc, char** argv) {
               obs::digest_hex(result.digest_chain).c_str(), rss_mib, elapsed_s,
               elapsed_s > 0 ? static_cast<double>(result.sessions_run) / elapsed_s : 0.0);
 
+  serve::ServerStats serve_stats;
+  if (serve_server != nullptr) {
+    serve_server->stop();  // drain before reading the final counters
+    serve_stats = serve_server->stats();
+    std::printf("serve: %llu decisions on %llu streams over %llu connections, "
+                "latency p50/p95/p99 %.0f/%.0f/%.0f us\n",
+                static_cast<unsigned long long>(serve_stats.requests),
+                static_cast<unsigned long long>(serve_stats.streams_opened),
+                static_cast<unsigned long long>(serve_stats.connections_accepted),
+                serve_stats.latency_p50_us, serve_stats.latency_p95_us,
+                serve_stats.latency_p99_us);
+  } else if (serve_backend != nullptr) {
+    std::printf("serve: decisions answered by vafsd at %s over %llu client connections\n",
+                serve_backend->socket_path().c_str(),
+                static_cast<unsigned long long>(serve_backend->connections_opened()));
+  }
+
   if (supervised) {
     std::printf("supervise: %llu spawns, %llu deaths (%llu heartbeat, %llu deadline, %llu rss "
                 "kills), %llu retries, %zu quarantined (%llu resumed)\n",
@@ -233,6 +295,19 @@ int main(int argc, char** argv) {
              elapsed_s > 0 ? static_cast<double>(result.sessions_run) / elapsed_s : 0.0);
     root.set("supervised", supervised ? static_cast<std::uint64_t>(options.supervise)
                                       : static_cast<std::uint64_t>(0));
+    if (serve_backend != nullptr) {
+      exp::Json sv = exp::Json::object();
+      sv.set("mode", options.serve);
+      sv.set("client_connections", serve_backend->connections_opened());
+      if (serve_server != nullptr) {
+        sv.set("requests", serve_stats.requests);
+        sv.set("streams", serve_stats.streams_opened);
+        sv.set("latency_p50_us", serve_stats.latency_p50_us);
+        sv.set("latency_p95_us", serve_stats.latency_p95_us);
+        sv.set("latency_p99_us", serve_stats.latency_p99_us);
+      }
+      root.set("serve", std::move(sv));
+    }
     if (supervised) {
       exp::Json sv = exp::Json::object();
       sv.set("worker_spawns", sup.worker_spawns);

@@ -242,6 +242,13 @@ struct SessionHooks {
   /// component records through it, the timeline series fill, and the
   /// result carries trace_digest / trace_events. Must outlive run_session.
   obs::Tracer* tracer = nullptr;
+
+  /// Optional decision backend for the VAFS controller (not owned, may be
+  /// null = in-process). Set to a serve::SocketBackend to have the
+  /// decision daemon answer this session's plans — bit-identical results
+  /// by the decision-core determinism contract. Must outlive run_session
+  /// and be thread-safe if sessions run in parallel.
+  DecisionBackend* decision_backend = nullptr;
 };
 
 /// Reusable storage for back-to-back sessions: holds the event queue's

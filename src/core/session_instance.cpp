@@ -319,6 +319,9 @@ SessionInstance::SessionInstance(const SessionConfig& config, const SessionHooks
     vafs_controller_ = std::make_unique<VafsController>(simulator_, tree, binder.dir(), *player_,
                                                         vafs_config);
     vafs_controller_->set_tracer(tracer);  // before attach: traces boot-time fallback
+    if (hooks.decision_backend != nullptr) {
+      vafs_controller_->set_decision_backend(hooks.decision_backend);
+    }
     if (router_) {
       std::vector<std::string> extra_dirs;
       for (std::size_t i = 1; i < binders_.size(); ++i) extra_dirs.push_back(binders_[i]->dir());

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
-#include <numeric>
 
 #include "obs/trace.h"
 
@@ -28,6 +27,20 @@ std::vector<std::uint32_t> parse_freq_list(std::string_view text) {
   std::sort(out.begin(), out.end());
   return out;
 }
+
+// DecisionPlayerState mirrors stream::PlayerState value-for-value so the
+// snapshot cast below is a plain relabeling (the decision core must not
+// depend on the player stack).
+constexpr bool state_mirror_ok(stream::PlayerState s, DecisionPlayerState d) {
+  return static_cast<int>(s) == static_cast<int>(d);
+}
+static_assert(state_mirror_ok(stream::PlayerState::kIdle, DecisionPlayerState::kIdle));
+static_assert(state_mirror_ok(stream::PlayerState::kStartup, DecisionPlayerState::kStartup));
+static_assert(state_mirror_ok(stream::PlayerState::kPlaying, DecisionPlayerState::kPlaying));
+static_assert(
+    state_mirror_ok(stream::PlayerState::kRebuffering, DecisionPlayerState::kRebuffering));
+static_assert(state_mirror_ok(stream::PlayerState::kSeeking, DecisionPlayerState::kSeeking));
+static_assert(state_mirror_ok(stream::PlayerState::kFinished, DecisionPlayerState::kFinished));
 
 }  // namespace
 
@@ -75,6 +88,27 @@ bool VafsController::attach() {
     if (!tree_.write(c.dir + "/scaling_governor", "userspace").ok()) return false;
   }
 
+  // The frequency tables are known: open the decision stream now, before
+  // the governor takeover, so a watchdog boot-fallback still has a live
+  // stream accumulating observations for the eventual re-engage.
+  DecisionGeometry geometry;
+  geometry.clusters.resize(extra_.size() + 1);
+  geometry.clusters[0].available_khz = available_khz_;
+  for (std::size_t i = 0; i < extra_.size(); ++i) {
+    geometry.clusters[i + 1].available_khz = extra_[i].available_khz;
+  }
+  if (router_ != nullptr) {
+    geometry.routed = true;
+    geometry.primary = static_cast<std::uint32_t>(router_->primary_cluster());
+    geometry.network = static_cast<std::uint32_t>(router_->network_cluster());
+    for (std::size_t c = 0; c < geometry.clusters.size(); ++c) {
+      geometry.clusters[c].cycle_penalty = router_->cycle_penalty(c);
+      geometry.clusters[c].capacity_khz = router_->capacity_khz(c);
+    }
+  }
+  DecisionBackend* backend = backend_ != nullptr ? backend_ : &local_backend_;
+  stream_ = backend->open(DecisionStreamInfo{config_, std::move(geometry)});
+
   if (!tree_.write(dir_ + "/scaling_governor", "userspace").ok()) {
     if (config_.watchdog.enabled) {
       // Boot straight into safe mode; the hysteresis timer retries the
@@ -107,220 +141,76 @@ void VafsController::detach(std::string_view restore_governor) {
   for (const ExtraCluster& c : extra_) tree_.write(c.dir + "/scaling_governor", restore_governor);
 }
 
-double VafsController::decode_demand_hz() const {
+double VafsController::oracle_decode_hz() const {
+  // Perfect knowledge: mean decode cost of the next GOP's worth of
+  // frames, read straight from the content model (the frame timeline is
+  // fps-aligned across representations, so indexing by playback frame is
+  // exact for fixed-rep sessions and a close bound under ABR).
   if (player_.state() == stream::PlayerState::kFinished) return 0.0;
-
   const double fps = 1.0 / player_.frame_period().as_seconds_f();
   const std::size_t rep = player_.current_rep();
-
-  if (config_.oracle) {
-    // Perfect knowledge: mean decode cost of the next GOP's worth of
-    // frames, read straight from the content model (the frame timeline is
-    // fps-aligned across representations, so indexing by playback frame
-    // is exact for fixed-rep sessions and a close bound under ABR).
-    const auto& content = player_.content();
-    const std::uint64_t start = player_.decoded_frames();
-    const std::uint64_t gop = content.params().gop_frames;
-    const std::uint64_t end = std::min(start + gop, player_.total_frames());
-    if (end <= start) return 0.0;
-    // Most plans arrive between decodes (fetch/state triggers), with the
-    // window unmoved — reuse the last sum; recompute (identically) when
-    // the window advances.
-    if (rep != gop_rep_ || start != gop_start_ || end != gop_end_) {
-      double cycles = 0.0;
-      for (std::uint64_t f = start; f < end; ++f) {
-        cycles += content.frame(rep, f).decode_cycles;
-      }
-      gop_rep_ = rep;
-      gop_start_ = start;
-      gop_end_ = end;
-      gop_cycles_ = cycles;
+  const auto& content = player_.content();
+  const std::uint64_t start = player_.decoded_frames();
+  const std::uint64_t gop = content.params().gop_frames;
+  const std::uint64_t end = std::min(start + gop, player_.total_frames());
+  if (end <= start) return 0.0;
+  // Most plans arrive between decodes (fetch/state triggers), with the
+  // window unmoved — reuse the last sum; recompute (identically) when
+  // the window advances.
+  if (rep != gop_rep_ || start != gop_start_ || end != gop_end_) {
+    double cycles = 0.0;
+    for (std::uint64_t f = start; f < end; ++f) {
+      cycles += content.frame(rep, f).decode_cycles;
     }
-    return gop_cycles_ / static_cast<double>(end - start) * fps;
+    gop_rep_ = rep;
+    gop_start_ = start;
+    gop_end_ = end;
+    gop_cycles_ = cycles;
   }
-
-  const auto it = decode_histories_.find(rep);
-  if (it == decode_histories_.end() ||
-      it->second.total_frames < config_.min_observations) {
-    // Cold start: signal "no estimate" with a negative value; the planner
-    // falls back to the conservative floor.
-    return -1.0;
-  }
-  const DecodeHistory& history = it->second;
-
-  if (!config_.class_aware || history.idr.observations() == 0 ||
-      history.p.observations() == 0) {
-    // Single-stream prediction (class-aware falls back here until both
-    // classes have history; in practice the first frame is an IDR, so this
-    // lasts one frame).
-    const CycleDemandPredictor& mixed =
-        history.p.observations() > 0 ? history.p : history.idr;
-    return mixed.predict() * fps;
-  }
-
-  // Blend by the observed class mix: the sustained decode rate is the
-  // GOP-weighted average of per-class predictions.
-  const double idr_fraction = static_cast<double>(history.idr_frames) /
-                              static_cast<double>(history.total_frames);
-  const double blended = idr_fraction * history.idr.predict() +
-                         (1.0 - idr_fraction) * history.p.predict();
-  return blended * fps;
+  return gop_cycles_ / static_cast<double>(end - start) * fps;
 }
 
-double VafsController::audio_demand_hz() const {
-  if (config_.audio_cycles_per_frame <= 0) return 0.0;
-  if (player_.state() == stream::PlayerState::kFinished) return 0.0;
-  return config_.audio_cycles_per_frame / player_.frame_period().as_seconds_f();
+DecisionRequest VafsController::make_request(DecisionEvent event) const {
+  DecisionRequest req;
+  req.event = event;
+  req.want_plan = attached_ && !fallback_;  // safe mode owns the policy
+  req.now_us = sim_.now().as_micros();
+  req.player_state = static_cast<DecisionPlayerState>(player_.state());
+  req.downloading = downloading_;
+  req.decoded_ahead = player_.decoded_ahead();
+  req.decoded_frames = player_.decoded_frames();
+  req.total_frames = player_.total_frames();
+  req.frame_period_us = player_.frame_period().as_micros();
+  req.current_rep = player_.current_rep();
+  req.throughput_mbps = player_.throughput_estimate_mbps();
+  if (config_.oracle) req.oracle_decode_hz = oracle_decode_hz();
+  return req;
 }
 
-double VafsController::download_demand_hz() const {
-  if (!downloading_) return 0.0;
-  double mbps = player_.throughput_estimate_mbps();
-  if (mbps <= 0) mbps = config_.default_throughput_mbps;
-  return mbps * 1e6 / 8.0 * config_.protocol_cycles_per_byte;
-}
+void VafsController::deliver(const DecisionRequest& request) {
+  if (stream_ == nullptr) return;  // before attach() no stream exists
+  // A plain replan with planning suppressed carries no state mutation:
+  // skip the round trip entirely (kDecodeComplete / kFrameDropped must
+  // still go through — observations and boosts accumulate in fallback).
+  if (!request.want_plan && request.event == DecisionEvent::kReplan) return;
 
-std::uint32_t VafsController::snap(const std::vector<std::uint32_t>& table, double required_khz,
-                                   bool boosted) {
-  assert(!table.empty());
-  std::size_t idx = table.size() - 1;
-  for (std::size_t i = 0; i < table.size(); ++i) {
-    if (static_cast<double>(table[i]) >= required_khz) {
-      idx = i;
-      break;
-    }
-  }
-  if (boosted && idx + 1 < table.size()) ++idx;
-  return table[idx];
-}
-
-std::uint32_t VafsController::snap_to_available(double required_khz, bool boosted) const {
-  return snap(available_khz_, required_khz, boosted);
-}
-
-void VafsController::plan_now() {
-  if (!attached_ || fallback_) return;  // safe mode owns the policy
+  const DecisionResponse resp = stream_->decide(request);
+  if (!resp.planned) return;
   ++plans_;
 
-  const auto state = player_.state();
-  // Startup and seek-resume races: a fast refill matters more than energy
-  // for the second or two they last.
-  const bool latency_critical = state == stream::PlayerState::kStartup ||
-                                state == stream::PlayerState::kSeeking;
-  const double margin = latency_critical ? config_.startup_margin : config_.safety_margin;
-
-  const bool playing = state == stream::PlayerState::kPlaying;
-  const bool thin_pipeline = playing && player_.decoded_ahead() <= config_.low_ahead_frames &&
-                             player_.decoded_frames() < player_.total_frames();
-  const bool boosted = sim_.now() < boost_until_ || thin_pipeline;
-
   if (tracer_ != nullptr) {
-    tracer_->record(sim_.now(), obs::EventKind::kVafsPlan, static_cast<std::uint64_t>(state),
-                    boosted ? 1 : 0, latency_critical ? 1 : 0);
+    tracer_->record(sim_.now(), obs::EventKind::kVafsPlan,
+                    static_cast<std::uint64_t>(request.player_state), resp.boosted ? 1 : 0,
+                    resp.latency_critical ? 1 : 0);
   }
 
-  if (router_ != nullptr) {
-    plan_clusters(margin, boosted);
-  } else {
-    plan_single_cluster(margin, boosted);
-  }
-}
-
-void VafsController::plan_single_cluster(double margin, bool boosted) {
-  const auto state = player_.state();
-  double required_khz;
-  const double decode_hz = decode_demand_hz();
-
-  if (!config_.race_to_idle_downloads && downloading_) {
-    // Ablation arm: react to download bursts like a load-following
-    // governor would — run them at full speed.
-    required_khz = static_cast<double>(available_khz_.back());
-  } else if (decode_hz < 0 && state != stream::PlayerState::kFinished) {
-    // Cold start: conservative floor until the predictor has history.
-    required_khz = config_.cold_start_fraction * static_cast<double>(available_khz_.back());
-  } else {
-    const double demand_hz =
-        std::max(0.0, decode_hz) + download_demand_hz() + audio_demand_hz();
-    required_khz = demand_hz * (1.0 + margin) / 1000.0;
-  }
-
-  write_setspeed(snap_to_available(required_khz, boosted));
-}
-
-void VafsController::plan_clusters(double margin, bool boosted) {
-  const auto state = player_.state();
-  const double decode_hz = decode_demand_hz();
-  const std::size_t n = router_->cluster_count();
-  const std::size_t primary = router_->primary_cluster();
-  const std::size_t net_c = router_->network_cluster();
-
-  // Network and audio work always run on the network cluster (demand in
-  // that cluster's own cycles).
-  const double net_khz = (download_demand_hz() + audio_demand_hz()) *
-                         router_->cycle_penalty(net_c) * (1.0 + margin) / 1000.0;
-
-  if (decode_hz < 0 && state != stream::PlayerState::kFinished) {
-    // Cold start: keep decode on the primary cluster at the conservative
-    // floor; everything else parks (the network cluster at its demand).
-    router_->set_decode_cluster(primary);
-    for (std::size_t c = 0; c < n; ++c) {
-      const auto& table = available(c);
-      if (c == primary) {
-        write_cluster_setspeed(
-            c, snap(table, config_.cold_start_fraction * static_cast<double>(table.back()),
-                    boosted));
-      } else if (c == net_c) {
-        write_cluster_setspeed(c, snap(table, net_khz, false));
-      } else {
-        write_cluster_setspeed(c, table.front());
-      }
-    }
-    return;
-  }
-
-  // Decode goes to the least capable cluster that fits it: walk the
-  // non-primary clusters in ascending capacity order and take the first
-  // whose IPC-inflated decode demand — plus the network stack's, when
-  // they share the cluster — sits under its top OPP (one step of headroom
-  // when boosted). The primary cluster is the fallback.
-  std::vector<std::size_t> order(n);
-  std::iota(order.begin(), order.end(), std::size_t{0});
-  std::stable_sort(order.begin(), order.end(), [this](std::size_t a, std::size_t b) {
-    return router_->capacity_khz(a) < router_->capacity_khz(b);
-  });
-
-  std::size_t chosen = primary;
-  for (const std::size_t c : order) {
-    if (c == primary) continue;
-    const double decode_khz =
-        std::max(0.0, decode_hz) * router_->cycle_penalty(c) * (1.0 + margin) / 1000.0;
-    const double total = decode_khz + (c == net_c ? net_khz : 0.0);
-    const auto& table = available(c);
-    const double cap = static_cast<double>(
-        boosted && table.size() >= 2 ? table[table.size() - 2] : table.back());
-    if (total <= cap) {
-      chosen = c;
-      break;
-    }
-  }
-
-  router_->set_decode_cluster(chosen);
-  for (std::size_t c = 0; c < n; ++c) {
-    const auto& table = available(c);
-    std::uint32_t khz;
-    if (c == chosen) {
-      double demand_khz =
-          std::max(0.0, decode_hz) * router_->cycle_penalty(c) * (1.0 + margin) / 1000.0;
-      if (c == net_c) demand_khz += net_khz;
-      khz = snap(table, demand_khz, boosted);
-    } else if (c == net_c) {
-      khz = snap(table, net_khz, false);
-    } else {
-      khz = table.front();  // idle clusters park at min
-    }
-    write_cluster_setspeed(c, khz);
+  if (router_ != nullptr) router_->set_decode_cluster(resp.decode_cluster);
+  for (std::size_t c = 0; c < resp.cluster_count; ++c) {
+    write_cluster_setspeed(c, resp.target_khz[c]);
   }
 }
+
+void VafsController::plan_now() { deliver(make_request(DecisionEvent::kReplan)); }
 
 void VafsController::write_cluster_setspeed(std::size_t cluster, std::uint32_t khz) {
   std::uint32_t& last =
@@ -433,18 +323,19 @@ void VafsController::try_reengage() {
 }
 
 const CycleDemandPredictor* VafsController::decode_predictor(std::size_t rep, bool idr) const {
-  const auto it = decode_histories_.find(rep);
-  if (it == decode_histories_.end()) return nullptr;
-  return idr ? &it->second.idr : &it->second.p;
+  if (stream_ == nullptr) return nullptr;
+  DecisionCore* core = stream_->local_core();
+  if (core == nullptr) return nullptr;
+  return core->decode_predictor(rep, idr);
 }
 
-double VafsController::decode_mape() const {
-  sim::OnlineStats merged;
-  for (const auto& [rep, history] : decode_histories_) {
-    merged.merge(history.p.ape_stats());
-    merged.merge(history.idr.ape_stats());
-  }
-  return merged.mean();
+double VafsController::decode_mape() {
+  if (stream_ == nullptr) return 0.0;
+  if (DecisionCore* core = stream_->local_core()) return core->decode_mape();
+  DecisionRequest req;
+  req.event = DecisionEvent::kQueryStats;
+  req.want_plan = false;
+  return stream_->decide(req).decode_mape;
 }
 
 void VafsController::on_state_change(stream::PlayerState, stream::PlayerState) { plan_now(); }
@@ -468,30 +359,19 @@ void VafsController::on_segment_failed(std::size_t, std::size_t, const net::Fetc
 
 void VafsController::on_decode_complete(std::uint64_t frame, double cycles, sim::SimTime,
                                         bool idr) {
-  const std::size_t rep = player_.rep_of_frame(frame);
-  auto it = decode_histories_.find(rep);
-  if (it == decode_histories_.end()) {
-    it = decode_histories_.emplace(rep, DecodeHistory(config_.predictor)).first;
-  }
-  DecodeHistory& history = it->second;
-  ++history.total_frames;
-  if (config_.class_aware) {
-    if (idr) {
-      ++history.idr_frames;
-      history.idr.observe(cycles);
-    } else {
-      history.p.observe(cycles);
-    }
-  } else {
-    history.p.observe(cycles);  // single mixed stream
-  }
-  plan_now();
+  DecisionRequest req = make_request(DecisionEvent::kDecodeComplete);
+  req.observe_rep = player_.rep_of_frame(frame);
+  req.observe_cycles = cycles;
+  req.observe_idr = idr;
+  deliver(req);
 }
 
 void VafsController::on_frame_dropped(std::uint64_t) {
-  boost_until_ = sim_.now() + config_.boost_duration;
+  // The miss may trip the watchdog (traced fallback writes) before the
+  // boost lands in the core; the boost mutation itself is silent and both
+  // happen at the same instant, so the observable sequence is unchanged.
   note_deadline_miss();
-  plan_now();
+  deliver(make_request(DecisionEvent::kFrameDropped));
 }
 
 }  // namespace vafs::core

@@ -22,14 +22,20 @@
 // Recovery: a dropped frame or a thin decode pipeline boosts the plan by
 // one OPP for boost_duration. Cold start (too little history) plans a
 // conservative mid frequency.
+//
+// Structure: the controller is the *actuator* — sysfs writes, the
+// watchdog, tracing, player observation. The plan math and predictor
+// state live in core::DecisionCore (core/decision_core.h); every pipeline
+// event becomes a DecisionRequest answered through a DecisionStream,
+// which by default wraps an in-process core and can instead be served by
+// the decision daemon (src/serve/).
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <string>
 #include <vector>
 
-#include "core/predictor.h"
+#include "core/decision_core.h"
 #include "sched/router.h"
 #include "simcore/simulator.h"
 #include "stream/player.h"
@@ -40,86 +46,6 @@ class Tracer;
 }
 
 namespace vafs::core {
-
-/// Deadline-miss / actuation watchdog. When enabled, repeated deadline
-/// misses or consecutive failed scaling_setspeed writes fail the
-/// controller over to a safe mode — hand the policy back to a kernel
-/// governor, or stay on userspace pinned at fmax — and re-engage only
-/// after a hysteresis window with no further incidents.
-struct VafsWatchdogConfig {
-  bool enabled = false;
-
-  /// Deadline misses within miss_window that trip the failover (the
-  /// window tumbles: it restarts at the first miss after a quiet gap).
-  std::uint32_t miss_threshold = 8;
-  sim::SimTime miss_window = sim::SimTime::seconds(2);
-
-  /// Consecutive rejected scaling_setspeed writes that trip the failover.
-  std::uint32_t write_error_threshold = 3;
-
-  /// Clean operation (no miss, no write error) required before the
-  /// controller re-takes the policy.
-  sim::SimTime hysteresis = sim::SimTime::seconds(5);
-
-  /// kRestoreGovernor hands the policy to fallback_governor for the
-  /// fallback's duration; kPinMax keeps the userspace governor but runs
-  /// at fmax (safe, not frugal).
-  enum class Mode : std::uint8_t { kRestoreGovernor, kPinMax };
-  Mode mode = Mode::kRestoreGovernor;
-  std::string fallback_governor = "ondemand";
-};
-
-struct VafsConfig {
-  /// Headroom multiplier over predicted demand (F6 ablates it).
-  double safety_margin = 0.15;
-  /// Larger headroom before playback starts (startup delay matters more
-  /// than energy for the first seconds).
-  double startup_margin = 0.5;
-
-  PredictorConfig predictor;
-
-  /// Treat downloads as network-bound (plan only the protocol-processing
-  /// rate). When false, a download burst plans the maximum frequency —
-  /// the load-reactive behaviour this design exists to avoid (ablation).
-  bool race_to_idle_downloads = true;
-
-  /// Offline-calibrated network-stack cost. Matches DownloaderParams.
-  double protocol_cycles_per_byte = 8.0;
-
-  /// Throughput assumed for download planning before any measurement.
-  double default_throughput_mbps = 15.0;
-
-  /// Audio decode cost per frame period, matching
-  /// PlayerConfig::audio_cycles_per_frame (offline-calibrated codec cost;
-  /// 0 when the player has no audio pipeline).
-  double audio_cycles_per_frame = 0.0;
-
-  /// One-OPP boost window after a dropped frame / thin pipeline.
-  sim::SimTime boost_duration = sim::SimTime::millis(500);
-  /// decoded_ahead() at or below this (while playing) triggers a boost.
-  std::uint64_t low_ahead_frames = 1;
-
-  /// Decode-cost observations per representation before the predictor is
-  /// trusted; until then the plan floor is cold_start_fraction × f_max.
-  std::size_t min_observations = 3;
-  double cold_start_fraction = 0.6;
-
-  /// Frame-class-aware prediction: separate predictors for IDR and P
-  /// frames, blended by the observed IDR fraction. Tightens prediction on
-  /// content with heavy intra frames (short GOPs); ablated in T3.
-  bool class_aware = true;
-
-  /// Oracle mode: replace the predictor with the *exact* decode cost of
-  /// the upcoming GOP (perfect future knowledge, impossible on a real
-  /// device). Combined with safety_margin = 0 this is the offline
-  /// lower-bound baseline the evaluation measures VAFS against.
-  bool oracle = false;
-
-  /// Off by default: fault-free sessions keep their exact pre-watchdog
-  /// behaviour (a clean VAFS run drops the occasional frame without that
-  /// being a failure).
-  VafsWatchdogConfig watchdog;
-};
 
 class VafsController final : public stream::PlayerObserver {
  public:
@@ -143,6 +69,11 @@ class VafsController final : public stream::PlayerObserver {
 
   /// Two-cluster convenience, preserved from the big.LITTLE-only era.
   void enable_big_little(std::string little_policy_dir, sched::ClusterRouter* router);
+
+  /// Route decisions through `backend` (not owned, must outlive the
+  /// controller) instead of the in-process default. Call before attach():
+  /// the stream opens there, once the device geometry is known.
+  void set_decision_backend(DecisionBackend* backend) { backend_ = backend; }
 
   /// Switches the policy to the userspace governor (via sysfs) and writes
   /// the first plan. Returns false if the sysfs writes were rejected.
@@ -178,10 +109,12 @@ class VafsController final : public stream::PlayerObserver {
   std::uint64_t sysfs_write_errors() const { return write_errors_; }
   /// Decode predictor for a representation and frame class (class-aware
   /// mode keys P and IDR separately; otherwise `idr` is ignored).
-  /// Returns nullptr if never observed.
+  /// Returns nullptr if never observed — or if the decision stream is
+  /// remote (predictor state lives in the daemon).
   const CycleDemandPredictor* decode_predictor(std::size_t rep, bool idr = false) const;
-  /// MAPE across all per-representation decode predictors.
-  double decode_mape() const;
+  /// MAPE across all per-representation decode predictors. Non-const:
+  /// a remote stream answers this with a stats round trip.
+  double decode_mape();
   const VafsConfig& config() const { return config_; }
   bool big_little() const { return router_ != nullptr; }
   /// Clusters under control: 1 single-cluster, router cluster count otherwise.
@@ -207,19 +140,15 @@ class VafsController final : public stream::PlayerObserver {
   void on_frame_dropped(std::uint64_t frame) override;
 
  private:
-  double decode_demand_hz() const;
-  double download_demand_hz() const;
-  double audio_demand_hz() const;
-  static std::uint32_t snap(const std::vector<std::uint32_t>& table, double required_khz,
-                            bool boosted);
-  std::uint32_t snap_to_available(double required_khz, bool boosted) const;
+  DecisionRequest make_request(DecisionEvent event) const;
+  /// Sends the request down the decision stream and actuates the reply:
+  /// trace the plan, route decode, write setspeed per cluster (deduped).
+  void deliver(const DecisionRequest& request);
+  double oracle_decode_hz() const;
   const std::vector<std::uint32_t>& available(std::size_t cluster) const {
     return cluster == 0 ? available_khz_ : extra_[cluster - 1].available_khz;
   }
-  void write_setspeed(std::uint32_t khz) { write_cluster_setspeed(0, khz); }
   void write_cluster_setspeed(std::size_t cluster, std::uint32_t khz);
-  void plan_single_cluster(double margin, bool boosted);
-  void plan_clusters(double margin, bool boosted);
   void note_write_failure();
   void note_deadline_miss();
   /// `cause`: 0 = consecutive write errors, 1 = deadline misses, 2 = the
@@ -233,6 +162,12 @@ class VafsController final : public stream::PlayerObserver {
   stream::Player& player_;
   VafsConfig config_;
   obs::Tracer* tracer_ = nullptr;
+
+  // Decision channel: opened at attach() (geometry known then). Default
+  // in-process; set_decision_backend() swaps in e.g. the socket client.
+  DecisionBackend* backend_ = nullptr;
+  LocalDecisionBackend local_backend_;
+  std::unique_ptr<DecisionStream> stream_;
 
   // Multi-cluster mode (null/empty when single-cluster). extra_[i] is
   // router cluster i+1; cluster 0 is the controller's own policy_dir.
@@ -249,24 +184,12 @@ class VafsController final : public stream::PlayerObserver {
   std::vector<std::uint32_t> available_khz_;  // parsed from sysfs, ascending
 
   /// Oracle GOP-scan memo: the last (rep, window) summed by
-  /// decode_demand_hz() and its result, reused while the window is unmoved.
+  /// oracle_decode_hz() and its result, reused while the window is unmoved.
   mutable std::size_t gop_rep_ = SIZE_MAX;
   mutable std::uint64_t gop_start_ = 0;
   mutable std::uint64_t gop_end_ = 0;
   mutable double gop_cycles_ = 0.0;
 
-  /// Per-representation decode state: separate IDR/P predictors (merged
-  /// into `p` when class_aware is off) plus the observed class mix.
-  struct DecodeHistory {
-    explicit DecodeHistory(const PredictorConfig& config) : p(config), idr(config) {}
-    CycleDemandPredictor p;
-    CycleDemandPredictor idr;
-    std::uint64_t idr_frames = 0;
-    std::uint64_t total_frames = 0;
-  };
-  std::map<std::size_t, DecodeHistory> decode_histories_;
-
-  sim::SimTime boost_until_;
   std::uint32_t last_written_khz_ = 0;
   std::uint64_t plans_ = 0;
   std::uint64_t writes_ = 0;

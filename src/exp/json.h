@@ -1,10 +1,13 @@
-// Minimal ordered JSON value tree + serializer for the machine-readable
-// experiment artifacts (BENCH_<id>.json). No external dependencies; object
-// members keep insertion order so artifacts diff cleanly across runs.
+// Minimal ordered JSON value tree + serializer/parser for the
+// machine-readable experiment artifacts (BENCH_<id>.json,
+// tuned_configs.json). No external dependencies; object members keep
+// insertion order so artifacts diff cleanly across runs and survive a
+// parse → dump round trip byte-identically.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -37,6 +40,15 @@ class Json {
   Kind kind() const { return kind_; }
   bool empty() const { return items_.empty() && members_.empty(); }
 
+  // Value accessors; each returns the stored value only for the matching
+  // kind (callers check kind() — artifacts consumed here are
+  // schema-checked, not duck-typed).
+  bool boolean() const { return bool_; }
+  double number() const { return num_; }
+  const std::string& str() const { return str_; }
+  const std::vector<Json>& items() const { return items_; }
+  const std::vector<std::pair<std::string, Json>>& members() const { return members_; }
+
   /// Array append. Aborts (assert) on non-arrays.
   Json& push(Json v);
   /// Object insert-or-replace, preserving first-insertion order.
@@ -60,5 +72,14 @@ class Json {
 /// Shortest round-trip decimal rendering of a double (JSON number syntax;
 /// non-finite values render as null).
 std::string json_number(double v);
+
+/// Strict RFC 8259 parser for the artifacts this module writes (and any
+/// well-formed JSON): no comments, no trailing commas, no garbage after
+/// the top-level value. On failure returns false and sets *error to a
+/// message with the byte offset; *out is left null. Duplicate object keys
+/// keep the last value (matching Json::set semantics). Nesting deeper
+/// than an internal cap (far beyond any artifact) is rejected rather than
+/// risking stack exhaustion on adversarial input.
+bool json_parse(std::string_view text, Json* out, std::string* error);
 
 }  // namespace vafs::exp

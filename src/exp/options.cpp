@@ -167,6 +167,20 @@ bool parse_bench_args(int argc, char** argv, BenchOptions* options, std::string*
     } else if (arg == "--mix") {
       if (!next_value(i, arg, inline_value, has_inline, &value)) return false;
       options->mix = value;
+    } else if (arg == "--serve") {
+      if (!next_value(i, arg, inline_value, has_inline, &value)) return false;
+      if (value.empty()) {
+        *error = "--serve wants 'auto' or a vafsd socket path";
+        return false;
+      }
+      options->serve = value;
+    } else if (arg == "--tuned") {
+      if (!next_value(i, arg, inline_value, has_inline, &value)) return false;
+      if (value.empty()) {
+        *error = "--tuned wants a tuned_configs.json path or 'none'";
+        return false;
+      }
+      options->tuned = value;
     } else if (arg == "--supervise") {
       if (!next_value(i, arg, inline_value, has_inline, &value)) return false;
       std::uint64_t n = 0;
@@ -274,7 +288,9 @@ std::string bench_usage(const std::string& bench_id) {
          "  --trace        per-run trace digests in artifacts (--no-trace disables)\n"
          "  --trace-out P  Chrome trace JSON of the first session (default: off;\n"
          "                 empty/default path is BENCH_" +
-         bench_id + ".trace.json)\n";
+         bench_id + ".trace.json)\n"
+         "  --tuned P      tuned_configs.json for benches with a 'tuned' governor\n"
+         "                 variant (default: the checked-in artifact; 'none' disables)\n";
 }
 
 std::string fleet_usage() {
@@ -288,6 +304,10 @@ std::string fleet_usage() {
          "  --rss-limit-mb N   fail if peak RSS exceeds N MiB (0 = report only)\n"
          "  --mix NAME         device-population mix (none, global, premium, budget):\n"
          "                     each session draws its device profile per seed\n"
+         "  --serve MODE       route VAFS decisions through the decision daemon:\n"
+         "                     'auto' starts an in-process server on a private\n"
+         "                     socket, any other value is the socket path of a\n"
+         "                     running vafsd. Bit-identical to in-process.\n"
          "supervision flags:\n"
          "  --supervise N      run sessions in N crash/hang/OOM-tolerant worker\n"
          "                     subprocesses (default: in-process threads)\n"

@@ -55,6 +55,17 @@ struct BenchOptions {
   /// "premium", "budget"). Each session then draws its device profile
   /// from the mix by a pure hash of its seed.
   std::string mix = "none";
+  /// Decision serving mode: "" = in-process decisions (default), "auto" =
+  /// start an in-process serve::Server on a private socket and route every
+  /// session's VAFS decisions through it, any other value = the socket
+  /// path of an already-running vafsd to connect to. Results are
+  /// bit-identical to in-process either way.
+  std::string serve;
+  /// Tuned-config artifact for benches with a "tuned" governor variant
+  /// (bench_f14): "" = the checked-in default next to the bench sources,
+  /// "none" = disable the variant, else a tuned_configs.json path
+  /// (bench_f15 output).
+  std::string tuned;
 
   // --- Supervision flags (bench_fleet --supervise; src/supervise) ---
   /// Worker subprocesses; 0 = in-process fleet (the default).

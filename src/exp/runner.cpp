@@ -149,6 +149,11 @@ ResultSet run_grid(const std::vector<ScenarioSpec>& scenarios, const RunOptions&
       hooks[t] = opts.hooks(scenarios[t / nseeds], t / nseeds, t % nseeds);
     }
   }
+  if (opts.decision_backend != nullptr) {
+    for (auto& h : hooks) {
+      if (h.decision_backend == nullptr) h.decision_backend = opts.decision_backend;
+    }
+  }
 
   // One arena per worker: sessions on the same thread reuse the event
   // slab/heap capacity, so only the first session of each worker allocates.

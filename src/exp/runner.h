@@ -59,6 +59,12 @@ struct RunOptions {
   /// failure — "wall-clock task timeout: ... exceeded" — in the scenario's
   /// failure list and the JSON/CSV artifacts, like any other task error.
   std::int64_t task_timeout_ms = 0;
+
+  /// Optional decision backend (not owned, thread-safe, must outlive the
+  /// run) handed to every task whose hooks did not bring their own:
+  /// VAFS sessions then get their plans answered by the decision daemon
+  /// instead of in-process. Results are bit-identical either way.
+  core::DecisionBackend* decision_backend = nullptr;
 };
 
 /// One run that threw instead of returning: which seed, and a message

@@ -200,8 +200,10 @@ FleetResult run_fleet(const std::vector<exp::ScenarioSpec>& scenarios, const Fle
           pack.reserve(hi - lo);
           for (std::size_t i = lo; i < hi; ++i) {
             const TaskRef ref = plan.task(shard.first_task + i);
+            core::SessionHooks hooks;
+            hooks.decision_backend = opts.decision_backend;
             pack.push_back(exp::BatchTask{&scenarios[ref.scenario],
-                                          opts.seeds[ref.seed_index], core::SessionHooks{}});
+                                          opts.seeds[ref.seed_index], std::move(hooks)});
           }
           for (auto& o :
                exp::run_task_batch(pack, opts.trace, lane_arenas, opts.task_timeout_ms)) {
@@ -211,8 +213,10 @@ FleetResult run_fleet(const std::vector<exp::ScenarioSpec>& scenarios, const Fle
       } else {
         for (std::size_t i = 0; i < shard.task_count; ++i) {
           const TaskRef ref = plan.task(shard.first_task + i);
+          core::SessionHooks hooks;
+          hooks.decision_backend = opts.decision_backend;
           outcomes.push_back(exp::run_one_task(scenarios[ref.scenario],
-                                               opts.seeds[ref.seed_index], core::SessionHooks{},
+                                               opts.seeds[ref.seed_index], std::move(hooks),
                                                opts.trace, &arena, opts.task_timeout_ms));
         }
       }

@@ -79,6 +79,12 @@ struct FleetOptions {
   /// with stopped = true. bench_fleet routes SIGTERM through this; the
   /// differential tests use it as a deterministic kill switch.
   std::function<bool(std::uint64_t shards_done, std::uint64_t shard_count)> on_progress;
+
+  /// Optional decision backend (not owned, thread-safe, outlives the run)
+  /// for every session's VAFS controller — the fleet-as-load-generator
+  /// mode: each worker thread drives its own daemon connection. Digest
+  /// chains are bit-identical to in-process decisions.
+  core::DecisionBackend* decision_backend = nullptr;
 };
 
 struct FleetScenario {

@@ -8,6 +8,7 @@
 #include "exp/aggregate.h"
 #include "exp/json.h"
 #include "fleet/io.h"
+#include "obs/export.h"
 
 namespace vafs::fleet {
 namespace {
@@ -112,11 +113,11 @@ void Spool::append(const exp::ScenarioSpec& spec, std::uint64_t seed,
   if (!enabled()) return;
   double values[exp::kMetricCount];
   exp::Aggregate::session_values(result, values);
-  append_values(spec, seed, values);
+  append_values(spec, seed, values, result.trace_digest);
 }
 
 void Spool::append_values(const exp::ScenarioSpec& spec, std::uint64_t seed,
-                          const double* values) {
+                          const double* values, std::uint64_t digest) {
   if (!enabled()) return;
   const auto value_at = [&](std::size_t slot) {
     const std::size_t idx = metric_indices_[slot];
@@ -132,7 +133,7 @@ void Spool::append_values(const exp::ScenarioSpec& spec, std::uint64_t seed,
     return;
   }
   std::string row = "{\"scenario\":" + json_quote(spec.id) + ",\"seed\":" + std::to_string(seed) +
-                    ",\"metrics\":{";
+                    ",\"digest\":\"" + obs::digest_hex(digest) + "\",\"metrics\":{";
   bool first = true;
   for (std::size_t slot = 0; slot < options_.metrics.size(); ++slot) {
     if (!first) row += ',';

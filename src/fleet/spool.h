@@ -10,7 +10,11 @@
 // before appending, reproducing the uninterrupted file byte for byte.
 //
 // Schema v1, CSV:   scenario,seed,metric,value  (header row included)
-// Schema v1, JSONL: {"scenario":...,"seed":N,"metrics":{...}} per session;
+// Schema v1, JSONL: {"scenario":...,"seed":N,"digest":"<hex16>",
+//                   "metrics":{...}} per session ("digest" is the
+//                   session's trace digest, 0 when tracing is off — the
+//                   per-stream ground truth the nightly daemon-kill leg
+//                   compares survivors against);
 //                   {"scenario":...,"seed":N,"failed":true} for failures.
 #pragma once
 
@@ -55,10 +59,12 @@ class Spool {
   /// Appends one session's rows (buffered; deterministic content).
   void append(const exp::ScenarioSpec& spec, std::uint64_t seed,
               const core::SessionResult& result);
-  /// Same rows from a pre-extracted exp::kMetricCount value vector (the
-  /// supervisor wire format) — byte-identical to append() for the same
-  /// session, since both draw from Aggregate::session_values.
-  void append_values(const exp::ScenarioSpec& spec, std::uint64_t seed, const double* values);
+  /// Same rows from a pre-extracted exp::kMetricCount value vector plus
+  /// the session's trace digest (the supervisor wire format) —
+  /// byte-identical to append() for the same session, since both draw
+  /// from Aggregate::session_values and the same digest.
+  void append_values(const exp::ScenarioSpec& spec, std::uint64_t seed, const double* values,
+                     std::uint64_t digest);
   /// Appends a failure marker row for a task that threw.
   void append_failure(const exp::ScenarioSpec& spec, std::uint64_t seed);
 

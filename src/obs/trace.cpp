@@ -59,6 +59,11 @@ constexpr EventInfo kEventInfos[kEventKindCount] = {
     {"heartbeat_miss", Track::kHarness, Phase::kInstant, "worker", "silent_ms", nullptr},
     {"task_deadline", Track::kHarness, Phase::kInstant, "task", "worker", "deadline_ms"},
     {"worker_over_budget", Track::kHarness, Phase::kInstant, "worker", "rss_mib", "limit_mib"},
+    {"serve_connect", Track::kServe, Phase::kInstant, "conn", nullptr, nullptr},
+    {"serve_disconnect", Track::kServe, Phase::kInstant, "conn", "requests", nullptr},
+    {"serve_request", Track::kServe, Phase::kComplete, "stream", "duration_us", "frame"},
+    {"serve_reject", Track::kServe, Phase::kInstant, "conn", "reason", nullptr},
+    {"serve_error", Track::kServe, Phase::kInstant, "conn", "error", nullptr},
 };
 
 }  // namespace
@@ -76,6 +81,7 @@ const char* track_name(Track track) {
     case Track::kThermal: return "thermal";
     case Track::kFault: return "fault";
     case Track::kHarness: return "harness";
+    case Track::kServe: return "serve";
   }
   return "?";
 }

@@ -49,8 +49,12 @@ enum class Track : std::uint8_t {
   // are unchanged): supervisor-side worker lifecycle, stamped with wall
   // milliseconds since run start rather than sim time.
   kHarness,
+  // Appended in PR 10: decision-daemon request spans and connection
+  // lifecycle (src/serve), stamped with wall microseconds since server
+  // start — never part of a session's own digest.
+  kServe,
 };
-inline constexpr std::size_t kTrackCount = 11;
+inline constexpr std::size_t kTrackCount = 12;
 
 const char* track_name(Track track);
 
@@ -117,8 +121,14 @@ enum class EventKind : std::uint8_t {
   kHeartbeatMiss,     // a=worker slot, b=silent_ms
   kTaskDeadline,      // a=task index, b=worker slot, c=deadline_ms
   kWorkerOverBudget,  // a=worker slot, b=rss_mib, c=limit_mib
+  // Serve track (appended in PR 10; daemon-recorded, wall-time stamped).
+  kServeConnect,      // a=connection id
+  kServeDisconnect,   // a=connection id, b=requests served
+  kServeRequest,      // a=stream id, b=duration_us, c=frame type
+  kServeReject,       // a=connection id, b=reason(0 capacity)
+  kServeError,        // a=connection id, b=WireError code
 };
-inline constexpr std::size_t kEventKindCount = 34;
+inline constexpr std::size_t kEventKindCount = 39;
 
 /// Static descriptor of an event kind: display name, track, phase and
 /// argument names (nullptr = unused). Drives the Chrome exporter, the

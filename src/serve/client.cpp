@@ -1,0 +1,196 @@
+#include "serve/client.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <map>
+
+#include "core/session.h"
+
+namespace vafs::serve {
+namespace {
+
+[[noreturn]] void throw_transport(const char* what) {
+  throw core::SessionError(std::string("serve: ") + what);
+}
+
+bool write_all(int fd, const std::uint8_t* buf, std::size_t len) {
+  std::size_t sent = 0;
+  while (sent < len) {
+    // MSG_NOSIGNAL: a dead daemon surfaces as a SessionError via EPIPE,
+    // never as a SIGPIPE killing the client process.
+    const ssize_t n = send(fd, buf + sent, len - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool read_all(int fd, std::uint8_t* buf, std::size_t len) {
+  std::size_t got = 0;
+  while (got < len) {
+    const ssize_t n = read(fd, buf + got, len - got);
+    if (n == 0) return false;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+ServeConnection::ServeConnection(const std::string& socket_path) {
+  fd_ = socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) throw_transport("socket() failed");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    close(fd_);
+    fd_ = -1;
+    throw_transport("socket path too long");
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  if (connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+    close(fd_);
+    fd_ = -1;
+    throw_transport("connect failed (daemon not running?)");
+  }
+}
+
+ServeConnection::~ServeConnection() {
+  if (fd_ >= 0) close(fd_);
+}
+
+void ServeConnection::send_frame(MsgType type, std::uint64_t stream_id,
+                                 const std::vector<std::uint8_t>& payload) {
+  std::vector<std::uint8_t> frame;
+  encode_frame(frame, type, stream_id, payload);
+  if (!write_all(fd_, frame.data(), frame.size())) {
+    broken_ = true;
+    throw_transport("connection lost on send");
+  }
+}
+
+MsgType ServeConnection::round_trip(MsgType type, std::uint64_t stream_id,
+                                    const std::vector<std::uint8_t>& payload,
+                                    std::vector<std::uint8_t>& reply_payload) {
+  send_frame(type, stream_id, payload);
+
+  std::uint8_t header_buf[kWireHeaderSize];
+  if (!read_all(fd_, header_buf, kWireHeaderSize)) {
+    broken_ = true;
+    throw_transport("connection lost awaiting reply");
+  }
+  FrameHeader header;
+  if (decode_header(header_buf, header) != WireError::kNone) {
+    broken_ = true;
+    throw_transport("malformed reply header");
+  }
+  reply_payload.resize(header.payload_len);
+  if (header.payload_len > 0 &&
+      !read_all(fd_, reply_payload.data(), reply_payload.size())) {
+    broken_ = true;
+    throw_transport("connection lost mid-reply");
+  }
+  if (verify_payload(header, reply_payload.data(), reply_payload.size()) !=
+      WireError::kNone) {
+    broken_ = true;
+    throw_transport("reply checksum mismatch");
+  }
+  return header.type;
+}
+
+std::uint64_t ServeConnection::open_stream(const core::DecisionStreamInfo& info) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t id = next_stream_id_++;
+  std::vector<std::uint8_t> payload;
+  encode_stream_info(payload, info);
+  std::vector<std::uint8_t> reply;
+  const MsgType type = round_trip(MsgType::kHello, id, payload, reply);
+  if (type == MsgType::kError) {
+    WireError code = WireError::kNone;
+    decode_error(reply.data(), reply.size(), code);
+    throw core::SessionError(std::string("serve: stream rejected: ") + wire_error_name(code));
+  }
+  if (type != MsgType::kHelloOk) throw_transport("unexpected reply to hello");
+  return id;
+}
+
+core::DecisionResponse ServeConnection::decide(std::uint64_t stream_id,
+                                               const core::DecisionRequest& req) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::uint8_t> payload;
+  encode_request(payload, req);
+  std::vector<std::uint8_t> reply;
+  const MsgType type = round_trip(MsgType::kDecide, stream_id, payload, reply);
+  if (type == MsgType::kError) {
+    WireError code = WireError::kNone;
+    decode_error(reply.data(), reply.size(), code);
+    throw core::SessionError(std::string("serve: decide failed: ") + wire_error_name(code));
+  }
+  if (type != MsgType::kDecision) throw_transport("unexpected reply to decide");
+  core::DecisionResponse resp;
+  if (!decode_response(reply.data(), reply.size(), resp)) {
+    broken_ = true;
+    throw_transport("malformed decision payload");
+  }
+  return resp;
+}
+
+void ServeConnection::close_stream(std::uint64_t stream_id) noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (broken_ || fd_ < 0) return;
+  std::vector<std::uint8_t> frame;
+  encode_frame(frame, MsgType::kClose, stream_id, {});
+  if (!write_all(fd_, frame.data(), frame.size())) broken_ = true;
+}
+
+bool ServeConnection::ping() noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  try {
+    std::vector<std::uint8_t> reply;
+    return round_trip(MsgType::kPing, 0, {}, reply) == MsgType::kPong;
+  } catch (const core::SessionError&) {
+    return false;
+  }
+}
+
+std::shared_ptr<ServeConnection> SocketBackend::thread_connection() {
+  // One connection per (backend, thread). Keyed by a process-unique
+  // backend id, not the pointer, so a recycled address never resurrects a
+  // connection to an older daemon.
+  thread_local std::map<std::uint64_t, std::shared_ptr<ServeConnection>> per_thread;
+  auto& slot = per_thread[id_];
+  if (!slot || slot->broken()) slot = nullptr;
+  if (!slot) {
+    slot = std::make_shared<ServeConnection>(socket_path_);
+    connections_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return slot;
+}
+
+std::unique_ptr<core::DecisionStream> SocketBackend::open(
+    const core::DecisionStreamInfo& info) {
+  std::shared_ptr<ServeConnection> conn = thread_connection();
+  const std::uint64_t id = conn->open_stream(info);
+  return std::make_unique<RemoteDecisionStream>(std::move(conn), id);
+}
+
+namespace {
+std::atomic<std::uint64_t> g_backend_ids{1};
+}
+
+std::uint64_t SocketBackend::allocate_id() {
+  return g_backend_ids.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace vafs::serve

@@ -1,0 +1,353 @@
+#include "serve/server.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace vafs::serve {
+namespace {
+
+constexpr int kPollMs = 50;       // stop-flag check cadence
+constexpr int kDrainGraceMs = 1000;  // max wait for a mid-frame peer at drain
+
+/// poll()-driven exact read. Returns 1 on success, 0 on orderly close or
+/// drain, -1 on error. Drain semantics: once `stopping` flips, an idle
+/// read (nothing consumed, not `committed` to a frame) gives up at the
+/// next poll tick, while a mid-frame read keeps going so the in-flight
+/// request is finished and answered — bounded by kDrainGraceMs in case
+/// the peer wedged mid-send.
+int read_exact(int fd, std::uint8_t* buf, std::size_t len, const std::atomic<bool>& stopping,
+               bool committed) {
+  std::size_t got = 0;
+  int stopped_ticks = 0;
+  while (got < len) {
+    pollfd pfd{fd, POLLIN, 0};
+    const int pr = poll(&pfd, 1, kPollMs);
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    if (pr == 0) {
+      if (stopping.load(std::memory_order_acquire)) {
+        if (!committed && got == 0) return 0;
+        if (++stopped_ticks * kPollMs >= kDrainGraceMs) return 0;
+      }
+      continue;
+    }
+    const ssize_t n = read(fd, buf + got, len - got);
+    if (n == 0) return 0;
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN) continue;
+      return -1;
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return 1;
+}
+
+bool write_all(int fd, const std::uint8_t* buf, std::size_t len) {
+  std::size_t sent = 0;
+  while (sent < len) {
+    // MSG_NOSIGNAL: a peer that died mid-reply is an EPIPE error, not a
+    // process-killing SIGPIPE — this server is often hosted in-process by
+    // tests and benches that do not ignore the signal.
+    const ssize_t n = send(fd, buf + sent, len - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN) {
+        pollfd pfd{fd, POLLOUT, 0};
+        poll(&pfd, 1, kPollMs);
+        continue;
+      }
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void append_error_frame(std::vector<std::uint8_t>& out, std::uint64_t stream_id,
+                        WireError code) {
+  std::vector<std::uint8_t> payload;
+  encode_error(payload, code);
+  encode_frame(out, MsgType::kError, stream_id, payload);
+}
+
+}  // namespace
+
+Server::Server(ServerOptions options) : options_(std::move(options)) {}
+
+Server::~Server() { stop(); }
+
+bool Server::start() {
+  if (running_.load(std::memory_order_acquire)) return true;
+
+  listen_fd_ = socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) return false;
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (options_.socket_path.size() >= sizeof(addr.sun_path)) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+    errno = ENAMETOOLONG;
+    return false;
+  }
+  std::memcpy(addr.sun_path, options_.socket_path.c_str(), options_.socket_path.size() + 1);
+  unlink(options_.socket_path.c_str());  // stale socket from a dead daemon
+  if (bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      listen(listen_fd_, options_.listen_backlog) < 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+
+  start_time_ = std::chrono::steady_clock::now();
+  stopping_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  return true;
+}
+
+void Server::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  stopping_.store(true, std::memory_order_release);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // The registry is stable now: only this thread mutates it.
+  std::vector<std::unique_ptr<Connection>> conns;
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    conns.swap(connections_);
+  }
+  for (auto& c : conns) {
+    if (c->thread.joinable()) c->thread.join();
+  }
+  if (listen_fd_ >= 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  unlink(options_.socket_path.c_str());
+}
+
+std::int64_t Server::wall_us() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - start_time_)
+      .count();
+}
+
+void Server::trace(obs::EventKind kind, std::uint64_t a, std::uint64_t b, std::uint64_t c) {
+  if (options_.tracer == nullptr) return;
+  std::lock_guard<std::mutex> lock(tracer_mutex_);
+  options_.tracer->record(sim::SimTime::micros(wall_us()), kind, a, b, c);
+}
+
+void Server::accept_loop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int pr = poll(&pfd, 1, kPollMs);
+    if (pr <= 0) continue;
+    const int fd = accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd < 0) continue;
+
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    // Reap finished connections so a long-lived daemon's registry doesn't
+    // grow with churn (their threads have already flagged done).
+    std::size_t live = 0;
+    for (auto it = connections_.begin(); it != connections_.end();) {
+      if ((*it)->done.load(std::memory_order_acquire)) {
+        if ((*it)->thread.joinable()) (*it)->thread.join();
+        it = connections_.erase(it);
+      } else {
+        ++live;
+        ++it;
+      }
+    }
+    if (live >= options_.max_connections) {
+      // Bounded, observable backpressure: one error frame, then close.
+      std::vector<std::uint8_t> reply;
+      append_error_frame(reply, 0, WireError::kServerOverloaded);
+      write_all(fd, reply.data(), reply.size());
+      close(fd);
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      trace(obs::EventKind::kServeReject, next_connection_id_, 0);
+      continue;
+    }
+
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    conn->id = next_connection_id_++;
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    trace(obs::EventKind::kServeConnect, conn->id);
+    Connection* raw = conn.get();
+    conn->thread = std::thread([this, raw] { serve_connection(*raw); });
+    connections_.push_back(std::move(conn));
+  }
+}
+
+void Server::serve_connection(Connection& conn) {
+  StreamMap streams;
+  std::uint8_t header_buf[kWireHeaderSize];
+  std::vector<std::uint8_t> payload;
+  std::vector<std::uint8_t> reply;
+
+  for (;;) {
+    // Between frames a drain request closes immediately; inside a frame
+    // (header partially read, or payload pending) it finishes the frame
+    // and answers it first.
+    const int hr = read_exact(conn.fd, header_buf, kWireHeaderSize, stopping_,
+                              /*committed=*/false);
+    if (hr <= 0) break;
+
+    FrameHeader header;
+    const WireError herr = decode_header(header_buf, header);
+    if (herr != WireError::kNone) {
+      // The framing itself is broken — byte boundaries are gone, so no
+      // reply can be framed reliably. Count it and drop the connection.
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      trace(obs::EventKind::kServeError, conn.id, static_cast<std::uint64_t>(herr));
+      if (herr == WireError::kBadVersion || herr == WireError::kOversized) {
+        // Header structure was intact: tell the peer why before closing.
+        reply.clear();
+        append_error_frame(reply, header.stream_id, herr);
+        write_all(conn.fd, reply.data(), reply.size());
+      }
+      break;
+    }
+
+    payload.resize(header.payload_len);
+    if (header.payload_len > 0) {
+      const int prr = read_exact(conn.fd, payload.data(), payload.size(), stopping_,
+                                 /*committed=*/true);
+      if (prr <= 0) break;  // truncated frame: peer died mid-send
+    }
+    const WireError perr = verify_payload(header, payload.data(), payload.size());
+    if (perr != WireError::kNone) {
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      trace(obs::EventKind::kServeError, conn.id, static_cast<std::uint64_t>(perr));
+      reply.clear();
+      append_error_frame(reply, header.stream_id, perr);
+      if (!write_all(conn.fd, reply.data(), reply.size())) break;
+      continue;  // framing is intact: the connection survives a bad payload
+    }
+
+    reply.clear();
+    if (!handle_frame(conn, streams, header, payload, reply)) break;
+    if (!reply.empty() && !write_all(conn.fd, reply.data(), reply.size())) break;
+
+    if (stopping_.load(std::memory_order_acquire)) break;  // drained: answered in-flight
+  }
+
+  close(conn.fd);
+  streams_closed_.fetch_add(streams.size(), std::memory_order_relaxed);
+  closed_.fetch_add(1, std::memory_order_relaxed);
+  trace(obs::EventKind::kServeDisconnect, conn.id, conn.requests);
+  requests_.fetch_add(conn.requests, std::memory_order_relaxed);
+  conn.done.store(true, std::memory_order_release);
+}
+
+bool Server::handle_frame(Connection& conn, StreamMap& streams, const FrameHeader& header,
+                          const std::vector<std::uint8_t>& payload,
+                          std::vector<std::uint8_t>& reply) {
+  switch (header.type) {
+    case MsgType::kPing:
+      encode_frame(reply, MsgType::kPong, header.stream_id, {});
+      return true;
+
+    case MsgType::kHello: {
+      if (streams.count(header.stream_id) != 0) {
+        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        append_error_frame(reply, header.stream_id, WireError::kDuplicateStream);
+        return true;
+      }
+      core::DecisionStreamInfo info;
+      if (!decode_stream_info(payload.data(), payload.size(), info)) {
+        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        trace(obs::EventKind::kServeError, conn.id,
+              static_cast<std::uint64_t>(WireError::kShortPayload));
+        append_error_frame(reply, header.stream_id, WireError::kShortPayload);
+        return true;
+      }
+      try {
+        streams.emplace(header.stream_id,
+                        std::make_unique<core::DecisionCore>(info.config, info.geometry));
+      } catch (const std::invalid_argument&) {
+        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        append_error_frame(reply, header.stream_id, WireError::kBadGeometry);
+        return true;
+      }
+      streams_opened_.fetch_add(1, std::memory_order_relaxed);
+      encode_frame(reply, MsgType::kHelloOk, header.stream_id, {});
+      return true;
+    }
+
+    case MsgType::kDecide: {
+      const auto it = streams.find(header.stream_id);
+      if (it == streams.end()) {
+        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        append_error_frame(reply, header.stream_id, WireError::kUnknownStream);
+        return true;
+      }
+      core::DecisionRequest req;
+      if (!decode_request(payload.data(), payload.size(), req)) {
+        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        append_error_frame(reply, header.stream_id, WireError::kShortPayload);
+        return true;
+      }
+      const auto t0 = std::chrono::steady_clock::now();
+      const core::DecisionResponse resp = it->second->decide(req);
+      const auto t1 = std::chrono::steady_clock::now();
+      const std::uint64_t ns = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+      latency_.record_ns(ns);
+      ++conn.requests;
+      trace(obs::EventKind::kServeRequest, header.stream_id, ns / 1000,
+            static_cast<std::uint64_t>(req.event));
+      std::vector<std::uint8_t> body;
+      encode_response(body, resp);
+      encode_frame(reply, MsgType::kDecision, header.stream_id, body);
+      return true;
+    }
+
+    case MsgType::kClose: {
+      const auto it = streams.find(header.stream_id);
+      if (it != streams.end()) {
+        streams.erase(it);
+        streams_closed_.fetch_add(1, std::memory_order_relaxed);
+      }
+      return true;  // fire-and-forget
+    }
+
+    case MsgType::kHelloOk:
+    case MsgType::kDecision:
+    case MsgType::kPong:
+    case MsgType::kError:
+      // Server-to-client message types arriving at the server: a confused
+      // peer. Answer with an error; keep the (intact) connection.
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      append_error_frame(reply, header.stream_id, WireError::kBadType);
+      return true;
+  }
+  return false;
+}
+
+ServerStats Server::stats() const {
+  ServerStats s;
+  s.connections_accepted = accepted_.load(std::memory_order_relaxed);
+  s.connections_rejected = rejected_.load(std::memory_order_relaxed);
+  s.connections_closed = closed_.load(std::memory_order_relaxed);
+  s.streams_opened = streams_opened_.load(std::memory_order_relaxed);
+  s.streams_closed = streams_closed_.load(std::memory_order_relaxed);
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  s.latency_p50_us = latency_.percentile_us(0.50);
+  s.latency_p95_us = latency_.percentile_us(0.95);
+  s.latency_p99_us = latency_.percentile_us(0.99);
+  s.latency_mean_us = latency_.mean_us();
+  return s;
+}
+
+}  // namespace vafs::serve

@@ -643,7 +643,7 @@ SupervisedResult run_supervised(const std::vector<exp::ScenarioSpec>& scenarios,
       switch (p.kind) {
         case Pending::kOk:
           fs.agg.add_values(p.res.values, p.res.finished);
-          spool.append_values(fs.spec, seed, p.res.values);
+          spool.append_values(fs.spec, seed, p.res.values, p.res.digest);
           fr.digest_chain = obs::chain_digest(fr.digest_chain, p.res.digest);
           ++fr.sessions_run;
           break;

@@ -222,6 +222,13 @@ std::uint64_t ParamSpace::fingerprint() const {
   return h;
 }
 
+bool apply_knob(const std::string& name, double value, core::SessionConfig& cfg) {
+  const Knob* k = find_knob(name);
+  if (k == nullptr) return false;
+  k->apply(cfg, value);
+  return true;
+}
+
 std::vector<std::string> ParamSpace::knob_names() {
   std::vector<std::string> names;
   for (const Knob& k : kKnobs) names.emplace_back(k.name);

@@ -79,6 +79,12 @@ class ParamSpace {
   std::vector<ParamDef> defs_;
 };
 
+/// Applies one registered knob by name onto a session config — the same
+/// registry ParamSpace::apply uses, for callers holding (name, value)
+/// pairs instead of grid indices (the tuned_configs.json loader). Returns
+/// false for an unknown knob name; cfg is untouched then.
+bool apply_knob(const std::string& name, double value, core::SessionConfig& cfg);
+
 /// Deterministic candidate sampler: draw k is a pure function of
 /// (seed, k), so neither checkpoint/resume nor job count can shift the
 /// sample stream — the sampled population is a value, not a process.

@@ -303,6 +303,81 @@ TEST(Json, StructureAndEscaping) {
   EXPECT_EQ(json_number(0.1), "0.1");
 }
 
+TEST(Json, ParseRoundTripsWriterOutput) {
+  Json root = Json::object();
+  root.set("name", "a \"quoted\"\nvalue \t with\\escapes");
+  root.set("count", 3);
+  root.set("ratio", -0.25);
+  root.set("big", 1.5e300);
+  root.set("flag", true);
+  root.set("nothing", Json());
+  Json list = Json::array();
+  list.push(1).push(Json()).push("x").push(Json::array()).push(Json::object());
+  root.set("list", std::move(list));
+  Json nested = Json::object();
+  nested.set("inner", 7);
+  root.set("nested", std::move(nested));
+
+  // Both renderings (indented and compact) parse back to a tree that
+  // re-renders byte-identically — the loader sees exactly what the
+  // writer meant, member order included.
+  for (const int indent : {0, 2}) {
+    Json parsed;
+    std::string error;
+    ASSERT_TRUE(json_parse(root.dump(indent), &parsed, &error)) << error;
+    EXPECT_EQ(parsed.dump(indent), root.dump(indent));
+  }
+}
+
+TEST(Json, ParseAccessorsAndEscapes) {
+  Json v;
+  std::string error;
+  ASSERT_TRUE(json_parse(R"({"s": "a\u0041\n/", "n": -1.5e2, "b": false, "a": [1, 2]})", &v,
+                         &error))
+      << error;
+  ASSERT_EQ(v.kind(), Json::Kind::kObject);
+  EXPECT_EQ(v.find("s")->str(), "aA\n/");
+  EXPECT_EQ(v.find("n")->number(), -150.0);
+  EXPECT_FALSE(v.find("b")->boolean());
+  ASSERT_EQ(v.find("a")->items().size(), 2u);
+  EXPECT_EQ(v.find("a")->items()[1].number(), 2.0);
+  // Duplicate keys keep the last value, matching Json::set.
+  ASSERT_TRUE(json_parse(R"({"k": 1, "k": 2})", &v, &error));
+  EXPECT_EQ(v.find("k")->number(), 2.0);
+}
+
+TEST(Json, ParseRejectsMalformedInput) {
+  const char* bad[] = {
+      "",                 // no value
+      "{",                // unterminated object
+      "[1, 2",            // unterminated array
+      "[1, ]",            // trailing comma
+      "{\"k\" 1}",        // missing colon
+      "{k: 1}",           // unquoted key
+      "\"\\q\"",          // unknown escape
+      "\"\\u12g4\"",      // bad hex digit
+      "01",               // leading zero
+      "1.",               // bare fraction dot
+      "1e",               // bare exponent
+      "nul",              // truncated literal
+      "true false",       // trailing garbage
+      "\"unterminated",   // unterminated string
+      "\x01",             // control character
+  };
+  for (const char* text : bad) {
+    Json v;
+    std::string error;
+    EXPECT_FALSE(json_parse(text, &v, &error)) << "accepted: " << text;
+    EXPECT_FALSE(error.empty());
+  }
+  // Pathological nesting is rejected, not stack-overflowed.
+  std::string deep(500, '[');
+  deep += std::string(500, ']');
+  Json v;
+  std::string error;
+  EXPECT_FALSE(json_parse(deep, &v, &error));
+}
+
 TEST(Sinks, ReportJsonAndCsvCoverEveryScenario) {
   ExperimentGrid grid(small_config());
   grid.governors({"ondemand", "vafs"});

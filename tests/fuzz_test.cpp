@@ -2,9 +2,17 @@
 // configuration draws at the substrates and assert the conservation
 // invariants that must survive *any* usage, not just the scripted
 // scenarios of the unit tests.
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
 #include <gtest/gtest.h>
 
+#include <cerrno>
+#include <chrono>
 #include <cmath>
+#include <cstring>
 #include <limits>
 #include <stdexcept>
 #include <string>
@@ -14,6 +22,9 @@
 #include "cpu/cpu_model.h"
 #include "fault/plan.h"
 #include "net/downloader.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "serve/wire.h"
 #include "simcore/rng.h"
 #include "tune/param_space.h"
 #include "tune/tuner.h"
@@ -404,6 +415,294 @@ TEST_P(ParamSpaceFuzz, RandomSpacesValidateAndSearchInBounds) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ParamSpaceFuzz,
                          ::testing::Range<std::uint64_t>(4000, 4024));  // 24 random spaces
+
+// ------------------------------------------------------- Wire-protocol fuzzing
+//
+// Seeded-random hostile clients against a live decision server: truncated
+// frames, corrupted bytes, oversized lengths, garbage, and mid-frame
+// disconnects. The contract under attack: every malformed input ends in a
+// clean error reply or a dropped connection — never a crash, never a hang,
+// and never collateral damage to a well-behaved client on the same server.
+
+namespace wire_fuzz {
+
+/// A raw socket client with poll-bounded reads: a server that stops
+/// responding is a test failure, not a wedged test binary.
+class RawClient {
+ public:
+  ~RawClient() { reset(); }
+
+  bool connect_to(const std::string& path) {
+    reset();
+    fd_ = socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) return false;
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    if (connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+      reset();
+      return false;
+    }
+    return true;
+  }
+
+  bool connected() const { return fd_ >= 0; }
+
+  /// Best-effort send (the server may have already dropped us).
+  void send_bytes(const std::uint8_t* data, std::size_t len) {
+    if (fd_ < 0) return;
+    (void)send(fd_, data, len, MSG_NOSIGNAL);
+  }
+  void send_bytes(const std::vector<std::uint8_t>& bytes) {
+    send_bytes(bytes.data(), bytes.size());
+  }
+
+  /// Half-close: tells the server no more bytes are coming, so a read
+  /// blocked mid-frame sees EOF instead of waiting forever.
+  void finish_sending() {
+    if (fd_ >= 0) shutdown(fd_, SHUT_WR);
+  }
+
+  /// Reads until the server closes the connection. Returns the number of
+  /// reply bytes drained, or -1 if the server neither replied nor closed
+  /// within the deadline (a hang — the one unacceptable outcome).
+  long drain_until_eof(int timeout_ms) {
+    long total = 0;
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+    std::uint8_t buf[512];
+    while (std::chrono::steady_clock::now() < deadline) {
+      pollfd pfd{fd_, POLLIN, 0};
+      const int pr = poll(&pfd, 1, 50);
+      if (pr <= 0) continue;
+      const ssize_t n = read(fd_, buf, sizeof buf);
+      if (n == 0) {
+        reset();
+        return total;  // clean drop
+      }
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        reset();
+        return total;  // reset by peer: also a drop
+      }
+      total += static_cast<long>(n);
+    }
+    return -1;
+  }
+
+  /// Reads exactly one reply frame (header + payload). Returns false on
+  /// drop or timeout; *hung set when the deadline passed with the
+  /// connection still open.
+  bool read_frame(serve::FrameHeader* header, std::vector<std::uint8_t>* payload,
+                  bool* hung, int timeout_ms) {
+    *hung = false;
+    std::uint8_t head[serve::kWireHeaderSize];
+    if (!read_exact(head, sizeof head, timeout_ms, hung)) return false;
+    if (serve::decode_header(head, *header) != serve::WireError::kNone) return false;
+    payload->resize(header->payload_len);
+    if (header->payload_len > 0 &&
+        !read_exact(payload->data(), payload->size(), timeout_ms, hung)) {
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  bool read_exact(std::uint8_t* buf, std::size_t len, int timeout_ms, bool* hung) {
+    std::size_t got = 0;
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+    while (got < len) {
+      if (std::chrono::steady_clock::now() >= deadline) {
+        *hung = true;
+        return false;
+      }
+      pollfd pfd{fd_, POLLIN, 0};
+      if (poll(&pfd, 1, 50) <= 0) continue;
+      const ssize_t n = read(fd_, buf + got, len - got);
+      if (n == 0) {
+        reset();
+        return false;
+      }
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        reset();
+        return false;
+      }
+      got += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  void reset() {
+    if (fd_ >= 0) close(fd_);
+    fd_ = -1;
+  }
+
+  int fd_ = -1;
+};
+
+core::DecisionStreamInfo valid_stream_info() {
+  core::DecisionStreamInfo info;
+  info.geometry.clusters.push_back({{300000, 600000, 900000, 1200000}, 1.0, 1'200'000.0});
+  return info;
+}
+
+std::vector<std::uint8_t> valid_frame(sim::Rng& rng) {
+  std::vector<std::uint8_t> frame;
+  std::vector<std::uint8_t> payload;
+  switch (rng.uniform_int(0, 3)) {
+    case 0:
+      serve::encode_frame(frame, serve::MsgType::kPing, 0, payload);
+      break;
+    case 1:
+      serve::encode_stream_info(payload, valid_stream_info());
+      serve::encode_frame(frame, serve::MsgType::kHello,
+                          static_cast<std::uint64_t>(rng.uniform_int(0, 7)), payload);
+      break;
+    case 2: {
+      core::DecisionRequest req;
+      req.event = core::DecisionEvent::kReplan;
+      req.want_plan = true;
+      req.now_us = rng.uniform_int(0, 1'000'000);
+      serve::encode_request(payload, req);
+      serve::encode_frame(frame, serve::MsgType::kDecide,
+                          static_cast<std::uint64_t>(rng.uniform_int(0, 7)), payload);
+      break;
+    }
+    default:
+      serve::encode_frame(frame, serve::MsgType::kClose,
+                          static_cast<std::uint64_t>(rng.uniform_int(0, 7)), payload);
+      break;
+  }
+  return frame;
+}
+
+}  // namespace wire_fuzz
+
+class WireFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WireFuzz, MalformedFramesNeverCrashOrHangTheServer) {
+  using wire_fuzz::RawClient;
+  sim::Rng rng(GetParam());
+
+  const std::string socket_path =
+      "/tmp/vafs-wf-" + std::to_string(getpid()) + "-" + std::to_string(GetParam()) + ".sock";
+  serve::Server server({socket_path, 32, 16, nullptr});
+  ASSERT_TRUE(server.start());
+
+  constexpr int kTimeoutMs = 5000;
+  RawClient client;
+  ASSERT_TRUE(client.connect_to(socket_path));
+
+  for (int iter = 0; iter < 120; ++iter) {
+    if (!client.connected()) {
+      ASSERT_TRUE(client.connect_to(socket_path));
+    }
+    std::vector<std::uint8_t> frame = wire_fuzz::valid_frame(rng);
+
+    switch (rng.uniform_int(0, 4)) {
+      case 0: {
+        // Corrupt 1-4 random bytes, half-close, and wait for the verdict:
+        // an error reply, a drop, or (if the frame survived semantically,
+        // e.g. a corrupted byte inside an unread field is impossible — the
+        // checksum covers everything) a normal reply. Never a hang.
+        const int flips = static_cast<int>(rng.uniform_int(1, 4));
+        for (int f = 0; f < flips; ++f) {
+          const auto at = static_cast<std::size_t>(
+              rng.uniform_int(0, static_cast<std::int64_t>(frame.size() - 1)));
+          frame[at] ^= static_cast<std::uint8_t>(rng.uniform_int(1, 255));
+        }
+        client.send_bytes(frame);
+        client.finish_sending();
+        ASSERT_NE(client.drain_until_eof(kTimeoutMs), -1)
+            << "server hung on a corrupted frame (iter " << iter << ")";
+        break;
+      }
+      case 1: {
+        // Truncate mid-frame and disconnect: the committed read on the
+        // server must see EOF and drop, never wait forever.
+        const auto keep = static_cast<std::size_t>(
+            rng.uniform_int(1, static_cast<std::int64_t>(frame.size() - 1)));
+        client.send_bytes(frame.data(), keep);
+        client.finish_sending();
+        ASSERT_NE(client.drain_until_eof(kTimeoutMs), -1)
+            << "server hung on a truncated frame (iter " << iter << ")";
+        break;
+      }
+      case 2: {
+        // Oversized length prefix: must be answered (kOversized) and
+        // dropped without the server trying to read the advertised bytes.
+        frame[0] = 0xFF;
+        frame[1] = 0xFF;
+        frame[2] = static_cast<std::uint8_t>(rng.uniform_int(0x01, 0xFF));
+        frame[3] = static_cast<std::uint8_t>(rng.uniform_int(0x00, 0x7F));
+        client.send_bytes(frame);
+        serve::FrameHeader reply;
+        std::vector<std::uint8_t> payload;
+        bool hung = false;
+        const bool got = client.read_frame(&reply, &payload, &hung, kTimeoutMs);
+        ASSERT_FALSE(hung) << "server hung on an oversized frame (iter " << iter << ")";
+        if (got) {
+          EXPECT_EQ(reply.type, serve::MsgType::kError);
+          serve::WireError code = serve::WireError::kNone;
+          ASSERT_TRUE(serve::decode_error(payload.data(), payload.size(), code));
+          EXPECT_EQ(code, serve::WireError::kOversized);
+        }
+        ASSERT_NE(client.drain_until_eof(kTimeoutMs), -1);
+        break;
+      }
+      case 3: {
+        // Pure garbage of random length.
+        std::vector<std::uint8_t> garbage(
+            static_cast<std::size_t>(rng.uniform_int(1, 128)));
+        for (auto& b : garbage) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+        client.send_bytes(garbage);
+        client.finish_sending();
+        ASSERT_NE(client.drain_until_eof(kTimeoutMs), -1)
+            << "server hung on garbage (iter " << iter << ")";
+        break;
+      }
+      default: {
+        // A well-formed frame sent whole, then an abrupt mid-frame
+        // disconnect on the next one: both must leave the server alive.
+        client.send_bytes(frame);
+        serve::FrameHeader reply;
+        std::vector<std::uint8_t> payload;
+        bool hung = false;
+        // kClose has no reply; everything else answers exactly once.
+        const bool expect_reply =
+            frame[7] != static_cast<std::uint8_t>(serve::MsgType::kClose);
+        if (expect_reply) {
+          EXPECT_TRUE(client.read_frame(&reply, &payload, &hung, kTimeoutMs));
+          ASSERT_FALSE(hung) << "server hung on a valid frame (iter " << iter << ")";
+        }
+        std::vector<std::uint8_t> half = wire_fuzz::valid_frame(rng);
+        client.send_bytes(half.data(), half.size() / 2);
+        client.finish_sending();
+        ASSERT_NE(client.drain_until_eof(kTimeoutMs), -1);
+        break;
+      }
+    }
+  }
+
+  // The server survived the campaign: still running, still correct for a
+  // well-behaved client.
+  EXPECT_TRUE(server.running());
+  serve::ServeConnection good(socket_path);
+  EXPECT_TRUE(good.ping());
+  const std::uint64_t stream = good.open_stream(wire_fuzz::valid_stream_info());
+  core::DecisionRequest req;
+  req.event = core::DecisionEvent::kReplan;
+  req.want_plan = true;
+  const core::DecisionResponse resp = good.decide(stream, req);
+  EXPECT_TRUE(resp.planned);
+  server.stop();
+  EXPECT_GT(server.stats().protocol_errors, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WireFuzz,
+                         ::testing::Range<std::uint64_t>(5000, 5008));  // 8 campaigns
 
 }  // namespace
 }  // namespace vafs

@@ -1,0 +1,63 @@
+// The canonical golden-session corpus, shared by the golden-digest suite
+// (golden_test.cpp, which pins these sessions' digests in
+// tests/golden/digests.json) and the serving differential suite
+// (serve_test.cpp, which proves a daemon-answered run of the same corpus
+// produces bit-identical digests). One definition, so the two suites can
+// never drift apart on what "the corpus" is.
+//
+// governor × {steady, lossy, faulted}, one fixed seed, 20 s of media:
+// small enough to run in seconds, rich enough that every instrumented
+// subsystem (player, downloader, governors, VAFS controller, fault
+// injector) contributes events.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/session.h"
+
+namespace vafs::golden {
+
+constexpr std::uint64_t kGoldenSeed = 9001;
+
+struct GoldenCase {
+  std::string name;
+  core::SessionConfig config;
+};
+
+inline std::vector<GoldenCase> golden_cases() {
+  const std::vector<std::string> governors = {"ondemand", "conservative", "schedutil", "vafs"};
+  std::vector<GoldenCase> cases;
+  for (const auto& governor : governors) {
+    core::SessionConfig base;
+    base.governor = governor;
+    base.seed = kGoldenSeed;
+    base.media_duration = sim::SimTime::seconds(20);
+    base.fixed_rep = 2;
+
+    {
+      core::SessionConfig steady = base;
+      steady.net = core::NetProfile::kFair;
+      cases.push_back({governor + ".steady", steady});
+    }
+    {
+      // Poor network + rate ABR: rebuffers, retries and rep switches.
+      core::SessionConfig lossy = base;
+      lossy.net = core::NetProfile::kPoor;
+      lossy.abr = core::AbrKind::kRate;
+      cases.push_back({governor + ".lossy", lossy});
+    }
+    {
+      // The mild chaos preset: every fault kind enabled, compiled into a
+      // deterministic per-seed schedule.
+      core::SessionConfig faulted = base;
+      faulted.net = core::NetProfile::kFair;
+      faulted.fault = fault::FaultPlanConfig::mild();
+      cases.push_back({governor + ".faulted", faulted});
+    }
+  }
+  return cases;
+}
+
+}  // namespace vafs::golden

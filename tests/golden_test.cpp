@@ -28,6 +28,7 @@
 #include <gtest/gtest.h>
 
 #include "core/session.h"
+#include "golden_corpus.h"
 #include "obs/export.h"
 #include "obs/trace.h"
 
@@ -35,52 +36,11 @@ namespace {
 
 using namespace vafs;
 
-// ---------------------------------------------------------------------------
-// The canonical corpus: governor × {steady, lossy, faulted}, one fixed
-// seed, 20 s of media. Small enough to run in seconds, rich enough that
-// every instrumented subsystem (player, downloader, governors, VAFS
-// controller, fault injector) contributes events.
-
-constexpr std::uint64_t kGoldenSeed = 9001;
-
-struct GoldenCase {
-  std::string name;
-  core::SessionConfig config;
-};
-
-std::vector<GoldenCase> golden_cases() {
-  const std::vector<std::string> governors = {"ondemand", "conservative", "schedutil", "vafs"};
-  std::vector<GoldenCase> cases;
-  for (const auto& governor : governors) {
-    core::SessionConfig base;
-    base.governor = governor;
-    base.seed = kGoldenSeed;
-    base.media_duration = sim::SimTime::seconds(20);
-    base.fixed_rep = 2;
-
-    {
-      core::SessionConfig steady = base;
-      steady.net = core::NetProfile::kFair;
-      cases.push_back({governor + ".steady", steady});
-    }
-    {
-      // Poor network + rate ABR: rebuffers, retries and rep switches.
-      core::SessionConfig lossy = base;
-      lossy.net = core::NetProfile::kPoor;
-      lossy.abr = core::AbrKind::kRate;
-      cases.push_back({governor + ".lossy", lossy});
-    }
-    {
-      // The mild chaos preset: every fault kind enabled, compiled into a
-      // deterministic per-seed schedule.
-      core::SessionConfig faulted = base;
-      faulted.net = core::NetProfile::kFair;
-      faulted.fault = fault::FaultPlanConfig::mild();
-      cases.push_back({governor + ".faulted", faulted});
-    }
-  }
-  return cases;
-}
+// The canonical corpus lives in golden_corpus.h, shared with the serving
+// differential suite (serve_test.cpp).
+using golden::GoldenCase;
+using golden::golden_cases;
+using golden::kGoldenSeed;
 
 // ---------------------------------------------------------------------------
 // Golden file I/O. The format is deliberately minimal JSON; the parser

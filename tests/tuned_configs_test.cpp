@@ -1,0 +1,172 @@
+// Tuned-config consumption (src/tune/tuned_configs): schema validation of
+// the bench_f15 artifact, knob application through the shared registry —
+// and the shipping regression on the checked-in artifact itself: replayed
+// on the exact evaluation protocol the search used, every tuned cell must
+// hold the QoE floors and cost no more energy than stock VAFS, with a
+// strict saving on at least one (profile × net) cell. The replay is
+// bit-deterministic, so a pass here is a property of the artifact, not of
+// the machine running the test.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/session.h"
+#include "device/profile.h"
+#include "exp/runner.h"
+#include "tune/param_space.h"
+#include "tune/tuned_configs.h"
+
+namespace vafs::tune {
+namespace {
+
+// A minimal valid artifact body for schema tests.
+std::string artifact(const std::string& cells) {
+  return R"({"schema_version": 1, "cells": [)" + cells + "]}";
+}
+
+std::string cell_body(const std::string& profile, const std::string& net,
+                      const std::string& params) {
+  return R"({"cell": ")" + profile + "/" + net + R"(", "profile": ")" + profile +
+         R"(", "net": ")" + net + R"(", "governor": "vafs", "feasible": true, "params": {)" +
+         params + R"(}, "objective": {"energy_mj": 1000.0, "rebuffer_ratio": 0.001,)" +
+         R"( "drop_pct": 0.5}})";
+}
+
+TEST(TunedConfigs, ParsesCellsAndFindsByProfileAndNet) {
+  TunedConfigs cfgs;
+  std::string error;
+  ASSERT_TRUE(TunedConfigs::parse(
+      artifact(cell_body("default", "fair", R"("safety_margin": 0.25, "quantile": 0.8)") + "," +
+               cell_body("flagship", "poor", R"("boost_ms": 750)")),
+      &cfgs, &error))
+      << error;
+  ASSERT_EQ(cfgs.cells().size(), 2u);
+
+  // "" and "default" both address the legacy device.
+  const TunedCell* cell = cfgs.find("", "fair");
+  ASSERT_NE(cell, nullptr);
+  EXPECT_EQ(cell, cfgs.find("default", "fair"));
+  EXPECT_TRUE(cell->feasible);
+  EXPECT_EQ(cell->energy_mj, 1000.0);
+  EXPECT_EQ(cfgs.find("default", "poor"), nullptr);
+  EXPECT_EQ(cfgs.find("flagship", "fair"), nullptr);
+  ASSERT_NE(cfgs.find("flagship", "poor"), nullptr);
+
+  // apply() lands the knob values on the config through the registry.
+  core::SessionConfig config;
+  cell->apply(config);
+  EXPECT_EQ(config.vafs.safety_margin, 0.25);
+  EXPECT_EQ(config.vafs.predictor.quantile, 0.8);
+}
+
+TEST(TunedConfigs, AcceptsTheBenchJsonWrapper) {
+  // bench_f15 also embeds the artifact under "tuned" in BENCH_f15.json;
+  // the loader takes either form.
+  TunedConfigs cfgs;
+  std::string error;
+  const std::string wrapped =
+      R"({"bench": "f15", "tuned": )" +
+      artifact(cell_body("default", "fair", R"("safety_margin": 0.1)")) + "}";
+  ASSERT_TRUE(TunedConfigs::parse(wrapped, &cfgs, &error)) << error;
+  EXPECT_EQ(cfgs.cells().size(), 1u);
+}
+
+TEST(TunedConfigs, RejectsBadSchemas) {
+  TunedConfigs cfgs;
+  std::string error;
+  // Malformed JSON, wrong top-level kind, wrong/missing version, missing
+  // cells, unregistered knob, non-numeric param: all loud failures.
+  EXPECT_FALSE(TunedConfigs::parse("{", &cfgs, &error));
+  EXPECT_FALSE(TunedConfigs::parse("[]", &cfgs, &error));
+  EXPECT_FALSE(TunedConfigs::parse(R"({"schema_version": 2, "cells": []})", &cfgs, &error));
+  EXPECT_FALSE(TunedConfigs::parse(R"({"cells": []})", &cfgs, &error));
+  EXPECT_FALSE(TunedConfigs::parse(
+      artifact(cell_body("default", "fair", R"("not_a_knob": 1.0)")), &cfgs, &error));
+  EXPECT_NE(error.find("not_a_knob"), std::string::npos);
+  EXPECT_FALSE(TunedConfigs::parse(
+      artifact(cell_body("default", "fair", R"("safety_margin": "high")")), &cfgs, &error));
+}
+
+TEST(TunedConfigs, ApplyKnobCoversRegistryAndRejectsUnknowns) {
+  core::SessionConfig config;
+  for (const std::string& name : ParamSpace::knob_names()) {
+    EXPECT_TRUE(apply_knob(name, 1.0, config)) << name;
+  }
+  EXPECT_FALSE(apply_knob("no_such_knob", 1.0, config));
+}
+
+// --- The checked-in artifact (bench/baselines/tuned_configs.json) ---
+
+TunedConfigs checked_in() {
+  TunedConfigs cfgs;
+  std::string error;
+  if (!TunedConfigs::load_file(VAFS_TUNED_CONFIGS_PATH, &cfgs, &error)) {
+    ADD_FAILURE() << error;
+  }
+  return cfgs;
+}
+
+TEST(CheckedInTunedConfigs, CoverEveryProfileAndNetFeasibly) {
+  const TunedConfigs cfgs = checked_in();
+  for (const std::string& profile : device::profile_names()) {
+    for (const char* net : {"fair", "poor"}) {
+      const TunedCell* cell = cfgs.find(profile, net);
+      ASSERT_NE(cell, nullptr) << profile << "/" << net;
+      EXPECT_TRUE(cell->feasible) << profile << "/" << net;
+      EXPECT_EQ(cell->governor, "vafs");
+      EXPECT_FALSE(cell->params.empty());
+    }
+  }
+}
+
+TEST(CheckedInTunedConfigs, TunedBeatsStockVafsAtEqualQoE) {
+  const TunedConfigs cfgs = checked_in();
+  ASSERT_FALSE(cfgs.empty());
+
+  // The bench_f15 evaluation protocol, verbatim: 720p, 60 s media, the
+  // tuner's downloader settings, and its full seed budget 9000..9007.
+  core::SessionConfig base;
+  base.fixed_rep = 2;
+  base.media_duration = sim::SimTime::seconds(60);
+  base.downloader.attempt_timeout = sim::SimTime::seconds(6);
+  base.downloader.max_attempts = 4;
+
+  exp::RunOptions ropts;
+  ropts.seeds.clear();
+  for (std::uint64_t j = 0; j < 8; ++j) ropts.seeds.push_back(9000 + j);
+
+  int strict_wins = 0;
+  for (const TunedCell& cell : cfgs.cells()) {
+    SCOPED_TRACE(cell.cell);
+    exp::ScenarioSpec stock;
+    stock.id = "stock";
+    stock.config = base;
+    if (cell.profile != "default") stock.config.profile = device::profile(cell.profile);
+    stock.config.net = cell.net == "poor" ? core::NetProfile::kPoor : core::NetProfile::kFair;
+    stock.config.governor = cell.governor;
+    exp::ScenarioSpec tuned = stock;
+    tuned.id = "tuned";
+    cell.apply(tuned.config);
+
+    const exp::ResultSet rs = exp::run_grid({stock, tuned}, ropts);
+    const exp::Aggregate& s = rs.all()[0].agg;
+    const exp::Aggregate& t = rs.all()[1].agg;
+    ASSERT_TRUE(rs.all()[0].ok() && rs.all()[1].ok());
+
+    // Equal QoE: the tuned config holds the same floors the search
+    // enforced (F15's constraints for this network class).
+    const double max_rebuffer_ratio = cell.net == "poor" ? 0.05 : 0.01;
+    EXPECT_LE(t.rebuffer_s.mean() / t.wall_s.mean(), max_rebuffer_ratio);
+    EXPECT_LE(t.drop_pct.mean(), 2.0);
+    EXPECT_LE(t.startup_s.mean(), 5.0);
+
+    // Energy: never worse than stock, strictly better somewhere.
+    EXPECT_LE(t.total_mj.mean(), s.total_mj.mean());
+    if (t.total_mj.mean() < s.total_mj.mean()) ++strict_wins;
+  }
+  EXPECT_GE(strict_wins, 1);
+}
+
+}  // namespace
+}  // namespace vafs::tune

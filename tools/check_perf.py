@@ -7,6 +7,10 @@ Two input formats are understood:
 * ``--throughput FILE`` — a ``BENCH_throughput.json`` written by
   ``bench_throughput``; every numeric key of its ``extra`` object becomes a
   candidate metric named ``throughput:<key>`` (higher is better).
+* ``--serving FILE`` — a ``BENCH_s1_serving.json`` written by
+  ``bench_s1_serving``; every numeric key of its ``extra`` object becomes a
+  candidate metric named ``s1:<key>`` (latency percentiles are
+  lower-is-better, rates higher-is-better — see BASELINE_METRICS).
 * ``--gbench FILE`` — Google Benchmark ``--benchmark_out`` JSON; every entry
   becomes ``f9:<name>`` with its ``real_time`` (lower is better).
 * ``--fleet-inproc FILE`` / ``--fleet-supervised FILE`` — ``BENCH_fleet.json``
@@ -50,6 +54,9 @@ BASELINE_METRICS = {
     "f9:BM_EventScheduleAndFire": "lower",
     "f9:BM_VafsPlanDecision": "lower",
     "f9:BM_FullSessionSimulation": "lower",
+    "s1:decisions_per_sec": "higher",
+    "s1:decision_rtt_p50_us": "lower",
+    "s1:decision_rtt_p99_us": "lower",
 }
 
 # The serial reference each batch metric is compared against in the
@@ -78,6 +85,11 @@ def collect_current(args: argparse.Namespace) -> dict[str, float]:
         for key, value in extra.items():
             if isinstance(value, (int, float)) and not isinstance(value, bool):
                 current[f"throughput:{key}"] = float(value)
+    for path in args.serving or []:
+        extra = load_json(path).get("extra", {})
+        for key, value in extra.items():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                current[f"s1:{key}"] = float(value)
     for path in args.gbench or []:
         for bench in load_json(path).get("benchmarks", []):
             name = bench.get("name")
@@ -311,6 +323,8 @@ def main() -> int:
     parser.add_argument("--baseline", help="checked-in baseline JSON")
     parser.add_argument("--throughput", action="append", metavar="FILE",
                         help="BENCH_throughput.json (repeatable)")
+    parser.add_argument("--serving", action="append", metavar="FILE",
+                        help="BENCH_s1_serving.json (repeatable)")
     parser.add_argument("--gbench", action="append", metavar="FILE",
                         help="Google Benchmark JSON (repeatable)")
     parser.add_argument("--fleet-inproc", action="append", metavar="FILE",
@@ -329,12 +343,12 @@ def main() -> int:
     if fleet_mode:
         if not (args.fleet_inproc and args.fleet_supervised):
             parser.error("fleet mode needs both --fleet-inproc and --fleet-supervised")
-        if args.throughput or args.gbench or args.update_baseline:
+        if args.throughput or args.gbench or args.serving or args.update_baseline:
             parser.error("fleet mode does not combine with baseline-gate inputs")
         return check_fleet_overhead(args)
 
-    if not args.throughput and not args.gbench:
-        parser.error("provide at least one of --throughput / --gbench")
+    if not args.throughput and not args.gbench and not args.serving:
+        parser.error("provide at least one of --throughput / --gbench / --serving")
     if not args.baseline:
         parser.error("--baseline is required for the baseline gate")
 
